@@ -1,0 +1,65 @@
+//! Criterion benches over the shootdown microbenchmark family
+//! (Figures 5–8 / Table 3): wall-clock regression tracking for the
+//! simulator itself, one group per paper artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlbdown_core::OptConfig;
+use tlbdown_workloads::cow::{run_cow_bench, CowBenchCfg};
+use tlbdown_workloads::madvise::{run_madvise_bench, MadviseBenchCfg, Placement};
+
+fn quick_cfg(placement: Placement, ptes: u64, safe: bool, opts: OptConfig) -> MadviseBenchCfg {
+    let mut cfg = MadviseBenchCfg::new(placement, ptes, safe, opts);
+    cfg.iters = 60;
+    cfg.runs = 1;
+    cfg
+}
+
+fn bench_fig5_to_8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("madvise_microbench");
+    g.sample_size(10);
+    for (fig, safe, ptes) in [
+        (5u32, true, 1u64),
+        (6, true, 10),
+        (7, false, 1),
+        (8, false, 10),
+    ] {
+        for (name, opts) in [
+            ("base", OptConfig::baseline()),
+            ("all4", OptConfig::general_four()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("fig{fig}"), format!("{name}-diffsocket")),
+                &(safe, ptes, opts),
+                |b, &(safe, ptes, opts)| {
+                    b.iter(|| {
+                        run_madvise_bench(&quick_cfg(Placement::DiffSocket, ptes, safe, opts))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cow_microbench");
+    g.sample_size(10);
+    for (name, opts) in [
+        ("base", OptConfig::baseline()),
+        ("all4", OptConfig::general_four()),
+        ("all4+cow", OptConfig::general_four().with_cow(true)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("fig9", name), &opts, |b, &opts| {
+            b.iter(|| {
+                let mut cfg = CowBenchCfg::new(true, opts);
+                cfg.pages = 80;
+                cfg.runs = 1;
+                run_cow_bench(&cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5_to_8, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches over the application workloads (Figures 10–11) and
+//! the fracturing experiment (Table 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlbdown_core::OptConfig;
+use tlbdown_types::Cycles;
+use tlbdown_workloads::apache::{run_apache, ApacheCfg};
+use tlbdown_workloads::sysbench::{run_sysbench, SysbenchCfg};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sysbench");
+    g.sample_size(10);
+    for (name, opts) in [
+        ("base", OptConfig::baseline()),
+        ("all", OptConfig::all()),
+        ("batching", OptConfig::baseline().with_batching(true)),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("fig10-4threads", name),
+            &opts,
+            |b, &opts| {
+                b.iter(|| {
+                    let mut cfg = SysbenchCfg::new(4, true, opts);
+                    cfg.duration = Cycles::new(1_500_000);
+                    cfg.file_pages = 2048;
+                    run_sysbench(&cfg)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apache");
+    g.sample_size(10);
+    for (name, opts) in [
+        ("base", OptConfig::baseline()),
+        ("concurrent", OptConfig::cumulative(1)),
+        ("all-no-cow", OptConfig::general_four().with_batching(true)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("fig11-4cores", name), &opts, |b, &opts| {
+            b.iter(|| {
+                let mut cfg = ApacheCfg::new(4, true, opts);
+                cfg.duration = Cycles::new(2_000_000);
+                cfg.files = 8;
+                run_apache(&cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fracturing");
+    g.sample_size(10);
+    g.bench_function("table4-all-rows", |b| b.iter(tlbdown_bench::table4));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10, bench_fig11, bench_table4);
+criterion_main!(benches);

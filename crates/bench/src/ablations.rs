@@ -1,0 +1,137 @@
+//! Ablations over the design choices DESIGN.md calls out: the 33-entry
+//! full-flush ceiling, the INVPCID/INVLPG cost gap behind §3.4, and the
+//! §7 paravirtual fracturing hint.
+
+use tlbdown_core::OptConfig;
+use tlbdown_mem::{AddrSpace, PhysMem};
+use tlbdown_types::{CostModel, Cycles, PageSize, VirtAddr};
+use tlbdown_virt::{build_nested_mappings, NestedCpu, ParavirtFlushPolicy};
+use tlbdown_workloads::madvise::{run_madvise_bench, MadviseBenchCfg, Placement};
+
+/// Sweep the shootdown size across the 33-entry ceiling: initiator cycles
+/// per *PTE* should drop sharply once the request escalates to a full
+/// flush — the tradeoff behind Linux's `tlb_single_page_flush_ceiling`
+/// (§2.1: "FreeBSD ... 4096, whereas Linux places the ceiling at 33").
+pub fn ceiling_sweep() -> String {
+    let mut out = String::from(
+        "Ablation A: flush size vs the 33-entry full-flush ceiling (safe mode,\n\
+         same-socket responder, baseline protocol)\n\n\
+           PTEs   madvise cycles   cycles/PTE   executed as\n",
+    );
+    for ptes in [1u64, 8, 16, 32, 33, 34, 48, 64] {
+        let mut cfg =
+            MadviseBenchCfg::new(Placement::SameSocket, ptes, true, OptConfig::baseline());
+        cfg.iters = 100;
+        cfg.runs = 1;
+        let r = run_madvise_bench(&cfg);
+        let mode = if ptes > 33 { "full flush" } else { "selective" };
+        out += &format!(
+            "  {ptes:>5} {:>16.0} {:>12.0}   {mode}\n",
+            r.initiator.mean(),
+            r.initiator.mean() / ptes as f64
+        );
+    }
+    out += "\n  The per-PTE cost collapses past 33 entries: one full flush beats a\n\
+            long INVLPG loop, at the price of refilling the whole TLB later.\n";
+    out
+}
+
+/// Sensitivity of the in-context optimization (§3.4) to the
+/// INVPCID-vs-INVLPG cost gap: if INVPCID were as fast as INVLPG, the
+/// optimization would buy almost nothing.
+pub fn invpcid_sensitivity() -> String {
+    let mut out = String::from(
+        "Ablation B: §3.4 benefit vs the INVPCID cost premium (safe mode,\n\
+         same-socket, 10 PTEs; responder cycles)\n\n\
+           INVPCID cost   without in-context   with in-context   saving\n",
+    );
+    for invpcid in [200u64, 250, 310, 400, 500] {
+        let run = |in_context: bool| {
+            let opts = OptConfig::cumulative(3).with_in_context(in_context);
+            let mut cfg = MadviseBenchCfg::new(Placement::SameSocket, 10, true, opts);
+            cfg.iters = 100;
+            cfg.runs = 1;
+            cfg.costs_override = Some({
+                let mut c = CostModel::default();
+                c.invpcid_single = Cycles::new(invpcid);
+                c
+            });
+            run_madvise_bench(&cfg).responder.mean()
+        };
+        let without = run(false);
+        let with = run(true);
+        out += &format!(
+            "  {invpcid:>12} {without:>20.0} {with:>17.0} {:>8.0}\n",
+            without - with
+        );
+    }
+    out += "\n  The optimization's value is exactly the instruction-cost gap times\n\
+            the flushed-PTE count (plus the merge wins); at parity it vanishes —\n\
+            the paper's motivation for measuring the two instructions first.\n";
+    out
+}
+
+/// The §7 paravirtual hint: guest flush instructions and re-touch misses
+/// with and without the hint, in a fractured configuration.
+pub fn paravirt_hint() -> String {
+    let run = |hint: bool| -> (u64, u64) {
+        let mut mem = PhysMem::new(1 << 24);
+        let mut gspace = AddrSpace::new(&mut mem).expect("guest tables");
+        let mut ept = AddrSpace::new(&mut mem).expect("ept");
+        build_nested_mappings(
+            &mut mem,
+            &mut gspace,
+            &mut ept,
+            VirtAddr::new(0x4000_0000),
+            8 << 20,
+            PageSize::Size2M,
+            PageSize::Size4K,
+        )
+        .expect("mapping");
+        let mut cpu = NestedCpu::new(1 << 20, CostModel::default());
+        for i in 0..2048u64 {
+            cpu.access(VirtAddr::new(0x4000_0000 + i * 4096), &gspace, &ept)
+                .expect("mapped");
+        }
+        let policy = ParavirtFlushPolicy {
+            fracturing_possible: hint,
+        };
+        cpu.tlb.reset_stats();
+        // Invalidate 16 pages, as an unmap of a small buffer would.
+        let issued = policy.execute(&mut cpu, VirtAddr::new(0x4000_0000), 16, 33);
+        for i in 0..2048u64 {
+            cpu.access(VirtAddr::new(0x4000_0000 + i * 4096), &gspace, &ept)
+                .expect("mapped");
+        }
+        (issued, cpu.tlb.stats().misses)
+    };
+    let (i0, m0) = run(false);
+    let (i1, m1) = run(true);
+    format!(
+        "Ablation C: §7 paravirtual fracturing hint (guest 2MB over host 4KB,\n\
+         16-page invalidation, 2048-page working set)\n\n\
+           policy         flush instructions   re-touch misses\n\
+           without hint {i0:>20} {m0:>17}\n\
+           with hint    {i1:>20} {m1:>17}\n\n\
+           Both wipe the TLB (fracturing makes that unavoidable), but the hint\n\
+           replaces {i0} serializing flush instructions with one — the software\n\
+           half of the mitigation the paper proposes.\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_reports_are_nonempty() {
+        assert!(paravirt_hint().contains("with hint"));
+    }
+
+    #[test]
+    fn paravirt_hint_reduces_instructions_not_misses() {
+        let s = paravirt_hint();
+        // Structural check: the hint row issues exactly 1 instruction.
+        assert!(s.contains("with hint                       1"), "{s}");
+    }
+}

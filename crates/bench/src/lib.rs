@@ -1,0 +1,16 @@
+//! The figure/table regeneration library.
+//!
+//! Every table and figure of the paper's evaluation has a function here
+//! that runs the corresponding experiment and renders the rows the paper
+//! reports; the `figures` binary dispatches to them. DESIGN.md §5 maps
+//! each experiment to its module, and EXPERIMENTS.md records a full run.
+
+pub mod ablations;
+pub mod figures;
+pub mod fractured;
+pub mod loc;
+
+pub use ablations::{ceiling_sweep, invpcid_sensitivity, paravirt_hint};
+pub use figures::{fig10, fig11, fig4_ablation, fig5_to_8, fig9, table3, Scale};
+pub use fractured::table4;
+pub use loc::table2;

@@ -1,0 +1,331 @@
+//! A MESI-style coherence model for the kernel cachelines a TLB shootdown
+//! touches.
+//!
+//! Cacheline consolidation (paper §3.3) is only observable through coherence
+//! traffic: the baseline Linux layout bounces four-plus distinct cachelines
+//! between initiator and responder (lazy-mode indication, on-stack flush
+//! info, call-function data, call-single queue), while the consolidated
+//! layout inlines the flush info into a single-cacheline CFD and colocates
+//! the lazy bit with the queue head (Figure 4).
+//!
+//! This crate models exactly that: named cachelines with MESI state per
+//! line, where every read or write returns the cycle cost of the implied
+//! coherence transaction and updates transfer statistics. Only the kernel
+//! structures the paper identifies as contended are modelled — application
+//! data is not (DESIGN.md §8).
+
+use std::collections::HashMap;
+
+use tlbdown_types::{CoreId, CostModel, Cycles, Distance, Topology};
+
+/// Handle to one modelled 64-byte cacheline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineId(u64);
+
+/// MESI state of a line, from the perspective of the directory.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+enum LineState {
+    /// No core holds the line.
+    #[default]
+    Invalid,
+    /// Exactly one core holds the line with write permission (M or E).
+    Exclusive(CoreId),
+    /// One or more cores hold read-only copies (S).
+    Shared(Vec<CoreId>),
+}
+
+/// Counters describing coherence traffic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Loads that hit a copy the requesting core already held.
+    pub local_hits: u64,
+    /// Lines transferred from another core on the same socket.
+    pub same_socket_transfers: u64,
+    /// Lines transferred across the interconnect.
+    pub cross_socket_transfers: u64,
+    /// Read-for-ownership upgrades that invalidated remote copies.
+    pub invalidations: u64,
+    /// Fills satisfied from memory (no core held the line).
+    pub memory_fills: u64,
+}
+
+impl CacheStats {
+    /// Total number of core-to-core line transfers.
+    pub fn transfers(&self) -> u64 {
+        self.same_socket_transfers + self.cross_socket_transfers
+    }
+}
+
+/// The coherence directory for all modelled kernel cachelines.
+#[derive(Debug)]
+pub struct CacheDirectory {
+    topo: Topology,
+    costs: CostModel,
+    lines: HashMap<LineId, LineState>,
+    names: Vec<&'static str>,
+    stats: CacheStats,
+    /// Per-line transfer counts, for the Figure 4 ablation.
+    per_line_transfers: HashMap<LineId, u64>,
+}
+
+impl CacheDirectory {
+    /// Create an empty directory for the given machine.
+    pub fn new(topo: Topology, costs: CostModel) -> Self {
+        CacheDirectory {
+            topo,
+            costs,
+            lines: HashMap::new(),
+            names: Vec::new(),
+            stats: CacheStats::default(),
+            per_line_transfers: HashMap::new(),
+        }
+    }
+
+    /// Register a new cacheline with a diagnostic name.
+    pub fn new_line(&mut self, name: &'static str) -> LineId {
+        let id = LineId(self.names.len() as u64);
+        self.names.push(name);
+        self.lines.insert(id, LineState::Invalid);
+        id
+    }
+
+    /// Diagnostic name of a line.
+    pub fn name(&self, line: LineId) -> &'static str {
+        self.names[line.0 as usize]
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Transfers recorded against one line.
+    pub fn line_transfers(&self, line: LineId) -> u64 {
+        self.per_line_transfers.get(&line).copied().unwrap_or(0)
+    }
+
+    /// Reset statistics (not line states).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+        self.per_line_transfers.clear();
+    }
+
+    fn record_transfer(&mut self, line: LineId, d: Distance) {
+        match d {
+            Distance::SameCore => self.stats.local_hits += 1,
+            Distance::SameSocket => {
+                self.stats.same_socket_transfers += 1;
+                *self.per_line_transfers.entry(line).or_insert(0) += 1;
+            }
+            Distance::CrossSocket => {
+                self.stats.cross_socket_transfers += 1;
+                *self.per_line_transfers.entry(line).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// The nearest current holder of the line to `core`, if any.
+    fn nearest_holder(&self, core: CoreId, state: &LineState) -> Option<(CoreId, Distance)> {
+        let holders: Vec<CoreId> = match state {
+            LineState::Invalid => return None,
+            LineState::Exclusive(c) => vec![*c],
+            LineState::Shared(s) => s.clone(),
+        };
+        holders
+            .into_iter()
+            .map(|h| (h, self.topo.distance(core, h)))
+            .min_by_key(|(_, d)| match d {
+                Distance::SameCore => 0u8,
+                Distance::SameSocket => 1,
+                Distance::CrossSocket => 2,
+            })
+    }
+
+    /// Load the line on `core`; returns the coherence cost.
+    pub fn read(&mut self, core: CoreId, line: LineId) -> Cycles {
+        let state = self.lines.get(&line).expect("unknown line").clone();
+        if self.holds(core, line) {
+            self.record_transfer(line, Distance::SameCore);
+            return self.costs.cacheline(Distance::SameCore);
+        }
+        match self.nearest_holder(core, &state) {
+            Some((_, d)) => {
+                // Fetch from the nearest holder (an SMT sibling's copy in
+                // the shared L1/L2 costs the local fee but still adds this
+                // requester as a sharer); everyone downgrades to S.
+                let mut sharers = match state {
+                    LineState::Exclusive(c) => vec![c],
+                    LineState::Shared(s) => s,
+                    LineState::Invalid => unreachable!(),
+                };
+                sharers.push(core);
+                self.lines.insert(line, LineState::Shared(sharers));
+                self.record_transfer(line, d);
+                self.costs.cacheline(d)
+            }
+            None => {
+                self.lines.insert(line, LineState::Exclusive(core));
+                self.stats.memory_fills += 1;
+                // Memory fill: charge a same-socket transfer cost.
+                self.costs.cacheline(Distance::SameSocket)
+            }
+        }
+    }
+
+    /// Store to the line on `core` (read-for-ownership); returns the cost.
+    pub fn write(&mut self, core: CoreId, line: LineId) -> Cycles {
+        let state = self.lines.get(&line).expect("unknown line").clone();
+        let cost = match &state {
+            LineState::Exclusive(c) if *c == core => {
+                self.record_transfer(line, Distance::SameCore);
+                self.costs.cacheline(Distance::SameCore)
+            }
+            LineState::Invalid => {
+                self.stats.memory_fills += 1;
+                self.costs.cacheline(Distance::SameSocket)
+            }
+            _ => {
+                // Invalidate all other holders; pay the farthest distance.
+                let holders: Vec<CoreId> = match &state {
+                    LineState::Exclusive(c) => vec![*c],
+                    LineState::Shared(s) => s.clone(),
+                    LineState::Invalid => unreachable!(),
+                };
+                let mut worst = Distance::SameCore;
+                for h in holders {
+                    if h == core {
+                        continue;
+                    }
+                    let d = self.topo.distance(core, h);
+                    worst = match (worst, d) {
+                        (_, Distance::CrossSocket) | (Distance::CrossSocket, _) => {
+                            Distance::CrossSocket
+                        }
+                        (_, Distance::SameSocket) | (Distance::SameSocket, _) => {
+                            Distance::SameSocket
+                        }
+                        _ => Distance::SameCore,
+                    };
+                    self.stats.invalidations += 1;
+                }
+                self.record_transfer(line, worst);
+                self.costs.cacheline(worst)
+            }
+        };
+        self.lines.insert(line, LineState::Exclusive(core));
+        cost
+    }
+
+    /// Whether `core` currently holds the line (any state).
+    pub fn holds(&self, core: CoreId, line: LineId) -> bool {
+        match self.lines.get(&line) {
+            Some(LineState::Exclusive(c)) => *c == core,
+            Some(LineState::Shared(s)) => s.contains(&core),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> (CacheDirectory, LineId) {
+        let mut d = CacheDirectory::new(Topology::paper_machine(), CostModel::default());
+        let l = d.new_line("test");
+        (d, l)
+    }
+
+    #[test]
+    fn first_read_fills_from_memory() {
+        let (mut d, l) = dir();
+        d.read(CoreId(0), l);
+        assert_eq!(d.stats().memory_fills, 1);
+        assert!(d.holds(CoreId(0), l));
+    }
+
+    #[test]
+    fn repeated_reads_are_local() {
+        let (mut d, l) = dir();
+        d.read(CoreId(0), l);
+        let c = d.read(CoreId(0), l);
+        assert_eq!(c, CostModel::default().cacheline_local);
+        assert_eq!(d.stats().local_hits, 1);
+    }
+
+    #[test]
+    fn cross_core_read_transfers_and_shares() {
+        let (mut d, l) = dir();
+        d.write(CoreId(0), l);
+        let c = d.read(CoreId(5), l); // same socket
+        assert_eq!(c, CostModel::default().cacheline_same_socket);
+        assert_eq!(d.stats().same_socket_transfers, 1);
+        assert!(d.holds(CoreId(0), l) && d.holds(CoreId(5), l));
+    }
+
+    #[test]
+    fn cross_socket_read_costs_more() {
+        let (mut d, l) = dir();
+        d.write(CoreId(0), l);
+        let c = d.read(CoreId(30), l); // other socket
+        assert_eq!(c, CostModel::default().cacheline_cross_socket);
+        assert_eq!(d.stats().cross_socket_transfers, 1);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let (mut d, l) = dir();
+        d.read(CoreId(0), l);
+        d.read(CoreId(5), l);
+        d.read(CoreId(30), l);
+        let c = d.write(CoreId(0), l);
+        // Worst-case holder is cross-socket.
+        assert_eq!(c, CostModel::default().cacheline_cross_socket);
+        assert!(d.stats().invalidations >= 2);
+        assert!(d.holds(CoreId(0), l));
+        assert!(!d.holds(CoreId(5), l));
+        assert!(!d.holds(CoreId(30), l));
+    }
+
+    #[test]
+    fn exclusive_write_is_local() {
+        let (mut d, l) = dir();
+        d.write(CoreId(3), l);
+        let c = d.write(CoreId(3), l);
+        assert_eq!(c, CostModel::default().cacheline_local);
+    }
+
+    #[test]
+    fn read_prefers_nearest_holder() {
+        let (mut d, l) = dir();
+        d.read(CoreId(30), l); // cross-socket holder
+        d.read(CoreId(1), l); // now shared with same-socket core 1
+        d.reset_stats();
+        let c = d.read(CoreId(2), l);
+        assert_eq!(c, CostModel::default().cacheline_same_socket);
+        assert_eq!(d.stats().cross_socket_transfers, 0);
+    }
+
+    #[test]
+    fn per_line_transfer_accounting() {
+        let (mut d, l) = dir();
+        let l2 = d.new_line("other");
+        d.write(CoreId(0), l);
+        d.read(CoreId(2), l); // different physical core (1 is 0's SMT sibling)
+        d.read(CoreId(2), l2);
+        assert_eq!(d.line_transfers(l), 1);
+        assert_eq!(d.line_transfers(l2), 0, "memory fills are not transfers");
+        assert_eq!(d.name(l2), "other");
+    }
+
+    #[test]
+    fn ping_pong_counts_every_bounce() {
+        let (mut d, l) = dir();
+        for i in 0..10 {
+            let core = if i % 2 == 0 { CoreId(0) } else { CoreId(30) };
+            d.write(core, l);
+        }
+        // First write fills from memory, the other nine bounce cross-socket.
+        assert_eq!(d.stats().cross_socket_transfers, 9);
+    }
+}

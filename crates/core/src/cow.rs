@@ -1,0 +1,63 @@
+//! Copy-on-write flush avoidance — §4.1.
+//!
+//! After the CoW fault handler swaps the PTE to the new writable copy, the
+//! stale read-only translation may still be cached (speculative fills, or
+//! the handler migrating cores mid-fault). The baseline removes it with a
+//! local `INVLPG` — which also wipes the whole paging-structure cache. The
+//! optimization instead performs an **atomic no-op read-modify-write** to
+//! the faulting address: the write cannot use the old write-protected
+//! entry, so the hardware drops it, re-walks, and caches the new PTE that
+//! is about to be used anyway.
+//!
+//! The data access cannot evict ITLB entries, so the optimization must be
+//! skipped when the PTE is executable.
+
+use crate::opts::OptConfig;
+use tlbdown_types::PteFlags;
+
+/// How the CoW fault handler removes the stale local translation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CowFlushMethod {
+    /// Baseline: local `INVLPG` (plus its paging-structure-cache wipe).
+    LocalInvlpg,
+    /// §4.1: atomic no-op RMW at the faulting address after the PTE swap.
+    AccessTrick,
+}
+
+/// Select the flush method for a CoW fault on a PTE whose *old* flags were
+/// `old_flags`.
+///
+/// The access trick is used only when the optimization is enabled and the
+/// mapping is non-executable (`NX` set): an executable PTE may be cached
+/// in the ITLB, which a data write cannot invalidate.
+pub fn cow_flush_method(old_flags: PteFlags, opts: &OptConfig) -> CowFlushMethod {
+    if opts.cow_avoid_flush && old_flags.contains(PteFlags::NX) {
+        CowFlushMethod::AccessTrick
+    } else {
+        CowFlushMethod::LocalInvlpg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_opt_uses_invlpg() {
+        let m = cow_flush_method(PteFlags::user_cow(), &OptConfig::baseline());
+        assert_eq!(m, CowFlushMethod::LocalInvlpg);
+    }
+
+    #[test]
+    fn enabled_opt_uses_access_trick_for_nx() {
+        let m = cow_flush_method(PteFlags::user_cow(), &OptConfig::all());
+        assert_eq!(m, CowFlushMethod::AccessTrick);
+    }
+
+    #[test]
+    fn executable_pte_falls_back_to_invlpg() {
+        // user_rx() has no NX bit → executable → ITLB hazard → INVLPG.
+        let m = cow_flush_method(PteFlags::user_rx().with(PteFlags::COW), &OptConfig::all());
+        assert_eq!(m, CowFlushMethod::LocalInvlpg);
+    }
+}

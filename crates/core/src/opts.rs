@@ -1,0 +1,216 @@
+//! The optimization switchboard.
+
+use core::fmt;
+
+/// Which of the paper's six optimizations are active.
+///
+/// Every benchmark in §5 reports latencies "as we iteratively activate the
+/// optimizations, in the order in which they appear in each figure's
+/// legend"; [`OptConfig::cumulative`] reproduces exactly that order.
+///
+/// # Examples
+///
+/// ```
+/// use tlbdown_core::OptConfig;
+///
+/// // The paper's cumulative levels nest:
+/// assert_eq!(OptConfig::cumulative(0), OptConfig::baseline());
+/// assert_eq!(OptConfig::cumulative(6), OptConfig::all());
+/// // Ablations toggle one technique at a time:
+/// let only_early_ack = OptConfig::baseline().with_early_ack(true);
+/// assert!(only_early_ack.early_ack && !only_early_ack.concurrent_flush);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct OptConfig {
+    /// §3.1: the initiator flushes its local TLB while waiting for remote
+    /// acknowledgements instead of before sending IPIs.
+    pub concurrent_flush: bool,
+    /// §3.2: responders acknowledge on handler entry rather than after
+    /// flushing (automatically disabled when page tables are freed).
+    pub early_ack: bool,
+    /// §3.3: lazy-mode bit colocated with the call-single-queue head and
+    /// flush info inlined into a single-cacheline call-function-data entry.
+    pub cacheline_consolidation: bool,
+    /// §3.4: user-PCID PTE flushes deferred until kernel exit and executed
+    /// with `INVLPG` in the user context (only meaningful under PTI).
+    pub in_context_flush: bool,
+    /// §4.1: on CoW faults, replace the local `INVLPG` with an atomic
+    /// no-op access to the faulting address (skipped for executable PTEs).
+    pub cow_avoid_flush: bool,
+    /// §4.2: defer shootdowns triggered inside msync / munmap /
+    /// madvise(DONTNEED) and run them once at mmap_sem release.
+    pub userspace_batching: bool,
+}
+
+/// Names of the cumulative levels, in figure-legend order.
+pub const CUMULATIVE_NAMES: [&str; 7] = [
+    "base",
+    "+concurrent",
+    "+early-ack",
+    "+cacheline",
+    "+in-context",
+    "+cow",
+    "+batching",
+];
+
+impl OptConfig {
+    /// Everything off: the baseline Linux 5.2.8 protocol.
+    pub const fn baseline() -> Self {
+        OptConfig {
+            concurrent_flush: false,
+            early_ack: false,
+            cacheline_consolidation: false,
+            in_context_flush: false,
+            cow_avoid_flush: false,
+            userspace_batching: false,
+        }
+    }
+
+    /// Everything on.
+    pub const fn all() -> Self {
+        OptConfig {
+            concurrent_flush: true,
+            early_ack: true,
+            cacheline_consolidation: true,
+            in_context_flush: true,
+            cow_avoid_flush: true,
+            userspace_batching: true,
+        }
+    }
+
+    /// The four "general" techniques of §3 only (the Table 3 config).
+    pub const fn general_four() -> Self {
+        OptConfig {
+            concurrent_flush: true,
+            early_ack: true,
+            cacheline_consolidation: true,
+            in_context_flush: true,
+            cow_avoid_flush: false,
+            userspace_batching: false,
+        }
+    }
+
+    /// Cumulative activation level `n` in the paper's figure-legend order:
+    /// 0 = baseline, 1 = +concurrent flushes, 2 = +early ack,
+    /// 3 = +cacheline consolidation, 4 = +in-context flushing,
+    /// 5 = +CoW avoidance, 6 = +userspace-safe batching.
+    pub const fn cumulative(n: usize) -> Self {
+        OptConfig {
+            concurrent_flush: n >= 1,
+            early_ack: n >= 2,
+            cacheline_consolidation: n >= 3,
+            in_context_flush: n >= 4,
+            cow_avoid_flush: n >= 5,
+            userspace_batching: n >= 6,
+        }
+    }
+
+    /// Toggle exactly one optimization relative to `self` (ablations).
+    pub const fn with_concurrent(mut self, v: bool) -> Self {
+        self.concurrent_flush = v;
+        self
+    }
+
+    /// `self` with early acknowledgement set to `v`.
+    pub const fn with_early_ack(mut self, v: bool) -> Self {
+        self.early_ack = v;
+        self
+    }
+
+    /// `self` with cacheline consolidation set to `v`.
+    pub const fn with_cacheline(mut self, v: bool) -> Self {
+        self.cacheline_consolidation = v;
+        self
+    }
+
+    /// `self` with in-context flushing set to `v`.
+    pub const fn with_in_context(mut self, v: bool) -> Self {
+        self.in_context_flush = v;
+        self
+    }
+
+    /// `self` with CoW flush avoidance set to `v`.
+    pub const fn with_cow(mut self, v: bool) -> Self {
+        self.cow_avoid_flush = v;
+        self
+    }
+
+    /// `self` with userspace-safe batching set to `v`.
+    pub const fn with_batching(mut self, v: bool) -> Self {
+        self.userspace_batching = v;
+        self
+    }
+}
+
+impl fmt::Display for OptConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut on = Vec::new();
+        if self.concurrent_flush {
+            on.push("concurrent");
+        }
+        if self.early_ack {
+            on.push("early-ack");
+        }
+        if self.cacheline_consolidation {
+            on.push("cacheline");
+        }
+        if self.in_context_flush {
+            on.push("in-context");
+        }
+        if self.cow_avoid_flush {
+            on.push("cow");
+        }
+        if self.userspace_batching {
+            on.push("batching");
+        }
+        if on.is_empty() {
+            write!(f, "baseline")
+        } else {
+            write!(f, "{}", on.join("+"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_levels_nest() {
+        for n in 0..6 {
+            let lo = OptConfig::cumulative(n);
+            let hi = OptConfig::cumulative(n + 1);
+            // Each level only adds flags.
+            assert!(!lo.concurrent_flush || hi.concurrent_flush);
+            assert!(!lo.early_ack || hi.early_ack);
+            assert!(!lo.cacheline_consolidation || hi.cacheline_consolidation);
+            assert!(!lo.in_context_flush || hi.in_context_flush);
+            assert!(!lo.cow_avoid_flush || hi.cow_avoid_flush);
+            assert!(!lo.userspace_batching || hi.userspace_batching);
+            assert_ne!(lo, hi, "each level must change something");
+        }
+        assert_eq!(OptConfig::cumulative(0), OptConfig::baseline());
+        assert_eq!(OptConfig::cumulative(6), OptConfig::all());
+    }
+
+    #[test]
+    fn general_four_excludes_use_case_opts() {
+        let g = OptConfig::general_four();
+        assert!(
+            g.concurrent_flush && g.early_ack && g.cacheline_consolidation && g.in_context_flush
+        );
+        assert!(!g.cow_avoid_flush && !g.userspace_batching);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(OptConfig::baseline().to_string(), "baseline");
+        assert_eq!(
+            OptConfig::baseline()
+                .with_concurrent(true)
+                .with_cow(true)
+                .to_string(),
+            "concurrent+cow"
+        );
+    }
+}

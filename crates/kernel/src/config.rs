@@ -1,0 +1,105 @@
+//! Kernel-wide configuration.
+
+use tlbdown_core::OptConfig;
+use tlbdown_types::{CostModel, Topology};
+
+/// Configuration of one simulated kernel boot.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// Machine CPU layout.
+    pub topo: Topology,
+    /// Micro-operation costs.
+    pub costs: CostModel,
+    /// Which of the paper's optimizations are active.
+    pub opts: OptConfig,
+    /// "Safe mode": Meltdown/Spectre mitigations on — PTI dual address
+    /// spaces, doubled TLB flushes, trampoline entry costs (§5). When
+    /// false ("unsafe mode"), kernel pages are global and each flush is
+    /// performed once.
+    pub safe_mode: bool,
+    /// LATR-style lazy shootdowns: PTE-modifying syscalls return without
+    /// waiting for (or even sending) IPIs; flushes are applied on each
+    /// core asynchronously after `lazy_latr_delay_cycles`. Reproduces the
+    /// related-work behaviour of §2.3.2 so its hazards can be demonstrated.
+    pub lazy_latr: bool,
+    /// Delay before a LATR-deferred flush executes on a remote core.
+    pub lazy_latr_delay_cycles: u64,
+    /// Emulate the CPU speculatively caching the faulting PTE between
+    /// page-fault delivery and the handler's PTE update (§4.1 hazard).
+    pub speculative_fill_on_fault: bool,
+    /// Whether the safety oracle records violations (cheap; leave on).
+    pub oracle: bool,
+    /// Failure injection: omit the §3.2 `nmi_uaccess_okay` pending-flush
+    /// extension, so NMI probes during the early-ack window read through
+    /// stale entries (used by tests to demonstrate the hazard).
+    pub buggy_nmi_check: bool,
+    /// Maximum seeded jitter (cycles) added to IPI delivery and interrupt
+    /// dispatch, emulating the microarchitectural noise behind the
+    /// paper's error bars. Zero (default) keeps the machine fully
+    /// deterministic.
+    pub noise_cycles: u64,
+    /// Seed for the machine's internal jitter stream.
+    pub seed: u64,
+}
+
+impl KernelConfig {
+    /// A config for the paper's machine in safe mode with no optimizations.
+    pub fn paper_baseline() -> Self {
+        KernelConfig {
+            topo: Topology::paper_machine(),
+            costs: CostModel::default(),
+            opts: OptConfig::baseline(),
+            safe_mode: true,
+            lazy_latr: false,
+            lazy_latr_delay_cycles: 100_000,
+            speculative_fill_on_fault: true,
+            oracle: true,
+            buggy_nmi_check: false,
+            noise_cycles: 0,
+            seed: 0x71bd,
+        }
+    }
+
+    /// A small single-socket machine for tests.
+    pub fn test_machine(cores: u32) -> Self {
+        KernelConfig {
+            topo: Topology::small(cores),
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// Builder-style: set the optimization config.
+    pub fn with_opts(mut self, opts: OptConfig) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Builder-style: set safe mode.
+    pub fn with_safe_mode(mut self, safe: bool) -> Self {
+        self.safe_mode = safe;
+        self
+    }
+
+    /// Builder-style: enable the LATR-style lazy mode.
+    pub fn with_lazy_latr(mut self, lazy: bool) -> Self {
+        self.lazy_latr = lazy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = KernelConfig::test_machine(4)
+            .with_opts(OptConfig::all())
+            .with_safe_mode(false)
+            .with_lazy_latr(true);
+        assert_eq!(c.topo.num_cores(), 4);
+        assert!(c.lazy_latr);
+        assert!(!c.safe_mode);
+        assert_eq!(c.opts, OptConfig::all());
+    }
+}

@@ -1,0 +1,38 @@
+//! Events driving the machine.
+
+use tlbdown_apic::Vector;
+use tlbdown_core::FlushTlbInfo;
+use tlbdown_types::CoreId;
+
+/// A simulation event. All kernel activity is decomposed into these; the
+/// deterministic engine orders them.
+#[derive(Debug)]
+pub enum Event {
+    /// Step the core's current execution frame. Carries a token so that
+    /// resumes invalidated by an interleaving interrupt are dropped.
+    Resume {
+        /// Core to step.
+        core: CoreId,
+        /// Must match the core's current resume token.
+        token: u64,
+    },
+    /// An IPI reaches a core's local APIC.
+    IpiArrive {
+        /// Destination core.
+        core: CoreId,
+        /// Delivered vector.
+        vector: Vector,
+    },
+    /// An NMI reaches a core (failure injection / §3.2 hazard tests).
+    NmiArrive {
+        /// Destination core.
+        core: CoreId,
+    },
+    /// A LATR-style deferred flush becomes due on a core.
+    LazyFlushDue {
+        /// Core that must now apply the flush.
+        core: CoreId,
+        /// The deferred work.
+        info: FlushTlbInfo,
+    },
+}

@@ -1,0 +1,1258 @@
+//! Frame stepping: programs, system calls, page faults and NMIs.
+//!
+//! Every step function follows the engine's contract: perform the current
+//! stage's *effects* immediately, then return how long the stage occupies
+//! the core. Cross-core-visible effects (acknowledgements, IPIs) add their
+//! propagation latency explicitly in `shoot.rs`.
+
+use tlbdown_core::{cow_flush_method, CowFlushMethod, FlushTlbInfo};
+use tlbdown_mem::{FrameState, Pte};
+use tlbdown_types::{CoreId, Cycles, MmId, PageSize, Pcid, PteFlags, VirtAddr, VirtRange};
+
+use crate::cpu::{
+    FaultFrame, FaultStage, Frame, FrameSlot, NmiFrame, NmiStage, ProgFrame, ResumeState,
+    ShootdownRun, SyscallFrame, SyscallStage,
+};
+use crate::machine::Machine;
+use crate::mm::VmaKind;
+use crate::prog::{ProgAction, ProgCtx, Syscall};
+use crate::sem::SemMode;
+use crate::shoot::SdOut;
+
+/// Result of stepping one frame.
+pub(crate) enum StepOut {
+    /// Stage effects applied; occupy the core for this long.
+    Continue(Cycles),
+    /// Waiting on a condition; a waker (or uncovering pop) re-steps.
+    Block,
+    /// Frame finished; charge `cost`, optionally deliver a return value to
+    /// the program frame below.
+    Done {
+        /// Final cost (e.g. kernel exit).
+        cost: Cycles,
+        /// Syscall return value.
+        retval: Option<u64>,
+    },
+    /// Keep this frame (suspended at zero remaining); run `frame` on top.
+    Push {
+        /// The frame to push.
+        frame: Frame,
+        /// Its initial (dispatch/entry) cost.
+        cost: Cycles,
+    },
+    /// Replace this frame with another (thread switch on the base frame).
+    Replace {
+        /// The replacement frame.
+        frame: Frame,
+        /// Switch cost.
+        cost: Cycles,
+    },
+}
+
+impl Machine {
+    /// Step the top frame of `core`.
+    pub(crate) fn step_core(&mut self, core: CoreId) {
+        let Some(mut slot) = self.cpus[core.index()].frames.pop() else {
+            return;
+        };
+        let out = match &mut slot.frame {
+            Frame::Idle => self.step_idle(core),
+            Frame::Prog(pf) => self.step_prog(core, pf),
+            Frame::Syscall(sf) => self.step_syscall(core, sf),
+            Frame::Fault(ff) => self.step_fault(core, ff),
+            Frame::Irq(irf) => self.step_irq(core, irf),
+            Frame::Nmi(nf) => self.step_nmi(core, nf),
+        };
+        match out {
+            StepOut::Continue(c) => {
+                self.cpus[core.index()].frames.push(slot);
+                self.schedule_step(core, c);
+            }
+            StepOut::Block => {
+                slot.resume = ResumeState::Blocked;
+                self.cpus[core.index()].frames.push(slot);
+            }
+            StepOut::Done { cost, retval } => {
+                drop(slot);
+                if let Some(r) = retval {
+                    if let Some(FrameSlot {
+                        frame: Frame::Prog(pf),
+                        ..
+                    }) = self.cpus[core.index()].frames.last_mut()
+                    {
+                        pf.retval = r;
+                    }
+                }
+                let resume_extra = match self.cpus[core.index()].frames.last() {
+                    Some(FrameSlot {
+                        resume: ResumeState::Suspended { remaining },
+                        ..
+                    }) => Some(*remaining),
+                    Some(FrameSlot {
+                        resume: ResumeState::Blocked,
+                        ..
+                    }) => Some(Cycles::ZERO),
+                    _ => None,
+                };
+                if let Some(rem) = resume_extra {
+                    self.schedule_step(core, cost + rem);
+                }
+            }
+            StepOut::Push { frame, cost } => {
+                slot.resume = ResumeState::Suspended {
+                    remaining: Cycles::ZERO,
+                };
+                self.cpus[core.index()].frames.push(slot);
+                self.cpus[core.index()].frames.push(FrameSlot {
+                    frame,
+                    resume: ResumeState::Blocked,
+                });
+                self.schedule_step(core, cost);
+            }
+            StepOut::Replace { frame, cost } => {
+                drop(slot);
+                self.cpus[core.index()].frames.push(FrameSlot {
+                    frame,
+                    resume: ResumeState::Blocked,
+                });
+                self.schedule_step(core, cost);
+            }
+        }
+    }
+
+    // --- Idle / scheduling ---
+
+    fn step_idle(&mut self, core: CoreId) -> StepOut {
+        if let Some(idx) = self.cpus[core.index()].runqueue.pop_front() {
+            let cost = self.context_switch_in(core, idx);
+            StepOut::Replace {
+                frame: Frame::Prog(ProgFrame {
+                    thread: idx,
+                    pending_access: None,
+                    retval: 0,
+                    fault_info: None,
+                }),
+                cost,
+            }
+        } else {
+            // Stay idle in lazy-TLB mode.
+            StepOut::Block
+        }
+    }
+
+    /// Switch `core` to thread `idx`; returns the switch cost. Handles the
+    /// lazy-TLB exit generation check and PCID bookkeeping.
+    pub(crate) fn context_switch_in(&mut self, core: CoreId, idx: usize) -> Cycles {
+        let mm_id = self.threads[idx].mm;
+        let prev_mm = self.cpus[core.index()].tlb_state.loaded_mm;
+        let mut cost = self.cfg.costs.thread_switch;
+        self.stats.counters.bump("context_switch");
+
+        if prev_mm != mm_id {
+            cost += self.cfg.costs.cr3_switch;
+            // Pending deferred user flushes of the previous mm cannot ride
+            // the normal return-to-user path any more; resolve them now
+            // with a full user-PCID flush.
+            if self.cpus[core.index()]
+                .tlb_state
+                .deferred_user
+                .take()
+                .is_some()
+            {
+                let user_pcid = self.cpus[core.index()].tlb_state.user_pcid;
+                self.tlbs[core.index()].flush_pcid(user_pcid);
+                cost += self.cfg.costs.full_flush;
+            }
+            if prev_mm != MmId::KERNEL {
+                let local = self.cpus[core.index()].tlb_state.local_tlb_gen;
+                self.cpus[core.index()].pcid_gens.insert(prev_mm, local);
+                if let Some(mm) = self.mms.get_mut(&prev_mm) {
+                    mm.cpumask.remove(&core);
+                }
+            }
+            let mm = self.mms.get(&mm_id).expect("thread's mm exists");
+            let cur_gen = mm.gen.current();
+            let pcid = mm.pcid;
+            let synced = self.cpus[core.index()].pcid_gens.get(&mm_id).copied();
+            let start_gen = match synced {
+                Some(g) if g < cur_gen => {
+                    // Stale PCID-tagged entries survive the CR3 reload;
+                    // flush them (lazy-exit / switch-in sync, §2.2).
+                    self.tlbs[core.index()].flush_pcid(pcid);
+                    cost += self.cfg.costs.full_flush;
+                    if self.cfg.safe_mode {
+                        self.tlbs[core.index()].flush_pcid(pcid.user_sibling());
+                        cost += self.cfg.costs.full_flush;
+                    }
+                    self.stats.counters.bump("switch_in_flush");
+                    cur_gen
+                }
+                Some(g) => g,
+                None => cur_gen, // fresh PCID on this core: nothing cached
+            };
+            self.cpus[core.index()].tlb_state =
+                tlbdown_core::CpuTlbState::load_mm(mm_id, pcid, start_gen);
+            self.mms
+                .get_mut(&mm_id)
+                .expect("checked")
+                .cpumask
+                .insert(core);
+        } else {
+            // Same mm (possibly returning from lazy mode): sync the
+            // generation if flushes were skipped while lazy.
+            let cur_gen = self.mms.get(&mm_id).map(|m| m.gen.current()).unwrap_or(0);
+            let local = self.cpus[core.index()].tlb_state.local_tlb_gen;
+            if local < cur_gen {
+                let pcid = self.cpus[core.index()].tlb_state.kernel_pcid;
+                self.tlbs[core.index()].flush_pcid(pcid);
+                cost += self.cfg.costs.full_flush;
+                if self.cfg.safe_mode {
+                    let upcid = self.cpus[core.index()].tlb_state.user_pcid;
+                    self.tlbs[core.index()].flush_pcid(upcid);
+                    cost += self.cfg.costs.full_flush;
+                }
+                self.cpus[core.index()].tlb_state.local_tlb_gen = cur_gen;
+                self.stats.counters.bump("lazy_exit_flush");
+            }
+        }
+        // Leave lazy mode: write the lazy indication line.
+        self.cpus[core.index()].tlb_state.is_lazy = false;
+        let script = self.smp.set_lazy(core);
+        cost += tlbdown_core::smp::run_script(&mut self.dir, core, &script);
+        self.cpus[core.index()].current = Some(idx);
+        cost
+    }
+
+    /// Transition `core` to the idle kernel thread (lazy-TLB mode, §3.3).
+    fn enter_idle(&mut self, core: CoreId) -> StepOut {
+        self.cpus[core.index()].current = None;
+        if let Some(idx) = self.cpus[core.index()].runqueue.pop_front() {
+            let cost = self.context_switch_in(core, idx);
+            return StepOut::Replace {
+                frame: Frame::Prog(ProgFrame {
+                    thread: idx,
+                    pending_access: None,
+                    retval: 0,
+                    fault_info: None,
+                }),
+                cost,
+            };
+        }
+        self.cpus[core.index()].tlb_state.is_lazy = true;
+        let script = self.smp.set_lazy(core);
+        let cost = tlbdown_core::smp::run_script(&mut self.dir, core, &script)
+            + self.cfg.costs.thread_switch;
+        self.stats.counters.bump("enter_lazy");
+        StepOut::Replace {
+            frame: Frame::Idle,
+            cost,
+        }
+    }
+
+    // --- User program execution ---
+
+    fn step_prog(&mut self, core: CoreId, pf: &mut ProgFrame) -> StepOut {
+        let idx = pf.thread;
+        if self.threads[idx].done {
+            return self.enter_idle(core);
+        }
+        if let Some((va, write, fetch)) = pf.pending_access {
+            return self.do_access(core, pf, va, write, fetch);
+        }
+        let ctx = ProgCtx {
+            retval: pf.retval,
+            now: self.engine.now(),
+        };
+        pf.retval = 0;
+        let action = self.threads[idx].prog.next(&ctx);
+        match action {
+            ProgAction::Nop => StepOut::Continue(Cycles::ZERO),
+            ProgAction::Compute(c) => StepOut::Continue(c),
+            ProgAction::Access { va, write } => {
+                pf.pending_access = Some((va, write, false));
+                self.do_access(core, pf, va, write, false)
+            }
+            ProgAction::Fetch { va } => {
+                pf.pending_access = Some((va, false, true));
+                self.do_access(core, pf, va, false, true)
+            }
+            ProgAction::Syscall(call) => {
+                let entry = Cycles::new(self.cfg.costs.syscall(self.cfg.safe_mode).as_u64() / 2);
+                StepOut::Push {
+                    frame: Frame::Syscall(SyscallFrame {
+                        call,
+                        stage: SyscallStage::AcquireSem,
+                        retval: 0,
+                        sd: None,
+                        batched_retires: Vec::new(),
+                        barrier: Default::default(),
+                        pending_frees: Vec::new(),
+                        started: self.engine.now(),
+                        batched: false,
+                        did_batch: false,
+                        batch: tlbdown_core::BatchState::new(),
+                    }),
+                    cost: entry,
+                }
+            }
+            ProgAction::Yield => {
+                let cpu = &mut self.cpus[core.index()];
+                if let Some(next) = cpu.runqueue.pop_front() {
+                    cpu.runqueue.push_back(idx);
+                    let cost = self.context_switch_in(core, next);
+                    StepOut::Replace {
+                        frame: Frame::Prog(ProgFrame {
+                            thread: next,
+                            pending_access: None,
+                            retval: 0,
+                            fault_info: None,
+                        }),
+                        cost,
+                    }
+                } else {
+                    StepOut::Continue(self.cfg.costs.thread_switch)
+                }
+            }
+            ProgAction::Exit => {
+                self.threads[idx].done = true;
+                self.stats.counters.bump("thread_exit");
+                self.enter_idle(core)
+            }
+        }
+    }
+
+    /// Perform one user-mode access (or instruction fetch).
+    fn do_access(
+        &mut self,
+        core: CoreId,
+        pf: &mut ProgFrame,
+        va: VirtAddr,
+        write: bool,
+        fetch: bool,
+    ) -> StepOut {
+        let mm_id = self.threads[pf.thread].mm;
+        debug_assert_eq!(
+            self.cpus[core.index()].tlb_state.loaded_mm,
+            mm_id,
+            "user thread running without its mm loaded"
+        );
+        let pcid = self.user_mode_pcid(core);
+        let mm = self.mms.get_mut(&mm_id).expect("thread's mm exists");
+        let res = if fetch {
+            self.tlbs[core.index()].fetch(pcid, va, true, &mut mm.space, &self.cfg.costs)
+        } else {
+            self.tlbs[core.index()].access(pcid, va, write, true, &mut mm.space, &self.cfg.costs)
+        };
+        match res {
+            Ok(acc) => {
+                pf.pending_access = None;
+                if let Some((t0, label)) = pf.fault_info.take() {
+                    let lat = self.engine.now() + acc.cost - t0;
+                    self.stats.record_fault(core, label, lat);
+                }
+                let page = va.align_down(PageSize::Size4K);
+                if self.cfg.oracle {
+                    if acc.hit {
+                        self.oracle.check_hit(
+                            core,
+                            pcid.is_user_view(),
+                            mm_id,
+                            page,
+                            "user access",
+                        );
+                    } else {
+                        self.oracle
+                            .tlb_filled(core, pcid.is_user_view(), mm_id, page);
+                    }
+                }
+                // Writes keep the dirty bit honest even on cached entries
+                // (the MMU's microcode D-bit walk).
+                if write {
+                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                    let _ = mm.space.mark_used(va, true);
+                    self.dirty_index.entry(mm_id).or_default().insert(va.vpn());
+                }
+                StepOut::Continue(acc.cost)
+            }
+            Err(_) => {
+                let jitter = self.noise();
+                StepOut::Push {
+                    frame: Frame::Fault(FaultFrame {
+                        va,
+                        write,
+                        is_fetch: fetch,
+                        stage: FaultStage::Resolve,
+                        sd: None,
+                        pending_frees: Vec::new(),
+                        started: self.engine.now(),
+                        label: "fault",
+                    }),
+                    cost: self.cfg.costs.fault_dispatch(self.cfg.safe_mode) + jitter,
+                }
+            }
+        }
+    }
+
+    /// The PCID user code translates under.
+    pub(crate) fn user_mode_pcid(&self, core: CoreId) -> Pcid {
+        let ts = &self.cpus[core.index()].tlb_state;
+        if self.cfg.safe_mode {
+            ts.user_pcid
+        } else {
+            ts.kernel_pcid
+        }
+    }
+
+    /// The mm of the thread currently on `core` (loaded mm as fallback).
+    pub(crate) fn current_mm(&self, core: CoreId) -> MmId {
+        self.cpus[core.index()]
+            .current
+            .map(|i| self.threads[i].mm)
+            .unwrap_or(self.cpus[core.index()].tlb_state.loaded_mm)
+    }
+
+    // --- System calls ---
+
+    fn step_syscall(&mut self, core: CoreId, sf: &mut SyscallFrame) -> StepOut {
+        match sf.stage {
+            SyscallStage::AcquireSem | SyscallStage::WaitSem => {
+                let mm_id = self.current_mm(core);
+                let mode = match sf.call {
+                    Syscall::MmapAnon { .. }
+                    | Syscall::MmapFile { .. }
+                    | Syscall::Munmap { .. }
+                    | Syscall::Mprotect { .. } => Some(SemMode::Write),
+                    Syscall::MadviseDontNeed { .. }
+                    | Syscall::Msync { .. }
+                    | Syscall::Fdatasync { .. } => Some(SemMode::Read),
+                    Syscall::Send { .. } => None,
+                };
+                if let Some(mode) = mode {
+                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                    let acquired = if sf.stage == SyscallStage::AcquireSem {
+                        mm.mmap_sem.acquire(core, mode)
+                    } else {
+                        mm.mmap_sem.held_by(core)
+                    };
+                    if !acquired {
+                        sf.stage = SyscallStage::WaitSem;
+                        self.stats.counters.bump("mmap_sem_wait");
+                        return StepOut::Block;
+                    }
+                }
+                // §4.2: enter batched mode for the suitable syscalls.
+                if self.cfg.opts.userspace_batching
+                    && matches!(
+                        sf.call,
+                        Syscall::Munmap { .. }
+                            | Syscall::MadviseDontNeed { .. }
+                            | Syscall::Msync { .. }
+                            | Syscall::Fdatasync { .. }
+                    )
+                {
+                    sf.batch.begin();
+                    sf.batched = true;
+                    sf.did_batch = true;
+                    // §4.2: signal initiators that this core is inside a
+                    // batched syscall and needs no IPI.
+                    self.cpus[core.index()].in_batched_syscall = true;
+                }
+                sf.stage = SyscallStage::Body;
+                StepOut::Continue(Cycles::ZERO)
+            }
+            SyscallStage::Body => {
+                let cost = self.syscall_body(core, sf);
+                sf.stage = if sf.sd.is_some() {
+                    SyscallStage::Shootdown
+                } else {
+                    SyscallStage::BarrierNext
+                };
+                StepOut::Continue(cost)
+            }
+            SyscallStage::Shootdown => {
+                match self.step_sd(core, sf.sd.as_mut().expect("stage requires a run")) {
+                    SdOut::Continue(c) => StepOut::Continue(c),
+                    SdOut::Block => StepOut::Block,
+                    SdOut::Done(c) => {
+                        let run = sf.sd.take().expect("checked");
+                        self.finish_sd(core, &run);
+                        sf.stage = SyscallStage::BarrierNext;
+                        StepOut::Continue(c)
+                    }
+                }
+            }
+            SyscallStage::BarrierNext => {
+                if let Some((info, retire)) = sf.barrier.pop_front() {
+                    let mut run = ShootdownRun::new(info);
+                    run.retire = retire;
+                    sf.sd = Some(run);
+                    sf.stage = SyscallStage::Shootdown;
+                } else {
+                    sf.stage = SyscallStage::Release;
+                }
+                StepOut::Continue(Cycles::ZERO)
+            }
+            SyscallStage::Release => {
+                let mm_id = self.current_mm(core);
+                // §4.2 barrier: flush everything deferred in batched mode
+                // *before* dropping the semaphore.
+                if sf.batched {
+                    sf.batched = false;
+                    let infos = sf.batch.end();
+                    if !infos.is_empty() {
+                        self.stats
+                            .counters
+                            .add("batched_flushes", infos.len() as u64);
+                        // Nothing retires before the whole barrier ran:
+                        // the accumulated pairs ride on the last flush.
+                        let n = infos.len();
+                        let retires = std::mem::take(&mut sf.batched_retires);
+                        sf.barrier = infos
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, info)| {
+                                if i + 1 == n {
+                                    (info, retires.clone())
+                                } else {
+                                    (info, Vec::new())
+                                }
+                            })
+                            .collect();
+                        sf.stage = SyscallStage::BarrierNext;
+                        return StepOut::Continue(Cycles::ZERO);
+                    }
+                }
+                self.cpus[core.index()].in_batched_syscall = false;
+                for pa in sf.pending_frees.drain(..) {
+                    self.mem.free(pa);
+                }
+                let woken: Vec<CoreId> = {
+                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                    if mm.mmap_sem.held_by(core) {
+                        mm.mmap_sem.release(core)
+                    } else {
+                        Vec::new()
+                    }
+                };
+                for c in woken {
+                    self.wake(c);
+                }
+                sf.stage = SyscallStage::Exit;
+                StepOut::Continue(Cycles::ZERO)
+            }
+            SyscallStage::Exit => {
+                let mut flush_cost = Cycles::ZERO;
+                // §4.2 barrier tail: flushes skipped while this core was
+                // in batched mode are applied via the generation check
+                // before leaving the kernel ("a memory barrier to check
+                // for TLB flushes every time the kernel prepares to leave
+                // kernel mode").
+                if sf.did_batch {
+                    let mm_id = self.current_mm(core);
+                    let cur_gen = self.mms.get(&mm_id).map(|m| m.gen.current()).unwrap_or(0);
+                    let ts = &self.cpus[core.index()].tlb_state;
+                    if ts.local_tlb_gen < cur_gen {
+                        let kpcid = ts.kernel_pcid;
+                        let upcid = ts.user_pcid;
+                        self.tlbs[core.index()].flush_pcid(kpcid);
+                        flush_cost += self.cfg.costs.full_flush;
+                        if self.cfg.safe_mode {
+                            self.tlbs[core.index()].flush_pcid(upcid);
+                            flush_cost += self.cfg.costs.full_flush;
+                        }
+                        self.cpus[core.index()].tlb_state.local_tlb_gen = cur_gen;
+                        self.cpus[core.index()].tlb_state.deferred_user.take();
+                        self.stats.counters.bump("batched_exit_flush");
+                    }
+                }
+                flush_cost += self.kernel_exit_user_flush(core);
+                let exit = Cycles::new(self.cfg.costs.syscall(self.cfg.safe_mode).as_u64() / 2);
+                let lat = self.engine.now() + flush_cost + exit - sf.started;
+                self.stats.record_syscall(core, syscall_name(&sf.call), lat);
+                StepOut::Done {
+                    cost: flush_cost + exit,
+                    retval: Some(sf.retval),
+                }
+            }
+        }
+    }
+
+    /// Execute the syscall body: PTE updates, flush planning. Returns the
+    /// body cost; sets `sf.sd` / `sf.barrier` / `sf.retval`.
+    fn syscall_body(&mut self, core: CoreId, sf: &mut SyscallFrame) -> Cycles {
+        let mm_id = self.current_mm(core);
+        let costs = self.cfg.costs.clone();
+        match sf.call {
+            Syscall::MmapAnon { pages } => {
+                let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                let addr = mm.mmap_cursor;
+                mm.mmap_cursor = mm.mmap_cursor.add((pages + 1) * 4096); // +guard page
+                let vma = crate::mm::Vma {
+                    range: VirtRange::pages(addr, pages, PageSize::Size4K),
+                    kind: VmaKind::Anon,
+                    prot_write: true,
+                    prot_exec: false,
+                };
+                mm.insert_vma(vma).expect("cursor placement cannot overlap");
+                sf.retval = addr.as_u64();
+                costs.pte_update
+            }
+            Syscall::MmapFile {
+                file,
+                page_offset,
+                pages,
+                shared,
+            } => {
+                let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                let addr = mm.mmap_cursor;
+                mm.mmap_cursor = mm.mmap_cursor.add((pages + 1) * 4096);
+                let kind = if shared {
+                    VmaKind::FileShared { file, page_offset }
+                } else {
+                    VmaKind::FilePrivate { file, page_offset }
+                };
+                let vma = crate::mm::Vma {
+                    range: VirtRange::pages(addr, pages, PageSize::Size4K),
+                    kind,
+                    prot_write: true,
+                    prot_exec: false,
+                };
+                mm.insert_vma(vma).expect("cursor placement cannot overlap");
+                sf.retval = addr.as_u64();
+                costs.pte_update
+            }
+            Syscall::Munmap { addr, pages } => {
+                let range = VirtRange::pages(addr, pages, PageSize::Size4K);
+                let (removed_count, info) = {
+                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                    mm.remove_vmas(range);
+                    let out = mm.space.unmap_range(&mut self.mem, range);
+                    let n = out.removed.len();
+                    let mut info = None;
+                    if n > 0 || out.freed_tables {
+                        let gen = mm.gen.bump();
+                        let mut i = FlushTlbInfo::ranged(mm_id, range, PageSize::Size4K, gen);
+                        if out.freed_tables {
+                            i = i.with_freed_tables();
+                        }
+                        info = Some(i);
+                    }
+                    for (_, pte, _) in &out.removed {
+                        if self.frame_refs.put_page(pte.addr) {
+                            sf.pending_frees.push(pte.addr);
+                        }
+                    }
+                    (n as u64, info)
+                };
+                if let Some(info) = info {
+                    let retire = if self.cfg.oracle {
+                        self.oracle.range_modified(mm_id, range)
+                    } else {
+                        Vec::new()
+                    };
+                    self.queue_flush(core, sf, info, retire);
+                }
+                sf.retval = 0;
+                costs.pte_update * removed_count.max(1)
+            }
+            Syscall::MadviseDontNeed { addr, pages } => {
+                let range = VirtRange::pages(addr, pages, PageSize::Size4K);
+                let (removed_count, info) = {
+                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                    let out = mm.space.zap_range(range);
+                    let n = out.removed.len();
+                    let info = if n > 0 {
+                        let gen = mm.gen.bump();
+                        Some(FlushTlbInfo::ranged(mm_id, range, PageSize::Size4K, gen))
+                    } else {
+                        None
+                    };
+                    for (_, pte, _) in &out.removed {
+                        if self.frame_refs.put_page(pte.addr) {
+                            sf.pending_frees.push(pte.addr);
+                        }
+                    }
+                    (n as u64, info)
+                };
+                if let Some(info) = info {
+                    let retire = if self.cfg.oracle {
+                        self.oracle.range_modified(mm_id, range)
+                    } else {
+                        Vec::new()
+                    };
+                    self.queue_flush(core, sf, info, retire);
+                }
+                sf.retval = 0;
+                costs.pte_update * removed_count.max(1)
+            }
+            Syscall::Msync { addr, pages } => {
+                let range = VirtRange::pages(addr, pages, PageSize::Size4K);
+                let cost = self.writeback_range(core, sf, mm_id, range);
+                sf.retval = 0;
+                cost
+            }
+            Syscall::Fdatasync { file } => {
+                // Write back through every VMA of this mm mapping the file.
+                let vma_ranges: Vec<VirtRange> = self.mms[&mm_id]
+                    .vmas
+                    .values()
+                    .filter(|v| matches!(v.kind, VmaKind::FileShared { file: f, .. } if f == file))
+                    .map(|v| v.range)
+                    .collect();
+                let mut cost = costs.pte_update;
+                for range in vma_ranges {
+                    cost += self.writeback_range(core, sf, mm_id, range);
+                }
+                sf.retval = 0;
+                cost
+            }
+            Syscall::Mprotect { addr, pages, write } => {
+                let range = VirtRange::pages(addr, pages, PageSize::Size4K);
+                let (n, info) = {
+                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                    let (set, clear) = if write {
+                        (PteFlags::WRITABLE, PteFlags::empty())
+                    } else {
+                        (PteFlags::empty(), PteFlags::WRITABLE)
+                    };
+                    let changed = mm.space.protect_range(range, set, clear);
+                    let n = changed.len() as u64;
+                    // Only permission *reductions* require a flush.
+                    let info = if n > 0 && !write {
+                        let gen = mm.gen.bump();
+                        Some(FlushTlbInfo::ranged(mm_id, range, PageSize::Size4K, gen))
+                    } else {
+                        None
+                    };
+                    (n, info)
+                };
+                if let Some(info) = info {
+                    let retire = if self.cfg.oracle {
+                        self.oracle.range_modified(mm_id, range)
+                    } else {
+                        Vec::new()
+                    };
+                    // mprotect is not on the §4.2 list: always synchronous.
+                    let mut run = ShootdownRun::new(info);
+                    run.retire = retire;
+                    sf.sd = Some(run);
+                }
+                sf.retval = 0;
+                costs.pte_update * n.max(1)
+            }
+            Syscall::Send { addr, pages } => {
+                // Kernel reads the user buffer through the kernel PCID.
+                let mut cost = Cycles::ZERO;
+                let kpcid = self.cpus[core.index()].tlb_state.kernel_pcid;
+                for i in 0..pages {
+                    let va = addr.add(i * 4096);
+                    let res = {
+                        let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                        self.tlbs[core.index()].access(
+                            kpcid,
+                            va,
+                            false,
+                            false,
+                            &mut mm.space,
+                            &costs,
+                        )
+                    };
+                    match res {
+                        Ok(acc) => {
+                            if self.cfg.oracle {
+                                let page = va.align_down(PageSize::Size4K);
+                                if acc.hit {
+                                    self.oracle.check_hit(
+                                        core,
+                                        false,
+                                        mm_id,
+                                        page,
+                                        "kernel uaccess",
+                                    );
+                                } else {
+                                    self.oracle.tlb_filled(core, false, mm_id, page);
+                                }
+                            }
+                            cost += acc.cost + costs.mem_access * 63; // copy the rest of the page
+                        }
+                        Err(_) => {
+                            // Unfaulted page: the kernel would fault it in;
+                            // charge a fault's worth and resolve inline.
+                            cost += costs.fault_dispatch(self.cfg.safe_mode);
+                            if self.resolve_demand_fault(core, mm_id, va, false).is_none() {
+                                self.stats.counters.bump("send_efault");
+                            }
+                        }
+                    }
+                }
+                sf.retval = 0;
+                cost
+            }
+        }
+    }
+
+    /// Write-protect and clean the dirty PTEs of `range` (writeback),
+    /// queueing one TLB flush per dirty page — the real `fdatasync` /
+    /// `msync` shape that makes these syscalls flush-heavy (§5.2). Returns
+    /// the scan cost.
+    fn writeback_range(
+        &mut self,
+        core: CoreId,
+        sf: &mut SyscallFrame,
+        mm_id: MmId,
+        range: VirtRange,
+    ) -> Cycles {
+        let costs = self.cfg.costs.clone();
+        // Visit only pages the dirty index names within the range.
+        let candidates: Vec<u64> = self
+            .dirty_index
+            .get(&mm_id)
+            .map(|set| {
+                set.range(range.start.vpn()..range.end.align_up(PageSize::Size4K).vpn())
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut cleaned: Vec<VirtAddr> = Vec::new();
+        {
+            let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+            for vpn in &candidates {
+                let va = VirtAddr::new(vpn << 12);
+                match mm.space.entry(va) {
+                    Some((pte, _)) if pte.dirty() => {
+                        mm.space
+                            .update_entry(va, |p| {
+                                p.without(PteFlags::DIRTY | PteFlags::WRITABLE)
+                                    .with(PteFlags::SOFT_CLEAN)
+                            })
+                            .expect("entry exists");
+                        cleaned.push(va);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if let Some(set) = self.dirty_index.get_mut(&mm_id) {
+            for vpn in &candidates {
+                set.remove(vpn);
+            }
+        }
+        // Writeback to the (pmem) page cache: mark file pages clean.
+        for va in &cleaned {
+            if let Some(vma) = self.mms[&mm_id].vma_at(*va).cloned() {
+                if let VmaKind::FileShared { file, page_offset } = vma.kind {
+                    if let Some(f) = self.files.get_mut(&file) {
+                        let fpage = page_offset + (va.as_u64() - vma.range.start.as_u64()) / 4096;
+                        f.dirty.remove(&fpage);
+                    }
+                }
+            }
+        }
+        // One flush (and oracle stamp) per cleaned page.
+        for va in &cleaned {
+            let page_range = VirtRange::pages(*va, 1, PageSize::Size4K);
+            let retire = if self.cfg.oracle {
+                self.oracle.range_modified(mm_id, page_range)
+            } else {
+                Vec::new()
+            };
+            let gen = self.mms.get_mut(&mm_id).expect("mm exists").gen.bump();
+            let info = FlushTlbInfo::ranged(mm_id, page_range, PageSize::Size4K, gen);
+            self.queue_flush(core, sf, info, retire);
+        }
+        self.stats
+            .counters
+            .add("writeback_pages", cleaned.len() as u64);
+        costs.pte_update * (cleaned.len() as u64).max(1)
+    }
+
+    /// Route a flush either through batching (§4.2) or synchronously.
+    /// `retire` is the oracle snapshot to apply when the flush completes.
+    fn queue_flush(
+        &mut self,
+        _core: CoreId,
+        sf: &mut SyscallFrame,
+        info: FlushTlbInfo,
+        retire: Vec<(u64, u64)>,
+    ) {
+        if sf.batched {
+            sf.batch.defer(info);
+            sf.batched_retires.extend(retire);
+            self.stats.counters.bump("flush_deferred");
+        } else if sf.sd.is_none() {
+            let mut run = ShootdownRun::new(info);
+            run.retire = retire;
+            sf.sd = Some(run);
+        } else {
+            sf.barrier.push_back((info, retire));
+        }
+    }
+
+    // --- Page faults ---
+
+    fn step_fault(&mut self, core: CoreId, ff: &mut FaultFrame) -> StepOut {
+        match ff.stage {
+            FaultStage::Resolve => self.fault_resolve(core, ff),
+            FaultStage::Shootdown => {
+                match self.step_sd(core, ff.sd.as_mut().expect("stage requires a run")) {
+                    SdOut::Continue(c) => StepOut::Continue(c),
+                    SdOut::Block => StepOut::Block,
+                    SdOut::Done(c) => {
+                        let run = ff.sd.take().expect("checked");
+                        self.finish_sd(core, &run);
+                        ff.stage = FaultStage::Return;
+                        StepOut::Continue(c)
+                    }
+                }
+            }
+            FaultStage::Return => {
+                for pa in ff.pending_frees.drain(..) {
+                    self.mem.free(pa);
+                }
+                let flush_cost = self.kernel_exit_user_flush(core);
+                // Hand the latency bookkeeping to the program frame below:
+                // the Figure 9 metric spans fault + retried access. (This
+                // frame is popped while stepping, so `last_mut()` is the
+                // frame the fault interrupted.)
+                let mut handed_off = false;
+                if let Some(crate::cpu::FrameSlot {
+                    frame: Frame::Prog(pf),
+                    ..
+                }) = self.cpus[core.index()].frames.last_mut()
+                {
+                    if pf.pending_access.is_some() {
+                        pf.fault_info = Some((ff.started, ff.label));
+                        handed_off = true;
+                    }
+                }
+                if !handed_off {
+                    let lat = self.engine.now() + flush_cost - ff.started;
+                    self.stats.record_fault(core, ff.label, lat);
+                }
+                StepOut::Done {
+                    cost: flush_cost,
+                    retval: None,
+                }
+            }
+        }
+    }
+
+    fn fault_resolve(&mut self, core: CoreId, ff: &mut FaultFrame) -> StepOut {
+        let mm_id = self.current_mm(core);
+        let costs = self.cfg.costs.clone();
+        let va = ff.va;
+        let page = va.align_down(PageSize::Size4K);
+        let Some(vma) = self.mms[&mm_id].vma_at(va).cloned() else {
+            return self.segfault(core, ff);
+        };
+        let existing = self.mms[&mm_id].space.entry(page);
+        // Spurious fault: between the faulting access and this handler
+        // running, another core's fault may have fixed the PTE (e.g.
+        // re-enabled writes on a writeback-cleaned shared page). Real
+        // kernels detect this and simply retry the access.
+        if let Some((pte, _)) = existing {
+            if pte.flags.permits(ff.write, ff.is_fetch, true) {
+                self.stats.counters.bump("spurious_fault");
+                ff.label = "spurious";
+                ff.stage = FaultStage::Return;
+                return StepOut::Continue(Cycles::new(100));
+            }
+        }
+        match existing {
+            None => {
+                ff.label = match vma.kind {
+                    VmaKind::Anon => "anon",
+                    VmaKind::FileShared { .. } => "file_shared",
+                    VmaKind::FilePrivate { .. } => "file_private",
+                };
+                if self
+                    .resolve_demand_fault(core, mm_id, va, ff.write)
+                    .is_none()
+                {
+                    return self.segfault(core, ff);
+                }
+                ff.stage = FaultStage::Return;
+                StepOut::Continue(costs.page_alloc)
+            }
+            Some((pte, _size)) => {
+                // Protection fault paths.
+                if ff.write && pte.flags.contains(PteFlags::COW) {
+                    return self.resolve_cow(core, ff, mm_id, page, pte);
+                }
+                if ff.write
+                    && !pte.writable()
+                    && vma.prot_write
+                    && matches!(vma.kind, VmaKind::FileShared { .. })
+                {
+                    // Writeback-protected shared page: re-enable writes and
+                    // re-dirty. Permissions become *more* permissive, so no
+                    // flush is needed (hardware re-walks).
+                    ff.label = "re_dirty";
+                    {
+                        let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                        mm.space
+                            .update_entry(page, |p| {
+                                p.with(PteFlags::WRITABLE | PteFlags::DIRTY)
+                                    .without(PteFlags::SOFT_CLEAN)
+                            })
+                            .expect("entry exists");
+                        if let VmaKind::FileShared { file, page_offset } = vma.kind {
+                            if let Some(f) = self.files.get_mut(&file) {
+                                let fpage =
+                                    page_offset + (page.as_u64() - vma.range.start.as_u64()) / 4096;
+                                f.dirty.insert(fpage);
+                            }
+                        }
+                        self.dirty_index
+                            .entry(mm_id)
+                            .or_default()
+                            .insert(page.vpn());
+                    }
+                    ff.stage = FaultStage::Return;
+                    StepOut::Continue(costs.pte_update)
+                } else {
+                    self.segfault(core, ff)
+                }
+            }
+        }
+    }
+
+    /// Handle a CoW write fault (§4.1).
+    fn resolve_cow(
+        &mut self,
+        core: CoreId,
+        ff: &mut FaultFrame,
+        mm_id: MmId,
+        page: VirtAddr,
+        old_pte: Pte,
+    ) -> StepOut {
+        let costs = self.cfg.costs.clone();
+        ff.label = "cow";
+        self.stats.counters.bump("cow_fault");
+        // §4.1 hazard: the CPU may speculatively re-cache the old PTE
+        // between the fault and the PTE update.
+        if self.cfg.speculative_fill_on_fault {
+            let pcid = self.user_mode_pcid(core);
+            self.tlbs[core.index()].fill_speculative(pcid, page, PageSize::Size4K, old_pte);
+        }
+        // Copy the page and swap the PTE.
+        let new_pa = match self.mem.alloc(FrameState::UserPage) {
+            Ok(pa) => pa,
+            Err(_) => return self.segfault(core, ff),
+        };
+        self.frame_refs.get_page(new_pa);
+        if self.frame_refs.put_page(old_pte.addr) {
+            ff.pending_frees.push(old_pte.addr);
+        }
+        let new_flags = old_pte
+            .flags
+            .with(PteFlags::WRITABLE | PteFlags::DIRTY | PteFlags::ACCESSED)
+            .without(PteFlags::COW);
+        {
+            let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+            mm.space
+                .update_entry(page, |_| Pte::new(new_pa, new_flags))
+                .expect("CoW PTE exists");
+        }
+        let mut retire = Vec::new();
+        if self.cfg.oracle {
+            let v = self.oracle.pte_modified(mm_id, page);
+            retire.push((page.vpn(), v));
+        }
+        // Flush: bump the generation and build a 1-page shootdown run; the
+        // local part uses either INVLPG or the §4.1 access trick.
+        let gen = self.mms.get_mut(&mm_id).expect("mm exists").gen.bump();
+        let info = FlushTlbInfo::ranged(
+            mm_id,
+            VirtRange::pages(page, 1, PageSize::Size4K),
+            PageSize::Size4K,
+            gen,
+        );
+        let mut run = ShootdownRun::new(info);
+        run.retire = retire;
+        if cow_flush_method(old_pte.flags, &self.cfg.opts) == CowFlushMethod::AccessTrick {
+            run = run.with_cow_trick(page);
+            self.stats.counters.bump("cow_access_trick");
+        }
+        ff.sd = Some(run);
+        ff.stage = FaultStage::Shootdown;
+        StepOut::Continue(costs.page_copy + costs.pte_update)
+    }
+
+    /// Demand-fault `va` into `mm` (no existing PTE). Returns the frame
+    /// mapped, or `None` if no VMA covers the address.
+    pub(crate) fn resolve_demand_fault(
+        &mut self,
+        _core: CoreId,
+        mm_id: MmId,
+        va: VirtAddr,
+        write: bool,
+    ) -> Option<tlbdown_types::PhysAddr> {
+        let page = va.align_down(PageSize::Size4K);
+        let vma = self.mms[&mm_id].vma_at(va).cloned()?;
+        let (pa, flags) = match vma.kind {
+            VmaKind::Anon => {
+                let pa = self.mem.alloc(FrameState::UserPage).ok()?;
+                self.frame_refs.get_page(pa);
+                let mut f = PteFlags::user_rw();
+                if vma.prot_exec {
+                    f = f.without(PteFlags::NX);
+                }
+                (pa, f)
+            }
+            VmaKind::FileShared { file, page_offset } => {
+                let fpage = page_offset + (page.as_u64() - vma.range.start.as_u64()) / 4096;
+                let f = self.files.get_mut(&file)?;
+                let pa = *f.pages.get(fpage as usize)?;
+                if write {
+                    f.dirty.insert(fpage);
+                }
+                self.frame_refs.get_page(pa);
+                let mut flags = PteFlags::PRESENT | PteFlags::USER | PteFlags::NX;
+                if vma.prot_write {
+                    flags |= PteFlags::WRITABLE;
+                }
+                if write {
+                    flags |= PteFlags::DIRTY;
+                }
+                (pa, flags)
+            }
+            VmaKind::FilePrivate { file, page_offset } => {
+                let fpage = page_offset + (page.as_u64() - vma.range.start.as_u64()) / 4096;
+                let f = self.files.get(&file)?;
+                let pa = *f.pages.get(fpage as usize)?;
+                self.frame_refs.get_page(pa);
+                let mut flags = PteFlags::user_cow();
+                if vma.prot_exec {
+                    flags = flags.without(PteFlags::NX);
+                }
+                (pa, flags)
+            }
+        };
+        let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+        mm.space
+            .map(&mut self.mem, page, pa, PageSize::Size4K, flags)
+            .ok()?;
+        if write {
+            self.dirty_index
+                .entry(mm_id)
+                .or_default()
+                .insert(page.vpn());
+        }
+        self.stats.counters.bump("demand_fault");
+        Some(pa)
+    }
+
+    fn segfault(&mut self, core: CoreId, ff: &mut FaultFrame) -> StepOut {
+        self.stats.counters.bump("segfault");
+        if let Some(idx) = self.cpus[core.index()].current {
+            self.threads[idx].done = true;
+        }
+        ff.stage = FaultStage::Return;
+        ff.label = "segfault";
+        StepOut::Continue(Cycles::ZERO)
+    }
+
+    // --- NMI ---
+
+    fn step_nmi(&mut self, core: CoreId, nf: &mut NmiFrame) -> StepOut {
+        match nf.stage {
+            NmiStage::Body => {
+                nf.stage = NmiStage::Done;
+                let Some(va) = nf.probe else {
+                    return StepOut::Continue(Cycles::new(200));
+                };
+                let mm_id = self.current_mm(core);
+                let ts = &self.cpus[core.index()].tlb_state;
+                let flush_pending = self.cpus[core.index()].acked_unflushed > 0
+                    || self.cpus[core.index()].in_batched_syscall;
+                let okay = if self.cfg.buggy_nmi_check {
+                    // Missing the §3.2 extension: only the mm identity check.
+                    ts.loaded_mm == mm_id
+                } else {
+                    ts.nmi_uaccess_okay(mm_id, flush_pending)
+                };
+                if !okay {
+                    self.stats.counters.bump("nmi_uaccess_denied");
+                    return StepOut::Continue(Cycles::new(200));
+                }
+                self.stats.counters.bump("nmi_uaccess");
+                // The probe reads user memory through the kernel mapping.
+                let kpcid = self.cpus[core.index()].tlb_state.kernel_pcid;
+                let costs = self.cfg.costs.clone();
+                let res = {
+                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                    self.tlbs[core.index()].access(kpcid, va, false, false, &mut mm.space, &costs)
+                };
+                match &res {
+                    Ok(acc) if acc.hit => self.stats.counters.bump("nmi_probe_hit"),
+                    Ok(_) => self.stats.counters.bump("nmi_probe_miss"),
+                    Err(_) => self.stats.counters.bump("nmi_probe_fault"),
+                }
+                if let Ok(acc) = res {
+                    if self.cfg.oracle {
+                        let page = va.align_down(PageSize::Size4K);
+                        if acc.hit {
+                            self.oracle
+                                .check_hit(core, false, mm_id, page, "nmi uaccess");
+                        } else {
+                            self.oracle.tlb_filled(core, false, mm_id, page);
+                        }
+                    }
+                }
+                StepOut::Continue(Cycles::new(400))
+            }
+            NmiStage::Done => StepOut::Done {
+                cost: self.cfg.costs.irq_exit,
+                retval: None,
+            },
+        }
+    }
+
+    // --- Kernel exit ---
+
+    /// Execute deferred user-PCID flushes at a kernel→user transition
+    /// (§3.4); returns the added cost.
+    pub(crate) fn kernel_exit_user_flush(&mut self, core: CoreId) -> Cycles {
+        if !self.cfg.safe_mode {
+            return Cycles::ZERO;
+        }
+        let Some(pending) = self.cpus[core.index()].tlb_state.deferred_user.take() else {
+            return Cycles::ZERO;
+        };
+        let user_pcid = self.cpus[core.index()].tlb_state.user_pcid;
+        if pending.full {
+            // Folded into the CR3 reload that returns to the user page
+            // tables — architecturally free (§3.4 baseline behaviour).
+            self.tlbs[core.index()].flush_pcid(user_pcid);
+            self.stats.counters.bump("exit_full_user_flush");
+            Cycles::ZERO
+        } else {
+            // The in-context INVLPG loop, plus the Spectre-v1 lfence.
+            let mut cost = Cycles::ZERO;
+            let mut n = 0;
+            for va in pending.range.iter_pages(pending.stride) {
+                self.tlbs[core.index()].invlpg(user_pcid, va);
+                cost += self.cfg.costs.invlpg;
+                n += 1;
+            }
+            cost += self.cfg.costs.lfence;
+            self.stats.counters.add("in_context_flushes", n);
+            cost
+        }
+    }
+}
+
+/// Human name of a syscall for statistics keys.
+pub(crate) fn syscall_name(c: &Syscall) -> &'static str {
+    match c {
+        Syscall::MmapAnon { .. } => "mmap_anon",
+        Syscall::MmapFile { .. } => "mmap_file",
+        Syscall::Munmap { .. } => "munmap",
+        Syscall::MadviseDontNeed { .. } => "madvise_dontneed",
+        Syscall::Msync { .. } => "msync",
+        Syscall::Fdatasync { .. } => "fdatasync",
+        Syscall::Send { .. } => "send",
+        Syscall::Mprotect { .. } => "mprotect",
+    }
+}

@@ -1,0 +1,496 @@
+//! The machine: state, construction, the event loop and scheduling.
+//!
+//! Frame stepping lives in `exec.rs` (programs, syscalls, faults) and
+//! `shoot.rs` (the shootdown initiator/responder state machines); both are
+//! `impl Machine` blocks over the state defined here.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use tlbdown_apic::{DeliveryOutcome, IpiFabric, LocalApic, Vector};
+use tlbdown_cache::CacheDirectory;
+use tlbdown_core::{CpuTlbState, MmGen, Shootdown, ShootdownId, SmpLayer};
+use tlbdown_mem::{FrameState, PhysMem};
+use tlbdown_sim::{Counter, Engine, SplitMix64, Summary};
+use tlbdown_tlb::Tlb;
+use tlbdown_types::{CoreId, Cycles, MmId, Pcid, SimError, ThreadId, VirtAddr};
+
+use crate::config::KernelConfig;
+use crate::cpu::{Cpu, Frame, FrameSlot, IrqFrame, IrqStage, NmiFrame, ResumeState};
+use crate::event::Event;
+use crate::mm::{File, FileId, FrameRefs, Mm};
+use crate::oracle::Oracle;
+use crate::prog::Prog;
+use crate::sem::RwSem;
+
+/// A thread pinned to a core.
+pub struct Thread {
+    /// Identifier.
+    pub id: ThreadId,
+    /// Address space the thread runs in.
+    pub mm: MmId,
+    /// The user program.
+    pub prog: Box<dyn Prog>,
+    /// The core this thread is pinned to.
+    pub core: CoreId,
+    /// Whether the program has exited.
+    pub done: bool,
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Thread")
+            .field("id", &self.id)
+            .field("mm", &self.mm)
+            .field("core", &self.core)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+/// Aggregated measurements.
+#[derive(Debug, Default)]
+pub struct MachineStats {
+    /// Monotone event counters (IPIs, shootdowns, faults, ...).
+    pub counters: Counter,
+    /// Per-(core, syscall) latency summaries, in cycles.
+    pub syscall_lat: HashMap<(CoreId, &'static str), Summary>,
+    /// Per-core shootdown-IRQ interruption summaries, in cycles
+    /// (the §5.1 responder metric).
+    pub irq_lat: HashMap<CoreId, Summary>,
+    /// Per-(core, fault kind) latency summaries, in cycles
+    /// (the §5.1 / Figure 9 CoW metric uses kind = "cow").
+    pub fault_lat: HashMap<(CoreId, &'static str), Summary>,
+}
+
+impl MachineStats {
+    /// Record a syscall completion.
+    pub fn record_syscall(&mut self, core: CoreId, name: &'static str, lat: Cycles) {
+        self.syscall_lat
+            .entry((core, name))
+            .or_default()
+            .record_cycles(lat);
+        self.counters.bump(name);
+    }
+
+    /// Record a shootdown-IRQ interruption on a responder.
+    pub fn record_irq(&mut self, core: CoreId, lat: Cycles) {
+        self.irq_lat.entry(core).or_default().record_cycles(lat);
+        self.counters.bump("shootdown_irq");
+    }
+
+    /// Record a page-fault completion.
+    pub fn record_fault(&mut self, core: CoreId, kind: &'static str, lat: Cycles) {
+        self.fault_lat
+            .entry((core, kind))
+            .or_default()
+            .record_cycles(lat);
+        self.counters.bump(kind);
+    }
+}
+
+/// The simulated machine and kernel.
+pub struct Machine {
+    /// Boot configuration.
+    pub cfg: KernelConfig,
+    /// Discrete-event engine.
+    pub engine: Engine<Event>,
+    /// Physical memory.
+    pub mem: PhysMem,
+    /// Per-core TLBs.
+    pub tlbs: Vec<Tlb>,
+    /// Coherence directory for kernel cachelines.
+    pub dir: CacheDirectory,
+    /// SMP-layer cacheline layout.
+    pub smp: SmpLayer,
+    /// IPI fabric.
+    pub fabric: IpiFabric,
+    /// Per-core execution state.
+    pub cpus: Vec<Cpu>,
+    /// Address spaces.
+    pub mms: HashMap<MmId, Mm>,
+    /// Simulated files (page cache).
+    pub files: HashMap<FileId, File>,
+    /// Data-frame reference counts.
+    pub frame_refs: FrameRefs,
+    /// All threads ever spawned.
+    pub threads: Vec<Thread>,
+    /// In-flight shootdowns.
+    pub shootdowns: HashMap<ShootdownId, Shootdown>,
+    /// The safety oracle.
+    pub oracle: Oracle,
+    /// Measurements.
+    pub stats: MachineStats,
+    /// Probe addresses for in-flight injected NMIs.
+    pub(crate) pending_nmi_probe: HashMap<CoreId, Option<VirtAddr>>,
+    /// Per-mm index of dirty user pages (vpn), maintained on write access;
+    /// stands in for the page-cache dirty tags that let real writeback
+    /// visit only dirty pages.
+    pub(crate) dirty_index: HashMap<MmId, std::collections::BTreeSet<u64>>,
+    /// Seeded jitter stream (see `KernelConfig::noise_cycles`).
+    pub(crate) noise_rng: SplitMix64,
+    next_sd: u64,
+    next_mm: u64,
+    next_pcid: u16,
+    next_file: u64,
+    next_thread: u64,
+}
+
+impl Machine {
+    /// Boot a machine with the given configuration.
+    pub fn new(cfg: KernelConfig) -> Self {
+        let n = cfg.topo.num_cores();
+        let cfg_seed = cfg.seed;
+        let mut dir = CacheDirectory::new(cfg.topo.clone(), cfg.costs.clone());
+        let smp = SmpLayer::new(&mut dir, n, cfg.opts.cacheline_consolidation);
+        let fabric = IpiFabric::new(cfg.topo.clone(), cfg.costs.clone());
+        let cpus = (0..n)
+            .map(|i| Cpu {
+                id: CoreId(i),
+                tlb_state: CpuTlbState::load_mm(MmId::KERNEL, Pcid::new(0), 0),
+                lapic: LocalApic::new(),
+                frames: vec![FrameSlot {
+                    frame: Frame::Idle,
+                    resume: ResumeState::Blocked,
+                }],
+                runqueue: VecDeque::new(),
+                current: None,
+                csq: VecDeque::new(),
+                resume_token: 0,
+                acked_unflushed: 0,
+                in_batched_syscall: false,
+                pcid_gens: HashMap::new(),
+            })
+            .collect();
+        Machine {
+            cfg,
+            engine: Engine::new(),
+            mem: PhysMem::paper_machine(),
+            tlbs: (0..n).map(|_| Tlb::default()).collect(),
+            dir,
+            smp,
+            fabric,
+            cpus,
+            mms: HashMap::new(),
+            files: HashMap::new(),
+            frame_refs: FrameRefs::new(),
+            threads: Vec::new(),
+            shootdowns: HashMap::new(),
+            oracle: Oracle::new(),
+            stats: MachineStats::default(),
+            pending_nmi_probe: HashMap::new(),
+            dirty_index: HashMap::new(),
+            noise_rng: SplitMix64::new(cfg_seed),
+            next_sd: 1,
+            next_mm: 1,
+            next_pcid: 1,
+            next_file: 1,
+            next_thread: 1,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.engine.now()
+    }
+
+    /// Violations the oracle has recorded.
+    pub fn violations(&self) -> &[SimError] {
+        self.oracle.violations()
+    }
+
+    // --- Setup API ---
+
+    /// Create an address space (process) and return its id.
+    pub fn create_process(&mut self) -> MmId {
+        let id = MmId::new(self.next_mm);
+        self.next_mm += 1;
+        let pcid = Pcid::new(self.next_pcid);
+        self.next_pcid += 2; // leave room for the PTI user sibling bit
+        assert!(self.next_pcid < Pcid::USER_BIT, "PCID space exhausted");
+        let space =
+            tlbdown_mem::AddrSpace::new(&mut self.mem).expect("physical memory exhausted at boot");
+        self.mms.insert(
+            id,
+            Mm {
+                id,
+                space,
+                gen: MmGen::new(),
+                cpumask: BTreeSet::new(),
+                vmas: BTreeMap::new(),
+                mmap_sem: RwSem::new(),
+                pcid,
+                mmap_cursor: VirtAddr::new(0x1000_0000),
+            },
+        );
+        id
+    }
+
+    /// Create a file of `pages` page-cache pages.
+    pub fn create_file(&mut self, pages: u64) -> FileId {
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        let mut frames = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            let pa = self
+                .mem
+                .alloc(FrameState::UserPage)
+                .expect("OOM creating file");
+            self.frame_refs.get_page(pa);
+            frames.push(pa);
+        }
+        self.files.insert(
+            id,
+            File {
+                pages: frames,
+                dirty: BTreeSet::new(),
+            },
+        );
+        id
+    }
+
+    /// Insert an anonymous VMA directly (benchmark setup; takes no
+    /// simulated time). Returns the mapped address.
+    pub fn setup_map_anon(&mut self, mm: MmId, pages: u64) -> VirtAddr {
+        let m = self.mms.get_mut(&mm).expect("unknown mm");
+        let addr = m.mmap_cursor;
+        m.mmap_cursor = m.mmap_cursor.add((pages + 1) * 4096);
+        m.insert_vma(crate::mm::Vma {
+            range: tlbdown_types::VirtRange::pages(addr, pages, tlbdown_types::PageSize::Size4K),
+            kind: crate::mm::VmaKind::Anon,
+            prot_write: true,
+            prot_exec: false,
+        })
+        .expect("cursor placement cannot overlap");
+        addr
+    }
+
+    /// Map a whole file directly (benchmark setup; takes no simulated
+    /// time). Returns the mapped address.
+    pub fn setup_map_file(&mut self, mm: MmId, file: FileId, shared: bool) -> VirtAddr {
+        let pages = self.files[&file].pages.len() as u64;
+        let m = self.mms.get_mut(&mm).expect("unknown mm");
+        let addr = m.mmap_cursor;
+        m.mmap_cursor = m.mmap_cursor.add((pages + 1) * 4096);
+        let kind = if shared {
+            crate::mm::VmaKind::FileShared {
+                file,
+                page_offset: 0,
+            }
+        } else {
+            crate::mm::VmaKind::FilePrivate {
+                file,
+                page_offset: 0,
+            }
+        };
+        m.insert_vma(crate::mm::Vma {
+            range: tlbdown_types::VirtRange::pages(addr, pages, tlbdown_types::PageSize::Size4K),
+            kind,
+            prot_write: true,
+            prot_exec: false,
+        })
+        .expect("cursor placement cannot overlap");
+        addr
+    }
+
+    /// Clear all measurement state (statistics, TLB/coherence/fabric
+    /// counters) without touching machine state — used to exclude warm-up
+    /// phases from benchmark numbers.
+    pub fn reset_measurements(&mut self) {
+        self.stats = MachineStats::default();
+        for t in &mut self.tlbs {
+            t.reset_stats();
+        }
+        self.dir.reset_stats();
+        self.fabric.reset_stats();
+    }
+
+    /// Spawn a thread of `mm` pinned to `core`; it starts running when the
+    /// core picks it up (immediately if the core is idle).
+    pub fn spawn(&mut self, mm: MmId, core: CoreId, prog: Box<dyn Prog>) -> ThreadId {
+        assert!(self.mms.contains_key(&mm), "spawn into unknown mm");
+        let id = ThreadId(self.next_thread);
+        self.next_thread += 1;
+        let idx = self.threads.len();
+        self.threads.push(Thread {
+            id,
+            mm,
+            prog,
+            core,
+            done: false,
+        });
+        self.cpus[core.index()].runqueue.push_back(idx);
+        // An idle core picks the thread up via a zero-cost resume.
+        if matches!(
+            self.cpus[core.index()].frames.last(),
+            Some(FrameSlot {
+                frame: Frame::Idle,
+                ..
+            })
+        ) && self.cpus[core.index()].frames.len() == 1
+        {
+            self.schedule_step(core, Cycles::ZERO);
+        }
+        id
+    }
+
+    // --- Event loop ---
+
+    /// Run until the event queue drains.
+    pub fn run(&mut self) {
+        while let Some(ev) = self.engine.pop() {
+            self.handle(ev);
+        }
+    }
+
+    /// Run until simulated time reaches `deadline` (or the queue drains).
+    pub fn run_until(&mut self, deadline: Cycles) {
+        while let Some(t) = self.engine.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.engine.pop().expect("peeked event vanished");
+            self.handle(ev);
+        }
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Resume { core, token } => {
+                if token == self.cpus[core.index()].resume_token {
+                    self.step_core(core);
+                }
+            }
+            Event::IpiArrive { core, vector } => self.on_ipi(core, vector),
+            Event::NmiArrive { core } => self.on_nmi(core),
+            Event::LazyFlushDue { core, info } => self.on_lazy_flush(core, info),
+        }
+    }
+
+    // --- Scheduling helpers ---
+
+    /// Schedule the top frame of `core` to step after `cost` cycles.
+    pub(crate) fn schedule_step(&mut self, core: CoreId, cost: Cycles) {
+        let cpu = &mut self.cpus[core.index()];
+        cpu.resume_token += 1;
+        let token = cpu.resume_token;
+        if let Some(top) = cpu.frames.last_mut() {
+            top.resume = ResumeState::Scheduled {
+                end: self.engine.now() + cost,
+            };
+        }
+        self.engine.schedule_in(cost, Event::Resume { core, token });
+    }
+
+    /// Wake a core whose top frame is blocked on a now-satisfied condition.
+    /// No-op if the blocked frame is covered by an interrupt frame: the
+    /// uncovering pop re-steps it.
+    pub(crate) fn wake(&mut self, core: CoreId) {
+        if matches!(
+            self.cpus[core.index()].frames.last(),
+            Some(FrameSlot {
+                resume: ResumeState::Blocked,
+                ..
+            })
+        ) {
+            self.schedule_step(core, Cycles::ZERO);
+        }
+    }
+
+    /// Push a frame on top of `core`'s stack, suspending the current top,
+    /// and schedule its first step after `initial_cost`.
+    pub(crate) fn push_frame(&mut self, core: CoreId, frame: Frame, initial_cost: Cycles) {
+        let now = self.engine.now();
+        let cpu = &mut self.cpus[core.index()];
+        if let Some(top) = cpu.frames.last_mut() {
+            if let ResumeState::Scheduled { end } = top.resume {
+                top.resume = ResumeState::Suspended {
+                    remaining: end.saturating_sub(now),
+                };
+            }
+        }
+        cpu.frames.push(FrameSlot {
+            frame,
+            resume: ResumeState::Blocked,
+        });
+        self.schedule_step(core, initial_cost);
+    }
+
+    // --- Interrupt arrival ---
+
+    fn on_ipi(&mut self, core: CoreId, vector: Vector) {
+        debug_assert!(!vector.is_nmi());
+        match self.cpus[core.index()].lapic.accept(vector) {
+            DeliveryOutcome::Dispatch => self.dispatch_irq(core),
+            DeliveryOutcome::Queued => {}
+        }
+    }
+
+    /// Push the shootdown IRQ handler frame.
+    pub(crate) fn dispatch_irq(&mut self, core: CoreId) {
+        let user = matches!(
+            self.cpus[core.index()].frames.last(),
+            Some(FrameSlot {
+                frame: Frame::Prog(_),
+                ..
+            })
+        );
+        let mut cost = self.cfg.costs.irq_dispatch + self.noise();
+        if user && self.cfg.safe_mode {
+            cost += self.cfg.costs.irq_user_entry_extra;
+        }
+        self.stats.counters.bump("irq_dispatch");
+        let frame = Frame::Irq(IrqFrame {
+            started: self.engine.now(),
+            stage: IrqStage::DrainQueue,
+            queue: Vec::new(),
+            qidx: 0,
+            acked: false,
+            entries: Vec::new(),
+            eidx: 0,
+            user_entries: Vec::new(),
+            uidx: 0,
+            upto: 0,
+            act: crate::cpu::IrqAct::Pending,
+            cur_info: None,
+            cur_initiator: CoreId(0),
+            cur_early: false,
+        });
+        self.push_frame(core, frame, cost);
+    }
+
+    fn on_nmi(&mut self, core: CoreId) {
+        // NMIs bypass masking; the LocalApic is not involved.
+        self.stats.counters.bump("nmi");
+        let probe = self.pending_nmi_probe.remove(&core).flatten();
+        let frame = Frame::Nmi(NmiFrame {
+            stage: crate::cpu::NmiStage::Body,
+            probe,
+        });
+        self.push_frame(core, frame, self.cfg.costs.irq_dispatch);
+    }
+
+    /// Inject an NMI from `from` into `target`, optionally probing a user
+    /// address from the handler (kprobe-style, the §3.2 hazard).
+    pub fn inject_nmi(&mut self, from: CoreId, target: CoreId, probe: Option<VirtAddr>) {
+        let d = self.fabric.nmi_plan(from, target);
+        self.pending_nmi_probe.insert(target, probe);
+        self.engine
+            .schedule_in(d.arrives_in, Event::NmiArrive { core: target });
+    }
+
+    /// One sample of the configured jitter (zero when noise is off).
+    pub(crate) fn noise(&mut self) -> Cycles {
+        if self.cfg.noise_cycles == 0 {
+            Cycles::ZERO
+        } else {
+            Cycles::new(self.noise_rng.gen_range(self.cfg.noise_cycles + 1))
+        }
+    }
+
+    /// Allocate a fresh shootdown id.
+    pub(crate) fn alloc_sd_id(&mut self) -> ShootdownId {
+        let id = ShootdownId(self.next_sd);
+        self.next_sd += 1;
+        id
+    }
+}

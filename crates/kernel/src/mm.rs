@@ -1,0 +1,289 @@
+//! Address spaces, VMAs and the simulated page cache.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::sem::RwSem;
+use tlbdown_core::MmGen;
+use tlbdown_mem::AddrSpace;
+use tlbdown_types::{CoreId, MmId, Pcid, PhysAddr, SimError, SimResult, VirtAddr, VirtRange};
+
+/// Identifier of a simulated file (page-cache object).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// A simulated file: a page-cache page per 4KB offset plus dirty tracking.
+#[derive(Debug)]
+pub struct File {
+    /// Page-cache frames, one per file page.
+    pub pages: Vec<PhysAddr>,
+    /// File pages with modified contents awaiting writeback.
+    pub dirty: BTreeSet<u64>,
+}
+
+/// What backs a VMA.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmaKind {
+    /// Private anonymous memory (demand-zero).
+    Anon,
+    /// Shared file mapping (`MAP_SHARED`): writes dirty the page cache.
+    FileShared {
+        /// Backing file.
+        file: FileId,
+        /// File offset of the mapping start, in pages.
+        page_offset: u64,
+    },
+    /// Private file mapping (`MAP_PRIVATE`): reads share page-cache frames
+    /// copy-on-write.
+    FilePrivate {
+        /// Backing file.
+        file: FileId,
+        /// File offset of the mapping start, in pages.
+        page_offset: u64,
+    },
+}
+
+/// A virtual memory area.
+#[derive(Clone, Debug)]
+pub struct Vma {
+    /// The address range covered.
+    pub range: VirtRange,
+    /// Backing store.
+    pub kind: VmaKind,
+    /// Whether writes are permitted (`PROT_WRITE`).
+    pub prot_write: bool,
+    /// Whether execution is permitted (`PROT_EXEC`).
+    pub prot_exec: bool,
+}
+
+impl Vma {
+    /// Whether `va` falls inside this VMA.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        self.range.contains(va)
+    }
+}
+
+/// An address space (`mm_struct`).
+#[derive(Debug)]
+pub struct Mm {
+    /// Identifier.
+    pub id: MmId,
+    /// The (kernel-view) page tables. Under PTI the user view shares leaf
+    /// PTEs; the simulation models the user view as the same table set
+    /// accessed under the user PCID.
+    pub space: AddrSpace,
+    /// TLB generation counter.
+    pub gen: MmGen,
+    /// Cores on which this mm is (or may be) loaded, including lazy ones.
+    pub cpumask: BTreeSet<CoreId>,
+    /// VMAs by start address.
+    pub vmas: BTreeMap<u64, Vma>,
+    /// `mmap_sem`.
+    pub mmap_sem: RwSem,
+    /// The kernel-view PCID assigned to this mm (user view is the PTI
+    /// sibling). The simulation assigns PCIDs globally and never recycles
+    /// them — a documented simplification of Linux's 6-slot per-CPU cache.
+    pub pcid: Pcid,
+    /// Next unused address for anonymous mmap placement.
+    pub mmap_cursor: VirtAddr,
+}
+
+impl Mm {
+    /// Find the VMA containing `va`.
+    pub fn vma_at(&self, va: VirtAddr) -> Option<&Vma> {
+        self.vmas
+            .range(..=va.as_u64())
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.contains(va))
+    }
+
+    /// Insert a VMA; rejects overlap.
+    pub fn insert_vma(&mut self, vma: Vma) -> SimResult<()> {
+        let overlapping = self.vmas.values().any(|v| v.range.overlaps(&vma.range));
+        if overlapping {
+            return Err(SimError::InvalidArgument(format!(
+                "vma {:?} overlaps an existing mapping",
+                vma.range
+            )));
+        }
+        self.vmas.insert(vma.range.start.as_u64(), vma);
+        Ok(())
+    }
+
+    /// Remove VMAs fully covered by `range`; partial overlaps split.
+    pub fn remove_vmas(&mut self, range: VirtRange) -> Vec<Vma> {
+        let keys: Vec<u64> = self
+            .vmas
+            .iter()
+            .filter(|(_, v)| v.range.overlaps(&range))
+            .map(|(k, _)| *k)
+            .collect();
+        let mut removed = Vec::new();
+        for k in keys {
+            let v = self.vmas.remove(&k).expect("key just enumerated");
+            // Split off any uncovered prefix/suffix.
+            if v.range.start < range.start {
+                let mut prefix = v.clone();
+                prefix.range = VirtRange::new(v.range.start, range.start);
+                self.vmas.insert(prefix.range.start.as_u64(), prefix);
+            }
+            if v.range.end > range.end {
+                let mut suffix = v.clone();
+                suffix.range = VirtRange::new(range.end, v.range.end);
+                // File-backed VMAs must shift their page offset.
+                suffix.kind = match v.kind {
+                    VmaKind::FileShared { file, page_offset } => VmaKind::FileShared {
+                        file,
+                        page_offset: page_offset
+                            + (range.end.as_u64() - v.range.start.as_u64()) / 4096,
+                    },
+                    VmaKind::FilePrivate { file, page_offset } => VmaKind::FilePrivate {
+                        file,
+                        page_offset: page_offset
+                            + (range.end.as_u64() - v.range.start.as_u64()) / 4096,
+                    },
+                    k => k,
+                };
+                self.vmas.insert(suffix.range.start.as_u64(), suffix);
+            }
+            removed.push(v);
+        }
+        removed
+    }
+}
+
+/// Reference counts for data frames shared across mappings (CoW, page
+/// cache), i.e. `struct page::_refcount`.
+#[derive(Debug, Default)]
+pub struct FrameRefs {
+    refs: HashMap<u64, u32>,
+}
+
+impl FrameRefs {
+    /// New empty table.
+    pub fn new() -> Self {
+        FrameRefs::default()
+    }
+
+    /// Increment the refcount of the frame at `pa` (insert at 1).
+    pub fn get_page(&mut self, pa: PhysAddr) {
+        *self.refs.entry(pa.pfn()).or_insert(0) += 1;
+    }
+
+    /// Decrement; returns `true` when the count hits zero (frame may be
+    /// freed by the caller).
+    pub fn put_page(&mut self, pa: PhysAddr) -> bool {
+        let c = self
+            .refs
+            .get_mut(&pa.pfn())
+            .expect("put_page on untracked frame");
+        *c -= 1;
+        if *c == 0 {
+            self.refs.remove(&pa.pfn());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current count (0 if untracked).
+    pub fn count(&self, pa: PhysAddr) -> u32 {
+        self.refs.get(&pa.pfn()).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlbdown_mem::PhysMem;
+    use tlbdown_types::PageSize;
+
+    fn mm() -> (PhysMem, Mm) {
+        let mut mem = PhysMem::new(1 << 16);
+        let space = AddrSpace::new(&mut mem).unwrap();
+        let m = Mm {
+            id: MmId::new(1),
+            space,
+            gen: MmGen::new(),
+            cpumask: BTreeSet::new(),
+            vmas: BTreeMap::new(),
+            mmap_sem: RwSem::new(),
+            pcid: Pcid::new(1),
+            mmap_cursor: VirtAddr::new(0x1000_0000),
+        };
+        (mem, m)
+    }
+
+    fn anon(start: u64, pages: u64) -> Vma {
+        Vma {
+            range: VirtRange::pages(VirtAddr::new(start), pages, PageSize::Size4K),
+            kind: VmaKind::Anon,
+            prot_write: true,
+            prot_exec: false,
+        }
+    }
+
+    #[test]
+    fn vma_lookup() {
+        let (_mem, mut m) = mm();
+        m.insert_vma(anon(0x1000, 4)).unwrap();
+        m.insert_vma(anon(0x10000, 2)).unwrap();
+        assert!(m.vma_at(VirtAddr::new(0x2000)).is_some());
+        assert!(m.vma_at(VirtAddr::new(0x5000)).is_none());
+        assert!(m.vma_at(VirtAddr::new(0x11000)).is_some());
+        assert!(m.vma_at(VirtAddr::new(0xfff)).is_none());
+    }
+
+    #[test]
+    fn overlapping_vma_rejected() {
+        let (_mem, mut m) = mm();
+        m.insert_vma(anon(0x1000, 4)).unwrap();
+        assert!(m.insert_vma(anon(0x3000, 4)).is_err());
+    }
+
+    #[test]
+    fn remove_vmas_splits_partial_overlap() {
+        let (_mem, mut m) = mm();
+        m.insert_vma(anon(0x1000, 10)).unwrap();
+        // Unmap the middle 4 pages.
+        let removed = m.remove_vmas(VirtRange::pages(VirtAddr::new(0x3000), 4, PageSize::Size4K));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(m.vmas.len(), 2, "prefix and suffix remain");
+        assert!(m.vma_at(VirtAddr::new(0x1000)).is_some());
+        assert!(m.vma_at(VirtAddr::new(0x3000)).is_none());
+        assert!(m.vma_at(VirtAddr::new(0x7000)).is_some());
+    }
+
+    #[test]
+    fn file_suffix_offset_shifts() {
+        let (_mem, mut m) = mm();
+        let vma = Vma {
+            range: VirtRange::pages(VirtAddr::new(0x1000), 8, PageSize::Size4K),
+            kind: VmaKind::FileShared {
+                file: FileId(1),
+                page_offset: 10,
+            },
+            prot_write: true,
+            prot_exec: false,
+        };
+        m.insert_vma(vma).unwrap();
+        m.remove_vmas(VirtRange::pages(VirtAddr::new(0x1000), 3, PageSize::Size4K));
+        let suffix = m.vma_at(VirtAddr::new(0x4000)).unwrap();
+        match suffix.kind {
+            VmaKind::FileShared { page_offset, .. } => assert_eq!(page_offset, 13),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn frame_refcounts() {
+        let mut r = FrameRefs::new();
+        let pa = PhysAddr::new(0x5000);
+        r.get_page(pa);
+        r.get_page(pa);
+        assert_eq!(r.count(pa), 2);
+        assert!(!r.put_page(pa));
+        assert!(r.put_page(pa));
+        assert_eq!(r.count(pa), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The TLB-coherence safety oracle.
+//!
+//! The kernel's contract is: once a PTE-modifying operation *completes its
+//! flush guarantee* (a synchronous shootdown finishes on the initiator, a
+//! batching barrier runs, a deferred in-context flush executes before the
+//! return to user), no user-mode access anywhere may translate through the
+//! old entry. Hardware staleness *during* the window is legal — that is
+//! why shootdowns exist at all.
+//!
+//! The oracle tracks, per `(mm, page)`, a modification **version** and the
+//! highest version whose removal the kernel has **retired** (guaranteed).
+//! Every TLB fill records the page version the entry was created under;
+//! every user access through a cached entry checks
+//! `fill_version >= retired_version`. A violation is precisely the hazard
+//! class the paper warns aggressive batching creates (§2.3.2), and it is
+//! what the LATR-style lazy mode in this repository trips.
+
+use std::collections::HashMap;
+
+use tlbdown_types::{CoreId, MmId, SimError, VirtAddr, VirtRange};
+
+/// The safety oracle.
+#[derive(Debug, Default)]
+pub struct Oracle {
+    /// Current modification version per (mm, vpn).
+    versions: HashMap<(MmId, u64), u64>,
+    /// Highest version whose flush has been guaranteed, per (mm, vpn).
+    retired: HashMap<(MmId, u64), u64>,
+    /// Fill-time version of live TLB entries, per (core, pcid-view, mm,
+    /// vpn). The view bit distinguishes kernel- and user-PCID entries so
+    /// PTI double-flush bugs are caught independently per view.
+    fills: HashMap<(CoreId, bool, MmId, u64), u64>,
+    /// Violations found.
+    violations: Vec<SimError>,
+}
+
+impl Oracle {
+    /// A fresh oracle.
+    pub fn new() -> Self {
+        Oracle::default()
+    }
+
+    /// Record that the PTE mapping `(mm, page)` changed (unmap, protect,
+    /// CoW swap). Returns the new version, which the caller threads into
+    /// [`Oracle::retire_range`] when the covering flush retires.
+    pub fn pte_modified(&mut self, mm: MmId, page: VirtAddr) -> u64 {
+        let v = self.versions.entry((mm, page.vpn())).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// Record every page of `range` as modified; returns the
+    /// `(vpn, version)` pairs to hand to [`Oracle::retire_exact`] when the
+    /// covering flush completes. Retiring at flush time using the *then*
+    /// current versions would overcommit: another core may have modified a
+    /// page again (with its own flush still in flight) between this
+    /// operation's PTE update and its flush completion.
+    pub fn range_modified(&mut self, mm: MmId, range: VirtRange) -> Vec<(u64, u64)> {
+        let mut pairs = Vec::new();
+        let mut va = range.start;
+        while va < range.end {
+            pairs.push((va.vpn(), self.pte_modified(mm, va)));
+            va = va.add(4096);
+        }
+        pairs
+    }
+
+    /// The kernel has completed the flush guarantee for exactly the given
+    /// `(vpn, version)` pairs.
+    pub fn retire_exact(&mut self, mm: MmId, pairs: &[(u64, u64)]) {
+        for &(vpn, ver) in pairs {
+            let r = self.retired.entry((mm, vpn)).or_insert(0);
+            *r = (*r).max(ver);
+        }
+    }
+
+    /// The kernel has completed the flush guarantee for `range` up to the
+    /// current version of each page.
+    pub fn retire_range(&mut self, mm: MmId, range: VirtRange) {
+        let mut va = range.start;
+        while va < range.end {
+            let key = (mm, va.vpn());
+            if let Some(&v) = self.versions.get(&key) {
+                let r = self.retired.entry(key).or_insert(0);
+                *r = (*r).max(v);
+            }
+            va = va.add(4096);
+        }
+    }
+
+    /// The kernel has completed a full-mm flush guarantee.
+    pub fn retire_all(&mut self, mm: MmId) {
+        let keys: Vec<(MmId, u64)> = self
+            .versions
+            .keys()
+            .filter(|(m, _)| *m == mm)
+            .copied()
+            .collect();
+        for key in keys {
+            let v = self.versions[&key];
+            let r = self.retired.entry(key).or_insert(0);
+            *r = (*r).max(v);
+        }
+    }
+
+    /// Record a TLB fill on `core` (under the kernel- or user-PCID view)
+    /// for `(mm, page)` at the current version.
+    pub fn tlb_filled(&mut self, core: CoreId, user_view: bool, mm: MmId, page: VirtAddr) {
+        let v = self.versions.get(&(mm, page.vpn())).copied().unwrap_or(0);
+        self.fills.insert((core, user_view, mm, page.vpn()), v);
+    }
+
+    /// Check a user-mode (or NMI uaccess) access on `core` that *hit* the
+    /// TLB. Records a violation if the entry predates a retired flush.
+    pub fn check_hit(
+        &mut self,
+        core: CoreId,
+        user_view: bool,
+        mm: MmId,
+        page: VirtAddr,
+        detail: &str,
+    ) {
+        let key = (mm, page.vpn());
+        let retired = self.retired.get(&key).copied().unwrap_or(0);
+        if retired == 0 {
+            return;
+        }
+        let fill = self
+            .fills
+            .get(&(core, user_view, mm, page.vpn()))
+            .copied()
+            .unwrap_or(0);
+        if fill < retired {
+            self.violations.push(SimError::StaleTlbAccess {
+                core,
+                mm,
+                addr: page,
+                detail: format!(
+                    "entry filled at version {fill} used after version {retired} retired: {detail}"
+                ),
+            });
+        }
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[SimError] {
+        &self.violations
+    }
+
+    /// Record an externally detected violation (e.g. machine check).
+    pub fn record(&mut self, e: SimError) {
+        self.violations.push(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlbdown_types::PageSize;
+
+    const MM: MmId = MmId(1);
+    const CORE: CoreId = CoreId(0);
+
+    fn page(n: u64) -> VirtAddr {
+        VirtAddr::new(n * 4096)
+    }
+
+    #[test]
+    fn fresh_entries_are_fine() {
+        let mut o = Oracle::new();
+        o.tlb_filled(CORE, false, MM, page(1));
+        o.check_hit(CORE, false, MM, page(1), "test");
+        assert!(o.violations().is_empty());
+    }
+
+    #[test]
+    fn stale_after_retire_is_a_violation() {
+        let mut o = Oracle::new();
+        o.tlb_filled(CORE, false, MM, page(1)); // filled at version 0
+        o.pte_modified(MM, page(1)); // version 1
+                                     // Window: access before retire is legal.
+        o.check_hit(CORE, false, MM, page(1), "during window");
+        assert!(o.violations().is_empty());
+        o.retire_range(MM, VirtRange::pages(page(1), 1, PageSize::Size4K));
+        o.check_hit(CORE, false, MM, page(1), "after retire");
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn refill_after_modify_is_fine() {
+        let mut o = Oracle::new();
+        o.pte_modified(MM, page(1));
+        o.retire_range(MM, VirtRange::pages(page(1), 1, PageSize::Size4K));
+        // The flush removed the entry; the next access refills at v1.
+        o.tlb_filled(CORE, false, MM, page(1));
+        o.check_hit(CORE, false, MM, page(1), "refilled");
+        assert!(o.violations().is_empty());
+    }
+
+    #[test]
+    fn retire_all_covers_every_page() {
+        let mut o = Oracle::new();
+        o.tlb_filled(CORE, false, MM, page(1));
+        o.tlb_filled(CORE, false, MM, page(9));
+        o.range_modified(MM, VirtRange::pages(page(1), 1, PageSize::Size4K));
+        o.pte_modified(MM, page(9));
+        o.retire_all(MM);
+        o.check_hit(CORE, false, MM, page(9), "full flush retired");
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn per_core_independence() {
+        let mut o = Oracle::new();
+        o.tlb_filled(CoreId(0), false, MM, page(1));
+        o.pte_modified(MM, page(1));
+        o.retire_range(MM, VirtRange::pages(page(1), 1, PageSize::Size4K));
+        // Core 1 refilled after the change; core 0 kept the stale entry.
+        o.tlb_filled(CoreId(1), false, MM, page(1));
+        o.check_hit(CoreId(1), false, MM, page(1), "fresh on core 1");
+        assert!(o.violations().is_empty());
+        o.check_hit(CoreId(0), false, MM, page(1), "stale on core 0");
+        assert_eq!(o.violations().len(), 1);
+    }
+}

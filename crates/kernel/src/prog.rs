@@ -1,0 +1,203 @@
+//! User programs: the workload interface.
+//!
+//! A [`Prog`] is a small state machine: each time the core is ready to
+//! execute the next user-level step, the kernel calls [`Prog::next`] with
+//! a [`ProgCtx`] carrying the result of the previous action (e.g. the
+//! address returned by `mmap`). Programs run entirely in user mode; the
+//! kernel turns [`ProgAction`]s into simulated instructions, page faults
+//! and system calls.
+
+use tlbdown_types::{Cycles, VirtAddr};
+
+use crate::mm::FileId;
+
+/// A system call a program can issue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Syscall {
+    /// Map `pages` of private anonymous memory; returns the address.
+    MmapAnon {
+        /// Number of 4KB pages.
+        pages: u64,
+    },
+    /// Map `pages` of a file; returns the address.
+    MmapFile {
+        /// Backing file.
+        file: FileId,
+        /// Offset into the file, in pages.
+        page_offset: u64,
+        /// Number of 4KB pages.
+        pages: u64,
+        /// `MAP_SHARED` when true, `MAP_PRIVATE` (CoW) when false.
+        shared: bool,
+    },
+    /// Unmap `[addr, addr + pages*4K)`.
+    Munmap {
+        /// Start address.
+        addr: VirtAddr,
+        /// Number of 4KB pages.
+        pages: u64,
+    },
+    /// `madvise(MADV_DONTNEED)` on the range.
+    MadviseDontNeed {
+        /// Start address.
+        addr: VirtAddr,
+        /// Number of 4KB pages.
+        pages: u64,
+    },
+    /// `msync`: write back dirty pages of the range (write-protects and
+    /// cleans their PTEs — the flush-heavy writeback path).
+    Msync {
+        /// Start address.
+        addr: VirtAddr,
+        /// Number of 4KB pages.
+        pages: u64,
+    },
+    /// `fdatasync`: write back every dirty page of the file through all
+    /// mapping VMAs of the calling mm (the Sysbench §5.2 path).
+    Fdatasync {
+        /// File to write back.
+        file: FileId,
+    },
+    /// `send`-style kernel read of a user buffer (the Apache §5.3 path:
+    /// the kernel touches user memory, exercising kernel-PCID entries).
+    Send {
+        /// Start address.
+        addr: VirtAddr,
+        /// Number of 4KB pages.
+        pages: u64,
+    },
+    /// `mprotect` changing writability of the range.
+    Mprotect {
+        /// Start address.
+        addr: VirtAddr,
+        /// Number of 4KB pages.
+        pages: u64,
+        /// New writability.
+        write: bool,
+    },
+}
+
+/// The next step a program wants to take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgAction {
+    /// Execute for `0` cycles — ask again immediately (internal
+    /// bookkeeping steps).
+    Nop,
+    /// Burn CPU for the given number of cycles.
+    Compute(Cycles),
+    /// Load or store one location.
+    Access {
+        /// Virtual address.
+        va: VirtAddr,
+        /// Whether the access is a store.
+        write: bool,
+    },
+    /// Fetch/execute an instruction at the address (exercises the ITLB).
+    Fetch {
+        /// Virtual address.
+        va: VirtAddr,
+    },
+    /// Issue a system call; its result arrives in [`ProgCtx::retval`].
+    Syscall(Syscall),
+    /// Yield the CPU to the next thread pinned to this core.
+    Yield,
+    /// Terminate the thread.
+    Exit,
+}
+
+/// Context handed to a program on each step.
+#[derive(Clone, Debug, Default)]
+pub struct ProgCtx {
+    /// Result of the previous action (e.g. the address `mmap` returned, as
+    /// a raw u64), 0 otherwise.
+    pub retval: u64,
+    /// Current simulated time (for self-measuring workloads).
+    pub now: Cycles,
+}
+
+/// A user program.
+pub trait Prog {
+    /// Produce the next action. `ctx.retval` carries the result of the
+    /// previous action.
+    fn next(&mut self, ctx: &ProgCtx) -> ProgAction;
+}
+
+/// A trivial program executing a fixed script (useful in tests).
+#[derive(Debug)]
+pub struct ScriptProg {
+    script: Vec<ProgAction>,
+    idx: usize,
+    /// Return values observed after each step (for test assertions).
+    pub retvals: Vec<u64>,
+}
+
+impl ScriptProg {
+    /// Run the given actions in order, then exit.
+    pub fn new(script: Vec<ProgAction>) -> Self {
+        ScriptProg {
+            script,
+            idx: 0,
+            retvals: Vec::new(),
+        }
+    }
+}
+
+impl Prog for ScriptProg {
+    fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
+        self.retvals.push(ctx.retval);
+        let a = self
+            .script
+            .get(self.idx)
+            .copied()
+            .unwrap_or(ProgAction::Exit);
+        self.idx += 1;
+        a
+    }
+}
+
+/// A program that spins forever in user mode (the microbenchmark's
+/// "responder" thread, §5.1).
+#[derive(Debug, Default)]
+pub struct BusyLoopProg;
+
+impl Prog for BusyLoopProg {
+    fn next(&mut self, _ctx: &ProgCtx) -> ProgAction {
+        ProgAction::Compute(Cycles::new(200))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_prog_replays_then_exits() {
+        let mut p = ScriptProg::new(vec![
+            ProgAction::Compute(Cycles::new(10)),
+            ProgAction::Access {
+                va: VirtAddr::new(0x1000),
+                write: false,
+            },
+        ]);
+        let ctx = ProgCtx::default();
+        assert_eq!(p.next(&ctx), ProgAction::Compute(Cycles::new(10)));
+        assert_eq!(
+            p.next(&ctx),
+            ProgAction::Access {
+                va: VirtAddr::new(0x1000),
+                write: false
+            }
+        );
+        assert_eq!(p.next(&ctx), ProgAction::Exit);
+        assert_eq!(p.next(&ctx), ProgAction::Exit);
+    }
+
+    #[test]
+    fn busy_loop_never_exits() {
+        let mut p = BusyLoopProg;
+        let ctx = ProgCtx::default();
+        for _ in 0..10 {
+            assert!(matches!(p.next(&ctx), ProgAction::Compute(_)));
+        }
+    }
+}

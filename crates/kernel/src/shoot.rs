@@ -1,0 +1,561 @@
+//! The shootdown executor: initiator runs, responder IRQ handling, and the
+//! LATR-style asynchronous mode.
+
+use tlbdown_apic::Vector;
+use tlbdown_core::smp::run_script;
+use tlbdown_core::{flush_decision, use_early_ack, FlushAction, FlushTlbInfo, Shootdown};
+use tlbdown_types::{CoreId, Cycles, PageSize, VirtRange};
+
+use crate::cpu::{IrqAct, IrqFrame, IrqStage, LocalMode, SdStage, ShootdownRun};
+use crate::event::Event;
+use crate::machine::Machine;
+
+/// Result of stepping an initiator shootdown run.
+pub(crate) enum SdOut {
+    /// Keep going after this cost.
+    Continue(Cycles),
+    /// Spin-waiting on acknowledgements.
+    Block,
+    /// The run is complete (including remote acks).
+    Done(Cycles),
+}
+
+impl Machine {
+    /// The stage following `from`, honouring the §3.1 ordering.
+    fn sd_next(&self, from: SdStage) -> SdStage {
+        let concurrent = self.cfg.opts.concurrent_flush;
+        match (from, concurrent) {
+            (SdStage::Prep, false) => SdStage::LocalFlush,
+            (SdStage::Prep, true) => SdStage::SendIpis,
+            (SdStage::SendIpis, false) => SdStage::Wait,
+            (SdStage::SendIpis, true) => SdStage::LocalFlush,
+            (SdStage::LocalFlush, _) => SdStage::UserFlush,
+            (SdStage::UserFlush, false) => SdStage::SendIpis,
+            (SdStage::UserFlush, true) => SdStage::Wait,
+            (SdStage::Wait, _) => SdStage::Done,
+            (SdStage::Done, _) => SdStage::Done,
+        }
+    }
+
+    /// Step the initiator-side shootdown state machine.
+    pub(crate) fn step_sd(&mut self, core: CoreId, run: &mut ShootdownRun) -> SdOut {
+        match run.stage {
+            SdStage::Prep => {
+                self.stats.counters.bump("shootdown");
+                let mm_id = run.info.mm;
+                let mut cost = self.cfg.costs.shootdown_prep;
+                // Candidate responders: every CPU the mm is active on.
+                let candidates: Vec<CoreId> = self
+                    .mms
+                    .get(&mm_id)
+                    .map(|m| m.cpumask.iter().copied().filter(|c| *c != core).collect())
+                    .unwrap_or_default();
+                if self.cfg.lazy_latr {
+                    // LATR-style: no IPIs, no waiting; flushes are applied
+                    // asynchronously after a delay. (The §2.3.2 hazard.)
+                    for t in &candidates {
+                        self.engine.schedule_in(
+                            Cycles::new(self.cfg.lazy_latr_delay_cycles),
+                            Event::LazyFlushDue {
+                                core: *t,
+                                info: run.info,
+                            },
+                        );
+                    }
+                    self.stats
+                        .counters
+                        .add("latr_deferred", candidates.len() as u64);
+                    run.stage = SdStage::LocalFlush;
+                    return SdOut::Continue(cost);
+                }
+                let mut targets = Vec::new();
+                for t in candidates {
+                    // Lazy-mode check: one cacheline read per candidate.
+                    let script = self.smp.check_lazy(t);
+                    cost += run_script(&mut self.dir, core, &script);
+                    if self.cpus[t.index()].in_batched_syscall {
+                        // §4.2: the target is inside a batched syscall —
+                        // no user access can happen there; it re-syncs at
+                        // its own kernel exit.
+                        self.stats.counters.bump("batched_skip");
+                    } else if self.cpus[t.index()].tlb_state.needs_ipi_for(mm_id) {
+                        targets.push(t);
+                    } else {
+                        self.stats.counters.bump("lazy_skip");
+                    }
+                }
+                if !targets.is_empty() {
+                    let id = self.alloc_sd_id();
+                    let early = use_early_ack(&run.info, &self.cfg.opts);
+                    run.initial_targets = targets.len();
+                    run.sd = Some(id);
+                    self.shootdowns.insert(
+                        id,
+                        Shootdown::new(id, core, run.info, targets, early, self.engine.now()),
+                    );
+                    if early {
+                        self.stats.counters.bump("early_ack_shootdown");
+                    }
+                }
+                run.stage = self.sd_next(SdStage::Prep);
+                SdOut::Continue(cost)
+            }
+            SdStage::SendIpis => {
+                let Some(id) = run.sd else {
+                    run.stage = self.sd_next(SdStage::SendIpis);
+                    return SdOut::Continue(Cycles::ZERO);
+                };
+                let targets: Vec<CoreId> =
+                    self.shootdowns[&id].pending_acks.iter().copied().collect();
+                let mut cost = Cycles::ZERO;
+                for t in &targets {
+                    let script = self.smp.enqueue_work(core, *t);
+                    cost += run_script(&mut self.dir, core, &script);
+                    self.cpus[t.index()].csq.push_back(id);
+                }
+                let plan = self.fabric.multicast_plan(core, &targets);
+                for d in &plan.deliveries {
+                    let jitter = self.noise();
+                    self.engine.schedule_in(
+                        cost + d.arrives_in + jitter,
+                        Event::IpiArrive {
+                            core: d.target,
+                            vector: Vector::CallFunction,
+                        },
+                    );
+                }
+                self.stats
+                    .counters
+                    .add("ipis_sent", plan.deliveries.len() as u64);
+                run.stage = self.sd_next(SdStage::SendIpis);
+                SdOut::Continue(cost + plan.initiator_busy)
+            }
+            SdStage::LocalFlush => {
+                let mm_id = run.info.mm;
+                let kpcid = self.cpus[core.index()].tlb_state.kernel_pcid;
+                if run.decided.is_none() {
+                    let local = self.cpus[core.index()].tlb_state.local_tlb_gen;
+                    let mm_gen = self.mms.get(&mm_id).map(|m| m.gen.current()).unwrap_or(0);
+                    run.decided = Some(flush_decision(local, mm_gen, &run.info));
+                }
+                match run.decided.clone().expect("just set") {
+                    FlushAction::Skip => {
+                        self.stats.counters.bump("local_flush_skip");
+                        run.stage = self.sd_next(SdStage::LocalFlush);
+                        SdOut::Continue(Cycles::new(50))
+                    }
+                    FlushAction::Full { upto } => {
+                        self.tlbs[core.index()].flush_pcid(kpcid);
+                        self.cpus[core.index()].tlb_state.local_tlb_gen = upto;
+                        if self.cfg.safe_mode {
+                            self.cpus[core.index()]
+                                .tlb_state
+                                .deferred_user
+                                .record_full();
+                            run.user_handled = true;
+                        }
+                        self.stats.counters.bump("local_full_flush");
+                        run.stage = self.sd_next(SdStage::LocalFlush);
+                        SdOut::Continue(self.cfg.costs.full_flush)
+                    }
+                    FlushAction::Selective { upto, .. } => {
+                        if let LocalMode::CowTrick { va } = run.local_mode {
+                            // §4.1: one atomic RMW replaces the INVLPG. The
+                            // write cannot use the stale write-protected
+                            // entry, so the hardware drops and re-walks it.
+                            let costs = self.cfg.costs.clone();
+                            let acc = {
+                                let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                                self.tlbs[core.index()].access(
+                                    kpcid,
+                                    va,
+                                    true,
+                                    false,
+                                    &mut mm.space,
+                                    &costs,
+                                )
+                            };
+                            let access_cost = match acc {
+                                Ok(a) => {
+                                    if self.cfg.oracle && !a.hit {
+                                        self.oracle.tlb_filled(
+                                            core,
+                                            false,
+                                            mm_id,
+                                            va.align_down(PageSize::Size4K),
+                                        );
+                                    }
+                                    a.cost
+                                }
+                                Err(_) => Cycles::ZERO,
+                            };
+                            self.cpus[core.index()].tlb_state.local_tlb_gen = upto;
+                            run.stage = self.sd_next(SdStage::LocalFlush);
+                            return SdOut::Continue(self.cfg.costs.atomic_rmw + access_cost);
+                        }
+                        if run.kidx < run.kernel_entries.len() {
+                            let va = run.kernel_entries[run.kidx];
+                            run.kidx += 1;
+                            self.tlbs[core.index()].invlpg(kpcid, va);
+                            SdOut::Continue(self.cfg.costs.invlpg)
+                        } else {
+                            self.cpus[core.index()].tlb_state.local_tlb_gen = upto;
+                            run.stage = self.sd_next(SdStage::LocalFlush);
+                            SdOut::Continue(Cycles::ZERO)
+                        }
+                    }
+                }
+            }
+            SdStage::UserFlush => {
+                // User-PCID handling only exists under PTI, and only when a
+                // selective flush actually ran locally.
+                let selective = matches!(run.decided, Some(FlushAction::Selective { .. }));
+                if !self.cfg.safe_mode || run.user_handled || !selective {
+                    run.stage = self.sd_next(SdStage::UserFlush);
+                    return SdOut::Continue(Cycles::ZERO);
+                }
+                let upcid = self.cpus[core.index()].tlb_state.user_pcid;
+                let in_context = self.cfg.opts.in_context_flush && !run.info.freed_tables;
+                if in_context {
+                    // §3.4 interplay: while waiting for the FIRST remote
+                    // acknowledgement, spare cycles flush user PTEs
+                    // eagerly; once an ack arrives, defer the rest.
+                    let still_no_ack = run
+                        .sd
+                        .and_then(|id| self.shootdowns.get(&id))
+                        .map(|sd| sd.pending_acks.len() == run.initial_targets)
+                        .unwrap_or(false);
+                    let interleave = self.cfg.opts.concurrent_flush && still_no_ack;
+                    if interleave && run.uidx < run.user_entries.len() {
+                        let va = run.user_entries[run.uidx];
+                        run.uidx += 1;
+                        self.tlbs[core.index()].invpcid_single(upcid, va);
+                        self.stats.counters.bump("interleaved_user_flush");
+                        return SdOut::Continue(self.cfg.costs.invpcid_single);
+                    }
+                    if run.uidx < run.user_entries.len() {
+                        let rest = VirtRange::new(run.user_entries[run.uidx], run.info.range.end);
+                        self.cpus[core.index()]
+                            .tlb_state
+                            .deferred_user
+                            .record(rest, run.info.stride);
+                        self.stats.counters.bump("user_flush_deferred");
+                    }
+                    run.stage = self.sd_next(SdStage::UserFlush);
+                    SdOut::Continue(Cycles::ZERO)
+                } else {
+                    // Baseline: eager INVPCID per user PTE (§3.4).
+                    if run.uidx < run.user_entries.len() {
+                        let va = run.user_entries[run.uidx];
+                        run.uidx += 1;
+                        self.tlbs[core.index()].invpcid_single(upcid, va);
+                        SdOut::Continue(self.cfg.costs.invpcid_single)
+                    } else {
+                        run.stage = self.sd_next(SdStage::UserFlush);
+                        SdOut::Continue(Cycles::ZERO)
+                    }
+                }
+            }
+            SdStage::Wait => {
+                let Some(id) = run.sd else {
+                    run.stage = SdStage::Done;
+                    return SdOut::Done(Cycles::ZERO);
+                };
+                if self
+                    .shootdowns
+                    .get(&id)
+                    .map(|sd| sd.complete())
+                    .unwrap_or(true)
+                {
+                    // Final acknowledgement poll: one CFD read per target.
+                    let sd = self.shootdowns.remove(&id).expect("completed sd exists");
+                    // The spin-wait observes each responder's ack by
+                    // pulling its CFD line back: one transfer per target.
+                    let mut cost = Cycles::ZERO;
+                    for t in &sd.targets {
+                        let script = self.smp.poll_ack(core, *t);
+                        cost += run_script(&mut self.dir, core, &script);
+                    }
+                    run.stage = SdStage::Done;
+                    SdOut::Done(cost)
+                } else {
+                    SdOut::Block
+                }
+            }
+            SdStage::Done => SdOut::Done(Cycles::ZERO),
+        }
+    }
+
+    /// Initiator-side completion: the flush guarantee now holds — for
+    /// exactly the page versions this operation modified. Retiring at
+    /// current versions would claim guarantees on behalf of other
+    /// still-in-flight operations.
+    pub(crate) fn finish_sd(&mut self, _core: CoreId, run: &ShootdownRun) {
+        if self.cfg.oracle {
+            self.oracle.retire_exact(run.info.mm, &run.retire);
+        }
+        self.stats.counters.bump("shootdown_done");
+    }
+
+    /// An acknowledgement from `responder` for shootdown `id`.
+    pub(crate) fn record_ack(&mut self, id: tlbdown_core::ShootdownId, responder: CoreId) {
+        let Some(sd) = self.shootdowns.get_mut(&id) else {
+            return;
+        };
+        let initiator = sd.initiator;
+        if sd.ack(responder) {
+            self.wake(initiator);
+        }
+    }
+
+    // --- Responder IRQ handler ---
+
+    pub(crate) fn step_irq(&mut self, core: CoreId, f: &mut IrqFrame) -> crate::exec::StepOut {
+        use crate::exec::StepOut;
+        match f.stage {
+            IrqStage::DrainQueue => {
+                f.queue = self.cpus[core.index()].csq.drain(..).collect();
+                f.qidx = 0;
+                if f.queue.is_empty() {
+                    self.stats.counters.bump("spurious_irq");
+                    f.stage = IrqStage::Eoi;
+                } else {
+                    f.stage = IrqStage::FetchWork;
+                }
+                StepOut::Continue(Cycles::ZERO)
+            }
+            IrqStage::FetchWork => {
+                let id = f.queue[f.qidx];
+                let Some(sd) = self.shootdowns.get(&id) else {
+                    // Already torn down (can only happen in failure tests).
+                    f.act = IrqAct::Skip;
+                    f.acked = true;
+                    f.stage = IrqStage::LateAck;
+                    return StepOut::Continue(Cycles::ZERO);
+                };
+                let initiator = sd.initiator;
+                let info = sd.info;
+                f.cur_info = Some(info);
+                f.cur_initiator = initiator;
+                f.cur_early = sd.early_ack;
+                let script = self.smp.fetch_work(initiator, core);
+                let cost = run_script(&mut self.dir, core, &script);
+                let ts = &self.cpus[core.index()].tlb_state;
+                let action = if ts.loaded_mm != info.mm {
+                    FlushAction::Skip
+                } else {
+                    let mm_gen = self.mms.get(&info.mm).map(|m| m.gen.current()).unwrap_or(0);
+                    flush_decision(ts.local_tlb_gen, mm_gen, &info)
+                };
+                f.acked = false;
+                match action {
+                    FlushAction::Skip => {
+                        f.act = IrqAct::Skip;
+                        self.stats.counters.bump("responder_skip");
+                    }
+                    FlushAction::Full { upto } => {
+                        f.act = IrqAct::Full;
+                        f.upto = upto;
+                        self.stats.counters.bump("responder_full_flush");
+                    }
+                    FlushAction::Selective {
+                        range,
+                        stride,
+                        upto,
+                    } => {
+                        f.act = IrqAct::Selective;
+                        f.upto = upto;
+                        f.entries = range.iter_pages(stride).collect();
+                        f.user_entries = f.entries.clone();
+                        f.eidx = 0;
+                        f.uidx = 0;
+                    }
+                }
+                f.stage = IrqStage::FlushDecide;
+                StepOut::Continue(cost)
+            }
+            IrqStage::FlushDecide => {
+                let id = f.queue[f.qidx];
+                let early = f.cur_early;
+                let mut cost = Cycles::ZERO;
+                if early && !f.acked {
+                    // §3.2: acknowledge on handler entry — no userspace
+                    // mapping can be used from here on.
+                    let initiator = f.cur_initiator;
+                    let script = self.smp.ack(initiator, core);
+                    cost += run_script(&mut self.dir, core, &script);
+                    f.acked = true;
+                    self.cpus[core.index()].acked_unflushed += 1;
+                    self.stats.counters.bump("early_ack");
+                    self.record_ack(id, core);
+                }
+                match f.act {
+                    IrqAct::Pending => unreachable!("decision made in FetchWork"),
+                    IrqAct::Skip => {
+                        f.stage = IrqStage::LateAck;
+                        StepOut::Continue(cost + Cycles::new(50))
+                    }
+                    IrqAct::Full => {
+                        let kpcid = self.cpus[core.index()].tlb_state.kernel_pcid;
+                        self.tlbs[core.index()].flush_pcid(kpcid);
+                        self.cpus[core.index()].tlb_state.local_tlb_gen = f.upto;
+                        if self.cfg.safe_mode {
+                            self.cpus[core.index()]
+                                .tlb_state
+                                .deferred_user
+                                .record_full();
+                        }
+                        // Updating local_tlb_gen writes this CPU's
+                        // tlbstate line — the §3.3 false-sharing source.
+                        let script = self.smp.touch_tlbstate(core);
+                        cost += run_script(&mut self.dir, core, &script);
+                        f.stage = IrqStage::LateAck;
+                        StepOut::Continue(cost + self.cfg.costs.full_flush)
+                    }
+                    IrqAct::Selective => {
+                        f.stage = IrqStage::FlushEntry;
+                        StepOut::Continue(cost)
+                    }
+                }
+            }
+            IrqStage::FlushEntry => {
+                let kpcid = self.cpus[core.index()].tlb_state.kernel_pcid;
+                if f.eidx < f.entries.len() {
+                    let va = f.entries[f.eidx];
+                    f.eidx += 1;
+                    self.tlbs[core.index()].invlpg(kpcid, va);
+                    StepOut::Continue(self.cfg.costs.invlpg)
+                } else {
+                    self.cpus[core.index()].tlb_state.local_tlb_gen = f.upto;
+                    // local_tlb_gen lives in the tlbstate line (§3.3
+                    // false sharing with the lazy-mode indication).
+                    let script = self.smp.touch_tlbstate(core);
+                    let c = run_script(&mut self.dir, core, &script);
+                    f.stage = IrqStage::UserFlushEntry;
+                    StepOut::Continue(c)
+                }
+            }
+            IrqStage::UserFlushEntry => {
+                if !self.cfg.safe_mode {
+                    f.stage = IrqStage::LateAck;
+                    return StepOut::Continue(Cycles::ZERO);
+                }
+                let info = f.cur_info;
+                let freed = info.map(|i| i.freed_tables).unwrap_or(true);
+                if self.cfg.opts.in_context_flush && !freed {
+                    // §3.4 on the responder: defer the user-PCID flush to
+                    // this core's own return to userspace.
+                    if f.uidx < f.user_entries.len() {
+                        if let Some(i) = info {
+                            let rest = VirtRange::new(f.user_entries[f.uidx], i.range.end);
+                            self.cpus[core.index()]
+                                .tlb_state
+                                .deferred_user
+                                .record(rest, i.stride);
+                            self.stats.counters.bump("user_flush_deferred");
+                        }
+                    }
+                    f.stage = IrqStage::LateAck;
+                    StepOut::Continue(Cycles::ZERO)
+                } else if f.uidx < f.user_entries.len() {
+                    let upcid = self.cpus[core.index()].tlb_state.user_pcid;
+                    let va = f.user_entries[f.uidx];
+                    f.uidx += 1;
+                    self.tlbs[core.index()].invpcid_single(upcid, va);
+                    StepOut::Continue(self.cfg.costs.invpcid_single)
+                } else {
+                    f.stage = IrqStage::LateAck;
+                    StepOut::Continue(Cycles::ZERO)
+                }
+            }
+            IrqStage::LateAck => {
+                let id = f.queue[f.qidx];
+                let mut cost = Cycles::ZERO;
+                if f.acked {
+                    // Early-acked: the flush for this item is now done.
+                    let c = &mut self.cpus[core.index()].acked_unflushed;
+                    *c = c.saturating_sub(1);
+                } else if self.shootdowns.contains_key(&id) {
+                    let script = self.smp.ack(f.cur_initiator, core);
+                    cost += run_script(&mut self.dir, core, &script);
+                    self.stats.counters.bump("late_ack");
+                    self.record_ack(id, core);
+                }
+                f.qidx += 1;
+                f.acked = false;
+                f.act = IrqAct::Pending;
+                f.cur_info = None;
+                f.stage = if f.qidx < f.queue.len() {
+                    IrqStage::FetchWork
+                } else {
+                    IrqStage::Eoi
+                };
+                StepOut::Continue(cost)
+            }
+            IrqStage::Eoi => {
+                if let Some(_v) = self.cpus[core.index()].lapic.end_of_interrupt() {
+                    // Another queued shootdown IPI: handle it in-place.
+                    f.stage = IrqStage::DrainQueue;
+                    return crate::exec::StepOut::Continue(self.cfg.costs.irq_dispatch);
+                }
+                // Returning to user? Run the deferred in-context flushes.
+                // (This frame is popped while stepping, so `last()` is the
+                // frame the handler interrupted.)
+                let to_user = matches!(
+                    self.cpus[core.index()].frames.last(),
+                    Some(crate::cpu::FrameSlot {
+                        frame: crate::cpu::Frame::Prog(_),
+                        ..
+                    })
+                );
+                let flush = if to_user {
+                    self.kernel_exit_user_flush(core)
+                } else {
+                    Cycles::ZERO
+                };
+                let total = self.engine.now() + flush + self.cfg.costs.irq_exit - f.started;
+                self.stats.record_irq(core, total);
+                crate::exec::StepOut::Done {
+                    cost: flush + self.cfg.costs.irq_exit,
+                    retval: None,
+                }
+            }
+        }
+    }
+
+    // --- LATR-style asynchronous flush application ---
+
+    pub(crate) fn on_lazy_flush(&mut self, core: CoreId, info: FlushTlbInfo) {
+        self.stats.counters.bump("latr_flush");
+        let ts = &self.cpus[core.index()].tlb_state;
+        if ts.loaded_mm != info.mm {
+            return;
+        }
+        let kpcid = ts.kernel_pcid;
+        let upcid = ts.user_pcid;
+        let mm_gen = self.mms.get(&info.mm).map(|m| m.gen.current()).unwrap_or(0);
+        match flush_decision(ts.local_tlb_gen, mm_gen, &info) {
+            FlushAction::Skip => {}
+            FlushAction::Full { upto } => {
+                self.tlbs[core.index()].flush_pcid(kpcid);
+                if self.cfg.safe_mode {
+                    self.tlbs[core.index()].flush_pcid(upcid);
+                }
+                self.cpus[core.index()].tlb_state.local_tlb_gen = upto;
+            }
+            FlushAction::Selective {
+                range,
+                stride,
+                upto,
+            } => {
+                for va in range.iter_pages(stride) {
+                    self.tlbs[core.index()].invlpg(kpcid, va);
+                    if self.cfg.safe_mode {
+                        self.tlbs[core.index()].invpcid_single(upcid, va);
+                    }
+                }
+                self.cpus[core.index()].tlb_state.local_tlb_gen = upto;
+            }
+        }
+    }
+}

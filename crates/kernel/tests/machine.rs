@@ -1,0 +1,399 @@
+//! End-to-end machine tests: programs run, syscalls work, shootdowns
+//! synchronize TLBs, and the safety oracle stays quiet for every protocol
+//! variant — while flagging the LATR-style lazy mode.
+
+use tlbdown_core::OptConfig;
+use tlbdown_kernel::prog::{BusyLoopProg, Prog, ProgAction, ProgCtx, ScriptProg};
+use tlbdown_kernel::{KernelConfig, Machine, Syscall};
+use tlbdown_types::{CoreId, Cycles, VirtAddr};
+
+fn boot(cores: u32, opts: OptConfig, safe: bool) -> Machine {
+    Machine::new(
+        KernelConfig::test_machine(cores)
+            .with_opts(opts)
+            .with_safe_mode(safe),
+    )
+}
+
+/// A program that mmaps, touches pages, madvises them away, repeatedly.
+struct MadviseLoop {
+    pages: u64,
+    iters: u64,
+    state: u32,
+    addr: u64,
+    touch: u64,
+    iter: u64,
+}
+
+impl MadviseLoop {
+    fn new(pages: u64, iters: u64) -> Self {
+        MadviseLoop {
+            pages,
+            iters,
+            state: 0,
+            addr: 0,
+            touch: 0,
+            iter: 0,
+        }
+    }
+}
+
+impl Prog for MadviseLoop {
+    fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
+        match self.state {
+            0 => {
+                self.state = 1;
+                ProgAction::Syscall(Syscall::MmapAnon { pages: self.pages })
+            }
+            1 => {
+                self.addr = ctx.retval;
+                self.touch = 0;
+                self.state = 2;
+                ProgAction::Nop
+            }
+            2 => {
+                if self.touch < self.pages {
+                    let va = VirtAddr::new(self.addr + self.touch * 4096);
+                    self.touch += 1;
+                    ProgAction::Access { va, write: true }
+                } else {
+                    self.state = 3;
+                    ProgAction::Syscall(Syscall::MadviseDontNeed {
+                        addr: VirtAddr::new(self.addr),
+                        pages: self.pages,
+                    })
+                }
+            }
+            3 => {
+                self.iter += 1;
+                if self.iter >= self.iters {
+                    ProgAction::Exit
+                } else {
+                    self.touch = 0;
+                    self.state = 2;
+                    ProgAction::Nop
+                }
+            }
+            _ => ProgAction::Exit,
+        }
+    }
+}
+
+#[test]
+fn single_thread_madvise_runs_clean() {
+    let mut m = boot(2, OptConfig::baseline(), true);
+    let mm = m.create_process();
+    m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(4, 10)));
+    m.run();
+    assert_eq!(m.stats.counters.get("madvise_dontneed"), 10);
+    assert_eq!(
+        m.stats.counters.get("demand_fault"),
+        40,
+        "every touch re-faults"
+    );
+    assert!(
+        m.violations().is_empty(),
+        "violations: {:?}",
+        m.violations()
+    );
+}
+
+#[test]
+fn shootdown_reaches_responder() {
+    // A busy responder thread on core 1 shares the mm: madvise on core 0
+    // must IPI core 1.
+    let mut m = boot(2, OptConfig::baseline(), true);
+    let mm = m.create_process();
+    m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(4, 5)));
+    m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
+    m.run_until(Cycles::new(3_000_000));
+    assert!(
+        m.stats.counters.get("ipis_sent") >= 5,
+        "counters: {:?}",
+        m.stats.counters
+    );
+    assert!(m.stats.counters.get("shootdown_irq") >= 5);
+    assert!(
+        m.violations().is_empty(),
+        "violations: {:?}",
+        m.violations()
+    );
+    // Responder latency was recorded.
+    assert!(
+        m.stats
+            .irq_lat
+            .get(&CoreId(1))
+            .map(|s| s.count())
+            .unwrap_or(0)
+            >= 5
+    );
+}
+
+#[test]
+fn all_optimizations_stay_safe() {
+    for safe in [true, false] {
+        for level in 0..=6 {
+            let opts = OptConfig::cumulative(level);
+            let mut m = boot(4, opts, safe);
+            let mm = m.create_process();
+            m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(8, 8)));
+            m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
+            m.spawn(mm, CoreId(2), Box::new(MadviseLoop::new(3, 8)));
+            m.run_until(Cycles::new(20_000_000));
+            assert!(
+                m.violations().is_empty(),
+                "level {level} safe={safe}: {:?}",
+                m.violations()
+            );
+            assert_eq!(
+                m.stats.counters.get("madvise_dontneed"),
+                16,
+                "level {level} safe={safe}"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_initiator_is_faster() {
+    // The headline claim: with the §3 techniques on, madvise latency on the
+    // initiator drops relative to baseline (same machine, same workload).
+    let lat = |opts: OptConfig| {
+        let mut m = boot(2, opts, true);
+        let mm = m.create_process();
+        m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(10, 50)));
+        m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
+        m.run_until(Cycles::new(50_000_000));
+        m.stats.syscall_lat[&(CoreId(0), "madvise_dontneed")].mean()
+    };
+    let base = lat(OptConfig::baseline());
+    let opt = lat(OptConfig::general_four());
+    assert!(
+        opt < base * 0.95,
+        "expected ≥5% initiator gain: baseline {base:.0} vs optimized {opt:.0}"
+    );
+}
+
+#[test]
+fn early_ack_not_used_for_munmap_freed_tables() {
+    // munmap frees page tables → early ack must be suppressed even when
+    // the optimization is on (§3.2).
+    let mut m = boot(2, OptConfig::baseline().with_early_ack(true), true);
+    let mm = m.create_process();
+    let script = ScriptProg::new(vec![ProgAction::Syscall(Syscall::MmapAnon { pages: 4 })]);
+    // Manual script: mmap, touch, munmap.
+    struct P {
+        state: u32,
+        addr: u64,
+        i: u64,
+    }
+    impl Prog for P {
+        fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
+            match self.state {
+                0 => {
+                    self.state = 1;
+                    ProgAction::Syscall(Syscall::MmapAnon { pages: 4 })
+                }
+                1 => {
+                    self.addr = ctx.retval;
+                    self.state = 2;
+                    ProgAction::Nop
+                }
+                2 => {
+                    if self.i < 4 {
+                        let va = VirtAddr::new(self.addr + self.i * 4096);
+                        self.i += 1;
+                        ProgAction::Access { va, write: true }
+                    } else {
+                        self.state = 3;
+                        ProgAction::Syscall(Syscall::Munmap {
+                            addr: VirtAddr::new(self.addr),
+                            pages: 4,
+                        })
+                    }
+                }
+                _ => ProgAction::Exit,
+            }
+        }
+    }
+    drop(script);
+    m.spawn(
+        mm,
+        CoreId(0),
+        Box::new(P {
+            state: 0,
+            addr: 0,
+            i: 0,
+        }),
+    );
+    m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
+    m.run_until(Cycles::new(5_000_000));
+    assert!(m.stats.counters.get("munmap") >= 1);
+    assert!(m.stats.counters.get("ipis_sent") >= 1);
+    assert_eq!(
+        m.stats.counters.get("early_ack"),
+        0,
+        "freed_tables must suppress early ack: {:?}",
+        m.stats.counters
+    );
+    assert!(m.violations().is_empty(), "{:?}", m.violations());
+}
+
+#[test]
+fn latr_lazy_mode_trips_the_oracle() {
+    // The related-work foil: LATR-style deferral returns from madvise
+    // before remote TLBs are flushed. A responder that keeps touching the
+    // zapped page through its stale entry violates the guarantee.
+    struct Toucher {
+        addr: u64,
+        i: u64,
+    }
+    impl Prog for Toucher {
+        fn next(&mut self, _ctx: &ProgCtx) -> ProgAction {
+            self.i += 1;
+            if self.i > 100_000 {
+                return ProgAction::Exit;
+            }
+            ProgAction::Access {
+                va: VirtAddr::new(self.addr),
+                write: false,
+            }
+        }
+    }
+    struct Zapper {
+        state: u32,
+        addr: u64,
+    }
+    impl Prog for Zapper {
+        fn next(&mut self, _ctx: &ProgCtx) -> ProgAction {
+            match self.state {
+                0 => {
+                    self.state = 1;
+                    // Warm-up delay so the toucher caches the mapping.
+                    ProgAction::Compute(Cycles::new(60_000))
+                }
+                1 => {
+                    self.state = 2;
+                    ProgAction::Syscall(Syscall::MadviseDontNeed {
+                        addr: VirtAddr::new(self.addr),
+                        pages: 1,
+                    })
+                }
+                _ => ProgAction::Exit,
+            }
+        }
+    }
+    let run = |lazy: bool| {
+        let mut m = Machine::new(
+            KernelConfig::test_machine(2)
+                .with_opts(OptConfig::baseline())
+                .with_lazy_latr(lazy),
+        );
+        let mm = m.create_process();
+        // Both threads use a fixed address: mmap + touch it first via a
+        // setup program on core 0, which publishes the address.
+        let addr = {
+            m.spawn(mm, CoreId(0), Box::new(MmapOnce::default()));
+            m.run_until(Cycles::new(1_000_000));
+            MMAP_RESULT.with(|r| r.get())
+        };
+        assert_ne!(addr, 0, "setup mmap failed");
+        m.spawn(mm, CoreId(1), Box::new(Toucher { addr, i: 0 }));
+        m.spawn(mm, CoreId(0), Box::new(Zapper { state: 0, addr }));
+        m.run_until(Cycles::new(10_000_000));
+        m.violations().len()
+    };
+    assert_eq!(run(false), 0, "synchronous shootdowns are safe");
+    assert!(
+        run(true) > 0,
+        "LATR-style lazy flushing must trip the oracle"
+    );
+}
+
+thread_local! {
+    static MMAP_RESULT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Helper prog: mmap one page, publish the address, touch it, exit.
+#[derive(Default)]
+struct MmapOnce {
+    state: u32,
+}
+
+impl Prog for MmapOnce {
+    fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
+        match self.state {
+            0 => {
+                self.state = 1;
+                ProgAction::Syscall(Syscall::MmapAnon { pages: 1 })
+            }
+            1 => {
+                MMAP_RESULT.with(|r| r.set(ctx.retval));
+                self.state = 2;
+                ProgAction::Access {
+                    va: VirtAddr::new(ctx.retval),
+                    write: true,
+                }
+            }
+            _ => ProgAction::Exit,
+        }
+    }
+}
+
+#[test]
+fn lazy_core_skips_ipi_and_syncs_on_wakeup() {
+    // Core 1 runs a thread, exits (going lazy on the mm), then the
+    // initiator flushes — no IPI needed; when core 1 runs a new thread of
+    // the same mm it must flush at switch-in.
+    let mut m = boot(2, OptConfig::baseline(), true);
+    let mm = m.create_process();
+    m.spawn(mm, CoreId(0), Box::new(MmapOnce::default()));
+    m.run_until(Cycles::new(1_000_000));
+    let addr = MMAP_RESULT.with(|r| r.get());
+    // Core 1 touches the page then exits → lazy.
+    m.spawn(
+        mm,
+        CoreId(1),
+        Box::new(ScriptProg::new(vec![ProgAction::Access {
+            va: VirtAddr::new(addr),
+            write: false,
+        }])),
+    );
+    m.run_until(Cycles::new(2_000_000));
+    assert!(m.stats.counters.get("enter_lazy") >= 1);
+    // Now madvise from core 0: core 1 is lazy → skipped.
+    m.spawn(
+        mm,
+        CoreId(0),
+        Box::new(ScriptProg::new(vec![ProgAction::Syscall(
+            Syscall::MadviseDontNeed {
+                addr: VirtAddr::new(addr),
+                pages: 1,
+            },
+        )])),
+    );
+    m.run_until(Cycles::new(3_000_000));
+    assert!(
+        m.stats.counters.get("lazy_skip") >= 1,
+        "{:?}",
+        m.stats.counters
+    );
+    assert_eq!(m.stats.counters.get("ipis_sent"), 0);
+    // Wake a new thread of the same mm on core 1: it must re-sync and the
+    // old translation must be gone.
+    m.spawn(
+        mm,
+        CoreId(1),
+        Box::new(ScriptProg::new(vec![ProgAction::Access {
+            va: VirtAddr::new(addr),
+            write: false,
+        }])),
+    );
+    m.run_until(Cycles::new(4_000_000));
+    assert!(
+        m.stats.counters.get("lazy_exit_flush") + m.stats.counters.get("switch_in_flush") >= 1,
+        "{:?}",
+        m.stats.counters
+    );
+    assert!(m.violations().is_empty(), "{:?}", m.violations());
+}

@@ -1,0 +1,21 @@
+//! Simulated physical memory and x86-64 4-level page tables.
+//!
+//! This crate is the substrate under both the kernel's address spaces and
+//! the virtualization experiment's nested (EPT-style) translation:
+//!
+//! - [`PhysMem`]: a physical frame allocator with per-frame state tracking.
+//!   Freed frames are remembered so that a speculative page walk touching a
+//!   released page table can be detected — the machine-check hazard that
+//!   forbids early acknowledgement when page tables are freed (paper §3.2).
+//! - [`AddrSpace`]: a real radix page table (PML4 → PT) supporting 4KB and
+//!   2MB mappings, permission updates, accessed/dirty bits, and range
+//!   operations that report whether intermediate tables were freed (the
+//!   `freed_tables` flag carried by Linux's `flush_tlb_info`).
+
+pub mod frame;
+pub mod pte;
+pub mod space;
+
+pub use frame::{FrameState, PhysMem};
+pub use pte::Pte;
+pub use space::{AddrSpace, UnmapOutcome, Walk};

@@ -1,0 +1,558 @@
+//! Radix page tables: a faithful 4-level x86-64 structure.
+//!
+//! Each [`AddrSpace`] owns its table pages (keyed by physical frame number)
+//! while the frames themselves come from [`PhysMem`], so freed-table
+//! detection and walk traces work on real physical addresses.
+
+use std::collections::HashMap;
+
+use crate::frame::{FrameState, PhysMem};
+use crate::pte::{Pte, TablePage};
+use tlbdown_types::{PageSize, PhysAddr, PteFlags, SimError, SimResult, VirtAddr, VirtRange};
+
+/// Result of a page walk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Walk {
+    /// The leaf entry found.
+    pub pte: Pte,
+    /// The page size mapped by the leaf.
+    pub size: PageSize,
+    /// Physical addresses of the table pages traversed, root first.
+    /// These are what the paging-structure cache would hold and what a
+    /// speculative walker touches (machine-check hazard, §3.2).
+    pub trace: Vec<PhysAddr>,
+    /// Base virtual address of the mapped page.
+    pub page_base: VirtAddr,
+}
+
+impl Walk {
+    /// Translate `va` through this walk's leaf.
+    pub fn translate(&self, va: VirtAddr) -> PhysAddr {
+        self.pte.addr.add(va.page_offset(self.size))
+    }
+}
+
+/// Outcome of a range zap/unmap.
+#[derive(Clone, Debug, Default)]
+pub struct UnmapOutcome {
+    /// The leaf entries removed: `(page base, old entry, page size)`.
+    pub removed: Vec<(VirtAddr, Pte, PageSize)>,
+    /// Whether any page-table pages were freed. When true, the subsequent
+    /// TLB shootdown must not use early acknowledgement (paper §3.2) — this
+    /// is Linux's `flush_tlb_info::freed_tables` flag.
+    pub freed_tables: bool,
+}
+
+/// A 4-level page table tree (levels 3..0 = PML4, PDPT, PD, PT).
+#[derive(Debug)]
+pub struct AddrSpace {
+    root: PhysAddr,
+    tables: HashMap<u64, Box<TablePage>>,
+}
+
+/// Flags used on non-leaf (table-pointer) entries.
+fn table_flags() -> PteFlags {
+    PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER
+}
+
+impl AddrSpace {
+    /// Create an empty address space with a fresh root table.
+    pub fn new(mem: &mut PhysMem) -> SimResult<Self> {
+        let mut s = AddrSpace {
+            root: PhysAddr(0),
+            tables: HashMap::new(),
+        };
+        s.root = s.alloc_table(mem)?;
+        Ok(s)
+    }
+
+    /// Physical address of the root (PML4) table — what CR3 would hold.
+    pub fn root(&self) -> PhysAddr {
+        self.root
+    }
+
+    /// Number of live table pages (including the root).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    fn alloc_table(&mut self, mem: &mut PhysMem) -> SimResult<PhysAddr> {
+        let addr = mem.alloc(FrameState::PageTable)?;
+        self.tables.insert(addr.pfn(), Box::new([Pte::EMPTY; 512]));
+        Ok(addr)
+    }
+
+    fn free_table(&mut self, mem: &mut PhysMem, addr: PhysAddr) {
+        let existed = self.tables.remove(&addr.pfn()).is_some();
+        debug_assert!(existed, "freeing unknown table {addr}");
+        mem.free(addr);
+    }
+
+    fn table(&self, addr: PhysAddr) -> &TablePage {
+        self.tables
+            .get(&addr.pfn())
+            .expect("dangling table pointer")
+    }
+
+    fn table_mut(&mut self, addr: PhysAddr) -> &mut TablePage {
+        self.tables
+            .get_mut(&addr.pfn())
+            .expect("dangling table pointer")
+    }
+
+    /// The table level at which a leaf of `size` lives (0 for 4KB, 1 for
+    /// 2MB, 2 for 1GB).
+    fn leaf_level(size: PageSize) -> u8 {
+        match size {
+            PageSize::Size4K => 0,
+            PageSize::Size2M => 1,
+            PageSize::Size1G => 2,
+        }
+    }
+
+    /// Map `va -> pa` with the given size and flags.
+    ///
+    /// Fails with `InvalidArgument` on misalignment or if anything is
+    /// already mapped at `va` (callers must unmap first; this catches
+    /// kernel bookkeeping bugs).
+    pub fn map(
+        &mut self,
+        mem: &mut PhysMem,
+        va: VirtAddr,
+        pa: PhysAddr,
+        size: PageSize,
+        flags: PteFlags,
+    ) -> SimResult<()> {
+        if !va.is_aligned(size) || pa.as_u64() & (size.bytes() - 1) != 0 {
+            return Err(SimError::InvalidArgument(format!(
+                "map {va} -> {pa} not aligned to {size}"
+            )));
+        }
+        let leaf = Self::leaf_level(size);
+        let mut table_addr = self.root;
+        for level in (leaf + 1..=3).rev() {
+            let idx = va.pt_index(level);
+            let entry = self.table(table_addr)[idx];
+            if entry.present() {
+                if entry.huge() {
+                    return Err(SimError::InvalidArgument(format!(
+                        "hugepage already mapped over {va}"
+                    )));
+                }
+                table_addr = entry.addr;
+            } else {
+                let new = self.alloc_table(mem)?;
+                self.table_mut(table_addr)[idx] = Pte::new(new, table_flags());
+                table_addr = new;
+            }
+        }
+        let idx = va.pt_index(leaf);
+        let slot = &mut self.table_mut(table_addr)[idx];
+        if slot.present() {
+            return Err(SimError::InvalidArgument(format!("{va} already mapped")));
+        }
+        let mut f = flags;
+        if size != PageSize::Size4K {
+            f |= PteFlags::HUGE;
+        }
+        *slot = Pte::new(pa, f);
+        Ok(())
+    }
+
+    /// Walk the tables for `va`, returning the leaf and the trace of table
+    /// pages touched. Does not modify accessed/dirty bits.
+    pub fn walk(&self, va: VirtAddr) -> SimResult<Walk> {
+        let mut table_addr = self.root;
+        let mut trace = vec![table_addr];
+        for level in (0..=3u8).rev() {
+            let entry = self.table(table_addr)[va.pt_index(level)];
+            if !entry.present() {
+                return Err(SimError::NotMapped(va));
+            }
+            let size = match level {
+                2 if entry.huge() => Some(PageSize::Size1G),
+                1 if entry.huge() => Some(PageSize::Size2M),
+                0 => Some(PageSize::Size4K),
+                _ => None,
+            };
+            if let Some(size) = size {
+                return Ok(Walk {
+                    pte: entry,
+                    size,
+                    trace,
+                    page_base: va.align_down(size),
+                });
+            }
+            table_addr = entry.addr;
+            trace.push(table_addr);
+        }
+        unreachable!("level-0 entries always terminate the walk");
+    }
+
+    /// The leaf entry for `va`, if mapped.
+    pub fn entry(&self, va: VirtAddr) -> Option<(Pte, PageSize)> {
+        self.walk(va).ok().map(|w| (w.pte, w.size))
+    }
+
+    /// Replace the leaf entry for `va` with the result of `f`.
+    ///
+    /// Returns the old entry. Used for permission changes, dirty-bit
+    /// updates, and the CoW PTE swap.
+    pub fn update_entry(&mut self, va: VirtAddr, f: impl FnOnce(Pte) -> Pte) -> SimResult<Pte> {
+        let walk = self.walk(va)?;
+        let leaf_table = *walk.trace.last().expect("walk trace is never empty");
+        let level = Self::leaf_level(walk.size);
+        let idx = va.pt_index(level);
+        let slot = &mut self.table_mut(leaf_table)[idx];
+        let old = *slot;
+        *slot = f(old);
+        Ok(old)
+    }
+
+    /// Set the accessed (and optionally dirty) bit, as the MMU does when a
+    /// translation is used.
+    pub fn mark_used(&mut self, va: VirtAddr, write: bool) -> SimResult<()> {
+        self.update_entry(va, |p| {
+            let p = p.with(PteFlags::ACCESSED);
+            if write {
+                p.with(PteFlags::DIRTY)
+            } else {
+                p
+            }
+        })?;
+        Ok(())
+    }
+
+    /// Clear leaf entries in `range` but keep the table pages
+    /// (`madvise(MADV_DONTNEED)` / reclaim behaviour).
+    pub fn zap_range(&mut self, range: VirtRange) -> UnmapOutcome {
+        let mut out = UnmapOutcome::default();
+        let mut va = range.start.align_down(PageSize::Size4K);
+        while va < range.end {
+            match self.walk(va) {
+                Ok(w) => {
+                    let leaf_table = *w.trace.last().expect("non-empty trace");
+                    let level = Self::leaf_level(w.size);
+                    self.table_mut(leaf_table)[va.pt_index(level)] = Pte::EMPTY;
+                    out.removed.push((w.page_base, w.pte, w.size));
+                    va = w.page_base.add(w.size.bytes());
+                }
+                Err(_) => va = va.add(PageSize::Size4K.bytes()),
+            }
+        }
+        out
+    }
+
+    /// Clear leaf entries in `range` *and* free page-table pages that
+    /// become empty (`munmap` behaviour). Sets `freed_tables` accordingly.
+    pub fn unmap_range(&mut self, mem: &mut PhysMem, range: VirtRange) -> UnmapOutcome {
+        let mut out = self.zap_range(range);
+        // Garbage-collect empty tables bottom-up, across the affected
+        // portion of the tree. A full GC pass is simplest and correct.
+        let freed = self.collect_empty_tables(mem, self.root, 3);
+        out.freed_tables = freed > 0;
+        out
+    }
+
+    /// Recursively free empty table pages under `table_addr`; returns the
+    /// number of tables freed. The root itself is never freed.
+    fn collect_empty_tables(&mut self, mem: &mut PhysMem, table_addr: PhysAddr, level: u8) -> u64 {
+        let mut freed = 0;
+        for idx in 0..512 {
+            let entry = self.table(table_addr)[idx];
+            if !entry.present() || entry.huge() || level == 0 {
+                continue;
+            }
+            freed += self.collect_empty_tables(mem, entry.addr, level - 1);
+            let child_empty = self.table(entry.addr).iter().all(|e| !e.present());
+            if child_empty {
+                self.free_table(mem, entry.addr);
+                self.table_mut(table_addr)[idx] = Pte::EMPTY;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Apply a flag change to every present leaf in `range`; returns the
+    /// changed `(page base, new entry, size)` triples (mprotect / writeback
+    /// clean behaviour).
+    pub fn protect_range(
+        &mut self,
+        range: VirtRange,
+        set: PteFlags,
+        clear: PteFlags,
+    ) -> Vec<(VirtAddr, Pte, PageSize)> {
+        let mut changed = Vec::new();
+        let mut va = range.start.align_down(PageSize::Size4K);
+        while va < range.end {
+            match self.walk(va) {
+                Ok(w) => {
+                    let new = w.pte.with(set).without(clear);
+                    if new != w.pte {
+                        let leaf_table = *w.trace.last().expect("non-empty trace");
+                        let level = Self::leaf_level(w.size);
+                        self.table_mut(leaf_table)[va.pt_index(level)] = new;
+                        changed.push((w.page_base, new, w.size));
+                    }
+                    va = w.page_base.add(w.size.bytes());
+                }
+                Err(_) => va = va.add(PageSize::Size4K.bytes()),
+            }
+        }
+        changed
+    }
+
+    /// Enumerate present leaves in `range` as `(page base, entry, size)`.
+    pub fn iter_range(&self, range: VirtRange) -> Vec<(VirtAddr, Pte, PageSize)> {
+        let mut found = Vec::new();
+        let mut va = range.start.align_down(PageSize::Size4K);
+        while va < range.end {
+            match self.walk(va) {
+                Ok(w) => {
+                    found.push((w.page_base, w.pte, w.size));
+                    va = w.page_base.add(w.size.bytes());
+                }
+                Err(_) => va = va.add(PageSize::Size4K.bytes()),
+            }
+        }
+        found
+    }
+
+    /// Free every table page including the root (address-space teardown).
+    pub fn destroy(mut self, mem: &mut PhysMem) {
+        let pfns: Vec<u64> = self.tables.keys().copied().collect();
+        for pfn in pfns {
+            self.free_table(mem, PhysAddr::new(pfn << 12));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PhysMem, AddrSpace) {
+        let mut mem = PhysMem::new(1 << 20);
+        let space = AddrSpace::new(&mut mem).unwrap();
+        (mem, space)
+    }
+
+    #[test]
+    fn map_walk_roundtrip_4k() {
+        let (mut mem, mut s) = setup();
+        let va = VirtAddr::new(0x7f00_0000_0000);
+        let pa = mem.alloc(FrameState::UserPage).unwrap();
+        s.map(&mut mem, va, pa, PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
+        let w = s.walk(va.add(0x123)).unwrap();
+        assert_eq!(w.pte.addr, pa);
+        assert_eq!(w.size, PageSize::Size4K);
+        assert_eq!(w.translate(va.add(0x123)), pa.add(0x123));
+        assert_eq!(w.trace.len(), 4, "4KB walk touches 4 table pages");
+        assert_eq!(w.page_base, va);
+    }
+
+    #[test]
+    fn map_walk_roundtrip_2m() {
+        let (mut mem, mut s) = setup();
+        let va = VirtAddr::new(0x4020_0000);
+        let pa = mem.alloc_contiguous(512, FrameState::UserPage).unwrap();
+        // alloc_contiguous may return unaligned base; align for the test.
+        let pa = PhysAddr::new((pa.as_u64() + HUGE - 1) & !(HUGE - 1));
+        const HUGE: u64 = 2 * 1024 * 1024;
+        s.map(&mut mem, va, pa, PageSize::Size2M, PteFlags::user_rw())
+            .unwrap();
+        let w = s.walk(va.add(0x12345)).unwrap();
+        assert_eq!(w.size, PageSize::Size2M);
+        assert!(w.pte.huge());
+        assert_eq!(w.trace.len(), 3, "2MB walk touches 3 table pages");
+        assert_eq!(w.translate(va.add(0x12345)), pa.add(0x12345));
+    }
+
+    #[test]
+    fn double_map_is_an_error() {
+        let (mut mem, mut s) = setup();
+        let va = VirtAddr::new(0x1000);
+        let pa = mem.alloc(FrameState::UserPage).unwrap();
+        s.map(&mut mem, va, pa, PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
+        assert!(s
+            .map(&mut mem, va, pa, PageSize::Size4K, PteFlags::user_rw())
+            .is_err());
+    }
+
+    #[test]
+    fn misaligned_map_is_an_error() {
+        let (mut mem, mut s) = setup();
+        let pa = mem.alloc(FrameState::UserPage).unwrap();
+        assert!(s
+            .map(
+                &mut mem,
+                VirtAddr::new(0x800),
+                pa,
+                PageSize::Size4K,
+                PteFlags::user_rw()
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn walk_of_unmapped_fails() {
+        let (_mem, s) = setup();
+        assert_eq!(
+            s.walk(VirtAddr::new(0x5000)),
+            Err(SimError::NotMapped(VirtAddr::new(0x5000)))
+        );
+    }
+
+    #[test]
+    fn zap_keeps_tables_unmap_frees_them() {
+        let (mut mem, mut s) = setup();
+        let base = VirtAddr::new(0x10_0000);
+        for i in 0..8 {
+            let pa = mem.alloc(FrameState::UserPage).unwrap();
+            s.map(
+                &mut mem,
+                base.add(i * 4096),
+                pa,
+                PageSize::Size4K,
+                PteFlags::user_rw(),
+            )
+            .unwrap();
+        }
+        let tables_before = s.table_count();
+        let out = s.zap_range(VirtRange::pages(base, 8, PageSize::Size4K));
+        assert_eq!(out.removed.len(), 8);
+        assert!(!out.freed_tables, "zap must keep table pages");
+        assert_eq!(s.table_count(), tables_before, "zap must keep table pages");
+
+        // Remap and then unmap: tables are garbage-collected.
+        for i in 0..8 {
+            let pa = mem.alloc(FrameState::UserPage).unwrap();
+            s.map(
+                &mut mem,
+                base.add(i * 4096),
+                pa,
+                PageSize::Size4K,
+                PteFlags::user_rw(),
+            )
+            .unwrap();
+        }
+        let out = s.unmap_range(&mut mem, VirtRange::pages(base, 8, PageSize::Size4K));
+        assert_eq!(out.removed.len(), 8);
+        assert!(out.freed_tables, "unmap must free empty table pages");
+        assert_eq!(s.table_count(), 1, "only the root remains");
+    }
+
+    #[test]
+    fn protect_range_write_protects() {
+        let (mut mem, mut s) = setup();
+        let base = VirtAddr::new(0x20_0000);
+        for i in 0..4 {
+            let pa = mem.alloc(FrameState::UserPage).unwrap();
+            s.map(
+                &mut mem,
+                base.add(i * 4096),
+                pa,
+                PageSize::Size4K,
+                PteFlags::user_rw(),
+            )
+            .unwrap();
+        }
+        let changed = s.protect_range(
+            VirtRange::pages(base, 4, PageSize::Size4K),
+            PteFlags::empty(),
+            PteFlags::WRITABLE,
+        );
+        assert_eq!(changed.len(), 4);
+        for (va, pte, _) in changed {
+            assert!(!pte.writable());
+            assert_eq!(s.entry(va).unwrap().0, pte);
+        }
+        // A second identical pass changes nothing.
+        let changed = s.protect_range(
+            VirtRange::pages(base, 4, PageSize::Size4K),
+            PteFlags::empty(),
+            PteFlags::WRITABLE,
+        );
+        assert!(changed.is_empty());
+    }
+
+    #[test]
+    fn mark_used_sets_accessed_and_dirty() {
+        let (mut mem, mut s) = setup();
+        let va = VirtAddr::new(0x3000);
+        let pa = mem.alloc(FrameState::UserPage).unwrap();
+        s.map(&mut mem, va, pa, PageSize::Size4K, PteFlags::user_rw())
+            .unwrap();
+        s.mark_used(va, false).unwrap();
+        let (p, _) = s.entry(va).unwrap();
+        assert!(p.flags.contains(PteFlags::ACCESSED));
+        assert!(!p.dirty());
+        s.mark_used(va, true).unwrap();
+        assert!(s.entry(va).unwrap().0.dirty());
+    }
+
+    #[test]
+    fn destroy_frees_all_tables() {
+        let (mut mem, mut s) = setup();
+        for i in 0..4 {
+            let pa = mem.alloc(FrameState::UserPage).unwrap();
+            s.map(
+                &mut mem,
+                VirtAddr::new(0x4000_0000 + i * 0x20_0000 * 512),
+                pa,
+                PageSize::Size4K,
+                PteFlags::user_rw(),
+            )
+            .unwrap();
+        }
+        let frames_before_destroy = mem.allocated_frames();
+        let tables = s.table_count() as u64;
+        assert!(tables > 1);
+        s.destroy(&mut mem);
+        assert_eq!(mem.allocated_frames(), frames_before_destroy - tables);
+    }
+
+    #[test]
+    fn iter_range_skips_holes() {
+        let (mut mem, mut s) = setup();
+        let base = VirtAddr::new(0x50_0000);
+        for i in [0u64, 2, 5] {
+            let pa = mem.alloc(FrameState::UserPage).unwrap();
+            s.map(
+                &mut mem,
+                base.add(i * 4096),
+                pa,
+                PageSize::Size4K,
+                PteFlags::user_rw(),
+            )
+            .unwrap();
+        }
+        let found = s.iter_range(VirtRange::pages(base, 6, PageSize::Size4K));
+        let vas: Vec<u64> = found
+            .iter()
+            .map(|(v, _, _)| (v.as_u64() - base.as_u64()) / 4096)
+            .collect();
+        assert_eq!(vas, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn update_entry_returns_old() {
+        let (mut mem, mut s) = setup();
+        let va = VirtAddr::new(0x6000);
+        let pa = mem.alloc(FrameState::UserPage).unwrap();
+        s.map(&mut mem, va, pa, PageSize::Size4K, PteFlags::user_cow())
+            .unwrap();
+        let pa2 = mem.alloc(FrameState::UserPage).unwrap();
+        let old = s
+            .update_entry(va, |_| Pte::new(pa2, PteFlags::user_rw()))
+            .unwrap();
+        assert_eq!(old.addr, pa);
+        assert!(old.flags.contains(PteFlags::COW));
+        let (new, _) = s.entry(va).unwrap();
+        assert_eq!(new.addr, pa2);
+        assert!(new.writable());
+    }
+}

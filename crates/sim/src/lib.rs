@@ -1,0 +1,22 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! The whole reproduction rests on this crate being *deterministic*: given a
+//! seed, every run produces bit-identical event orderings, so benchmark
+//! deltas between protocol variants are attributable to the protocol alone.
+//!
+//! The engine is deliberately generic: it knows nothing about TLBs or
+//! kernels. It provides:
+//!
+//! - [`Engine`]: a time-ordered event queue with deterministic FIFO
+//!   tie-breaking for simultaneous events,
+//! - [`rng::SplitMix64`]: a tiny, seedable PRNG used by workload generators,
+//! - [`stats`]: streaming summaries (Welford mean/σ), counters and
+//!   log-scale histograms used by the measurement harness.
+
+pub mod engine;
+pub mod rng;
+pub mod stats;
+
+pub use engine::Engine;
+pub use rng::SplitMix64;
+pub use stats::{Counter, Histogram, Summary};

@@ -1,0 +1,306 @@
+//! Streaming statistics used by the measurement harness.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use tlbdown_types::Cycles;
+
+/// Streaming mean and standard deviation (Welford's algorithm).
+///
+/// The paper reports "the average and standard deviation" over 5 runs of
+/// each microbenchmark (§5.1); this is the accumulator behind those columns.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Add a cycle-valued observation.
+    pub fn record_cycles(&mut self, c: Cycles) {
+        self.record(c.as_u64() as f64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 with fewer than two observations).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (0 for an empty summary).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 for an empty summary).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another summary into this one (parallel Welford combination).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} ± {:.1} (n={})",
+            self.mean(),
+            self.stddev(),
+            self.n
+        )
+    }
+}
+
+/// A named set of monotone counters (TLB misses, IPIs sent, ...).
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl Counter {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increment `name` by one.
+    pub fn bump(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increment `name` by `by`.
+    pub fn add(&mut self, name: &'static str, by: u64) {
+        *self.counts.entry(name).or_insert(0) += by;
+    }
+
+    /// Current value of `name` (0 if never bumped).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Reset every counter to zero.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+}
+
+/// A power-of-two bucketed latency histogram.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram covering `[0, 2^63)` in 64 log2 buckets.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            total: 0,
+        }
+    }
+
+    /// Record a value; bucket `i` holds values in `[2^i, 2^(i+1))`
+    /// (bucket 0 also holds 0).
+    pub fn record(&mut self, value: u64) {
+        let idx = 63 - value.max(1).leading_zeros() as usize;
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// An upper bound on the p-th percentile (0.0–1.0): the exclusive top of
+    /// the bucket containing that rank.
+    pub fn percentile_ub(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Iterate over non-empty `(bucket_lower_bound, count)` pairs.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mean_and_stddev() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic dataset is ~2.138.
+        assert!((s.stddev() - 2.1380899).abs() < 1e-6);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i * i % 37) as f64).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &data[..40] {
+            a.record(x);
+        }
+        for &x in &data[40..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counter::new();
+        c.bump("ipi");
+        c.add("ipi", 2);
+        c.bump("miss");
+        assert_eq!(c.get("ipi"), 3);
+        assert_eq!(c.get("miss"), 1);
+        assert_eq!(c.get("absent"), 0);
+        let all: Vec<_> = c.iter().collect();
+        assert_eq!(all, vec![("ipi", 3), ("miss", 1)]);
+        c.clear();
+        assert_eq!(c.get("ipi"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        // p50 falls in the [2,4) or [4,8) region → upper bound ≤ 8.
+        assert!(h.percentile_ub(0.5) <= 8);
+        // p100 covers 1000 → bucket [512,1024) → ub 1024.
+        assert_eq!(h.percentile_ub(1.0), 1024);
+        let nz: Vec<_> = h.iter_nonzero().collect();
+        assert!(nz.contains(&(512, 1)));
+    }
+
+    #[test]
+    fn histogram_handles_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile_ub(1.0), 2);
+    }
+}

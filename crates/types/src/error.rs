@@ -1,0 +1,118 @@
+//! Error types shared across the simulation.
+
+use crate::addr::VirtAddr;
+use crate::ids::{CoreId, MmId};
+use core::fmt;
+
+/// Errors surfaced by the simulated machine and kernel.
+///
+/// `StaleTlbAccess` is special: it is the *safety oracle* of the whole
+/// reproduction. It fires when a core translates a user access through a TLB
+/// entry that disagrees with the live page tables after the shootdown that
+/// should have removed it has retired — i.e. exactly the data-corruption /
+/// security hazard the paper's §2.3 and §3.2 discuss.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A user access used a TLB entry that should have been shot down.
+    StaleTlbAccess {
+        /// Core that performed the access.
+        core: CoreId,
+        /// Address space of the access.
+        mm: MmId,
+        /// Faulting virtual address.
+        addr: VirtAddr,
+        /// Human-readable explanation of which invariant broke.
+        detail: String,
+    },
+    /// A page fault could not be satisfied (no VMA, permission error).
+    Segfault {
+        /// Core that faulted.
+        core: CoreId,
+        /// Faulting virtual address.
+        addr: VirtAddr,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// A speculative page walk touched a freed page table — the
+    /// machine-check hazard that forbids early acknowledgement when page
+    /// tables are released (§3.2).
+    MachineCheck {
+        /// Core whose walker touched freed memory.
+        core: CoreId,
+        /// Address whose walk went wrong.
+        addr: VirtAddr,
+    },
+    /// Physical memory exhausted.
+    OutOfMemory,
+    /// An operation referenced an unknown address space.
+    NoSuchMm(MmId),
+    /// An operation referenced an unmapped region.
+    NotMapped(VirtAddr),
+    /// The caller passed inconsistent arguments (unaligned address, zero
+    /// length, overlapping fixed mapping...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::StaleTlbAccess {
+                core,
+                mm,
+                addr,
+                detail,
+            } => write!(
+                f,
+                "stale TLB access on {core} in mm {mm:?} at {addr}: {detail}"
+            ),
+            SimError::Segfault { core, addr, write } => {
+                let kind = if *write { "write" } else { "read" };
+                write!(f, "segfault on {core}: {kind} at {addr}")
+            }
+            SimError::MachineCheck { core, addr } => {
+                write!(
+                    f,
+                    "machine check on {core}: speculative walk of freed table at {addr}"
+                )
+            }
+            SimError::OutOfMemory => write!(f, "out of simulated physical memory"),
+            SimError::NoSuchMm(mm) => write!(f, "no such address space: {mm:?}"),
+            SimError::NotMapped(addr) => write!(f, "address not mapped: {addr}"),
+            SimError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias used throughout the workspace.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SimError::Segfault {
+            core: CoreId(2),
+            addr: VirtAddr::new(0x1000),
+            write: true,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cpu2") && s.contains("write") && s.contains("0x1000"));
+        let e = SimError::StaleTlbAccess {
+            core: CoreId(0),
+            mm: MmId::new(7),
+            addr: VirtAddr::new(0x2000),
+            detail: "entry older than retired shootdown".into(),
+        };
+        assert!(e.to_string().contains("stale TLB access"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SimError::OutOfMemory, SimError::OutOfMemory);
+        assert_ne!(SimError::OutOfMemory, SimError::NotMapped(VirtAddr::new(0)));
+    }
+}

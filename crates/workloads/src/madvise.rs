@@ -1,0 +1,284 @@
+//! The §5.1 shootdown microbenchmark (Figures 5–8, Table 3).
+//!
+//! One thread `mmap`s an anonymous region, touches `ptes` pages to fault
+//! them in, and calls `madvise(MADV_DONTNEED)`, forcing a PTE zap and TLB
+//! shootdown; a second "responder" thread busy-waits and absorbs the IPIs.
+//! The harness reports, per run, the mean initiator cycles (the `madvise`
+//! syscall latency) and responder cycles (the time the busy loop was
+//! interrupted by the shootdown handler), then aggregates mean ± σ over
+//! `runs` runs as the paper does.
+
+use tlbdown_core::OptConfig;
+use tlbdown_kernel::prog::{BusyLoopProg, Prog, ProgAction, ProgCtx};
+use tlbdown_kernel::{KernelConfig, Machine, Syscall};
+use tlbdown_sim::{SplitMix64, Summary};
+use tlbdown_types::{CoreId, CostModel, Cycles, Topology, VirtAddr};
+
+/// Where the responder runs relative to the initiator (§5.1 runs every
+/// experiment in all three placements).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// The SMT sibling of the initiator's physical core.
+    SameCore,
+    /// A different physical core on the initiator's socket.
+    SameSocket,
+    /// A core on the other socket.
+    DiffSocket,
+}
+
+impl Placement {
+    /// All three placements, in figure order.
+    pub const ALL: [Placement; 3] = [
+        Placement::SameCore,
+        Placement::SameSocket,
+        Placement::DiffSocket,
+    ];
+
+    /// The responder core for an initiator on core 0 of the paper machine.
+    pub fn responder_core(self) -> CoreId {
+        match self {
+            Placement::SameCore => CoreId(1),   // SMT sibling of core 0
+            Placement::SameSocket => CoreId(2), // next physical core
+            Placement::DiffSocket => CoreId(28),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::SameCore => "same-core",
+            Placement::SameSocket => "same-socket",
+            Placement::DiffSocket => "diff-socket",
+        }
+    }
+}
+
+/// Configuration of one microbenchmark experiment.
+#[derive(Clone, Debug)]
+pub struct MadviseBenchCfg {
+    /// Responder placement.
+    pub placement: Placement,
+    /// PTEs flushed per shootdown (the paper uses 1 and 10).
+    pub ptes: u64,
+    /// Mitigations on ("safe mode")?
+    pub safe: bool,
+    /// Optimizations active.
+    pub opts: OptConfig,
+    /// madvise iterations per run (the paper uses 100k; the simulator is
+    /// deterministic, so fewer suffice).
+    pub iters: u64,
+    /// Number of runs aggregated (paper: 5).
+    pub runs: u64,
+    /// Base RNG seed (per-run jitter).
+    pub seed: u64,
+    /// Override the machine cost model (sensitivity ablations).
+    pub costs_override: Option<CostModel>,
+}
+
+impl MadviseBenchCfg {
+    /// Defaults matching the paper's setup at reduced iteration count.
+    pub fn new(placement: Placement, ptes: u64, safe: bool, opts: OptConfig) -> Self {
+        MadviseBenchCfg {
+            placement,
+            ptes,
+            safe,
+            opts,
+            iters: 400,
+            runs: 5,
+            seed: 0x51ab,
+            costs_override: None,
+        }
+    }
+}
+
+/// Result: per-metric mean ± σ across runs.
+#[derive(Clone, Debug)]
+pub struct MadviseBenchResult {
+    /// Initiator-side `madvise` latency (cycles).
+    pub initiator: Summary,
+    /// Responder-side interruption per shootdown (cycles).
+    pub responder: Summary,
+}
+
+/// The initiator program: mmap once, then loop touch-and-madvise.
+struct Initiator {
+    addr: u64,
+    ptes: u64,
+    iters: u64,
+    state: u32,
+    touch: u64,
+    iter: u64,
+    rng: SplitMix64,
+}
+
+impl Prog for Initiator {
+    fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
+        match self.state {
+            0 => {
+                self.state = 1;
+                ProgAction::Syscall(Syscall::MmapAnon { pages: self.ptes })
+            }
+            1 => {
+                self.addr = ctx.retval;
+                self.state = 2;
+                ProgAction::Nop
+            }
+            2 => {
+                if self.touch < self.ptes {
+                    let va = VirtAddr::new(self.addr + self.touch * 4096);
+                    self.touch += 1;
+                    ProgAction::Access { va, write: true }
+                } else {
+                    self.state = 3;
+                    // Seeded jitter: the std-dev the paper reports comes
+                    // from real-machine noise; here it comes from this.
+                    ProgAction::Compute(Cycles::new(self.rng.gen_range(96)))
+                }
+            }
+            3 => {
+                self.state = 4;
+                ProgAction::Syscall(Syscall::MadviseDontNeed {
+                    addr: VirtAddr::new(self.addr),
+                    pages: self.ptes,
+                })
+            }
+            4 => {
+                self.iter += 1;
+                if self.iter >= self.iters {
+                    ProgAction::Exit
+                } else {
+                    self.touch = 0;
+                    self.state = 2;
+                    ProgAction::Nop
+                }
+            }
+            _ => ProgAction::Exit,
+        }
+    }
+}
+
+/// Run one experiment; returns per-run means aggregated across runs.
+pub fn run_madvise_bench(cfg: &MadviseBenchCfg) -> MadviseBenchResult {
+    let mut initiator = Summary::new();
+    let mut responder = Summary::new();
+    for run in 0..cfg.runs {
+        let mut kc = KernelConfig {
+            topo: Topology::paper_machine(),
+            ..KernelConfig::paper_baseline()
+        }
+        .with_opts(cfg.opts)
+        .with_safe_mode(cfg.safe);
+        kc.noise_cycles = 120;
+        kc.seed = cfg.seed ^ (run + 1).wrapping_mul(0x2545_f491);
+        if let Some(costs) = &cfg.costs_override {
+            kc.costs = costs.clone();
+        }
+        let mut m = Machine::new(kc);
+        let mm = m.create_process();
+        let rng = SplitMix64::new(cfg.seed ^ run.wrapping_mul(0x9e37_79b9));
+        m.spawn(
+            mm,
+            CoreId(0),
+            Box::new(Initiator {
+                addr: 0,
+                ptes: cfg.ptes,
+                iters: cfg.iters,
+                state: 0,
+                touch: 0,
+                iter: 0,
+                rng,
+            }),
+        );
+        m.spawn(mm, cfg.placement.responder_core(), Box::new(BusyLoopProg));
+        // Generous deadline; the initiator exits well before it.
+        m.run_until(Cycles::new(cfg.iters * 400_000));
+        assert!(
+            m.violations().is_empty(),
+            "oracle violations: {:?}",
+            m.violations()
+        );
+        let init = m
+            .stats
+            .syscall_lat
+            .get(&(CoreId(0), "madvise_dontneed"))
+            .expect("initiator ran madvise");
+        assert_eq!(init.count(), cfg.iters, "all madvise calls completed");
+        initiator.record(init.mean());
+        let resp = m
+            .stats
+            .irq_lat
+            .get(&cfg.placement.responder_core())
+            .expect("responder took shootdown IRQs");
+        responder.record(resp.mean());
+    }
+    MadviseBenchResult {
+        initiator,
+        responder,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(placement: Placement, ptes: u64, safe: bool, opts: OptConfig) -> MadviseBenchResult {
+        let mut cfg = MadviseBenchCfg::new(placement, ptes, safe, opts);
+        cfg.iters = 60;
+        cfg.runs = 2;
+        run_madvise_bench(&cfg)
+    }
+
+    #[test]
+    fn concurrent_flushes_help_the_initiator() {
+        let base = quick(Placement::SameSocket, 10, true, OptConfig::cumulative(0));
+        let conc = quick(Placement::SameSocket, 10, true, OptConfig::cumulative(1));
+        assert!(
+            conc.initiator.mean() < base.initiator.mean(),
+            "concurrent {} !< baseline {}",
+            conc.initiator.mean(),
+            base.initiator.mean()
+        );
+    }
+
+    #[test]
+    fn early_ack_helps_more_cross_socket() {
+        let near_base = quick(Placement::SameSocket, 10, true, OptConfig::cumulative(1));
+        let near_ea = quick(Placement::SameSocket, 10, true, OptConfig::cumulative(2));
+        let far_base = quick(Placement::DiffSocket, 10, true, OptConfig::cumulative(1));
+        let far_ea = quick(Placement::DiffSocket, 10, true, OptConfig::cumulative(2));
+        let near_gain = near_base.initiator.mean() - near_ea.initiator.mean();
+        let far_gain = far_base.initiator.mean() - far_ea.initiator.mean();
+        assert!(far_gain > 0.0, "early ack must help cross-socket");
+        assert!(
+            far_gain >= near_gain,
+            "early-ack gain should grow with distance: near {near_gain:.0} far {far_gain:.0}"
+        );
+    }
+
+    #[test]
+    fn in_context_flushing_helps_responder_in_safe_mode() {
+        let base = quick(Placement::SameSocket, 10, true, OptConfig::cumulative(3));
+        let ic = quick(Placement::SameSocket, 10, true, OptConfig::cumulative(4));
+        assert!(
+            ic.responder.mean() < base.responder.mean(),
+            "in-context {} !< baseline {}",
+            ic.responder.mean(),
+            base.responder.mean()
+        );
+    }
+
+    #[test]
+    fn ten_ptes_cost_more_than_one() {
+        let one = quick(Placement::SameSocket, 1, true, OptConfig::baseline());
+        let ten = quick(Placement::SameSocket, 10, true, OptConfig::baseline());
+        assert!(ten.initiator.mean() > one.initiator.mean());
+        assert!(ten.responder.mean() > one.responder.mean());
+    }
+
+    #[test]
+    fn safe_mode_is_slower_than_unsafe() {
+        let safe = quick(Placement::SameSocket, 10, true, OptConfig::baseline());
+        let unsafe_ = quick(Placement::SameSocket, 10, false, OptConfig::baseline());
+        assert!(safe.initiator.mean() > unsafe_.initiator.mean());
+    }
+}

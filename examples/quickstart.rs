@@ -1,0 +1,105 @@
+//! Quickstart: boot a machine, trigger one TLB shootdown, and inspect
+//! what happened — baseline protocol vs all six optimizations.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tlbdown::core::OptConfig;
+use tlbdown::kernel::prog::{BusyLoopProg, Prog, ProgAction, ProgCtx};
+use tlbdown::kernel::{KernelConfig, Machine, Syscall};
+use tlbdown::types::{CoreId, Cycles, Topology, VirtAddr};
+
+/// mmap 8 pages, touch them, madvise them away — one shootdown per loop.
+struct Demo {
+    state: u32,
+    addr: u64,
+    touch: u64,
+    iter: u64,
+}
+
+impl Prog for Demo {
+    fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
+        match self.state {
+            0 => {
+                self.state = 1;
+                ProgAction::Syscall(Syscall::MmapAnon { pages: 8 })
+            }
+            1 => {
+                self.addr = ctx.retval;
+                self.state = 2;
+                ProgAction::Nop
+            }
+            2 => {
+                if self.touch < 8 {
+                    let va = VirtAddr::new(self.addr + self.touch * 4096);
+                    self.touch += 1;
+                    ProgAction::Access { va, write: true }
+                } else {
+                    self.state = 3;
+                    ProgAction::Syscall(Syscall::MadviseDontNeed {
+                        addr: VirtAddr::new(self.addr),
+                        pages: 8,
+                    })
+                }
+            }
+            3 => {
+                self.iter += 1;
+                self.touch = 0;
+                self.state = if self.iter < 100 { 2 } else { 4 };
+                ProgAction::Nop
+            }
+            _ => ProgAction::Exit,
+        }
+    }
+}
+
+fn run(opts: OptConfig, label: &str) {
+    let cfg = KernelConfig {
+        topo: Topology::paper_machine(),
+        ..KernelConfig::paper_baseline()
+    }
+    .with_opts(opts);
+    let mut m = Machine::new(cfg);
+    let mm = m.create_process();
+    // Initiator on socket 0, responder on socket 1 — the worst case.
+    m.spawn(
+        mm,
+        CoreId(0),
+        Box::new(Demo {
+            state: 0,
+            addr: 0,
+            touch: 0,
+            iter: 0,
+        }),
+    );
+    m.spawn(mm, CoreId(28), Box::new(BusyLoopProg));
+    m.run_until(Cycles::new(100_000_000));
+
+    let initiator = &m.stats.syscall_lat[&(CoreId(0), "madvise_dontneed")];
+    let responder = &m.stats.irq_lat[&CoreId(28)];
+    println!(
+        "{label:<22} madvise: {:>6.0} cycles   responder interrupted: {:>6.0} cycles",
+        initiator.mean(),
+        responder.mean()
+    );
+    println!(
+        "{:<22} IPIs sent: {}   full flushes (responder): {}   early acks: {}",
+        "",
+        m.stats.counters.get("ipis_sent"),
+        m.stats.counters.get("responder_full_flush"),
+        m.stats.counters.get("early_ack"),
+    );
+    assert!(
+        m.violations().is_empty(),
+        "the oracle found stale TLB usage!"
+    );
+}
+
+fn main() {
+    println!("tlbdown quickstart — one cross-socket shootdown per madvise, 100 iterations\n");
+    run(OptConfig::baseline(), "baseline Linux 5.2.8:");
+    run(OptConfig::general_four(), "four §3 techniques:");
+    run(OptConfig::all(), "all six techniques:");
+    println!("\nNo safety-oracle violations: every variant kept TLBs coherent.");
+}
