@@ -72,10 +72,8 @@ proptest! {
                     }
                 }
                 _ => {
-                    if apic.in_service() {
-                        if apic.end_of_interrupt().is_some() {
-                            dispatched += 1;
-                        }
+                    if apic.in_service() && apic.end_of_interrupt().is_some() {
+                        dispatched += 1;
                     }
                 }
             }

@@ -1,0 +1,51 @@
+//! Chaos-layer benches: simulator wall-clock for the shootdown-heavy
+//! stress workload under fault injection. Tracks (a) the overhead the
+//! inert chaos plumbing adds to a healthy run, and (b) the cost of the
+//! watchdog's retry/degrade escalation when the fabric is lossy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlbdown_core::OptConfig;
+use tlbdown_kernel::chaos::{ChaosConfig, Fault};
+use tlbdown_kernel::prog::{BusyLoopProg, MadviseLoopProg};
+use tlbdown_kernel::{KernelConfig, Machine};
+use tlbdown_types::{CoreId, Cycles};
+
+fn run_chaos(fault: Fault, opts: OptConfig) -> Cycles {
+    let mut m = Machine::new(
+        KernelConfig::test_machine(4)
+            .with_opts(opts)
+            .with_chaos(ChaosConfig::with_fault(fault, 0x0dd5_eed5)),
+    );
+    let mm = m.create_process();
+    m.spawn(mm, CoreId(0), Box::new(MadviseLoopProg::new(8, 5)));
+    m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
+    m.spawn(mm, CoreId(3), Box::new(BusyLoopProg));
+    m.run_until(Cycles::new(60_000_000));
+    m.now()
+}
+
+fn bench_fault_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chaos_matrix");
+    g.sample_size(10);
+    for (name, fault) in [
+        ("none", Fault::none()),
+        ("ipi_drop", Fault::ipi_drop()),
+        ("late_responder", Fault::late_responder()),
+        ("everything", Fault::everything()),
+    ] {
+        for (opts_name, opts) in [
+            ("base", OptConfig::baseline()),
+            ("all4", OptConfig::general_four()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, opts_name),
+                &(fault.clone(), opts),
+                |b, (fault, opts)| b.iter(|| run_chaos(fault.clone(), *opts)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fault_matrix);
+criterion_main!(benches);

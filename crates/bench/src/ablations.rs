@@ -51,10 +51,9 @@ pub fn invpcid_sensitivity() -> String {
             let mut cfg = MadviseBenchCfg::new(Placement::SameSocket, 10, true, opts);
             cfg.iters = 100;
             cfg.runs = 1;
-            cfg.costs_override = Some({
-                let mut c = CostModel::default();
-                c.invpcid_single = Cycles::new(invpcid);
-                c
+            cfg.costs_override = Some(CostModel {
+                invpcid_single: Cycles::new(invpcid),
+                ..Default::default()
             });
             run_madvise_bench(&cfg).responder.mean()
         };

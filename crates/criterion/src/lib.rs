@@ -1,0 +1,172 @@
+//! A vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build container has no crates-io access, so the real criterion
+//! cannot be fetched. This shim implements the subset of its API the
+//! workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_with_input`, `Bencher::iter`) with plain
+//! `std::time` measurement and no statistics, so `cargo bench` still
+//! exercises every benchmark body and prints per-iteration times, and
+//! `cargo clippy --all-targets` can compile the bench targets offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Prevent the compiler from optimising a benchmark input/output away.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Criterion {
+    /// Iterations per benchmark (the shim's stand-in for sampling).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = n as u64;
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            iters: 3,
+        }
+    }
+}
+
+/// A named benchmark id (`new(function, parameter)`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter display.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    iters: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Run a benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed_ns: 0,
+            timed_iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&id.name);
+        self
+    }
+
+    /// Run a benchmark with no input.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed_ns: 0,
+            timed_iters: 0,
+        };
+        f(&mut b);
+        b.report(&name.to_string());
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `sample_size` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed_ns += t0.elapsed().as_nanos();
+            self.timed_iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.timed_iters > 0 {
+            let per = self.elapsed_ns / self.timed_iters as u128;
+            println!("  {name}: {per} ns/iter ({} iters)", self.timed_iters);
+        } else {
+            println!("  {name}: no iterations run");
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` from benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(4);
+        let mut runs = 0;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 4);
+    }
+}

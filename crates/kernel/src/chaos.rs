@@ -1,0 +1,256 @@
+//! Chaos layer: fault-injection configuration and the csd-lock watchdog.
+//!
+//! Two halves live here:
+//!
+//! 1. **Configuration** ([`ChaosConfig`], [`WatchdogConfig`]): which
+//!    [`FaultSpec`] perturbs the machine and how the kernel defends
+//!    itself. The injection mechanism itself is `tlbdown_sim::fault`;
+//!    the wiring sits at the IPI-send, IRQ-entry and flush sites in
+//!    `shoot.rs` / `machine.rs`.
+//!
+//! 2. **Hardening** (the `impl Machine` below), mirroring Linux's
+//!    `csd_lock_wait` watchdog (`CSD_LOCK_WAIT_DEBUG`, 2019-era
+//!    `smp.c`): when an initiator spin-waits on acknowledgements past a
+//!    timeout, the watchdog fires; it re-sends the IPIs to the laggards a
+//!    bounded number of times, and if they stay silent it degrades
+//!    gracefully — a conservative full flush of the target mm's PCIDs on
+//!    each unresponsive core, followed by a forced acknowledgement, so
+//!    the initiator always completes in bounded simulated time with the
+//!    flush guarantee intact. The stall is recorded as a
+//!    [`SimError::ShootdownStall`] diagnostic (not an oracle violation:
+//!    the degraded path is *safe*, just slow).
+//!
+//! The watchdog is armed for every shootdown whenever it is enabled
+//! (which is the default): on a healthy machine every ack arrives long
+//! before the timeout and the event is a no-op, so enabling it does not
+//! perturb fault-free schedules.
+
+use tlbdown_core::ShootdownId;
+use tlbdown_sim::fault::{FaultSpec, IpiFault};
+use tlbdown_types::{CoreId, Cycles, SimError};
+
+use crate::event::Event;
+use crate::machine::Machine;
+
+/// The csd-lock watchdog on the initiator's ack spin-wait.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Whether the watchdog is armed at all.
+    pub enabled: bool,
+    /// Cycles an initiator may spin before the watchdog intervenes.
+    /// Healthy shootdowns on the paper machine complete in well under
+    /// 10⁵ cycles even with every optimization off.
+    pub timeout_cycles: u64,
+    /// Bounded IPI re-sends before degrading to the forced-flush path.
+    pub max_resends: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            timeout_cycles: 1_000_000,
+            max_resends: 2,
+        }
+    }
+}
+
+/// Chaos-layer configuration carried by `KernelConfig`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChaosConfig {
+    /// What to inject. Inert by default.
+    pub fault: FaultSpec,
+    /// Seed for the fault plan's own deterministic stream (independent of
+    /// the workload and noise seeds, so the same faults replay against
+    /// different workloads).
+    pub fault_seed: u64,
+    /// Watchdog policy.
+    pub watchdog: WatchdogConfig,
+}
+
+impl ChaosConfig {
+    /// A chaos config injecting `fault` with the given seed and the
+    /// default watchdog.
+    pub fn with_fault(fault: FaultSpec, fault_seed: u64) -> Self {
+        ChaosConfig {
+            fault,
+            fault_seed,
+            watchdog: WatchdogConfig::default(),
+        }
+    }
+}
+
+impl Machine {
+    /// Send one shootdown IPI to each core of `targets`, routing every
+    /// delivery through the fault plan. Returns the initiator-busy cost.
+    /// `base` is latency already accumulated before the ICR writes (the
+    /// cacheline work of queueing the CSDs).
+    pub(crate) fn send_ipis_faulted(
+        &mut self,
+        initiator: CoreId,
+        targets: &[CoreId],
+        base: Cycles,
+    ) -> Cycles {
+        let plan = self.fabric.multicast_plan(initiator, targets);
+        let mut delivered = 0u64;
+        for d in &plan.deliveries {
+            let jitter = self.noise();
+            let at = base + d.arrives_in + jitter;
+            let ev = |core| Event::IpiArrive {
+                core,
+                vector: tlbdown_apic::Vector::CallFunction,
+            };
+            match self.faults.ipi_fault(d.target) {
+                IpiFault::Deliver { extra } => {
+                    self.engine.schedule_in(at + extra, ev(d.target));
+                    delivered += 1;
+                }
+                IpiFault::Drop => {
+                    self.stats.counters.bump("chaos_ipi_dropped");
+                }
+                IpiFault::Duplicate { gap } => {
+                    self.engine.schedule_in(at, ev(d.target));
+                    self.engine.schedule_in(at + gap, ev(d.target));
+                    self.stats.counters.bump("chaos_ipi_duplicated");
+                    delivered += 2;
+                }
+            }
+        }
+        self.stats.counters.add("ipis_sent", delivered);
+        plan.initiator_busy
+    }
+
+    /// Arm the watchdog for shootdown `id` if enabled.
+    pub(crate) fn arm_watchdog(&mut self, initiator: CoreId, id: ShootdownId) {
+        if self.cfg.chaos.watchdog.enabled {
+            self.engine.schedule_in(
+                Cycles::new(self.cfg.chaos.watchdog.timeout_cycles),
+                Event::CsdWatchdog {
+                    initiator,
+                    id,
+                    resends: 0,
+                },
+            );
+        }
+    }
+
+    /// The csd-lock watchdog fires for shootdown `id`.
+    pub(crate) fn on_csd_watchdog(&mut self, initiator: CoreId, id: ShootdownId, resends: u32) {
+        // Completed (and reaped) in time: the healthy no-op path.
+        let Some(sd) = self.shootdowns.get(&id) else {
+            return;
+        };
+        if sd.complete() {
+            // All acks in; the initiator's wake is already scheduled.
+            return;
+        }
+        let pending: Vec<CoreId> = sd.pending_acks.iter().copied().collect();
+        self.stats.counters.bump("csd_watchdog_fired");
+        if resends < self.cfg.chaos.watchdog.max_resends {
+            // Bounded retry: re-queue the work and re-send the IPIs (the
+            // re-sends pass through the fault plan again — a lossy fabric
+            // can eat these too; the degradation path below is the
+            // backstop that keeps completion bounded).
+            self.stats.counters.bump("csd_watchdog_resend");
+            for t in &pending {
+                if !self.cpus[t.index()].csq.contains(&id) {
+                    self.cpus[t.index()].csq.push_back(id);
+                }
+            }
+            self.send_ipis_faulted(initiator, &pending, Cycles::ZERO);
+            self.engine.schedule_in(
+                Cycles::new(self.cfg.chaos.watchdog.timeout_cycles),
+                Event::CsdWatchdog {
+                    initiator,
+                    id,
+                    resends: resends + 1,
+                },
+            );
+        } else {
+            // Degrade: conservative full flush + forced ack per laggard.
+            self.stats.counters.bump("csd_watchdog_degrade");
+            self.record_error(SimError::ShootdownStall {
+                initiator,
+                pending: pending.clone(),
+            });
+            for t in pending {
+                self.engine
+                    .schedule_in(Cycles::ZERO, Event::ForcedFullFlush { core: t, id });
+            }
+        }
+    }
+
+    /// Degraded recovery on an unresponsive responder: flush the target
+    /// mm's PCIDs wholesale (strictly stronger than the selective flush
+    /// the lost IPI asked for), sync the generation bookkeeping, and
+    /// acknowledge on the core's behalf.
+    pub(crate) fn on_forced_flush(&mut self, core: CoreId, id: ShootdownId) {
+        let Some(sd) = self.shootdowns.get(&id) else {
+            return; // completed while the event was in flight
+        };
+        if !sd.pending_acks.contains(&core) {
+            return; // acked (late IPI landed) while the event was in flight
+        }
+        let mm_id = sd.info.mm;
+        self.stats.counters.bump("forced_full_flush");
+        if let Some(mm) = self.mms.get(&mm_id) {
+            let pcid = mm.pcid;
+            let cur_gen = mm.gen.current();
+            self.tlbs[core.index()].flush_pcid(pcid);
+            if self.cfg.safe_mode {
+                self.tlbs[core.index()].flush_pcid(pcid.user_sibling());
+            }
+            let ts = &mut self.cpus[core.index()].tlb_state;
+            if ts.loaded_mm == mm_id {
+                // The TLB holds nothing for this mm any more; anything the
+                // current generation covers is trivially flushed.
+                ts.local_tlb_gen = ts.local_tlb_gen.max(cur_gen);
+                // A pending deferred user flush for this mm is subsumed.
+                if self.cfg.safe_mode {
+                    ts.deferred_user.take();
+                }
+            } else {
+                // Not loaded: the stale entries lived under the mm's own
+                // PCID; record that they are gone so the next switch-in
+                // does not flush again.
+                self.cpus[core.index()].pcid_gens.insert(mm_id, cur_gen);
+            }
+        }
+        // The lost IPI's queue entry (if any) is now moot; a later drain
+        // of a stale id is tolerated by the IRQ handler, but dropping it
+        // here keeps the queue honest.
+        self.cpus[core.index()].csq.retain(|q| *q != id);
+        self.record_ack(id, core);
+    }
+}
+
+/// Re-export for ergonomic `use tlbdown_kernel::chaos::FaultSpec` in
+/// tests and benches.
+pub use tlbdown_sim::fault::FaultSpec as Fault;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_defaults_are_sane() {
+        let w = WatchdogConfig::default();
+        assert!(w.enabled);
+        assert!(w.timeout_cycles >= 100_000);
+        assert!(w.max_resends >= 1);
+    }
+
+    #[test]
+    fn chaos_default_is_inert() {
+        let c = ChaosConfig::default();
+        assert!(c.fault.is_inert());
+        assert!(c.watchdog.enabled);
+    }
+
+    #[test]
+    fn with_fault_builder() {
+        let c = ChaosConfig::with_fault(FaultSpec::ipi_drop(), 42);
+        assert!(!c.fault.is_inert());
+        assert_eq!(c.fault_seed, 42);
+    }
+}

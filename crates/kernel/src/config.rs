@@ -3,6 +3,8 @@
 use tlbdown_core::OptConfig;
 use tlbdown_types::{CostModel, Topology};
 
+use crate::chaos::ChaosConfig;
+
 /// Configuration of one simulated kernel boot.
 #[derive(Clone, Debug)]
 pub struct KernelConfig {
@@ -40,6 +42,9 @@ pub struct KernelConfig {
     pub noise_cycles: u64,
     /// Seed for the machine's internal jitter stream.
     pub seed: u64,
+    /// Chaos layer: fault injection and the csd-lock watchdog. Inert
+    /// faults and an armed (but never-firing) watchdog by default.
+    pub chaos: ChaosConfig,
 }
 
 impl KernelConfig {
@@ -57,6 +62,7 @@ impl KernelConfig {
             buggy_nmi_check: false,
             noise_cycles: 0,
             seed: 0x71bd,
+            chaos: ChaosConfig::default(),
         }
     }
 
@@ -83,6 +89,12 @@ impl KernelConfig {
     /// Builder-style: enable the LATR-style lazy mode.
     pub fn with_lazy_latr(mut self, lazy: bool) -> Self {
         self.lazy_latr = lazy;
+        self
+    }
+
+    /// Builder-style: set the chaos configuration.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
         self
     }
 }

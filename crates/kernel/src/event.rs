@@ -1,7 +1,7 @@
 //! Events driving the machine.
 
 use tlbdown_apic::Vector;
-use tlbdown_core::FlushTlbInfo;
+use tlbdown_core::{FlushTlbInfo, ShootdownId};
 use tlbdown_types::CoreId;
 
 /// A simulation event. All kernel activity is decomposed into these; the
@@ -34,5 +34,23 @@ pub enum Event {
         core: CoreId,
         /// The deferred work.
         info: FlushTlbInfo,
+    },
+    /// The csd-lock watchdog checks on a spin-waiting initiator (armed
+    /// when the IPIs go out; a no-op if every ack arrived in time).
+    CsdWatchdog {
+        /// The spin-waiting initiator.
+        initiator: CoreId,
+        /// The shootdown being watched.
+        id: ShootdownId,
+        /// How many re-sends this watchdog chain has already issued.
+        resends: u32,
+    },
+    /// Degraded recovery: force a conservative full flush + ack on a
+    /// responder that never answered its (re-sent) IPIs.
+    ForcedFullFlush {
+        /// The unresponsive responder.
+        core: CoreId,
+        /// The stalled shootdown.
+        id: ShootdownId,
     },
 }

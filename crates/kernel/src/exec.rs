@@ -7,7 +7,7 @@
 
 use tlbdown_core::{cow_flush_method, CowFlushMethod, FlushTlbInfo};
 use tlbdown_mem::{FrameState, Pte};
-use tlbdown_types::{CoreId, Cycles, MmId, PageSize, Pcid, PteFlags, VirtAddr, VirtRange};
+use tlbdown_types::{CoreId, Cycles, MmId, PageSize, Pcid, PteFlags, SimError, VirtAddr, VirtRange};
 
 use crate::cpu::{
     FaultFrame, FaultStage, Frame, FrameSlot, NmiFrame, NmiStage, ProgFrame, ResumeState,
@@ -47,6 +47,11 @@ pub(crate) enum StepOut {
         /// Switch cost.
         cost: Cycles,
     },
+    /// A kernel-side error (e.g. a vanished address space): record it,
+    /// abort this frame, and deliver a failure retval to the program
+    /// below. Only kernel frames (syscalls/faults) may return this — the
+    /// base frame must stay on the stack.
+    Error(SimError),
 }
 
 impl Machine {
@@ -62,6 +67,18 @@ impl Machine {
             Frame::Fault(ff) => self.step_fault(core, ff),
             Frame::Irq(irf) => self.step_irq(core, irf),
             Frame::Nmi(nf) => self.step_nmi(core, nf),
+        };
+        // Errors propagate through the event loop: record, then unwind
+        // the frame like a completed one with a failure retval.
+        let out = match out {
+            StepOut::Error(e) => {
+                self.record_error(e);
+                StepOut::Done {
+                    cost: Cycles::ZERO,
+                    retval: Some(u64::MAX),
+                }
+            }
+            other => other,
         };
         match out {
             StepOut::Continue(c) => {
@@ -117,6 +134,7 @@ impl Machine {
                 });
                 self.schedule_step(core, cost);
             }
+            StepOut::Error(_) => unreachable!("rewritten to Done above"),
         }
     }
 
@@ -124,15 +142,23 @@ impl Machine {
 
     fn step_idle(&mut self, core: CoreId) -> StepOut {
         if let Some(idx) = self.cpus[core.index()].runqueue.pop_front() {
-            let cost = self.context_switch_in(core, idx);
-            StepOut::Replace {
-                frame: Frame::Prog(ProgFrame {
-                    thread: idx,
-                    pending_access: None,
-                    retval: 0,
-                    fault_info: None,
-                }),
-                cost,
+            match self.context_switch_in(core, idx) {
+                Ok(cost) => StepOut::Replace {
+                    frame: Frame::Prog(ProgFrame {
+                        thread: idx,
+                        pending_access: None,
+                        retval: 0,
+                        fault_info: None,
+                    }),
+                    cost,
+                },
+                Err(e) => {
+                    // A thread whose mm vanished can never run; park it
+                    // and retry the runqueue on the next idle step.
+                    self.record_error(e);
+                    self.threads[idx].done = true;
+                    StepOut::Continue(self.cfg.costs.thread_switch)
+                }
             }
         } else {
             // Stay idle in lazy-TLB mode.
@@ -141,9 +167,13 @@ impl Machine {
     }
 
     /// Switch `core` to thread `idx`; returns the switch cost. Handles the
-    /// lazy-TLB exit generation check and PCID bookkeeping.
-    pub(crate) fn context_switch_in(&mut self, core: CoreId, idx: usize) -> Cycles {
+    /// lazy-TLB exit generation check and PCID bookkeeping. Fails (before
+    /// mutating any state) if the thread's address space no longer exists.
+    pub(crate) fn context_switch_in(&mut self, core: CoreId, idx: usize) -> Result<Cycles, SimError> {
         let mm_id = self.threads[idx].mm;
+        if !self.mms.contains_key(&mm_id) {
+            return Err(SimError::NoSuchMm(mm_id));
+        }
         let prev_mm = self.cpus[core.index()].tlb_state.loaded_mm;
         let mut cost = self.cfg.costs.thread_switch;
         self.stats.counters.bump("context_switch");
@@ -170,7 +200,7 @@ impl Machine {
                     mm.cpumask.remove(&core);
                 }
             }
-            let mm = self.mms.get(&mm_id).expect("thread's mm exists");
+            let mm = self.mms.get(&mm_id).ok_or(SimError::NoSuchMm(mm_id))?;
             let cur_gen = mm.gen.current();
             let pcid = mm.pcid;
             let synced = self.cpus[core.index()].pcid_gens.get(&mm_id).copied();
@@ -192,11 +222,9 @@ impl Machine {
             };
             self.cpus[core.index()].tlb_state =
                 tlbdown_core::CpuTlbState::load_mm(mm_id, pcid, start_gen);
-            self.mms
-                .get_mut(&mm_id)
-                .expect("checked")
-                .cpumask
-                .insert(core);
+            if let Some(m) = self.mms.get_mut(&mm_id) {
+                m.cpumask.insert(core);
+            }
         } else {
             // Same mm (possibly returning from lazy mode): sync the
             // generation if flushes were skipped while lazy.
@@ -220,23 +248,30 @@ impl Machine {
         let script = self.smp.set_lazy(core);
         cost += tlbdown_core::smp::run_script(&mut self.dir, core, &script);
         self.cpus[core.index()].current = Some(idx);
-        cost
+        Ok(cost)
     }
 
     /// Transition `core` to the idle kernel thread (lazy-TLB mode, §3.3).
     fn enter_idle(&mut self, core: CoreId) -> StepOut {
         self.cpus[core.index()].current = None;
-        if let Some(idx) = self.cpus[core.index()].runqueue.pop_front() {
-            let cost = self.context_switch_in(core, idx);
-            return StepOut::Replace {
-                frame: Frame::Prog(ProgFrame {
-                    thread: idx,
-                    pending_access: None,
-                    retval: 0,
-                    fault_info: None,
-                }),
-                cost,
-            };
+        while let Some(idx) = self.cpus[core.index()].runqueue.pop_front() {
+            match self.context_switch_in(core, idx) {
+                Ok(cost) => {
+                    return StepOut::Replace {
+                        frame: Frame::Prog(ProgFrame {
+                            thread: idx,
+                            pending_access: None,
+                            retval: 0,
+                            fault_info: None,
+                        }),
+                        cost,
+                    }
+                }
+                Err(e) => {
+                    self.record_error(e);
+                    self.threads[idx].done = true;
+                }
+            }
         }
         self.cpus[core.index()].tlb_state.is_lazy = true;
         let script = self.smp.set_lazy(core);
@@ -298,16 +333,26 @@ impl Machine {
             ProgAction::Yield => {
                 let cpu = &mut self.cpus[core.index()];
                 if let Some(next) = cpu.runqueue.pop_front() {
-                    cpu.runqueue.push_back(idx);
-                    let cost = self.context_switch_in(core, next);
-                    StepOut::Replace {
-                        frame: Frame::Prog(ProgFrame {
-                            thread: next,
-                            pending_access: None,
-                            retval: 0,
-                            fault_info: None,
-                        }),
-                        cost,
+                    match self.context_switch_in(core, next) {
+                        Ok(cost) => {
+                            self.cpus[core.index()].runqueue.push_back(idx);
+                            StepOut::Replace {
+                                frame: Frame::Prog(ProgFrame {
+                                    thread: next,
+                                    pending_access: None,
+                                    retval: 0,
+                                    fault_info: None,
+                                }),
+                                cost,
+                            }
+                        }
+                        Err(e) => {
+                            // The target's mm vanished: keep running the
+                            // current thread instead of switching.
+                            self.record_error(e);
+                            self.threads[next].done = true;
+                            StepOut::Continue(self.cfg.costs.thread_switch)
+                        }
                     }
                 } else {
                     StepOut::Continue(self.cfg.costs.thread_switch)
@@ -337,7 +382,13 @@ impl Machine {
             "user thread running without its mm loaded"
         );
         let pcid = self.user_mode_pcid(core);
-        let mm = self.mms.get_mut(&mm_id).expect("thread's mm exists");
+        let Some(mm) = self.mms.get_mut(&mm_id) else {
+            // The address space vanished under the thread: record it and
+            // park the thread rather than bringing the machine down.
+            self.record_error(SimError::NoSuchMm(mm_id));
+            self.threads[pf.thread].done = true;
+            return self.enter_idle(core);
+        };
         let res = if fetch {
             self.tlbs[core.index()].fetch(pcid, va, true, &mut mm.space, &self.cfg.costs)
         } else {
@@ -368,8 +419,9 @@ impl Machine {
                 // Writes keep the dirty bit honest even on cached entries
                 // (the MMU's microcode D-bit walk).
                 if write {
-                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
-                    let _ = mm.space.mark_used(va, true);
+                    if let Some(mm) = self.mms.get_mut(&mm_id) {
+                        let _ = mm.space.mark_used(va, true);
+                    }
                     self.dirty_index.entry(mm_id).or_default().insert(va.vpn());
                 }
                 StepOut::Continue(acc.cost)
@@ -428,7 +480,9 @@ impl Machine {
                     Syscall::Send { .. } => None,
                 };
                 if let Some(mode) = mode {
-                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                    let Some(mm) = self.mms.get_mut(&mm_id) else {
+                        return StepOut::Error(SimError::NoSuchMm(mm_id));
+                    };
                     let acquired = if sf.stage == SyscallStage::AcquireSem {
                         mm.mmap_sem.acquire(core, mode)
                     } else {
@@ -460,15 +514,25 @@ impl Machine {
                 sf.stage = SyscallStage::Body;
                 StepOut::Continue(Cycles::ZERO)
             }
-            SyscallStage::Body => {
-                let cost = self.syscall_body(core, sf);
-                sf.stage = if sf.sd.is_some() {
-                    SyscallStage::Shootdown
-                } else {
-                    SyscallStage::BarrierNext
-                };
-                StepOut::Continue(cost)
-            }
+            SyscallStage::Body => match self.syscall_body(core, sf) {
+                Ok(cost) => {
+                    sf.stage = if sf.sd.is_some() {
+                        SyscallStage::Shootdown
+                    } else {
+                        SyscallStage::BarrierNext
+                    };
+                    StepOut::Continue(cost)
+                }
+                Err(e) => {
+                    // Fail the call, but still run Release so the
+                    // semaphore and batched-mode flag are dropped.
+                    self.record_error(e);
+                    sf.retval = u64::MAX;
+                    sf.sd = None;
+                    sf.stage = SyscallStage::Release;
+                    StepOut::Continue(Cycles::ZERO)
+                }
+            },
             SyscallStage::Shootdown => {
                 match self.step_sd(core, sf.sd.as_mut().expect("stage requires a run")) {
                     SdOut::Continue(c) => StepOut::Continue(c),
@@ -526,11 +590,11 @@ impl Machine {
                 for pa in sf.pending_frees.drain(..) {
                     self.mem.free(pa);
                 }
-                let woken: Vec<CoreId> = {
-                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
-                    if mm.mmap_sem.held_by(core) {
-                        mm.mmap_sem.release(core)
-                    } else {
+                let woken: Vec<CoreId> = match self.mms.get_mut(&mm_id) {
+                    Some(mm) if mm.mmap_sem.held_by(core) => mm.mmap_sem.release(core),
+                    Some(_) => Vec::new(),
+                    None => {
+                        self.record_error(SimError::NoSuchMm(mm_id));
                         Vec::new()
                     }
                 };
@@ -578,13 +642,15 @@ impl Machine {
     }
 
     /// Execute the syscall body: PTE updates, flush planning. Returns the
-    /// body cost; sets `sf.sd` / `sf.barrier` / `sf.retval`.
-    fn syscall_body(&mut self, core: CoreId, sf: &mut SyscallFrame) -> Cycles {
+    /// body cost; sets `sf.sd` / `sf.barrier` / `sf.retval`. A missing
+    /// address space surfaces as `SimError::NoSuchMm` instead of a panic;
+    /// the caller fails the syscall and releases held state.
+    fn syscall_body(&mut self, core: CoreId, sf: &mut SyscallFrame) -> Result<Cycles, SimError> {
         let mm_id = self.current_mm(core);
         let costs = self.cfg.costs.clone();
         match sf.call {
             Syscall::MmapAnon { pages } => {
-                let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                let mm = self.mms.get_mut(&mm_id).ok_or(SimError::NoSuchMm(mm_id))?;
                 let addr = mm.mmap_cursor;
                 mm.mmap_cursor = mm.mmap_cursor.add((pages + 1) * 4096); // +guard page
                 let vma = crate::mm::Vma {
@@ -595,7 +661,7 @@ impl Machine {
                 };
                 mm.insert_vma(vma).expect("cursor placement cannot overlap");
                 sf.retval = addr.as_u64();
-                costs.pte_update
+                Ok(costs.pte_update)
             }
             Syscall::MmapFile {
                 file,
@@ -603,7 +669,7 @@ impl Machine {
                 pages,
                 shared,
             } => {
-                let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                let mm = self.mms.get_mut(&mm_id).ok_or(SimError::NoSuchMm(mm_id))?;
                 let addr = mm.mmap_cursor;
                 mm.mmap_cursor = mm.mmap_cursor.add((pages + 1) * 4096);
                 let kind = if shared {
@@ -619,12 +685,12 @@ impl Machine {
                 };
                 mm.insert_vma(vma).expect("cursor placement cannot overlap");
                 sf.retval = addr.as_u64();
-                costs.pte_update
+                Ok(costs.pte_update)
             }
             Syscall::Munmap { addr, pages } => {
                 let range = VirtRange::pages(addr, pages, PageSize::Size4K);
                 let (removed_count, info) = {
-                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                    let mm = self.mms.get_mut(&mm_id).ok_or(SimError::NoSuchMm(mm_id))?;
                     mm.remove_vmas(range);
                     let out = mm.space.unmap_range(&mut self.mem, range);
                     let n = out.removed.len();
@@ -653,12 +719,12 @@ impl Machine {
                     self.queue_flush(core, sf, info, retire);
                 }
                 sf.retval = 0;
-                costs.pte_update * removed_count.max(1)
+                Ok(costs.pte_update * removed_count.max(1))
             }
             Syscall::MadviseDontNeed { addr, pages } => {
                 let range = VirtRange::pages(addr, pages, PageSize::Size4K);
                 let (removed_count, info) = {
-                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                    let mm = self.mms.get_mut(&mm_id).ok_or(SimError::NoSuchMm(mm_id))?;
                     let out = mm.space.zap_range(range);
                     let n = out.removed.len();
                     let info = if n > 0 {
@@ -683,17 +749,20 @@ impl Machine {
                     self.queue_flush(core, sf, info, retire);
                 }
                 sf.retval = 0;
-                costs.pte_update * removed_count.max(1)
+                Ok(costs.pte_update * removed_count.max(1))
             }
             Syscall::Msync { addr, pages } => {
                 let range = VirtRange::pages(addr, pages, PageSize::Size4K);
-                let cost = self.writeback_range(core, sf, mm_id, range);
+                let cost = self.writeback_range(core, sf, mm_id, range)?;
                 sf.retval = 0;
-                cost
+                Ok(cost)
             }
             Syscall::Fdatasync { file } => {
                 // Write back through every VMA of this mm mapping the file.
-                let vma_ranges: Vec<VirtRange> = self.mms[&mm_id]
+                let vma_ranges: Vec<VirtRange> = self
+                    .mms
+                    .get(&mm_id)
+                    .ok_or(SimError::NoSuchMm(mm_id))?
                     .vmas
                     .values()
                     .filter(|v| matches!(v.kind, VmaKind::FileShared { file: f, .. } if f == file))
@@ -701,15 +770,15 @@ impl Machine {
                     .collect();
                 let mut cost = costs.pte_update;
                 for range in vma_ranges {
-                    cost += self.writeback_range(core, sf, mm_id, range);
+                    cost += self.writeback_range(core, sf, mm_id, range)?;
                 }
                 sf.retval = 0;
-                cost
+                Ok(cost)
             }
             Syscall::Mprotect { addr, pages, write } => {
                 let range = VirtRange::pages(addr, pages, PageSize::Size4K);
                 let (n, info) = {
-                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                    let mm = self.mms.get_mut(&mm_id).ok_or(SimError::NoSuchMm(mm_id))?;
                     let (set, clear) = if write {
                         (PteFlags::WRITABLE, PteFlags::empty())
                     } else {
@@ -738,7 +807,7 @@ impl Machine {
                     sf.sd = Some(run);
                 }
                 sf.retval = 0;
-                costs.pte_update * n.max(1)
+                Ok(costs.pte_update * n.max(1))
             }
             Syscall::Send { addr, pages } => {
                 // Kernel reads the user buffer through the kernel PCID.
@@ -747,7 +816,7 @@ impl Machine {
                 for i in 0..pages {
                     let va = addr.add(i * 4096);
                     let res = {
-                        let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                        let mm = self.mms.get_mut(&mm_id).ok_or(SimError::NoSuchMm(mm_id))?;
                         self.tlbs[core.index()].access(
                             kpcid,
                             va,
@@ -786,7 +855,7 @@ impl Machine {
                     }
                 }
                 sf.retval = 0;
-                cost
+                Ok(cost)
             }
         }
     }
@@ -801,7 +870,7 @@ impl Machine {
         sf: &mut SyscallFrame,
         mm_id: MmId,
         range: VirtRange,
-    ) -> Cycles {
+    ) -> Result<Cycles, SimError> {
         let costs = self.cfg.costs.clone();
         // Visit only pages the dirty index names within the range.
         let candidates: Vec<u64> = self
@@ -815,7 +884,7 @@ impl Machine {
             .unwrap_or_default();
         let mut cleaned: Vec<VirtAddr> = Vec::new();
         {
-            let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+            let mm = self.mms.get_mut(&mm_id).ok_or(SimError::NoSuchMm(mm_id))?;
             for vpn in &candidates {
                 let va = VirtAddr::new(vpn << 12);
                 match mm.space.entry(va) {
@@ -839,7 +908,7 @@ impl Machine {
         }
         // Writeback to the (pmem) page cache: mark file pages clean.
         for va in &cleaned {
-            if let Some(vma) = self.mms[&mm_id].vma_at(*va).cloned() {
+            if let Some(vma) = self.mms.get(&mm_id).and_then(|m| m.vma_at(*va)).cloned() {
                 if let VmaKind::FileShared { file, page_offset } = vma.kind {
                     if let Some(f) = self.files.get_mut(&file) {
                         let fpage = page_offset + (va.as_u64() - vma.range.start.as_u64()) / 4096;
@@ -856,14 +925,19 @@ impl Machine {
             } else {
                 Vec::new()
             };
-            let gen = self.mms.get_mut(&mm_id).expect("mm exists").gen.bump();
+            let gen = self
+                .mms
+                .get_mut(&mm_id)
+                .ok_or(SimError::NoSuchMm(mm_id))?
+                .gen
+                .bump();
             let info = FlushTlbInfo::ranged(mm_id, page_range, PageSize::Size4K, gen);
             self.queue_flush(core, sf, info, retire);
         }
         self.stats
             .counters
             .add("writeback_pages", cleaned.len() as u64);
-        costs.pte_update * (cleaned.len() as u64).max(1)
+        Ok(costs.pte_update * (cleaned.len() as u64).max(1))
     }
 
     /// Route a flush either through batching (§4.2) or synchronously.
@@ -942,6 +1016,10 @@ impl Machine {
         let costs = self.cfg.costs.clone();
         let va = ff.va;
         let page = va.align_down(PageSize::Size4K);
+        if !self.mms.contains_key(&mm_id) {
+            self.record_error(SimError::NoSuchMm(mm_id));
+            return self.segfault(core, ff);
+        }
         let Some(vma) = self.mms[&mm_id].vma_at(va).cloned() else {
             return self.segfault(core, ff);
         };
@@ -989,7 +1067,10 @@ impl Machine {
                     // flush is needed (hardware re-walks).
                     ff.label = "re_dirty";
                     {
-                        let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                        let Some(mm) = self.mms.get_mut(&mm_id) else {
+                            self.record_error(SimError::NoSuchMm(mm_id));
+                            return self.segfault(core, ff);
+                        };
                         mm.space
                             .update_entry(page, |p| {
                                 p.with(PteFlags::WRITABLE | PteFlags::DIRTY)
@@ -1049,7 +1130,10 @@ impl Machine {
             .with(PteFlags::WRITABLE | PteFlags::DIRTY | PteFlags::ACCESSED)
             .without(PteFlags::COW);
         {
-            let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+            let Some(mm) = self.mms.get_mut(&mm_id) else {
+                self.record_error(SimError::NoSuchMm(mm_id));
+                return self.segfault(core, ff);
+            };
             mm.space
                 .update_entry(page, |_| Pte::new(new_pa, new_flags))
                 .expect("CoW PTE exists");
@@ -1061,7 +1145,11 @@ impl Machine {
         }
         // Flush: bump the generation and build a 1-page shootdown run; the
         // local part uses either INVLPG or the §4.1 access trick.
-        let gen = self.mms.get_mut(&mm_id).expect("mm exists").gen.bump();
+        let Some(mm) = self.mms.get_mut(&mm_id) else {
+            self.record_error(SimError::NoSuchMm(mm_id));
+            return self.segfault(core, ff);
+        };
+        let gen = mm.gen.bump();
         let info = FlushTlbInfo::ranged(
             mm_id,
             VirtRange::pages(page, 1, PageSize::Size4K),
@@ -1089,7 +1177,7 @@ impl Machine {
         write: bool,
     ) -> Option<tlbdown_types::PhysAddr> {
         let page = va.align_down(PageSize::Size4K);
-        let vma = self.mms[&mm_id].vma_at(va).cloned()?;
+        let vma = self.mms.get(&mm_id)?.vma_at(va).cloned()?;
         let (pa, flags) = match vma.kind {
             VmaKind::Anon => {
                 let pa = self.mem.alloc(FrameState::UserPage).ok()?;
@@ -1129,7 +1217,7 @@ impl Machine {
                 (pa, flags)
             }
         };
-        let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+        let mm = self.mms.get_mut(&mm_id)?;
         mm.space
             .map(&mut self.mem, page, pa, PageSize::Size4K, flags)
             .ok()?;
@@ -1181,7 +1269,10 @@ impl Machine {
                 let kpcid = self.cpus[core.index()].tlb_state.kernel_pcid;
                 let costs = self.cfg.costs.clone();
                 let res = {
-                    let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                    let Some(mm) = self.mms.get_mut(&mm_id) else {
+                        self.record_error(SimError::NoSuchMm(mm_id));
+                        return StepOut::Continue(Cycles::new(200));
+                    };
                     self.tlbs[core.index()].access(kpcid, va, false, false, &mut mm.space, &costs)
                 };
                 match &res {

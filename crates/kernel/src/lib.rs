@@ -21,6 +21,7 @@
 //!   translating through a TLB entry whose removal the kernel has already
 //!   guaranteed.
 
+pub mod chaos;
 pub mod config;
 pub mod cpu;
 pub mod event;
@@ -32,10 +33,11 @@ pub mod prog;
 pub mod sem;
 mod shoot;
 
+pub use chaos::{ChaosConfig, WatchdogConfig};
 pub use config::KernelConfig;
 pub use cpu::{Cpu, CpuMode};
 pub use event::Event;
 pub use machine::{Machine, MachineStats};
 pub use mm::{FileId, Mm, Vma, VmaKind};
 pub use oracle::Oracle;
-pub use prog::{Prog, ProgAction, ProgCtx, Syscall};
+pub use prog::{MadviseLoopProg, Prog, ProgAction, ProgCtx, Syscall};

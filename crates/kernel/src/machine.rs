@@ -10,6 +10,7 @@ use tlbdown_apic::{DeliveryOutcome, IpiFabric, LocalApic, Vector};
 use tlbdown_cache::CacheDirectory;
 use tlbdown_core::{CpuTlbState, MmGen, Shootdown, ShootdownId, SmpLayer};
 use tlbdown_mem::{FrameState, PhysMem};
+use tlbdown_sim::fault::FaultPlan;
 use tlbdown_sim::{Counter, Engine, SplitMix64, Summary};
 use tlbdown_tlb::Tlb;
 use tlbdown_types::{CoreId, Cycles, MmId, Pcid, SimError, ThreadId, VirtAddr};
@@ -120,6 +121,12 @@ pub struct Machine {
     pub oracle: Oracle,
     /// Measurements.
     pub stats: MachineStats,
+    /// Seeded fault-injection plan (inert unless `cfg.chaos` says
+    /// otherwise); consulted at IPI sends, IRQ entries and flush sites.
+    pub faults: FaultPlan,
+    /// Non-fatal kernel errors recorded instead of panicking: vanished
+    /// address spaces on hot paths, watchdog-degraded shootdown stalls.
+    pub(crate) errors: Vec<SimError>,
     /// Probe addresses for in-flight injected NMIs.
     pub(crate) pending_nmi_probe: HashMap<CoreId, Option<VirtAddr>>,
     /// Per-mm index of dirty user pages (vpn), maintained on write access;
@@ -140,6 +147,7 @@ impl Machine {
     pub fn new(cfg: KernelConfig) -> Self {
         let n = cfg.topo.num_cores();
         let cfg_seed = cfg.seed;
+        let faults = FaultPlan::new(cfg.chaos.fault.clone(), cfg.chaos.fault_seed, n);
         let mut dir = CacheDirectory::new(cfg.topo.clone(), cfg.costs.clone());
         let smp = SmpLayer::new(&mut dir, n, cfg.opts.cacheline_consolidation);
         let fabric = IpiFabric::new(cfg.topo.clone(), cfg.costs.clone());
@@ -177,6 +185,8 @@ impl Machine {
             shootdowns: HashMap::new(),
             oracle: Oracle::new(),
             stats: MachineStats::default(),
+            faults,
+            errors: Vec::new(),
             pending_nmi_probe: HashMap::new(),
             dirty_index: HashMap::new(),
             noise_rng: SplitMix64::new(cfg_seed),
@@ -196,6 +206,20 @@ impl Machine {
     /// Violations the oracle has recorded.
     pub fn violations(&self) -> &[SimError] {
         self.oracle.violations()
+    }
+
+    /// Non-fatal errors the kernel recorded instead of panicking
+    /// (missing address spaces, watchdog-degraded stalls). Distinct from
+    /// [`Machine::violations`]: these are *handled* conditions, not
+    /// safety-contract breaks.
+    pub fn recorded_errors(&self) -> &[SimError] {
+        &self.errors
+    }
+
+    /// Record a non-fatal kernel error.
+    pub(crate) fn record_error(&mut self, e: SimError) {
+        self.stats.counters.bump("kernel_error");
+        self.errors.push(e);
     }
 
     // --- Setup API ---
@@ -363,6 +387,12 @@ impl Machine {
             Event::IpiArrive { core, vector } => self.on_ipi(core, vector),
             Event::NmiArrive { core } => self.on_nmi(core),
             Event::LazyFlushDue { core, info } => self.on_lazy_flush(core, info),
+            Event::CsdWatchdog {
+                initiator,
+                id,
+                resends,
+            } => self.on_csd_watchdog(initiator, id, resends),
+            Event::ForcedFullFlush { core, id } => self.on_forced_flush(core, id),
         }
     }
 
@@ -438,6 +468,9 @@ impl Machine {
         if user && self.cfg.safe_mode {
             cost += self.cfg.costs.irq_user_entry_extra;
         }
+        // Chaos: a dawdling responder enters its handler late (interrupts
+        // re-enabled only after a long critical section).
+        cost += self.faults.irq_entry_delay(core);
         self.stats.counters.bump("irq_dispatch");
         let frame = Frame::Irq(IrqFrame {
             started: self.engine.now(),

@@ -210,6 +210,78 @@ mod tests {
     }
 
     #[test]
+    fn retire_range_excludes_boundary_pages() {
+        // Retiring [1, 3) must not retire page 0 (before the range) or
+        // page 3 (== range.end, exclusive): stale entries on the boundary
+        // pages stay legal until their own flush retires.
+        let mut o = Oracle::new();
+        for n in [0, 1, 2, 3] {
+            o.tlb_filled(CORE, false, MM, page(n)); // all filled at v0
+            o.pte_modified(MM, page(n)); // all bumped to v1
+        }
+        o.retire_range(MM, VirtRange::pages(page(1), 2, PageSize::Size4K));
+        o.check_hit(CORE, false, MM, page(0), "before range");
+        o.check_hit(CORE, false, MM, page(3), "at exclusive end");
+        assert!(
+            o.violations().is_empty(),
+            "boundary pages wrongly retired: {:?}",
+            o.violations()
+        );
+        o.check_hit(CORE, false, MM, page(1), "inside range");
+        o.check_hit(CORE, false, MM, page(2), "inside range");
+        assert_eq!(o.violations().len(), 2);
+    }
+
+    #[test]
+    fn kernel_and_user_views_are_independent() {
+        // PTI: the same page lives under two PCIDs. A refill in the user
+        // view must not launder a stale kernel-view entry (this is exactly
+        // the double-flush bug class PTI introduces).
+        let mut o = Oracle::new();
+        o.tlb_filled(CORE, true, MM, page(1)); // user view, v0
+        o.tlb_filled(CORE, false, MM, page(1)); // kernel view, v0
+        o.pte_modified(MM, page(1));
+        o.retire_range(MM, VirtRange::pages(page(1), 1, PageSize::Size4K));
+        // Only the user view refills after the flush.
+        o.tlb_filled(CORE, true, MM, page(1));
+        o.check_hit(CORE, true, MM, page(1), "user view refilled");
+        assert!(o.violations().is_empty());
+        o.check_hit(CORE, false, MM, page(1), "kernel view still stale");
+        assert_eq!(
+            o.violations().len(),
+            1,
+            "stale kernel-view entry must be caught independently"
+        );
+    }
+
+    #[test]
+    fn broken_lazy_mode_skipping_one_page_is_caught() {
+        // Regression for the §2.3.2 hazard: a lazy mode that claims the
+        // flush guarantee for a whole range but never actually invalidates
+        // one page. The refilled pages are clean; the first hit through
+        // the skipped page's surviving entry is flagged.
+        let mut o = Oracle::new();
+        let range = VirtRange::pages(page(4), 4, PageSize::Size4K);
+        for n in 4..8 {
+            o.tlb_filled(CORE, false, MM, page(n));
+        }
+        let pairs = o.range_modified(MM, range);
+        o.retire_exact(MM, &pairs); // kernel claims: all four are flushed
+        for n in [4, 5, 7] {
+            o.tlb_filled(CORE, false, MM, page(n)); // really flushed: refill
+            o.check_hit(CORE, false, MM, page(n), "refilled after flush");
+        }
+        assert!(o.violations().is_empty());
+        // Page 6 was silently skipped — its v0 entry survived the "flush".
+        o.check_hit(CORE, false, MM, page(6), "lazy mode skipped this page");
+        assert_eq!(
+            o.violations().len(),
+            1,
+            "the skipped page's stale entry must trip the oracle"
+        );
+    }
+
+    #[test]
     fn per_core_independence() {
         let mut o = Oracle::new();
         o.tlb_filled(CoreId(0), false, MM, page(1));

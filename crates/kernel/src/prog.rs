@@ -166,6 +166,76 @@ impl Prog for BusyLoopProg {
     }
 }
 
+/// The canonical shootdown generator: mmap `pages` of anonymous memory,
+/// touch every page, `madvise(MADV_DONTNEED)` the range, and repeat
+/// `iters` times. Each iteration zaps live PTEs and so forces one full
+/// shootdown against every core sharing the mm — the §5.1 initiator
+/// shape, reused by the chaos harness and benches.
+#[derive(Debug)]
+pub struct MadviseLoopProg {
+    pages: u64,
+    iters: u64,
+    state: u32,
+    addr: u64,
+    touch: u64,
+    iter: u64,
+}
+
+impl MadviseLoopProg {
+    /// Loop over `pages` pages for `iters` iterations.
+    pub fn new(pages: u64, iters: u64) -> Self {
+        MadviseLoopProg {
+            pages,
+            iters,
+            state: 0,
+            addr: 0,
+            touch: 0,
+            iter: 0,
+        }
+    }
+}
+
+impl Prog for MadviseLoopProg {
+    fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
+        match self.state {
+            0 => {
+                self.state = 1;
+                ProgAction::Syscall(Syscall::MmapAnon { pages: self.pages })
+            }
+            1 => {
+                self.addr = ctx.retval;
+                self.touch = 0;
+                self.state = 2;
+                ProgAction::Nop
+            }
+            2 => {
+                if self.touch < self.pages {
+                    let va = VirtAddr::new(self.addr + self.touch * 4096);
+                    self.touch += 1;
+                    ProgAction::Access { va, write: true }
+                } else {
+                    self.state = 3;
+                    ProgAction::Syscall(Syscall::MadviseDontNeed {
+                        addr: VirtAddr::new(self.addr),
+                        pages: self.pages,
+                    })
+                }
+            }
+            3 => {
+                self.iter += 1;
+                if self.iter >= self.iters {
+                    ProgAction::Exit
+                } else {
+                    self.touch = 0;
+                    self.state = 2;
+                    ProgAction::Nop
+                }
+            }
+            _ => ProgAction::Exit,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,10 +1,9 @@
 //! The shootdown executor: initiator runs, responder IRQ handling, and the
 //! LATR-style asynchronous mode.
 
-use tlbdown_apic::Vector;
 use tlbdown_core::smp::run_script;
 use tlbdown_core::{flush_decision, use_early_ack, FlushAction, FlushTlbInfo, Shootdown};
-use tlbdown_types::{CoreId, Cycles, PageSize, VirtRange};
+use tlbdown_types::{CoreId, Cycles, PageSize, SimError, VirtRange};
 
 use crate::cpu::{IrqAct, IrqFrame, IrqStage, LocalMode, SdStage, ShootdownRun};
 use crate::event::Event;
@@ -111,24 +110,17 @@ impl Machine {
                 for t in &targets {
                     let script = self.smp.enqueue_work(core, *t);
                     cost += run_script(&mut self.dir, core, &script);
+                    // Chaos: the CSD cacheline may bounce slowly.
+                    cost += self.faults.cacheline_jitter();
                     self.cpus[t.index()].csq.push_back(id);
                 }
-                let plan = self.fabric.multicast_plan(core, &targets);
-                for d in &plan.deliveries {
-                    let jitter = self.noise();
-                    self.engine.schedule_in(
-                        cost + d.arrives_in + jitter,
-                        Event::IpiArrive {
-                            core: d.target,
-                            vector: Vector::CallFunction,
-                        },
-                    );
-                }
-                self.stats
-                    .counters
-                    .add("ipis_sent", plan.deliveries.len() as u64);
+                // Every delivery passes through the fault plan (delay,
+                // drop, duplicate); the watchdog below is the safety net
+                // that keeps dropped IPIs from hanging the spin-wait.
+                let busy = self.send_ipis_faulted(core, &targets, cost);
+                self.arm_watchdog(core, id);
                 run.stage = self.sd_next(SdStage::SendIpis);
-                SdOut::Continue(cost + plan.initiator_busy)
+                SdOut::Continue(cost + busy)
             }
             SdStage::LocalFlush => {
                 let mm_id = run.info.mm;
@@ -164,8 +156,7 @@ impl Machine {
                             // write cannot use the stale write-protected
                             // entry, so the hardware drops and re-walks it.
                             let costs = self.cfg.costs.clone();
-                            let acc = {
-                                let mm = self.mms.get_mut(&mm_id).expect("mm exists");
+                            let acc = self.mms.get_mut(&mm_id).map(|mm| {
                                 self.tlbs[core.index()].access(
                                     kpcid,
                                     va,
@@ -174,9 +165,9 @@ impl Machine {
                                     &mut mm.space,
                                     &costs,
                                 )
-                            };
+                            });
                             let access_cost = match acc {
-                                Ok(a) => {
+                                Some(Ok(a)) => {
                                     if self.cfg.oracle && !a.hit {
                                         self.oracle.tlb_filled(
                                             core,
@@ -187,7 +178,11 @@ impl Machine {
                                     }
                                     a.cost
                                 }
-                                Err(_) => Cycles::ZERO,
+                                Some(Err(_)) => Cycles::ZERO,
+                                None => {
+                                    self.record_error(SimError::NoSuchMm(mm_id));
+                                    Cycles::ZERO
+                                }
                             };
                             self.cpus[core.index()].tlb_state.local_tlb_gen = upto;
                             run.stage = self.sd_next(SdStage::LocalFlush);
@@ -197,7 +192,8 @@ impl Machine {
                             let va = run.kernel_entries[run.kidx];
                             run.kidx += 1;
                             self.tlbs[core.index()].invlpg(kpcid, va);
-                            SdOut::Continue(self.cfg.costs.invlpg)
+                            let slow = self.faults.invlpg_penalty(core);
+                            SdOut::Continue(self.cfg.costs.invlpg + slow)
                         } else {
                             self.cpus[core.index()].tlb_state.local_tlb_gen = upto;
                             run.stage = self.sd_next(SdStage::LocalFlush);
@@ -231,7 +227,8 @@ impl Machine {
                         run.uidx += 1;
                         self.tlbs[core.index()].invpcid_single(upcid, va);
                         self.stats.counters.bump("interleaved_user_flush");
-                        return SdOut::Continue(self.cfg.costs.invpcid_single);
+                        let slow = self.faults.invlpg_penalty(core);
+                        return SdOut::Continue(self.cfg.costs.invpcid_single + slow);
                     }
                     if run.uidx < run.user_entries.len() {
                         let rest = VirtRange::new(run.user_entries[run.uidx], run.info.range.end);
@@ -249,7 +246,8 @@ impl Machine {
                         let va = run.user_entries[run.uidx];
                         run.uidx += 1;
                         self.tlbs[core.index()].invpcid_single(upcid, va);
-                        SdOut::Continue(self.cfg.costs.invpcid_single)
+                        let slow = self.faults.invlpg_penalty(core);
+                        SdOut::Continue(self.cfg.costs.invpcid_single + slow)
                     } else {
                         run.stage = self.sd_next(SdStage::UserFlush);
                         SdOut::Continue(Cycles::ZERO)
@@ -275,6 +273,7 @@ impl Machine {
                     for t in &sd.targets {
                         let script = self.smp.poll_ack(core, *t);
                         cost += run_script(&mut self.dir, core, &script);
+                        cost += self.faults.cacheline_jitter();
                     }
                     run.stage = SdStage::Done;
                     SdOut::Done(cost)
@@ -339,7 +338,7 @@ impl Machine {
                 f.cur_initiator = initiator;
                 f.cur_early = sd.early_ack;
                 let script = self.smp.fetch_work(initiator, core);
-                let cost = run_script(&mut self.dir, core, &script);
+                let cost = run_script(&mut self.dir, core, &script) + self.faults.cacheline_jitter();
                 let ts = &self.cpus[core.index()].tlb_state;
                 let action = if ts.loaded_mm != info.mm {
                     FlushAction::Skip
@@ -384,6 +383,7 @@ impl Machine {
                     let initiator = f.cur_initiator;
                     let script = self.smp.ack(initiator, core);
                     cost += run_script(&mut self.dir, core, &script);
+                    cost += self.faults.cacheline_jitter();
                     f.acked = true;
                     self.cpus[core.index()].acked_unflushed += 1;
                     self.stats.counters.bump("early_ack");
@@ -424,7 +424,8 @@ impl Machine {
                     let va = f.entries[f.eidx];
                     f.eidx += 1;
                     self.tlbs[core.index()].invlpg(kpcid, va);
-                    StepOut::Continue(self.cfg.costs.invlpg)
+                    let slow = self.faults.invlpg_penalty(core);
+                    StepOut::Continue(self.cfg.costs.invlpg + slow)
                 } else {
                     self.cpus[core.index()].tlb_state.local_tlb_gen = f.upto;
                     // local_tlb_gen lives in the tlbstate line (§3.3
@@ -462,7 +463,8 @@ impl Machine {
                     let va = f.user_entries[f.uidx];
                     f.uidx += 1;
                     self.tlbs[core.index()].invpcid_single(upcid, va);
-                    StepOut::Continue(self.cfg.costs.invpcid_single)
+                    let slow = self.faults.invlpg_penalty(core);
+                    StepOut::Continue(self.cfg.costs.invpcid_single + slow)
                 } else {
                     f.stage = IrqStage::LateAck;
                     StepOut::Continue(Cycles::ZERO)
@@ -478,6 +480,7 @@ impl Machine {
                 } else if self.shootdowns.contains_key(&id) {
                     let script = self.smp.ack(f.cur_initiator, core);
                     cost += run_script(&mut self.dir, core, &script);
+                    cost += self.faults.cacheline_jitter();
                     self.stats.counters.bump("late_ack");
                     self.record_ack(id, core);
                 }

@@ -1,0 +1,274 @@
+//! Differential chaos harness: run the shootdown-heavy workloads under a
+//! matrix of {optimization level} × {fault plan} and assert that
+//!
+//! 1. no safe configuration ever trips the oracle, no matter how the
+//!    fabric misbehaves (delayed / duplicated / dropped IPIs, late IRQ
+//!    entry, cacheline jitter, slow-INVLPG cores),
+//! 2. the *semantic* final state (syscalls completed, pages demand-faulted,
+//!    threads retired) matches a fault-free run of the same workload —
+//!    faults may change the schedule, never the outcome,
+//! 3. when the fabric eats IPIs outright, the csd-lock watchdog fires,
+//!    retries, then degrades to the conservative full-flush path so the
+//!    machine completes in bounded time instead of hanging, and
+//! 4. the whole thing is deterministic: same chaos seed ⇒ identical run.
+
+use std::collections::BTreeMap;
+
+use tlbdown_core::OptConfig;
+use tlbdown_kernel::chaos::{ChaosConfig, WatchdogConfig};
+use tlbdown_kernel::prog::{BusyLoopProg, MadviseLoopProg};
+use tlbdown_kernel::{KernelConfig, Machine};
+use tlbdown_sim::fault::FaultSpec;
+use tlbdown_types::{CoreId, Cycles, SimError};
+
+const ITERS: u64 = 6;
+const SEED: u64 = 0x0dd5_eed5;
+
+/// A watchdog tuned for test wall-clock: fires early, one retry.
+fn test_watchdog() -> WatchdogConfig {
+    WatchdogConfig {
+        enabled: true,
+        timeout_cycles: 250_000,
+        max_resends: 1,
+    }
+}
+
+fn boot_chaos(opts: OptConfig, safe: bool, fault: FaultSpec) -> Machine {
+    let chaos = ChaosConfig {
+        fault,
+        fault_seed: SEED,
+        watchdog: test_watchdog(),
+    };
+    Machine::new(
+        KernelConfig::test_machine(4)
+            .with_opts(opts)
+            .with_safe_mode(safe)
+            .with_chaos(chaos),
+    )
+}
+
+/// Spawn the shared-mm stress workload: two madvise initiators, two busy
+/// responders, one mm across all four cores.
+fn spawn_workload(m: &mut Machine) {
+    let mm = m.create_process();
+    m.spawn(mm, CoreId(0), Box::new(MadviseLoopProg::new(8, ITERS)));
+    m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
+    m.spawn(mm, CoreId(2), Box::new(MadviseLoopProg::new(3, ITERS)));
+    m.spawn(mm, CoreId(3), Box::new(BusyLoopProg));
+}
+
+/// The semantic outcome of a run: what happened, independent of when.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    madvise: u64,
+    mmap: u64,
+    demand_faults: u64,
+    initiators_done: bool,
+}
+
+fn run_workload(m: &mut Machine) -> Outcome {
+    spawn_workload(m);
+    m.run_until(Cycles::new(80_000_000));
+    Outcome {
+        madvise: m.stats.counters.get("madvise_dontneed"),
+        mmap: m.stats.counters.get("mmap_anon"),
+        demand_faults: m.stats.counters.get("demand_fault"),
+        // Threads 0 and 2 are the madvise loops; the busy loops never exit.
+        initiators_done: m.threads[0].done && m.threads[2].done,
+    }
+}
+
+#[test]
+fn no_fault_plan_trips_the_oracle() {
+    // Every optimization level × every fault preset: the protocols must
+    // stay safe under adversarial timing, and the semantic outcome must
+    // match the fault-free baseline of the same config.
+    for (opts_name, opts) in [
+        ("baseline", OptConfig::baseline()),
+        ("general_four", OptConfig::general_four()),
+        ("all", OptConfig::all()),
+    ] {
+        let baseline = {
+            let mut m = boot_chaos(opts, true, FaultSpec::none());
+            run_workload(&mut m)
+        };
+        assert!(
+            baseline.initiators_done,
+            "{opts_name}: fault-free run did not finish"
+        );
+        assert_eq!(baseline.madvise, 2 * ITERS, "{opts_name}: fault-free run");
+        for (fault_name, fault) in FaultSpec::matrix() {
+            let mut m = boot_chaos(opts, true, fault);
+            let out = run_workload(&mut m);
+            assert!(
+                m.violations().is_empty(),
+                "{opts_name} under {fault_name}: oracle violations {:?}",
+                m.violations()
+            );
+            assert_eq!(
+                out, baseline,
+                "{opts_name} under {fault_name}: outcome diverged from fault-free baseline \
+                 (counters: {:?})",
+                m.stats.counters
+            );
+        }
+    }
+}
+
+#[test]
+fn unsafe_mode_survives_the_fault_matrix() {
+    // PTI off: single PCID per mm, different flush paths — same guarantees.
+    for (fault_name, fault) in FaultSpec::matrix() {
+        let mut m = boot_chaos(OptConfig::all(), false, fault);
+        let out = run_workload(&mut m);
+        assert!(
+            m.violations().is_empty(),
+            "unsafe mode under {fault_name}: {:?}",
+            m.violations()
+        );
+        assert!(out.initiators_done, "unsafe mode under {fault_name}: hung");
+        assert_eq!(out.madvise, 2 * ITERS, "unsafe mode under {fault_name}");
+    }
+}
+
+#[test]
+fn dropped_ipis_fire_watchdog_and_recover() {
+    // A lossy fabric (35% drop): some shootdowns stall past the timeout,
+    // the watchdog retries, and every syscall still completes.
+    let mut m = boot_chaos(OptConfig::baseline(), true, FaultSpec::ipi_drop());
+    let out = run_workload(&mut m);
+    assert!(
+        m.stats.counters.get("chaos_ipi_dropped") > 0,
+        "fault plan never dropped an IPI: {:?}",
+        m.stats.counters
+    );
+    assert!(
+        m.stats.counters.get("csd_watchdog_fired") > 0,
+        "watchdog never fired despite dropped IPIs: {:?}",
+        m.stats.counters
+    );
+    assert!(out.initiators_done, "initiators hung: {:?}", m.stats.counters);
+    assert_eq!(out.madvise, 2 * ITERS);
+    assert!(m.violations().is_empty(), "{:?}", m.violations());
+}
+
+#[test]
+fn total_ipi_loss_degrades_to_forced_full_flush() {
+    // Drop *every* IPI: retries cannot help, so the watchdog must walk the
+    // full escalation — fire, re-send (also lost), degrade to the
+    // conservative flush-and-force-ack path — and the machine must still
+    // finish with the flush guarantee intact (zero oracle violations).
+    let fault = FaultSpec {
+        ipi_drop_p: 1.0,
+        ..FaultSpec::none()
+    };
+    let mut m = boot_chaos(OptConfig::baseline(), true, fault);
+    let out = run_workload(&mut m);
+    assert!(m.stats.counters.get("csd_watchdog_fired") > 0);
+    assert!(
+        m.stats.counters.get("csd_watchdog_degrade") > 0,
+        "never degraded: {:?}",
+        m.stats.counters
+    );
+    assert!(
+        m.stats.counters.get("forced_full_flush") > 0,
+        "no forced flush: {:?}",
+        m.stats.counters
+    );
+    assert!(
+        out.initiators_done,
+        "watchdog failed to bound completion: {:?}",
+        m.stats.counters
+    );
+    assert_eq!(out.madvise, 2 * ITERS);
+    // The stall is diagnosed as a typed error, not an oracle violation.
+    assert!(
+        m.recorded_errors()
+            .iter()
+            .any(|e| matches!(e, SimError::ShootdownStall { .. })),
+        "no ShootdownStall diagnostic: {:?}",
+        m.recorded_errors()
+    );
+    assert!(m.violations().is_empty(), "{:?}", m.violations());
+}
+
+#[test]
+fn watchdog_disabled_hangs_on_total_ipi_loss() {
+    // Negative control: with the watchdog off, a fully lossy fabric leaves
+    // the first cross-core shootdown spinning forever — proof that the
+    // liveness in the test above comes from the watchdog, not luck.
+    let fault = FaultSpec {
+        ipi_drop_p: 1.0,
+        ..FaultSpec::none()
+    };
+    let chaos = ChaosConfig {
+        fault,
+        fault_seed: SEED,
+        watchdog: WatchdogConfig {
+            enabled: false,
+            ..test_watchdog()
+        },
+    };
+    let mut m = Machine::new(
+        KernelConfig::test_machine(4)
+            .with_opts(OptConfig::baseline())
+            .with_safe_mode(true)
+            .with_chaos(chaos),
+    );
+    let out = run_workload(&mut m);
+    assert!(
+        !out.initiators_done,
+        "machine should hang without the watchdog: {:?}",
+        m.stats.counters
+    );
+    assert!(out.madvise < 2 * ITERS);
+}
+
+#[test]
+fn same_chaos_seed_replays_identically() {
+    // Determinism end-to-end: identical seed ⇒ identical counters, final
+    // time, and diagnostics, even under the kitchen-sink fault plan.
+    let run = || {
+        let mut m = boot_chaos(OptConfig::general_four(), true, FaultSpec::everything());
+        spawn_workload(&mut m);
+        m.run_until(Cycles::new(80_000_000));
+        let counters: BTreeMap<&'static str, u64> = m.stats.counters.iter().collect();
+        (counters, m.now(), m.violations().len(), m.recorded_errors().len())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same chaos seed must replay byte-for-byte");
+}
+
+#[test]
+fn different_chaos_seeds_diverge() {
+    // The seed actually steers the plan: a different seed yields a
+    // different fault schedule (observable in the chaos counters).
+    let chaos_counts = |seed: u64| {
+        let chaos = ChaosConfig {
+            fault: FaultSpec::everything(),
+            fault_seed: seed,
+            watchdog: test_watchdog(),
+        };
+        let mut m = Machine::new(
+            KernelConfig::test_machine(4)
+                .with_opts(OptConfig::baseline())
+                .with_safe_mode(true)
+                .with_chaos(chaos),
+        );
+        spawn_workload(&mut m);
+        m.run_until(Cycles::new(80_000_000));
+        let c: BTreeMap<&'static str, u64> = m
+            .stats
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("chaos_") || k.starts_with("csd_"))
+            .collect();
+        (c, m.now())
+    };
+    assert_ne!(
+        chaos_counts(1),
+        chaos_counts(2),
+        "different seeds should produce different fault schedules"
+    );
+}

@@ -14,9 +14,11 @@
 //!   log-scale histograms used by the measurement harness.
 
 pub mod engine;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 
 pub use engine::Engine;
+pub use fault::{FaultCounters, FaultPlan, FaultSpec, IpiFault};
 pub use rng::SplitMix64;
 pub use stats::{Counter, Histogram, Summary};

@@ -42,6 +42,16 @@ pub enum SimError {
         /// Address whose walk went wrong.
         addr: VirtAddr,
     },
+    /// An initiator's shootdown spin-wait exceeded the csd-lock watchdog
+    /// timeout and its bounded re-sends; the kernel degraded to a forced
+    /// full flush on the unresponsive cores (the Linux
+    /// `csd_lock_wait` watchdog path, generalised to recovery).
+    ShootdownStall {
+        /// Core that was spin-waiting.
+        initiator: CoreId,
+        /// Responders that never acknowledged before degradation.
+        pending: Vec<CoreId>,
+    },
     /// Physical memory exhausted.
     OutOfMemory,
     /// An operation referenced an unknown address space.
@@ -75,6 +85,10 @@ impl fmt::Display for SimError {
                     "machine check on {core}: speculative walk of freed table at {addr}"
                 )
             }
+            SimError::ShootdownStall { initiator, pending } => write!(
+                f,
+                "shootdown stalled on {initiator}: no ack from {pending:?} within the watchdog budget"
+            ),
             SimError::OutOfMemory => write!(f, "out of simulated physical memory"),
             SimError::NoSuchMm(mm) => write!(f, "no such address space: {mm:?}"),
             SimError::NotMapped(addr) => write!(f, "address not mapped: {addr}"),

@@ -1,0 +1,128 @@
+//! Repo automation, `cargo xtask <command>` style:
+//!
+//! - `cargo xtask clippy` — the lint gate: `cargo clippy --all-targets`
+//!   with warnings promoted to errors.
+//! - `cargo xtask replay [seed]` — the determinism gate: run the chaos
+//!   stress workload twice from the same seed and require byte-identical
+//!   stats output. Any hidden nondeterminism (hash-map iteration order
+//!   leaking into scheduling, wall-clock use, an unseeded RNG) shows up
+//!   here as a diff.
+//! - `cargo xtask ci` — both, in order.
+
+use std::fmt::Write as _;
+use std::process::{Command, ExitCode};
+
+use tlbdown_core::OptConfig;
+use tlbdown_kernel::chaos::ChaosConfig;
+use tlbdown_kernel::prog::{BusyLoopProg, MadviseLoopProg};
+use tlbdown_kernel::{KernelConfig, Machine};
+use tlbdown_sim::fault::FaultSpec;
+use tlbdown_types::{CoreId, Cycles};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("clippy") => clippy(),
+        Some("replay") => replay(parse_seed(args.get(1))),
+        Some("ci") => {
+            let c = clippy();
+            if c != ExitCode::SUCCESS {
+                return c;
+            }
+            replay(parse_seed(args.get(1)))
+        }
+        _ => {
+            eprintln!("usage: cargo xtask <clippy | replay [seed] | ci>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_seed(arg: Option<&String>) -> u64 {
+    arg.map(|s| {
+        let s = s.trim();
+        let parsed = match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        };
+        parsed.unwrap_or_else(|_| {
+            eprintln!("xtask: bad seed {s:?}, expected a u64 (decimal or 0x-hex)");
+            std::process::exit(2);
+        })
+    })
+    .unwrap_or(0x0dd5_eed5)
+}
+
+fn clippy() -> ExitCode {
+    println!("xtask: cargo clippy --workspace --all-targets -- -D warnings");
+    let status = Command::new(env!("CARGO", "run via cargo"))
+        .args([
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ])
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => {
+            eprintln!("xtask: clippy failed");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask: could not run cargo clippy: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One full chaos-stress run, rendered to a canonical stats string.
+fn replay_run(seed: u64) -> String {
+    let chaos = ChaosConfig::with_fault(FaultSpec::everything(), seed);
+    let mut m = Machine::new(
+        KernelConfig::test_machine(4)
+            .with_opts(OptConfig::general_four())
+            .with_chaos(chaos),
+    );
+    let mm = m.create_process();
+    m.spawn(mm, CoreId(0), Box::new(MadviseLoopProg::new(8, 6)));
+    m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
+    m.spawn(mm, CoreId(2), Box::new(MadviseLoopProg::new(3, 6)));
+    m.spawn(mm, CoreId(3), Box::new(BusyLoopProg));
+    m.run_until(Cycles::new(80_000_000));
+
+    let mut out = String::new();
+    let mut counters: Vec<(&'static str, u64)> = m.stats.counters.iter().collect();
+    counters.sort_unstable();
+    writeln!(out, "final_time {}", m.now().as_u64()).unwrap();
+    writeln!(out, "violations {}", m.violations().len()).unwrap();
+    writeln!(out, "errors {}", m.recorded_errors().len()).unwrap();
+    for (k, v) in counters {
+        writeln!(out, "counter {k} {v}").unwrap();
+    }
+    out
+}
+
+fn replay(seed: u64) -> ExitCode {
+    println!("xtask: deterministic-replay check, seed {seed:#x}");
+    let a = replay_run(seed);
+    let b = replay_run(seed);
+    if a == b {
+        println!(
+            "xtask: replay OK — {} stats lines byte-identical across two runs",
+            a.lines().count()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask: REPLAY DIVERGED — same seed produced different stats:");
+        for (la, lb) in a.lines().zip(b.lines()) {
+            if la != lb {
+                eprintln!("  run1: {la}");
+                eprintln!("  run2: {lb}");
+            }
+        }
+        ExitCode::FAILURE
+    }
+}
