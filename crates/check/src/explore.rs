@@ -1,0 +1,380 @@
+//! The bounded schedule explorer: DFS over branch points.
+//!
+//! One *run* executes a scenario machine to completion under an
+//! [`ExploreScheduler`]: a forced prefix of branch choices is replayed,
+//! and every branch point past the prefix takes the FIFO default while
+//! recording how many candidates were available. The explorer then
+//! enumerates alternatives — for each branch point `i` beyond the prefix
+//! and each unexplored candidate `alt`, the prefix `choices[..i] + [alt]`
+//! is pushed onto the DFS stack — subject to three bounds:
+//!
+//! - **preemption bound**: at most `preemption_bound` non-FIFO choices
+//!   per schedule (the classic Musuvathi/Qadeer iterative-context-bound
+//!   argument: real concurrency bugs need very few preemptions);
+//! - **branch-depth bound**: branch points past `max_branch_points` are
+//!   not expanded;
+//! - **digest pruning**: after each branch the machine's
+//!   [`state_digest`](tlbdown_kernel::Machine::state_digest) is recorded;
+//!   if the post-choice state was reached before, the remainder of the
+//!   run's branch list is not re-expanded (an identical state implies an
+//!   identical future, up to digest granularity — see `kernel::digest`).
+//!
+//! After every run the checker asserts the safety oracle found no stale
+//! TLB use *and* the liveness invariant holds: the event queue drained
+//! within the step budget with no shootdown still in flight, no queued
+//! CSQ work, and no acknowledged-but-unflushed items. Any breach yields a
+//! [`Counterexample`] carrying a replayable [`Schedule`].
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use tlbdown_kernel::Machine;
+use tlbdown_sim::{Candidate, Scheduler};
+use tlbdown_types::{Cycles, SimError};
+
+use crate::schedule::Schedule;
+
+/// A scenario: a deterministic recipe producing a fresh machine. Every
+/// run of the closure must build an identical machine (same config, same
+/// programs, same injections) — the schedule is the only free variable.
+pub type Scenario<'a> = dyn Fn() -> Machine + 'a;
+
+/// Exploration bounds.
+#[derive(Clone, Debug)]
+pub struct Bounds {
+    /// Total schedules (runs) to execute before giving up.
+    pub max_schedules: u64,
+    /// Per-run event budget; a run that fails to drain its queue within
+    /// it is reported as a liveness violation, so scenarios must use
+    /// terminating programs.
+    pub max_steps: u64,
+    /// Branch points past this index are not expanded (depth bound).
+    pub max_branch_points: usize,
+    /// Maximum non-FIFO choices per schedule (preemption bound).
+    pub preemption_bound: usize,
+    /// Timing-perturbation window handed to the scheduler: race-eligible
+    /// interrupt arrivals within this many cycles of the minimum pending
+    /// fire time join the candidate set.
+    pub window: Cycles,
+    /// Whether digest-based pruning is on.
+    pub prune: bool,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            max_schedules: 2_000,
+            max_steps: 500_000,
+            max_branch_points: 256,
+            preemption_bound: 3,
+            window: Cycles::new(2_000),
+            prune: true,
+        }
+    }
+}
+
+impl Bounds {
+    /// Builder-style: set the schedule budget.
+    pub fn with_max_schedules(mut self, n: u64) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Builder-style: set the preemption bound.
+    pub fn with_preemptions(mut self, n: usize) -> Self {
+        self.preemption_bound = n;
+        self
+    }
+
+    /// Builder-style: set the perturbation window.
+    pub fn with_window(mut self, w: Cycles) -> Self {
+        self.window = w;
+        self
+    }
+}
+
+/// The recording/replaying scheduler driving one run. Forced choices are
+/// consumed first; every branch point past them takes candidate 0 (FIFO).
+/// Arity and the choice actually taken are recorded at each branch.
+#[derive(Debug)]
+pub struct ExploreScheduler {
+    window: Cycles,
+    forced: Vec<u16>,
+    /// Choice taken at each branch point encountered so far.
+    pub choices: Vec<u16>,
+    /// Candidate count at each branch point encountered so far.
+    pub arities: Vec<u16>,
+}
+
+impl ExploreScheduler {
+    /// A scheduler replaying `forced` then defaulting to FIFO.
+    pub fn new(window: Cycles, forced: Vec<u16>) -> Self {
+        ExploreScheduler {
+            window,
+            forced,
+            choices: Vec::new(),
+            arities: Vec::new(),
+        }
+    }
+}
+
+impl<E> Scheduler<E> for ExploreScheduler {
+    fn window(&self) -> Cycles {
+        self.window
+    }
+
+    fn choose(&mut self, _now: Cycles, candidates: &[Candidate<'_, E>]) -> usize {
+        let i = self.choices.len();
+        let pick = match self.forced.get(i) {
+            // A forced choice beyond the observed arity clamps to the last
+            // candidate (can happen while shrinking mutates schedules).
+            Some(c) => (*c as usize).min(candidates.len() - 1),
+            None => 0,
+        };
+        self.arities.push(candidates.len().min(u16::MAX as usize) as u16);
+        self.choices.push(pick as u16);
+        pick
+    }
+}
+
+/// Everything observed during one run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The full choice vector actually taken (forced prefix, clamped,
+    /// plus FIFO defaults).
+    pub schedule: Schedule,
+    /// Candidate count at each branch point.
+    pub arities: Vec<u16>,
+    /// State digest immediately after each branch point's step.
+    pub branch_digests: Vec<u64>,
+    /// Events processed.
+    pub steps: u64,
+    /// Whether the event queue drained within the step budget.
+    pub drained: bool,
+    /// Oracle violations (stale TLB use, machine checks).
+    pub violations: Vec<SimError>,
+    /// Non-fatal kernel errors recorded during the run.
+    pub errors: Vec<SimError>,
+    /// Whether the liveness invariant held at the end of the run.
+    pub live: bool,
+    /// Digest of the final machine state.
+    pub final_digest: u64,
+    /// Canonical rendering of final time, digest, violations, errors and
+    /// sorted counters — byte-compared by replay verification.
+    pub stats_render: String,
+}
+
+impl RunReport {
+    /// Whether this run breached safety or liveness.
+    pub fn violated(&self) -> bool {
+        !self.violations.is_empty() || !self.live
+    }
+}
+
+/// The liveness invariant checked once a run ends: nothing in flight.
+fn liveness_ok(m: &Machine, drained: bool) -> bool {
+    drained
+        && m.shootdowns.is_empty()
+        && m.cpus
+            .iter()
+            .all(|c| c.csq.is_empty() && c.acked_unflushed == 0)
+}
+
+/// Canonical rendering of a finished machine for byte-identical replay
+/// comparison.
+pub fn render_run(m: &Machine, steps: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "steps {steps}");
+    let _ = writeln!(out, "final_time {}", m.now().as_u64());
+    let _ = writeln!(out, "digest {:#018x}", m.state_digest());
+    let _ = writeln!(out, "violations {}", m.violations().len());
+    for v in m.violations() {
+        let _ = writeln!(out, "violation {v}");
+    }
+    let _ = writeln!(out, "errors {}", m.recorded_errors().len());
+    let mut counters: Vec<(&'static str, u64)> = m.stats.counters.iter().collect();
+    counters.sort_unstable();
+    for (k, v) in counters {
+        let _ = writeln!(out, "counter {k} {v}");
+    }
+    out
+}
+
+/// Execute one schedule against a fresh scenario machine.
+pub fn run_schedule(build: &Scenario<'_>, bounds: &Bounds, forced: &[u16]) -> RunReport {
+    let mut m = build();
+    let mut sched = ExploreScheduler::new(bounds.window, forced.to_vec());
+    let mut branch_digests = Vec::new();
+    let mut steps = 0u64;
+    let mut drained = false;
+    loop {
+        if steps >= bounds.max_steps {
+            break;
+        }
+        let branches_before = sched.arities.len();
+        if !m.step_with(&mut sched) {
+            drained = true;
+            break;
+        }
+        steps += 1;
+        if sched.arities.len() > branches_before {
+            branch_digests.push(m.state_digest());
+        }
+        if !m.violations().is_empty() {
+            // Safety already broken: stop here so the counterexample's
+            // branch list (and thus the shrinker's search space) stays as
+            // short as possible.
+            break;
+        }
+    }
+    let live = m.violations().is_empty() && liveness_ok(&m, drained);
+    RunReport {
+        schedule: Schedule::new(sched.choices.clone()),
+        arities: sched.arities,
+        branch_digests,
+        steps,
+        drained,
+        violations: m.violations().to_vec(),
+        errors: m.recorded_errors().to_vec(),
+        live,
+        final_digest: m.state_digest(),
+        stats_render: render_run(&m, steps),
+    }
+}
+
+/// Aggregate exploration counters (recorded in EXPERIMENTS.md by the
+/// xtask gate).
+#[derive(Clone, Debug, Default)]
+pub struct ExploreStats {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Total branch points encountered across all runs.
+    pub branch_points: u64,
+    /// Deepest branch list observed in a single run.
+    pub max_branch_depth: usize,
+    /// Distinct post-branch state digests seen.
+    pub distinct_states: usize,
+    /// Branch-list walks cut short by a repeated state digest.
+    pub pruned_digest: u64,
+    /// Alternatives dropped by the preemption bound.
+    pub pruned_preemption: u64,
+    /// Branch points not expanded due to the depth bound.
+    pub pruned_depth: u64,
+    /// Whether the schedule budget ran out with work left on the stack.
+    pub budget_exhausted: bool,
+}
+
+/// A safety or liveness breach with its replayable schedule.
+#[derive(Debug)]
+pub struct Counterexample {
+    /// The violating schedule (normalized: trailing FIFO choices dropped).
+    pub schedule: Schedule,
+    /// What the oracle reported.
+    pub violations: Vec<SimError>,
+    /// Whether the breach was a liveness failure (queue failed to drain
+    /// or left in-flight shootdown state) rather than an oracle hit.
+    pub liveness: bool,
+    /// Events processed before the breach.
+    pub steps: u64,
+}
+
+/// Result of an exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Aggregate counters.
+    pub stats: ExploreStats,
+    /// The first breach found, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl Report {
+    /// Whether every explored schedule satisfied safety and liveness.
+    pub fn all_safe(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// DFS over branch points: run the FIFO schedule, then systematically
+/// flip one choice at a time, deepest-first, under `bounds`. Stops at the
+/// first violation (returning its counterexample) or when the stack or
+/// the schedule budget is exhausted.
+pub fn explore(build: &Scenario<'_>, bounds: &Bounds) -> Report {
+    let mut stats = ExploreStats::default();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut stack: Vec<Vec<u16>> = vec![Vec::new()];
+    while let Some(prefix) = stack.pop() {
+        if stats.schedules >= bounds.max_schedules {
+            stats.budget_exhausted = true;
+            break;
+        }
+        let run = run_schedule(build, bounds, &prefix);
+        stats.schedules += 1;
+        stats.branch_points += run.arities.len() as u64;
+        stats.max_branch_depth = stats.max_branch_depth.max(run.arities.len());
+        if run.violated() {
+            stats.distinct_states = visited.len();
+            return Report {
+                stats,
+                counterexample: Some(Counterexample {
+                    schedule: run.schedule.normalized(),
+                    liveness: run.violations.is_empty(),
+                    violations: run.violations,
+                    steps: run.steps,
+                }),
+            };
+        }
+        // Expand alternatives at every branch point past the forced
+        // prefix. Walking stops early at the depth bound or at a state
+        // digest that has been expanded before (its continuation's branch
+        // structure is identical and already covered).
+        let base_preemptions = prefix.iter().filter(|c| **c != 0).count();
+        for i in prefix.len()..run.arities.len() {
+            if i >= bounds.max_branch_points {
+                stats.pruned_depth += 1;
+                break;
+            }
+            let arity = run.arities[i] as usize;
+            if base_preemptions + 1 > bounds.preemption_bound {
+                stats.pruned_preemption += (arity - 1) as u64;
+            } else {
+                for alt in 1..arity {
+                    let mut next = run.schedule.choices[..i].to_vec();
+                    next.push(alt as u16);
+                    stack.push(next);
+                }
+            }
+            if bounds.prune && !visited.insert(run.branch_digests[i]) {
+                stats.pruned_digest += 1;
+                break;
+            }
+        }
+    }
+    stats.distinct_states = visited.len();
+    Report {
+        stats,
+        counterexample: None,
+    }
+}
+
+/// Replay verification: execute `schedule` twice against fresh scenario
+/// machines and require byte-identical outcomes (stats rendering, final
+/// digest, step count). Returns the (identical) report, or an error
+/// describing the divergence.
+pub fn replay_twice(
+    build: &Scenario<'_>,
+    bounds: &Bounds,
+    schedule: &Schedule,
+) -> Result<RunReport, String> {
+    let a = run_schedule(build, bounds, &schedule.choices);
+    let b = run_schedule(build, bounds, &schedule.choices);
+    if a.stats_render != b.stats_render || a.final_digest != b.final_digest || a.steps != b.steps {
+        let mut diff = String::new();
+        for (la, lb) in a.stats_render.lines().zip(b.stats_render.lines()) {
+            if la != lb {
+                let _ = writeln!(diff, "run1: {la}\nrun2: {lb}");
+            }
+        }
+        return Err(format!("replay diverged:\n{diff}"));
+    }
+    Ok(a)
+}

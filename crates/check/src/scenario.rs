@@ -1,0 +1,155 @@
+//! Deterministic scenario builders for exploration.
+//!
+//! A scenario is a closure producing a fresh, identically-configured
+//! machine on every call; the explorer owns all remaining nondeterminism
+//! through its schedule. Scenarios here follow two rules:
+//!
+//! - programs terminate (the liveness check needs the event queue to
+//!   drain), so no `BusyLoopProg`;
+//! - any warm-up phase runs under plain FIFO inside the builder
+//!   (`run_until`), concentrating the explorer's branch points on the
+//!   protocol window under test instead of on boring setup traffic.
+
+use tlbdown_core::OptConfig;
+use tlbdown_kernel::prog::{Prog, ProgAction, ProgCtx};
+use tlbdown_kernel::{KernelConfig, Machine, Syscall};
+use tlbdown_types::{CoreId, Cycles, VirtAddr};
+
+/// Writes `pages` pages starting at `addr` once each (demand-faulting
+/// them in), then computes in `chunks` slices of `chunk_cycles` so the
+/// calendar queue holds resume events for interrupts to race with, then
+/// exits.
+struct TouchThenSpin {
+    addr: u64,
+    pages: u64,
+    chunks: u64,
+    chunk_cycles: u64,
+    i: u64,
+}
+
+impl Prog for TouchThenSpin {
+    fn next(&mut self, _ctx: &ProgCtx) -> ProgAction {
+        let step = self.i;
+        self.i += 1;
+        if step < self.pages {
+            ProgAction::Access {
+                va: VirtAddr::new(self.addr + step * 4096),
+                write: true,
+            }
+        } else if step < self.pages + self.chunks {
+            ProgAction::Compute(Cycles::new(self.chunk_cycles))
+        } else {
+            ProgAction::Exit
+        }
+    }
+}
+
+/// Waits `delay` cycles, then `madvise(MADV_DONTNEED)`s the range and
+/// exits — one precisely-placed shootdown.
+struct DelayedZap {
+    addr: u64,
+    pages: u64,
+    delay: u64,
+    i: u64,
+}
+
+impl Prog for DelayedZap {
+    fn next(&mut self, _ctx: &ProgCtx) -> ProgAction {
+        let step = self.i;
+        self.i += 1;
+        match step {
+            0 => ProgAction::Compute(Cycles::new(self.delay)),
+            1 => ProgAction::Syscall(Syscall::MadviseDontNeed {
+                addr: VirtAddr::new(self.addr),
+                pages: self.pages,
+            }),
+            _ => ProgAction::Exit,
+        }
+    }
+}
+
+/// Two cores in one address space, both running the canonical
+/// mmap + touch + `madvise(MADV_DONTNEED)` loop, shooting each other down.
+/// Exercises the full initiator and responder state machines (plus
+/// batching/in-context/CoW paths as `opts` enables them) and terminates.
+pub fn dueling_madvise(opts: OptConfig) -> Machine {
+    let cfg = KernelConfig::test_machine(2).with_opts(opts);
+    let mut m = Machine::new(cfg);
+    let mm = m.create_process();
+    m.spawn(
+        mm,
+        CoreId(0),
+        Box::new(tlbdown_kernel::prog::MadviseLoopProg::new(4, 2)),
+    );
+    m.spawn(
+        mm,
+        CoreId(1),
+        Box::new(tlbdown_kernel::prog::MadviseLoopProg::new(2, 2)),
+    );
+    m
+}
+
+/// Calibrated injection time for [`nmi_probe`] at which the FIFO
+/// schedule is safe even with the buggy check — the NMI nominally lands
+/// just after the responder's flush completes — but the explorer's
+/// timing-perturbation window can pull the arrival back inside the
+/// early-ack window, where only the §3.2 extension saves the probe.
+pub const NMI_PROBE_DEMO_INJECT_AT: u64 = 17_500;
+
+/// The [`nmi_probe`] scenario at the calibrated demo injection time.
+pub fn nmi_probe_demo(buggy: bool) -> Machine {
+    nmi_probe(buggy, NMI_PROBE_DEMO_INJECT_AT)
+}
+
+/// The §3.2 NMI-probe scenario: a responder (core 1) warms a range of
+/// TLB entries; an initiator (core 0) zaps the range once; a single NMI
+/// probing the last page is injected at `inject_at` cycles. With the
+/// `nmi_uaccess_okay` pending-flush extension every interleaving is safe;
+/// with `buggy` set, schedules that deliver the probe after the early
+/// ack + initiator retire but before the responder's own invalidation
+/// read through a stale entry — the race the explorer is pointed at.
+pub fn nmi_probe(buggy: bool, inject_at: u64) -> Machine {
+    /// Range size: enough PTEs that the responder's per-entry flush phase
+    /// after its early ack spans thousands of cycles.
+    const PAGES: u64 = 8;
+    let mut cfg = KernelConfig::test_machine(2)
+        .with_opts(
+            OptConfig::baseline()
+                .with_early_ack(true)
+                .with_concurrent(true),
+        )
+        // Single PCID: the responder's user touches warm exactly the view
+        // the kernel probe reads.
+        .with_safe_mode(false);
+    cfg.buggy_nmi_check = buggy;
+    let mut m = Machine::new(cfg);
+    let mm = m.create_process();
+    let addr = m.setup_map_anon(mm, PAGES);
+    m.spawn(
+        mm,
+        CoreId(1),
+        Box::new(TouchThenSpin {
+            addr: addr.as_u64(),
+            pages: PAGES,
+            chunks: 200,
+            chunk_cycles: 300,
+            i: 0,
+        }),
+    );
+    m.spawn(
+        mm,
+        CoreId(0),
+        Box::new(DelayedZap {
+            addr: addr.as_u64(),
+            pages: PAGES,
+            delay: 12_000,
+            i: 0,
+        }),
+    );
+    // Warm-up runs FIFO inside the builder; exploration starts at the
+    // injection point with the shootdown machinery in (or near) flight.
+    m.run_until(Cycles::new(inject_at));
+    let probe = VirtAddr::new(addr.as_u64() + (PAGES - 1) * 4096);
+    m.inject_nmi(CoreId(0), CoreId(1), Some(probe));
+    m
+}

@@ -54,3 +54,16 @@ pub enum Event {
         id: ShootdownId,
     },
 }
+
+impl Event {
+    /// Whether this event may race a nearby event under schedule
+    /// exploration (see `tlbdown_sim::sched`): interrupt arrivals, whose
+    /// modelled delivery latency is an estimate — an IPI or NMI landing a
+    /// few hundred cycles earlier or later than the point estimate is a
+    /// physically legal execution the checker must cover. Everything else
+    /// (resumes, watchdogs, deferred flushes) is causally anchored to the
+    /// issuing core's own progress and only branches on exact ties.
+    pub fn race_eligible(&self) -> bool {
+        matches!(self, Event::IpiArrive { .. } | Event::NmiArrive { .. })
+    }
+}

@@ -704,8 +704,10 @@ impl Machine {
                         info = Some(i);
                     }
                     for (_, pte, _) in &out.removed {
-                        if self.frame_refs.put_page(pte.addr) {
-                            sf.pending_frees.push(pte.addr);
+                        match self.frame_refs.put_page(pte.addr) {
+                            Ok(true) => sf.pending_frees.push(pte.addr),
+                            Ok(false) => {}
+                            Err(e) => self.record_error(e),
                         }
                     }
                     (n as u64, info)
@@ -734,8 +736,10 @@ impl Machine {
                         None
                     };
                     for (_, pte, _) in &out.removed {
-                        if self.frame_refs.put_page(pte.addr) {
-                            sf.pending_frees.push(pte.addr);
+                        match self.frame_refs.put_page(pte.addr) {
+                            Ok(true) => sf.pending_frees.push(pte.addr),
+                            Ok(false) => {}
+                            Err(e) => self.record_error(e),
                         }
                     }
                     (n as u64, info)
@@ -1122,8 +1126,10 @@ impl Machine {
             Err(_) => return self.segfault(core, ff),
         };
         self.frame_refs.get_page(new_pa);
-        if self.frame_refs.put_page(old_pte.addr) {
-            ff.pending_frees.push(old_pte.addr);
+        match self.frame_refs.put_page(old_pte.addr) {
+            Ok(true) => ff.pending_frees.push(old_pte.addr),
+            Ok(false) => {}
+            Err(e) => self.record_error(e),
         }
         let new_flags = old_pte
             .flags

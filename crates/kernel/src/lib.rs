@@ -24,6 +24,7 @@
 pub mod chaos;
 pub mod config;
 pub mod cpu;
+pub mod digest;
 pub mod event;
 mod exec;
 pub mod machine;

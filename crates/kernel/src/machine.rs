@@ -368,13 +368,44 @@ impl Machine {
 
     /// Run until simulated time reaches `deadline` (or the queue drains).
     pub fn run_until(&mut self, deadline: Cycles) {
-        while let Some(t) = self.engine.peek_time() {
-            if t > deadline {
-                break;
+        loop {
+            match self.engine.peek_time() {
+                Some(t) if t <= deadline => {}
+                _ => break,
             }
-            let ev = self.engine.pop().expect("peeked event vanished");
+            let Some(ev) = self.engine.pop() else { break };
             self.handle(ev);
         }
+    }
+
+    /// Process one event chosen by `sched` (see `tlbdown_sim::sched`):
+    /// same-cycle ties and race-eligible interrupt arrivals within the
+    /// scheduler's window become explicit branch points. Returns `false`
+    /// when the queue is drained. With
+    /// [`FifoScheduler`](tlbdown_sim::FifoScheduler) this replays exactly
+    /// what [`Machine::run`] does.
+    pub fn step_with<S: tlbdown_sim::Scheduler<Event>>(&mut self, sched: &mut S) -> bool {
+        match self.engine.pop_with(sched, Event::race_eligible) {
+            Some(ev) => {
+                self.handle(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run under `sched` until the queue drains or `max_steps` events have
+    /// been processed; returns the number of events processed.
+    pub fn run_with<S: tlbdown_sim::Scheduler<Event>>(
+        &mut self,
+        sched: &mut S,
+        max_steps: u64,
+    ) -> u64 {
+        let mut steps = 0;
+        while steps < max_steps && self.step_with(sched) {
+            steps += 1;
+        }
+        steps
     }
 
     fn handle(&mut self, ev: Event) {

@@ -120,7 +120,9 @@ impl Mm {
             .collect();
         let mut removed = Vec::new();
         for k in keys {
-            let v = self.vmas.remove(&k).expect("key just enumerated");
+            let Some(v) = self.vmas.remove(&k) else {
+                continue;
+            };
             // Split off any uncovered prefix/suffix.
             if v.range.start < range.start {
                 let mut prefix = v.clone();
@@ -170,19 +172,20 @@ impl FrameRefs {
         *self.refs.entry(pa.pfn()).or_insert(0) += 1;
     }
 
-    /// Decrement; returns `true` when the count hits zero (frame may be
-    /// freed by the caller).
-    pub fn put_page(&mut self, pa: PhysAddr) -> bool {
-        let c = self
-            .refs
-            .get_mut(&pa.pfn())
-            .expect("put_page on untracked frame");
+    /// Decrement; returns `Ok(true)` when the count hits zero (frame may
+    /// be freed by the caller). An untracked frame — a double free or an
+    /// unmatched put — surfaces as [`SimError::FrameUnderflow`] so the
+    /// unmap/CoW hot paths record it instead of panicking.
+    pub fn put_page(&mut self, pa: PhysAddr) -> SimResult<bool> {
+        let Some(c) = self.refs.get_mut(&pa.pfn()) else {
+            return Err(SimError::FrameUnderflow { pfn: pa.pfn() });
+        };
         *c -= 1;
         if *c == 0 {
             self.refs.remove(&pa.pfn());
-            true
+            Ok(true)
         } else {
-            false
+            Ok(false)
         }
     }
 
@@ -282,8 +285,13 @@ mod tests {
         r.get_page(pa);
         r.get_page(pa);
         assert_eq!(r.count(pa), 2);
-        assert!(!r.put_page(pa));
-        assert!(r.put_page(pa));
+        assert_eq!(r.put_page(pa), Ok(false));
+        assert_eq!(r.put_page(pa), Ok(true));
         assert_eq!(r.count(pa), 0);
+        // A third put is a double free: a typed error, not a panic.
+        assert_eq!(
+            r.put_page(pa),
+            Err(SimError::FrameUnderflow { pfn: pa.pfn() })
+        );
     }
 }

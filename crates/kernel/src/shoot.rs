@@ -125,12 +125,17 @@ impl Machine {
             SdStage::LocalFlush => {
                 let mm_id = run.info.mm;
                 let kpcid = self.cpus[core.index()].tlb_state.kernel_pcid;
-                if run.decided.is_none() {
-                    let local = self.cpus[core.index()].tlb_state.local_tlb_gen;
-                    let mm_gen = self.mms.get(&mm_id).map(|m| m.gen.current()).unwrap_or(0);
-                    run.decided = Some(flush_decision(local, mm_gen, &run.info));
-                }
-                match run.decided.clone().expect("just set") {
+                let decided = match run.decided.clone() {
+                    Some(d) => d,
+                    None => {
+                        let local = self.cpus[core.index()].tlb_state.local_tlb_gen;
+                        let mm_gen = self.mms.get(&mm_id).map(|m| m.gen.current()).unwrap_or(0);
+                        let d = flush_decision(local, mm_gen, &run.info);
+                        run.decided = Some(d.clone());
+                        d
+                    }
+                };
+                match decided {
                     FlushAction::Skip => {
                         self.stats.counters.bump("local_flush_skip");
                         run.stage = self.sd_next(SdStage::LocalFlush);
@@ -266,7 +271,16 @@ impl Machine {
                     .unwrap_or(true)
                 {
                     // Final acknowledgement poll: one CFD read per target.
-                    let sd = self.shootdowns.remove(&id).expect("completed sd exists");
+                    let Some(sd) = self.shootdowns.remove(&id) else {
+                        // The record is gone without this initiator reaping
+                        // it — possible only if some recovery path tore it
+                        // down; record and complete rather than panic.
+                        self.record_error(SimError::InvalidArgument(format!(
+                            "shootdown {id:?} vanished before its initiator's wait completed"
+                        )));
+                        run.stage = SdStage::Done;
+                        return SdOut::Done(Cycles::ZERO);
+                    };
                     // The spin-wait observes each responder's ack by
                     // pulling its CFD line back: one transfer per target.
                     let mut cost = Cycles::ZERO;
@@ -296,11 +310,18 @@ impl Machine {
         self.stats.counters.bump("shootdown_done");
     }
 
-    /// An acknowledgement from `responder` for shootdown `id`.
+    /// An acknowledgement from `responder` for shootdown `id`. Idempotent:
+    /// a responder that already acknowledged (its CFD flag is already
+    /// clear) is ignored — a duplicated IPI or a watchdog re-send racing
+    /// the original ack must not corrupt the pending-ack set.
     pub(crate) fn record_ack(&mut self, id: tlbdown_core::ShootdownId, responder: CoreId) {
         let Some(sd) = self.shootdowns.get_mut(&id) else {
             return;
         };
+        if !sd.pending_acks.contains(&responder) {
+            self.stats.counters.bump("duplicate_ack_ignored");
+            return;
+        }
         let initiator = sd.initiator;
         if sd.ack(responder) {
             self.wake(initiator);
@@ -326,9 +347,15 @@ impl Machine {
             IrqStage::FetchWork => {
                 let id = f.queue[f.qidx];
                 let Some(sd) = self.shootdowns.get(&id) else {
-                    // Already torn down (can only happen in failure tests).
+                    // Already torn down (a watchdog re-send raced the acks,
+                    // or a forced flush reaped it). Nothing was flushed and
+                    // nothing must be acknowledged for this item — in
+                    // particular `acked` must stay false, or LateAck would
+                    // decrement `acked_unflushed` on behalf of a *different*
+                    // item still inside its §3.2 early-ack window.
+                    self.stats.counters.bump("stale_csq_entry");
                     f.act = IrqAct::Skip;
-                    f.acked = true;
+                    f.acked = false;
                     f.stage = IrqStage::LateAck;
                     return StepOut::Continue(Cycles::ZERO);
                 };
@@ -560,5 +587,42 @@ impl Machine {
                 self.cpus[core.index()].tlb_state.local_tlb_gen = upto;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tlbdown_core::{FlushTlbInfo, Shootdown, ShootdownId};
+    use tlbdown_types::{CoreId, Cycles, MmId, PageSize, VirtAddr, VirtRange};
+
+    use crate::{KernelConfig, Machine};
+
+    /// A duplicated shootdown vector (fabric re-delivery, watchdog
+    /// re-send racing the original) makes the responder ack the same id
+    /// twice. The machine-level bookkeeping must swallow the second ack
+    /// instead of corrupting the pending set or waking a stranger.
+    #[test]
+    fn duplicate_ack_is_ignored_at_machine_level() {
+        let mut m = Machine::new(KernelConfig::test_machine(3));
+        let info = FlushTlbInfo::ranged(
+            MmId::new(1),
+            VirtRange::pages(VirtAddr::new(0x1000), 1, PageSize::Size4K),
+            PageSize::Size4K,
+            1,
+        );
+        let id = ShootdownId(7);
+        m.shootdowns.insert(
+            id,
+            Shootdown::new(id, CoreId(0), info, [CoreId(1), CoreId(2)], false, Cycles::ZERO),
+        );
+        m.record_ack(id, CoreId(1));
+        assert_eq!(m.shootdowns[&id].outstanding(), 1);
+        // Second delivery of the same vector: ack already recorded.
+        m.record_ack(id, CoreId(1));
+        assert_eq!(m.shootdowns[&id].outstanding(), 1);
+        assert_eq!(m.stats.counters.get("duplicate_ack_ignored"), 1);
+        // An ack for a long-gone shootdown is likewise harmless.
+        m.record_ack(ShootdownId(99), CoreId(2));
+        assert_eq!(m.shootdowns[&id].outstanding(), 1);
     }
 }

@@ -272,3 +272,51 @@ fn different_chaos_seeds_diverge() {
         "different seeds should produce different fault schedules"
     );
 }
+
+#[test]
+fn duplicate_ipi_vector_is_idempotent_at_every_opt_level() {
+    // The shootdown vector delivered twice (fabric re-delivery) must be
+    // idempotent at every cumulative optimization level: the second
+    // delivery finds either a drained CSQ (spurious IRQ) or a stale CSQ
+    // entry, and in neither case may it double-ack, shrink another item's
+    // early-ack window, or leave call-single-queue state behind.
+    for level in 0..=6 {
+        let opts = OptConfig::cumulative(level);
+        let baseline = {
+            let mut m = boot_chaos(opts, true, FaultSpec::none());
+            run_workload(&mut m)
+        };
+        let mut m = boot_chaos(opts, true, FaultSpec::ipi_duplicate());
+        let out = run_workload(&mut m);
+        assert!(
+            m.stats.counters.get("chaos_ipi_duplicated") > 0,
+            "level {level}: the fault plan never duplicated an IPI"
+        );
+        assert!(
+            m.violations().is_empty(),
+            "level {level}: duplicated vectors tripped the oracle: {:?}",
+            m.violations()
+        );
+        assert_eq!(
+            out, baseline,
+            "level {level}: duplicated vectors changed the semantic outcome"
+        );
+        for c in &m.cpus {
+            assert!(
+                c.csq.is_empty(),
+                "level {level}: CSQ entry leaked on {:?}",
+                c.id
+            );
+            assert_eq!(
+                c.acked_unflushed, 0,
+                "level {level}: early-ack window leaked on {:?}",
+                c.id
+            );
+        }
+        assert!(
+            m.shootdowns.is_empty(),
+            "level {level}: shootdowns left in flight: {:?}",
+            m.shootdowns.keys()
+        );
+    }
+}

@@ -5,6 +5,8 @@ use std::collections::BinaryHeap;
 
 use tlbdown_types::Cycles;
 
+use crate::sched::{Candidate, Scheduler};
+
 /// A pending event: fires at `at`, carrying a payload of type `E`.
 ///
 /// Events scheduled for the same instant fire in scheduling order (FIFO),
@@ -127,6 +129,90 @@ impl<E> Engine<E> {
         self.queue.peek().map(|Reverse(ev)| ev.at)
     }
 
+    /// Pop the next event with a pluggable [`Scheduler`] deciding among
+    /// commutative-ambiguous candidates (see [`crate::sched`]).
+    ///
+    /// Candidates are every event tied at the minimum pending fire time,
+    /// plus any event within `sched.window()` of it for which `eligible`
+    /// returns true (interrupt arrivals whose latency is an estimate, not
+    /// a contract). When the scheduler picks a candidate later than the
+    /// minimum, the passed-over events are re-queued at the chosen fire
+    /// time with their original sequence numbers — i.e. they are *delayed*,
+    /// never dropped or reordered among themselves, and they re-enter the
+    /// candidate set on the next pop.
+    ///
+    /// With [`FifoScheduler`](crate::sched::FifoScheduler) this is
+    /// step-for-step identical to [`Engine::pop`].
+    pub fn pop_with<S, F>(&mut self, sched: &mut S, eligible: F) -> Option<E>
+    where
+        S: Scheduler<E>,
+        F: Fn(&E) -> bool,
+    {
+        let Reverse(first) = self.queue.pop()?;
+        let t_min = first.at;
+        let horizon = t_min + sched.window();
+        // Gather the candidate set: ties at t_min unconditionally, then
+        // race-eligible events up to the horizon. Ineligible in-window
+        // events are set aside untouched.
+        let mut cands: Vec<Scheduled<E>> = vec![first];
+        let mut skipped: Vec<Scheduled<E>> = Vec::new();
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > horizon {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event vanished");
+            if ev.at == t_min || eligible(&ev.payload) {
+                cands.push(ev);
+            } else {
+                skipped.push(ev);
+            }
+        }
+        let choice = if cands.len() == 1 {
+            0
+        } else {
+            let views: Vec<Candidate<'_, E>> = cands
+                .iter()
+                .map(|s| Candidate {
+                    at: s.at,
+                    seq: s.seq,
+                    payload: &s.payload,
+                })
+                .collect();
+            sched.choose(self.now, &views).min(cands.len() - 1)
+        };
+        let mut chosen = cands.swap_remove(choice);
+        // Choosing a race-eligible event from later in the window means it
+        // arrived *early*: it fires now, at t_min. (Its nominal time was
+        // only a latency estimate.) Everything passed over — candidates
+        // and ineligible in-window events alike — goes back untouched, so
+        // time never advances past a pending event and the remaining
+        // orders stay reachable at the next pop.
+        chosen.at = t_min;
+        for ev in cands {
+            self.queue.push(Reverse(ev));
+        }
+        for ev in skipped {
+            self.queue.push(Reverse(ev));
+        }
+        debug_assert!(chosen.at >= self.now, "time went backwards");
+        self.now = t_min;
+        self.popped += 1;
+        Some(chosen.payload)
+    }
+
+    /// All pending events in canonical `(fire time, seq)` order — the
+    /// deterministic view a state digest needs (the heap's internal order
+    /// is unspecified).
+    pub fn pending(&self) -> Vec<(Cycles, u64, &E)> {
+        let mut v: Vec<(Cycles, u64, &E)> = self
+            .queue
+            .iter()
+            .map(|Reverse(s)| (s.at, s.seq, &s.payload))
+            .collect();
+        v.sort_unstable_by_key(|(at, seq, _)| (*at, *seq));
+        v
+    }
+
     /// Drop all pending events and reset the clock (for test reuse).
     pub fn reset(&mut self) {
         self.now = Cycles::ZERO;
@@ -195,6 +281,91 @@ mod tests {
             out
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pop_with_fifo_matches_pop() {
+        use crate::sched::FifoScheduler;
+        let fill = |e: &mut Engine<u32>| {
+            e.schedule_in(Cycles::new(10), 1);
+            e.schedule_in(Cycles::new(10), 2);
+            e.schedule_in(Cycles::new(12), 3);
+            e.schedule_in(Cycles::new(5), 4);
+        };
+        let mut a: Engine<u32> = Engine::new();
+        let mut b: Engine<u32> = Engine::new();
+        fill(&mut a);
+        fill(&mut b);
+        let mut sched = FifoScheduler;
+        loop {
+            let x = a.pop();
+            let y = b.pop_with(&mut sched, |_| true);
+            assert_eq!(x, y);
+            assert_eq!(a.now(), b.now());
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn pop_with_branches_on_ties() {
+        struct PickLast;
+        impl<E> Scheduler<E> for PickLast {
+            fn choose(&mut self, _now: Cycles, c: &[Candidate<'_, E>]) -> usize {
+                c.len() - 1
+            }
+        }
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(Cycles::new(7), 1);
+        e.schedule_at(Cycles::new(7), 2);
+        e.schedule_at(Cycles::new(7), 3);
+        let mut s = PickLast;
+        // Each pop re-branches over the remaining ties.
+        assert_eq!(e.pop_with(&mut s, |_| false), Some(3));
+        assert_eq!(e.pop_with(&mut s, |_| false), Some(2));
+        assert_eq!(e.pop_with(&mut s, |_| false), Some(1));
+        assert_eq!(e.now(), Cycles::new(7));
+    }
+
+    #[test]
+    fn window_pulls_eligible_events_forward() {
+        struct PickLastWindowed;
+        impl<E> Scheduler<E> for PickLastWindowed {
+            fn window(&self) -> Cycles {
+                Cycles::new(100)
+            }
+            fn choose(&mut self, _now: Cycles, c: &[Candidate<'_, E>]) -> usize {
+                c.len() - 1
+            }
+        }
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(Cycles::new(10), 1); // not eligible
+        e.schedule_at(Cycles::new(50), 2); // eligible (odd-valued => irq-ish)
+        e.schedule_at(Cycles::new(200), 3); // outside window
+        let mut s = PickLastWindowed;
+        // The eligible event nominally at t=50 wins the race by arriving
+        // early, at t_min=10; the passed-over t=10 event is untouched and
+        // fires next at its own time.
+        assert_eq!(e.pop_with(&mut s, |v| *v == 2), Some(2));
+        assert_eq!(e.now(), Cycles::new(10));
+        assert_eq!(e.pending()[0], (Cycles::new(10), 0, &1));
+        assert_eq!(e.pop_with(&mut s, |v| *v == 2), Some(1));
+        assert_eq!(e.now(), Cycles::new(10));
+        assert_eq!(e.pop_with(&mut s, |v| *v == 2), Some(3));
+        assert_eq!(e.now(), Cycles::new(200));
+    }
+
+    #[test]
+    fn pending_is_sorted_canonically() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(Cycles::new(30), 3);
+        e.schedule_at(Cycles::new(10), 1);
+        e.schedule_at(Cycles::new(10), 2);
+        let p = e.pending();
+        let vals: Vec<u32> = p.iter().map(|(_, _, v)| **v).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+        assert!(p[0].1 < p[1].1, "ties ordered by seq");
     }
 
     #[test]

@@ -52,6 +52,13 @@ pub enum SimError {
         /// Responders that never acknowledged before degradation.
         pending: Vec<CoreId>,
     },
+    /// A frame refcount decrement on a frame the kernel never tracked —
+    /// double free or unmatched `put_page` (recorded instead of
+    /// panicking on the unmap/CoW hot paths).
+    FrameUnderflow {
+        /// Page-frame number whose count would have gone negative.
+        pfn: u64,
+    },
     /// Physical memory exhausted.
     OutOfMemory,
     /// An operation referenced an unknown address space.
@@ -89,6 +96,9 @@ impl fmt::Display for SimError {
                 f,
                 "shootdown stalled on {initiator}: no ack from {pending:?} within the watchdog budget"
             ),
+            SimError::FrameUnderflow { pfn } => {
+                write!(f, "put_page on untracked frame pfn {pfn:#x}")
+            }
             SimError::OutOfMemory => write!(f, "out of simulated physical memory"),
             SimError::NoSuchMm(mm) => write!(f, "no such address space: {mm:?}"),
             SimError::NotMapped(addr) => write!(f, "address not mapped: {addr}"),

@@ -7,11 +7,19 @@
 //!   stats output. Any hidden nondeterminism (hash-map iteration order
 //!   leaking into scheduling, wall-clock use, an unseeded RNG) shows up
 //!   here as a diff.
-//! - `cargo xtask ci` — both, in order.
+//! - `cargo xtask explore` — the model-checking gate: bounded schedule
+//!   exploration of the shootdown protocols at every cumulative
+//!   optimization level (zero violations expected), plus a seeded-bug
+//!   canary: the `buggy_nmi_check` variant must be caught, its
+//!   counterexample must shrink to a handful of choices, and the artifact
+//!   must replay byte-identically. The whole gate is budgeted to at most
+//!   50k schedules.
+//! - `cargo xtask ci` — all three, in order.
 
 use std::fmt::Write as _;
 use std::process::{Command, ExitCode};
 
+use tlbdown_check::{explore, replay_twice, run_schedule, scenario, shrink, Bounds};
 use tlbdown_core::OptConfig;
 use tlbdown_kernel::chaos::ChaosConfig;
 use tlbdown_kernel::prog::{BusyLoopProg, MadviseLoopProg};
@@ -24,15 +32,20 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("clippy") => clippy(),
         Some("replay") => replay(parse_seed(args.get(1))),
+        Some("explore") => explore_gate(),
         Some("ci") => {
             let c = clippy();
             if c != ExitCode::SUCCESS {
                 return c;
             }
-            replay(parse_seed(args.get(1)))
+            let r = replay(parse_seed(args.get(1)));
+            if r != ExitCode::SUCCESS {
+                return r;
+            }
+            explore_gate()
         }
         _ => {
-            eprintln!("usage: cargo xtask <clippy | replay [seed] | ci>");
+            eprintln!("usage: cargo xtask <clippy | replay [seed] | explore | ci>");
             ExitCode::FAILURE
         }
     }
@@ -103,6 +116,105 @@ fn replay_run(seed: u64) -> String {
         writeln!(out, "counter {k} {v}").unwrap();
     }
     out
+}
+
+/// Total schedule budget for the exploration gate, across all
+/// configurations.
+const EXPLORE_BUDGET: u64 = 50_000;
+
+/// The model-checking gate. Explores the dueling-madvise scenario at all
+/// seven cumulative optimization levels (expecting zero violations), then
+/// verifies the checker's teeth on the seeded `buggy_nmi_check` variant:
+/// caught, shrunk to ≤ 20 choices, replayed byte-identically, and clean
+/// again with the §3.2 extension restored.
+fn explore_gate() -> ExitCode {
+    let mut spent = 0u64;
+    let per_level = Bounds::default().with_max_schedules(2_000);
+    println!(
+        "xtask: bounded schedule exploration, budget {EXPLORE_BUDGET} schedules \
+         (preemption bound {}, window {} cycles)",
+        per_level.preemption_bound,
+        per_level.window.as_u64()
+    );
+    for level in 0..=6 {
+        let report = explore::explore(
+            &|| scenario::dueling_madvise(OptConfig::cumulative(level)),
+            &per_level,
+        );
+        spent += report.stats.schedules;
+        println!(
+            "xtask: opt level {level}: {} schedules, {} branch points, \
+             {} distinct states, {} digest-pruned — {}",
+            report.stats.schedules,
+            report.stats.branch_points,
+            report.stats.distinct_states,
+            report.stats.pruned_digest,
+            if report.all_safe() { "safe" } else { "VIOLATION" }
+        );
+        if let Some(cex) = report.counterexample {
+            eprintln!("xtask: counterexample at opt level {level}: {}", cex.schedule);
+            for v in &cex.violations {
+                eprintln!("xtask:   {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // The canary: the checker must still have teeth.
+    let buggy = || scenario::nmi_probe_demo(true);
+    let bounds = Bounds::default();
+    if run_schedule(&buggy, &bounds, &[]).violated() {
+        eprintln!("xtask: canary drifted — the seeded bug fails under FIFO (should need exploration)");
+        return ExitCode::FAILURE;
+    }
+    let report = explore::explore(&buggy, &bounds);
+    spent += report.stats.schedules;
+    let Some(cex) = report.counterexample else {
+        eprintln!("xtask: CANARY FAILED — exploration missed the seeded buggy_nmi_check bug");
+        return ExitCode::FAILURE;
+    };
+    let minimized = shrink(&buggy, &bounds, &cex.schedule, 2_000);
+    spent += minimized.stats.trials;
+    if minimized.schedule.len() > 20 {
+        eprintln!(
+            "xtask: CANARY FAILED — shrunk schedule has {} choices (> 20): {}",
+            minimized.schedule.len(),
+            minimized.schedule
+        );
+        return ExitCode::FAILURE;
+    }
+    match replay_twice(&buggy, &bounds, &minimized.schedule) {
+        Ok(rep) if rep.violated() => {}
+        Ok(_) => {
+            eprintln!("xtask: CANARY FAILED — minimized schedule no longer violates");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("xtask: CANARY FAILED — {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    spent += 2;
+    let safe_report = explore::explore(&|| scenario::nmi_probe_demo(false), &bounds);
+    spent += safe_report.stats.schedules;
+    if !safe_report.all_safe() {
+        eprintln!("xtask: correct nmi check violated under exploration");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "xtask: canary OK — seeded bug caught in {} schedules, shrunk to {} choices \
+         ({} trials), replays byte-identically; correct check clean in {} schedules",
+        report.stats.schedules,
+        minimized.schedule.len(),
+        minimized.stats.trials,
+        safe_report.stats.schedules
+    );
+    if spent > EXPLORE_BUDGET {
+        eprintln!("xtask: BUDGET EXCEEDED — {spent} schedules > {EXPLORE_BUDGET}");
+        return ExitCode::FAILURE;
+    }
+    println!("xtask: explore OK — {spent} of {EXPLORE_BUDGET} schedule budget used");
+    ExitCode::SUCCESS
 }
 
 fn replay(seed: u64) -> ExitCode {

@@ -54,6 +54,8 @@
 pub use tlbdown_apic as apic;
 /// MESI cacheline coherence cost model.
 pub use tlbdown_cache as cache;
+/// Bounded model checker: schedule exploration, shrinking, replay.
+pub use tlbdown_check as check;
 /// The shootdown protocol engine (the paper's contribution).
 pub use tlbdown_core as core;
 /// The simulated kernel and machine.
