@@ -18,42 +18,50 @@ pub enum Scale {
 }
 
 impl Scale {
-    fn madvise_iters(self) -> u64 {
+    /// Stable label used in sweep job IDs and `BENCH_*.json` configs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
+    pub(crate) fn madvise_iters(self) -> u64 {
         match self {
             Scale::Quick => 120,
             Scale::Full => 1_000,
         }
     }
 
-    fn runs(self) -> u64 {
+    pub(crate) fn runs(self) -> u64 {
         match self {
             Scale::Quick => 3,
             Scale::Full => 5,
         }
     }
 
-    fn sysbench_threads(self) -> Vec<u32> {
+    pub(crate) fn sysbench_threads(self) -> Vec<u32> {
         match self {
             Scale::Quick => vec![1, 2, 4, 8, 12, 16, 20, 24, 28],
             Scale::Full => (1..=28).collect(),
         }
     }
 
-    fn sysbench_duration(self) -> Cycles {
+    pub(crate) fn sysbench_duration(self) -> Cycles {
         match self {
             Scale::Quick => Cycles::new(3_000_000),
             Scale::Full => Cycles::new(8_000_000),
         }
     }
 
-    fn apache_cores(self) -> Vec<u32> {
+    pub(crate) fn apache_cores(self) -> Vec<u32> {
         match self {
             Scale::Quick => vec![1, 2, 4, 6, 8, 11],
             Scale::Full => (1..=11).collect(),
         }
     }
 
-    fn apache_duration(self) -> Cycles {
+    pub(crate) fn apache_duration(self) -> Cycles {
         match self {
             Scale::Quick => Cycles::new(4_000_000),
             Scale::Full => Cycles::new(10_000_000),
@@ -190,7 +198,7 @@ pub fn fig9(scale: Scale) -> String {
                 Scale::Full => 400,
             };
             cfg.runs = scale.runs();
-            let s = run_cow_bench(&cfg);
+            let s = run_cow_bench(&cfg).latency;
             out += &format!(" {:>9.0} ± {:>5.0}    |", s.mean(), s.stddev());
         }
         out += "\n";

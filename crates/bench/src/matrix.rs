@@ -1,0 +1,461 @@
+//! The sweep job matrix: every figure/table of the paper's evaluation
+//! decomposed into independent, deterministic jobs.
+//!
+//! The figure-rendering functions in [`crate::figures`] loop over
+//! {optimization level} × {placement} serially; here the same work is
+//! cut along those axes into [`MatrixJob`]s, each of which builds its
+//! own machines, runs to completion, and reports a rendered fragment
+//! plus a structured [`JobMetrics`] block. Jobs share nothing, so the
+//! sweep engine (`tlbdown-sweep`) can fan them across host cores and
+//! reduce in canonical job-ID order — the parallel reduction is
+//! byte-identical to a serial one (see DESIGN.md §12, and the
+//! determinism test in `tests/sweep_determinism.rs`).
+//!
+//! [`bench_matrix`] is the calibrated subset behind `cargo xtask bench`:
+//! small enough for CI (a few seconds of serial simulation), wide
+//! enough that every protocol path (all opt levels, safe and unsafe
+//! mode, fracturing, CoW) leaves a metric in `BENCH_*.json`.
+
+use tlbdown_core::OptConfig;
+use tlbdown_sweep::Json;
+use tlbdown_workloads::apache::{run_apache, ApacheCfg};
+use tlbdown_workloads::cow::{run_cow_bench, CowBenchCfg};
+use tlbdown_workloads::madvise::{run_madvise_bench, MadviseBenchCfg, Placement};
+use tlbdown_workloads::sysbench::{run_sysbench, SysbenchCfg};
+
+use crate::ablations::{ceiling_sweep, invpcid_sensitivity, paravirt_hint};
+use crate::figures::{app_levels, fig4_ablation, micro_levels, Scale};
+use crate::fractured::table4;
+use crate::metrics::JobMetrics;
+
+/// What one sweep job runs.
+#[derive(Clone, Debug)]
+pub enum JobSpec {
+    /// One optimization-level row of a Figure 5–8 microbenchmark: all
+    /// three placements, initiator and responder sides.
+    MicroRow {
+        /// Figure number (5–8): selects safe/unsafe mode and PTE count.
+        fig: u32,
+        /// Index into [`micro_levels`] for the figure's mode.
+        level: usize,
+    },
+    /// Table 3: latency reduction of the four §3 techniques.
+    Table3,
+    /// The Figure 4 coherence-traffic ablation.
+    Fig4,
+    /// One Figure 9 CoW configuration (both modes).
+    Fig9 {
+        /// 0 = base, 1 = all §3, 2 = all + CoW trick.
+        config: usize,
+    },
+    /// One optimization level of a Figure 10/11 application benchmark:
+    /// the full thread/core sweep at that level, reported as
+    /// speedup-vs-baseline.
+    AppLevel {
+        /// 10 = Sysbench, 11 = Apache.
+        fig: u32,
+        /// Safe (mitigations on) mode?
+        safe: bool,
+        /// Index into [`app_levels`] (level 0, the baseline itself, has
+        /// no speedup row and is skipped).
+        level: usize,
+    },
+    /// One Table 4 page-fracturing row.
+    Table4Row {
+        /// Row index 0..6 in paper order.
+        row: usize,
+    },
+    /// One DESIGN.md ablation (0 = ceiling, 1 = INVPCID, 2 = paravirt).
+    Ablation {
+        /// Which ablation.
+        which: usize,
+    },
+}
+
+/// One independent unit of sweep work.
+#[derive(Clone, Debug)]
+pub struct MatrixJob {
+    /// Stable job ID; the canonical reduction order is the sorted order
+    /// of these.
+    pub id: String,
+    /// Simulated-work scale.
+    pub scale: Scale,
+    /// The experiment.
+    pub spec: JobSpec,
+}
+
+/// What a job produces: a rendered text fragment plus the deterministic
+/// metric block.
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    /// Human-readable fragment (concatenated in job-ID order by the
+    /// sweep reduction).
+    pub rendered: String,
+    /// Sim-side metrics for `BENCH_*.json`.
+    pub metrics: JobMetrics,
+}
+
+impl MatrixJob {
+    fn new(id: String, scale: Scale, spec: JobSpec) -> Self {
+        MatrixJob { id, scale, spec }
+    }
+
+    /// The job's configuration as JSON (recorded next to its metrics in
+    /// `BENCH_*.json` so a snapshot is self-describing).
+    pub fn config_json(&self) -> Json {
+        let kind = match &self.spec {
+            JobSpec::MicroRow { .. } => "micro_row",
+            JobSpec::Table3 => "table3",
+            JobSpec::Fig4 => "fig4",
+            JobSpec::Fig9 { .. } => "fig9",
+            JobSpec::AppLevel { .. } => "app_level",
+            JobSpec::Table4Row { .. } => "table4_row",
+            JobSpec::Ablation { .. } => "ablation",
+        };
+        let mut obj = Json::obj()
+            .with("kind", Json::Str(kind.into()))
+            .with("scale", Json::Str(self.scale.label().into()));
+        match &self.spec {
+            JobSpec::MicroRow { fig, level } => {
+                obj = obj
+                    .with("fig", Json::U64(*fig as u64))
+                    .with("level", Json::U64(*level as u64));
+            }
+            JobSpec::Fig9 { config } => {
+                obj = obj.with("config", Json::U64(*config as u64));
+            }
+            JobSpec::AppLevel { fig, safe, level } => {
+                obj = obj
+                    .with("fig", Json::U64(*fig as u64))
+                    .with("safe", Json::Bool(*safe))
+                    .with("level", Json::U64(*level as u64));
+            }
+            JobSpec::Table4Row { row } => {
+                obj = obj.with("row", Json::U64(*row as u64));
+            }
+            JobSpec::Ablation { which } => {
+                obj = obj.with("which", Json::U64(*which as u64));
+            }
+            JobSpec::Table3 | JobSpec::Fig4 => {}
+        }
+        obj
+    }
+
+    /// Execute the job. Pure: everything it touches is built here.
+    pub fn run(&self) -> JobOutput {
+        match &self.spec {
+            JobSpec::MicroRow { fig, level } => run_micro_row(*fig, *level, self.scale),
+            JobSpec::Table3 => run_table3(self.scale),
+            JobSpec::Fig4 => JobOutput {
+                rendered: fig4_ablation(self.scale),
+                metrics: JobMetrics::new(),
+            },
+            JobSpec::Fig9 { config } => run_fig9(*config, self.scale),
+            JobSpec::AppLevel { fig, safe, level } => {
+                run_app_level(*fig, *safe, *level, self.scale)
+            }
+            JobSpec::Table4Row { row } => run_table4_row(*row),
+            JobSpec::Ablation { which } => JobOutput {
+                rendered: match which {
+                    0 => ceiling_sweep(),
+                    1 => invpcid_sensitivity(),
+                    _ => paravirt_hint(),
+                },
+                metrics: JobMetrics::new(),
+            },
+        }
+    }
+}
+
+fn fig_mode(fig: u32) -> (bool, u64) {
+    match fig {
+        5 => (true, 1),
+        6 => (true, 10),
+        7 => (false, 1),
+        8 => (false, 10),
+        _ => panic!("figure must be 5..=8"),
+    }
+}
+
+fn run_micro_row(fig: u32, level: usize, scale: Scale) -> JobOutput {
+    let (safe, ptes) = fig_mode(fig);
+    let (name, opts) = micro_levels(safe)[level];
+    let mut metrics = JobMetrics::new();
+    let mut rendered = format!(
+        "fig{fig} {} mode, {ptes} PTE(s), level {level} ({name})\n",
+        if safe { "safe" } else { "unsafe" }
+    );
+    for p in Placement::ALL {
+        let mut cfg = MadviseBenchCfg::new(p, ptes, safe, opts);
+        cfg.iters = scale.madvise_iters();
+        cfg.runs = scale.runs();
+        let r = run_madvise_bench(&cfg);
+        rendered += &format!(
+            "  {:<12} initiator {:>9.0} ± {:>6.0}   responder {:>9.0} ± {:>6.0}\n",
+            p.label(),
+            r.initiator.mean(),
+            r.initiator.stddev(),
+            r.responder.mean(),
+            r.responder.stddev()
+        );
+        let key = p.label().replace('-', "_");
+        metrics.put_f64(&format!("initiator_{key}_mean"), r.initiator.mean());
+        metrics.put_f64(&format!("responder_{key}_mean"), r.responder.mean());
+        metrics.put_u64(&format!("sim_cycles_{key}"), r.sim_cycles);
+        metrics.merge_counters(&r.counters);
+    }
+    JobOutput { rendered, metrics }
+}
+
+fn run_table3(scale: Scale) -> JobOutput {
+    let mut metrics = JobMetrics::new();
+    let mut rendered = String::from("table3: diff-socket latency reduction, §3 vs baseline\n");
+    for ptes in [1u64, 10] {
+        for safe in [true, false] {
+            let mut base_cfg =
+                MadviseBenchCfg::new(Placement::DiffSocket, ptes, safe, OptConfig::baseline());
+            base_cfg.iters = scale.madvise_iters();
+            base_cfg.runs = scale.runs();
+            let mut opt_cfg = base_cfg.clone();
+            opt_cfg.opts = OptConfig::general_four();
+            let base = run_madvise_bench(&base_cfg);
+            let opt = run_madvise_bench(&opt_cfg);
+            let ri = 100.0 * (1.0 - opt.initiator.mean() / base.initiator.mean());
+            let rr = 100.0 * (1.0 - opt.responder.mean() / base.responder.mean());
+            let mode = if safe { "safe" } else { "unsafe" };
+            rendered +=
+                &format!("  {ptes:>2} PTE(s) {mode:<6} initiator -{ri:.0}% responder -{rr:.0}%\n");
+            metrics.put_f64(&format!("reduction_initiator_{mode}_{ptes}pte"), ri);
+            metrics.put_f64(&format!("reduction_responder_{mode}_{ptes}pte"), rr);
+            metrics.merge_counters(&base.counters);
+            metrics.merge_counters(&opt.counters);
+        }
+    }
+    JobOutput { rendered, metrics }
+}
+
+fn run_fig9(config: usize, scale: Scale) -> JobOutput {
+    let (name, opts) = match config {
+        0 => ("base", OptConfig::baseline()),
+        1 => ("all", OptConfig::general_four()),
+        _ => ("all+cow", OptConfig::general_four().with_cow(true)),
+    };
+    let mut metrics = JobMetrics::new();
+    let mut rendered = format!("fig9 config {config} ({name}): CoW fault latency\n");
+    for safe in [true, false] {
+        let mut cfg = CowBenchCfg::new(safe, opts);
+        cfg.pages = match scale {
+            Scale::Quick => 150,
+            Scale::Full => 400,
+        };
+        cfg.runs = scale.runs();
+        let r = run_cow_bench(&cfg);
+        let mode = if safe { "safe" } else { "unsafe" };
+        rendered += &format!(
+            "  {mode:<6} {:>9.0} ± {:>5.0}\n",
+            r.latency.mean(),
+            r.latency.stddev()
+        );
+        metrics.put_f64(&format!("latency_{mode}_mean"), r.latency.mean());
+        metrics.put_u64(&format!("sim_cycles_{mode}"), r.sim_cycles);
+        metrics.merge_counters(&r.counters);
+    }
+    JobOutput { rendered, metrics }
+}
+
+fn run_app_level(fig: u32, safe: bool, level: usize, scale: Scale) -> JobOutput {
+    let (name, opts) = app_levels(safe)[level];
+    assert!(level > 0, "level 0 is the baseline; no speedup row");
+    let mode = if safe { "safe" } else { "unsafe" };
+    let mut metrics = JobMetrics::new();
+    let mut rendered = format!("fig{fig} {mode} mode, level {level} ({name}): speedup\n");
+    if fig == 10 {
+        let mut scale_cfg = SysbenchCfg::new(1, safe, OptConfig::baseline());
+        scale_cfg.duration = scale.sysbench_duration();
+        for t in scale.sysbench_threads() {
+            let mut base_cfg = scale_cfg.clone();
+            base_cfg.threads = t;
+            let mut opt_cfg = base_cfg.clone();
+            opt_cfg.opts = opts;
+            let base = run_sysbench(&base_cfg);
+            let opt = run_sysbench(&opt_cfg);
+            let s = opt.throughput / base.throughput;
+            rendered += &format!("  {t:>2} threads {s:>7.3}x\n");
+            metrics.put_f64(&format!("speedup_t{t:02}"), s);
+            metrics.merge_counters(&opt.counters);
+        }
+    } else {
+        let mut scale_cfg = ApacheCfg::new(1, safe, OptConfig::baseline());
+        scale_cfg.duration = scale.apache_duration();
+        for c in scale.apache_cores() {
+            let mut base_cfg = scale_cfg.clone();
+            base_cfg.cores = c;
+            let mut opt_cfg = base_cfg.clone();
+            opt_cfg.opts = opts;
+            let base = run_apache(&base_cfg);
+            let opt = run_apache(&opt_cfg);
+            let s = opt.throughput / base.throughput;
+            rendered += &format!("  {c:>2} cores {s:>7.3}x\n");
+            metrics.put_f64(&format!("speedup_c{c:02}"), s);
+            metrics.merge_counters(&opt.counters);
+        }
+    }
+    JobOutput { rendered, metrics }
+}
+
+fn run_table4_row(row: usize) -> JobOutput {
+    let r = table4().into_iter().nth(row).expect("table 4 has six rows");
+    let guest = r.guest.map(|g| g.to_string()).unwrap_or_else(|| "-".into());
+    let rendered = format!(
+        "table4 row {row}: {} host {} guest {} — full {} selective {}\n",
+        r.env, r.host, guest, r.full_flush_misses, r.selective_flush_misses
+    );
+    let mut metrics = JobMetrics::new();
+    metrics.put_u64("full_flush_misses", r.full_flush_misses);
+    metrics.put_u64("selective_flush_misses", r.selective_flush_misses);
+    JobOutput { rendered, metrics }
+}
+
+/// The full sweep matrix at `scale`: every figure/table decomposed along
+/// its optimization-level axis.
+pub fn full_matrix(scale: Scale) -> Vec<MatrixJob> {
+    let s = scale.label();
+    let mut jobs = Vec::new();
+    for fig in 5..=8u32 {
+        let (safe, _) = fig_mode(fig);
+        for level in 0..micro_levels(safe).len() {
+            jobs.push(MatrixJob::new(
+                format!("fig{fig}/{s}/L{level}"),
+                scale,
+                JobSpec::MicroRow { fig, level },
+            ));
+        }
+    }
+    jobs.push(MatrixJob::new(
+        format!("table3/{s}"),
+        scale,
+        JobSpec::Table3,
+    ));
+    jobs.push(MatrixJob::new(format!("fig4/{s}"), scale, JobSpec::Fig4));
+    for config in 0..3 {
+        jobs.push(MatrixJob::new(
+            format!("fig9/{s}/C{config}"),
+            scale,
+            JobSpec::Fig9 { config },
+        ));
+    }
+    for fig in [10u32, 11] {
+        for safe in [true, false] {
+            let mode = if safe { "safe" } else { "unsafe" };
+            for level in 1..app_levels(safe).len() {
+                jobs.push(MatrixJob::new(
+                    format!("fig{fig}/{s}/{mode}/L{level}"),
+                    scale,
+                    JobSpec::AppLevel { fig, safe, level },
+                ));
+            }
+        }
+    }
+    for row in 0..6 {
+        jobs.push(MatrixJob::new(
+            format!("table4/row{row}"),
+            scale,
+            JobSpec::Table4Row { row },
+        ));
+    }
+    for which in 0..3 {
+        jobs.push(MatrixJob::new(
+            format!("ablation/A{which}"),
+            scale,
+            JobSpec::Ablation { which },
+        ));
+    }
+    jobs
+}
+
+/// The calibrated `cargo xtask bench` subset: quick scale, every
+/// microbenchmark opt level in both modes (figs 5 and 7), the CoW cells,
+/// Table 3, Table 4 and the Figure 4 ablation — a few seconds of serial
+/// simulation covering every protocol path, and wide enough (≥ 16 jobs)
+/// to fan out.
+pub fn bench_matrix() -> Vec<MatrixJob> {
+    let scale = Scale::Quick;
+    let s = scale.label();
+    let mut jobs = Vec::new();
+    for fig in [5u32, 7] {
+        let (safe, _) = fig_mode(fig);
+        for level in 0..micro_levels(safe).len() {
+            jobs.push(MatrixJob::new(
+                format!("fig{fig}/{s}/L{level}"),
+                scale,
+                JobSpec::MicroRow { fig, level },
+            ));
+        }
+    }
+    jobs.push(MatrixJob::new(
+        format!("table3/{s}"),
+        scale,
+        JobSpec::Table3,
+    ));
+    jobs.push(MatrixJob::new(format!("fig4/{s}"), scale, JobSpec::Fig4));
+    for config in 0..3 {
+        jobs.push(MatrixJob::new(
+            format!("fig9/{s}/C{config}"),
+            scale,
+            JobSpec::Fig9 { config },
+        ));
+    }
+    for row in 0..6 {
+        jobs.push(MatrixJob::new(
+            format!("table4/row{row}"),
+            scale,
+            JobSpec::Table4Row { row },
+        ));
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_ids_are_unique() {
+        for jobs in [full_matrix(Scale::Quick), bench_matrix()] {
+            let mut ids: Vec<_> = jobs.iter().map(|j| j.id.clone()).collect();
+            let n = ids.len();
+            ids.sort();
+            ids.dedup();
+            assert_eq!(ids.len(), n, "duplicate job ids");
+        }
+    }
+
+    #[test]
+    fn bench_matrix_is_calibrated_but_wide() {
+        let jobs = bench_matrix();
+        assert!(jobs.len() >= 16, "need enough jobs to fan out");
+        assert!(jobs.iter().all(|j| j.scale == Scale::Quick));
+    }
+
+    #[test]
+    fn table4_row_job_runs() {
+        let job = MatrixJob::new("t4/r1".into(), Scale::Quick, JobSpec::Table4Row { row: 1 });
+        let out = job.run();
+        assert!(out.rendered.contains("table4 row 1"));
+        assert!(out.metrics.render().contains("full_flush_misses"));
+    }
+
+    #[test]
+    fn micro_row_metrics_are_deterministic() {
+        let job = MatrixJob::new(
+            "fig5/L0".into(),
+            Scale::Quick,
+            JobSpec::MicroRow { fig: 5, level: 0 },
+        );
+        let a = job.run();
+        let b = job.run();
+        assert_eq!(a.rendered, b.rendered);
+        assert_eq!(a.metrics.render(), b.metrics.render());
+        assert!(a.metrics.render().contains("ipis_sent"));
+    }
+}

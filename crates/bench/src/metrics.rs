@@ -1,0 +1,90 @@
+//! Structured per-job metrics for the sweep layer.
+//!
+//! Every sweep job reports, besides its rendered text fragment, a
+//! [`JobMetrics`] block: headline sim-side values (simulated cycles,
+//! latency means, speedups) plus the full machine counter set (IPIs,
+//! shootdowns, flushes — serialized through
+//! [`tlbdown_sim::Counter::render_json`]). All of it is *deterministic
+//! simulation state*: identical across hosts, thread counts and reruns.
+//! `BENCH_*.json` therefore diffs these blocks byte-exactly — any drift
+//! is a real behavioural change, not noise — while host wall-clock
+//! stays outside, in the non-canonical part of the snapshot.
+
+use std::collections::BTreeMap;
+
+use tlbdown_sim::Counter;
+use tlbdown_sweep::Json;
+
+/// The deterministic sim-side metric block of one sweep job.
+#[derive(Clone, Debug, Default)]
+pub struct JobMetrics {
+    /// Headline metrics, canonical (sorted) key order.
+    values: BTreeMap<String, Json>,
+    /// Machine counters accumulated across the job's runs.
+    counters: Counter,
+}
+
+impl JobMetrics {
+    /// An empty block.
+    pub fn new() -> Self {
+        JobMetrics::default()
+    }
+
+    /// Record an integer metric.
+    pub fn put_u64(&mut self, key: &str, v: u64) {
+        self.values.insert(key.to_string(), Json::U64(v));
+    }
+
+    /// Record a float metric (must be finite — these come from
+    /// deterministic simulation math).
+    pub fn put_f64(&mut self, key: &str, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite metric {key}");
+        self.values.insert(key.to_string(), Json::F64(v));
+    }
+
+    /// Merge a machine counter set into the block.
+    pub fn merge_counters(&mut self, c: &Counter) {
+        self.counters.merge(c);
+    }
+
+    /// The canonical JSON object: headline keys in sorted order, then
+    /// the full counter set under `"counters"`.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (k, v) in &self.values {
+            obj = obj.with(k, v.clone());
+        }
+        let counters =
+            Json::parse(&self.counters.render_json()).expect("Counter::render_json is valid JSON");
+        obj.with("counters", counters)
+    }
+
+    /// Canonical compact rendering — the unit of byte-exact comparison
+    /// in the perf gate and the sweep determinism test.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_canonical_and_sorted() {
+        let mut m = JobMetrics::new();
+        m.put_f64("zeta", 1.5);
+        m.put_u64("alpha", 7);
+        let mut c = Counter::new();
+        c.add("ipis_sent", 3);
+        m.merge_counters(&c);
+        assert_eq!(
+            m.render(),
+            "{\"alpha\":7,\"zeta\":1.5,\"counters\":{\"ipis_sent\":3}}"
+        );
+        // Whole-valued floats canonicalize to integers.
+        let mut w = JobMetrics::new();
+        w.put_f64("v", 4.0);
+        assert_eq!(w.render(), "{\"v\":4,\"counters\":{}}");
+    }
+}

@@ -1,0 +1,208 @@
+//! `BENCH_*.json`: building, reading back, and diffing perf snapshots.
+//!
+//! `cargo xtask bench` runs [`crate::matrix::bench_matrix`] through the
+//! sweep pool and serializes the result here. The snapshot has two kinds
+//! of content, handled differently by the regression gate:
+//!
+//! - **`sim` blocks** — deterministic simulation metrics (cycles,
+//!   latency means, the full machine counter set). Identical across
+//!   hosts, thread counts and reruns, so the gate compares them
+//!   *byte-exactly* against the previous snapshot: any diff is a real
+//!   behavioural change.
+//! - **`wall_ns` / `totals`** — host wall-clock and speedup. Noisy and
+//!   hardware-dependent, so the gate only bounds the total against the
+//!   baseline at a generous tolerance.
+
+use std::collections::BTreeMap;
+
+use tlbdown_sweep::{Job, Json, SweepReport};
+
+use crate::matrix::{JobOutput, MatrixJob};
+
+/// Version of the `BENCH_*.json` schema.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Wrap matrix jobs for the sweep pool, carrying each job's config JSON
+/// alongside its output so the snapshot is self-describing.
+pub fn bench_jobs(jobs: Vec<MatrixJob>) -> Vec<Job<(Json, JobOutput)>> {
+    jobs.into_iter()
+        .map(|j| {
+            let id = j.id.clone();
+            Job::new(id, move || (j.config_json(), j.run()))
+        })
+        .collect()
+}
+
+/// Build the `BENCH_*.json` document from a finished sweep.
+///
+/// Everything except `git_rev`, the `wall_ns` fields and `totals` is
+/// deterministic simulation state.
+pub fn render_bench_json(report: &SweepReport<(Json, JobOutput)>, git_rev: &str) -> Json {
+    let mut jobs = Vec::new();
+    let mut counters_total: BTreeMap<String, u64> = BTreeMap::new();
+    for r in &report.results {
+        let (config, out) = &r.output;
+        let sim = out.metrics.to_json();
+        if let Some(Json::Obj(pairs)) = sim.get("counters") {
+            for (k, v) in pairs {
+                if let Json::U64(n) = v {
+                    *counters_total.entry(k.clone()).or_insert(0) += n;
+                }
+            }
+        }
+        jobs.push(
+            Json::obj()
+                .with("id", Json::Str(r.id.clone()))
+                .with("config", config.clone())
+                .with("sim", sim)
+                .with("wall_ns", Json::U64(r.wall.as_nanos() as u64)),
+        );
+    }
+    let totals = Json::obj()
+        .with("jobs", Json::U64(report.results.len() as u64))
+        .with(
+            "counters",
+            Json::Obj(
+                counters_total
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::U64(v)))
+                    .collect(),
+            ),
+        )
+        .with("wall_ns", Json::U64(report.elapsed.as_nanos() as u64))
+        .with(
+            "serial_ns",
+            Json::U64(report.serial_estimate().as_nanos() as u64),
+        )
+        .with("speedup_vs_serial", Json::F64(report.speedup_vs_serial()));
+    Json::obj()
+        .with("schema_version", Json::U64(BENCH_SCHEMA_VERSION))
+        .with("git_rev", Json::Str(git_rev.into()))
+        .with("threads", Json::U64(report.threads as u64))
+        .with("jobs", Json::Arr(jobs))
+        .with("totals", totals)
+}
+
+/// Extract the deterministic part of a snapshot: job ID → compact
+/// rendering of its `sim` block. This is the unit of byte-exact
+/// comparison for both the perf gate and the sweep determinism test.
+pub fn sim_blocks(doc: &Json) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let Some(jobs) = doc.get("jobs").and_then(Json::as_arr) else {
+        return out;
+    };
+    for job in jobs {
+        let (Some(id), Some(sim)) = (job.get("id").and_then(Json::as_str), job.get("sim")) else {
+            continue;
+        };
+        out.insert(id.to_string(), sim.render());
+    }
+    out
+}
+
+/// Total sweep wall-clock of a snapshot, if present.
+pub fn total_wall_ns(doc: &Json) -> Option<u64> {
+    doc.get("totals")?.get("wall_ns")?.as_u64()
+}
+
+/// Outcome of diffing two snapshots' deterministic metric blocks.
+#[derive(Clone, Debug, Default)]
+pub struct SimDiff {
+    /// Job IDs present now but not in the baseline (matrix grew).
+    pub added: Vec<String>,
+    /// Job IDs present in the baseline but gone now (matrix shrank).
+    pub removed: Vec<String>,
+    /// Job IDs whose `sim` block bytes changed — a behavioural
+    /// regression (or an intentional protocol change needing a new
+    /// baseline).
+    pub changed: Vec<String>,
+}
+
+impl SimDiff {
+    /// Whether every common job's sim metrics matched byte-exactly.
+    pub fn metrics_match(&self) -> bool {
+        self.changed.is_empty()
+    }
+
+    /// Whether the job sets were identical too.
+    pub fn identical_matrix(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Compare two snapshots' `sim` blocks byte-exactly (job set changes are
+/// reported separately from metric changes).
+pub fn diff_sim_metrics(current: &Json, baseline: &Json) -> SimDiff {
+    let cur = sim_blocks(current);
+    let base = sim_blocks(baseline);
+    let mut diff = SimDiff::default();
+    for (id, sim) in &cur {
+        match base.get(id) {
+            None => diff.added.push(id.clone()),
+            Some(b) if b != sim => diff.changed.push(id.clone()),
+            Some(_) => {}
+        }
+    }
+    for id in base.keys() {
+        if !cur.contains_key(id) {
+            diff.removed.push(id.clone());
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Scale;
+    use crate::matrix::JobSpec;
+    use tlbdown_sweep::run_jobs;
+
+    fn tiny_snapshot() -> Json {
+        let jobs = bench_jobs(vec![
+            MatrixJob {
+                id: "t4/r0".into(),
+                scale: Scale::Quick,
+                spec: JobSpec::Table4Row { row: 0 },
+            },
+            MatrixJob {
+                id: "t4/r1".into(),
+                scale: Scale::Quick,
+                spec: JobSpec::Table4Row { row: 1 },
+            },
+        ]);
+        render_bench_json(&run_jobs(jobs, 2), "deadbeef")
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_diffs_clean_against_itself() {
+        let a = tiny_snapshot();
+        let parsed = Json::parse(&a.render_pretty()).expect("snapshot parses");
+        assert_eq!(parsed.get("schema_version"), Some(&Json::U64(1)));
+        let diff = diff_sim_metrics(&a, &parsed);
+        assert!(diff.metrics_match() && diff.identical_matrix());
+        assert_eq!(sim_blocks(&a).len(), 2);
+        assert!(total_wall_ns(&a).is_some());
+    }
+
+    #[test]
+    fn diff_flags_changed_and_added_jobs() {
+        let a = tiny_snapshot();
+        // Baseline with one job missing and the other's metrics altered.
+        let mut base_jobs: Vec<Json> = a.get("jobs").unwrap().as_arr().unwrap().to_vec();
+        base_jobs.pop();
+        if let Json::Obj(pairs) = &mut base_jobs[0] {
+            for (k, v) in pairs.iter_mut() {
+                if k == "sim" {
+                    *v = Json::obj().with("bogus", Json::U64(1));
+                }
+            }
+        }
+        let baseline = Json::obj().with("jobs", Json::Arr(base_jobs));
+        let diff = diff_sim_metrics(&a, &baseline);
+        assert_eq!(diff.changed, vec!["t4/r0".to_string()]);
+        assert_eq!(diff.added, vec!["t4/r1".to_string()]);
+        assert!(diff.removed.is_empty());
+        assert!(!diff.metrics_match());
+    }
+}

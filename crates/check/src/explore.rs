@@ -131,7 +131,8 @@ impl<E> Scheduler<E> for ExploreScheduler {
             Some(c) => (*c as usize).min(candidates.len() - 1),
             None => 0,
         };
-        self.arities.push(candidates.len().min(u16::MAX as usize) as u16);
+        self.arities
+            .push(candidates.len().min(u16::MAX as usize) as u16);
         self.choices.push(pick as u16);
         pick
     }

@@ -30,10 +30,12 @@
 #![warn(missing_docs)]
 
 pub mod explore;
+pub mod gate;
 pub mod scenario;
 pub mod schedule;
 pub mod shrink;
 
 pub use explore::{explore, replay_twice, run_schedule, Bounds, Counterexample, Report};
+pub use gate::{explore_opt_level, run_canary, CanaryReport, GateReport, LevelReport};
 pub use schedule::Schedule;
 pub use shrink::{shrink, Shrunk};

@@ -122,10 +122,7 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(
-            Schedule::parse("nope"),
-            Err(ScheduleParseError::BadHeader)
-        );
+        assert_eq!(Schedule::parse("nope"), Err(ScheduleParseError::BadHeader));
         assert_eq!(
             Schedule::parse("sched:v1:1,x"),
             Err(ScheduleParseError::BadChoice)

@@ -10,7 +10,10 @@ fn all_opt_levels_explore_clean() {
     // safety or liveness violation at any cumulative optimization level.
     let bounds = Bounds::default().with_max_schedules(150);
     for level in 0..=6 {
-        let report = explore::explore(&|| scenario::dueling_madvise(OptConfig::cumulative(level)), &bounds);
+        let report = explore::explore(
+            &|| scenario::dueling_madvise(OptConfig::cumulative(level)),
+            &bounds,
+        );
         assert!(
             report.all_safe(),
             "level {level} violated: {:?}",

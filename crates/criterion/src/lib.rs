@@ -32,10 +32,7 @@ impl Criterion {
     /// Start a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
-        BenchmarkGroup {
-            _c: self,
-            iters: 3,
-        }
+        BenchmarkGroup { _c: self, iters: 3 }
     }
 }
 

@@ -61,7 +61,10 @@ impl Machine {
             let _ = write!(
                 h,
                 "cpu{i}:ts={:?};csq={:?};au={};bs={};tok={};",
-                cpu.tlb_state, cpu.csq, cpu.acked_unflushed, cpu.in_batched_syscall,
+                cpu.tlb_state,
+                cpu.csq,
+                cpu.acked_unflushed,
+                cpu.in_batched_syscall,
                 cpu.resume_token,
             );
             let _ = write!(h, "frames={:?};", cpu.frames);
@@ -70,8 +73,7 @@ impl Machine {
             let _ = write!(h, "pcid_gens={gens:?};");
         }
         for (i, tlb) in self.tlbs.iter().enumerate() {
-            let mut entries: Vec<String> =
-                tlb.iter_entries().map(|e| format!("{e:?}")).collect();
+            let mut entries: Vec<String> = tlb.iter_entries().map(|e| format!("{e:?}")).collect();
             entries.sort_unstable();
             let _ = write!(h, "tlb{i}={entries:?};frac={};", tlb.fracture_flag());
         }

@@ -7,7 +7,9 @@
 
 use tlbdown_core::{cow_flush_method, CowFlushMethod, FlushTlbInfo};
 use tlbdown_mem::{FrameState, Pte};
-use tlbdown_types::{CoreId, Cycles, MmId, PageSize, Pcid, PteFlags, SimError, VirtAddr, VirtRange};
+use tlbdown_types::{
+    CoreId, Cycles, MmId, PageSize, Pcid, PteFlags, SimError, VirtAddr, VirtRange,
+};
 
 use crate::cpu::{
     FaultFrame, FaultStage, Frame, FrameSlot, NmiFrame, NmiStage, ProgFrame, ResumeState,
@@ -169,7 +171,11 @@ impl Machine {
     /// Switch `core` to thread `idx`; returns the switch cost. Handles the
     /// lazy-TLB exit generation check and PCID bookkeeping. Fails (before
     /// mutating any state) if the thread's address space no longer exists.
-    pub(crate) fn context_switch_in(&mut self, core: CoreId, idx: usize) -> Result<Cycles, SimError> {
+    pub(crate) fn context_switch_in(
+        &mut self,
+        core: CoreId,
+        idx: usize,
+    ) -> Result<Cycles, SimError> {
         let mm_id = self.threads[idx].mm;
         if !self.mms.contains_key(&mm_id) {
             return Err(SimError::NoSuchMm(mm_id));

@@ -365,7 +365,8 @@ impl Machine {
                 f.cur_initiator = initiator;
                 f.cur_early = sd.early_ack;
                 let script = self.smp.fetch_work(initiator, core);
-                let cost = run_script(&mut self.dir, core, &script) + self.faults.cacheline_jitter();
+                let cost =
+                    run_script(&mut self.dir, core, &script) + self.faults.cacheline_jitter();
                 let ts = &self.cpus[core.index()].tlb_state;
                 let action = if ts.loaded_mm != info.mm {
                     FlushAction::Skip
@@ -613,7 +614,14 @@ mod tests {
         let id = ShootdownId(7);
         m.shootdowns.insert(
             id,
-            Shootdown::new(id, CoreId(0), info, [CoreId(1), CoreId(2)], false, Cycles::ZERO),
+            Shootdown::new(
+                id,
+                CoreId(0),
+                info,
+                [CoreId(1), CoreId(2)],
+                false,
+                Cycles::ZERO,
+            ),
         );
         m.record_ack(id, CoreId(1));
         assert_eq!(m.shootdowns[&id].outstanding(), 1);

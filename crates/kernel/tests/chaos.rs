@@ -147,7 +147,11 @@ fn dropped_ipis_fire_watchdog_and_recover() {
         "watchdog never fired despite dropped IPIs: {:?}",
         m.stats.counters
     );
-    assert!(out.initiators_done, "initiators hung: {:?}", m.stats.counters);
+    assert!(
+        out.initiators_done,
+        "initiators hung: {:?}",
+        m.stats.counters
+    );
     assert_eq!(out.madvise, 2 * ITERS);
     assert!(m.violations().is_empty(), "{:?}", m.violations());
 }
@@ -233,7 +237,12 @@ fn same_chaos_seed_replays_identically() {
         spawn_workload(&mut m);
         m.run_until(Cycles::new(80_000_000));
         let counters: BTreeMap<&'static str, u64> = m.stats.counters.iter().collect();
-        (counters, m.now(), m.violations().len(), m.recorded_errors().len())
+        (
+            counters,
+            m.now(),
+            m.violations().len(),
+            m.recorded_errors().len(),
+        )
     };
     let a = run();
     let b = run();

@@ -2,8 +2,21 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 use tlbdown_types::Cycles;
+
+/// Canonical JSON float rendering: whole values render as integers
+/// (matching how they parse back), non-finite values as `null`.
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
 
 /// Streaming mean and standard deviation (Welford's algorithm).
 ///
@@ -86,6 +99,20 @@ impl Summary {
         }
     }
 
+    /// Render the summary as a canonical JSON object. Means and σ are
+    /// exact f64s computed from deterministic inputs, so the rendering is
+    /// byte-stable for identical runs.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"n\":{},\"mean\":{},\"stddev\":{},\"min\":{},\"max\":{}}}",
+            self.n,
+            fmt_f64(self.mean()),
+            fmt_f64(self.stddev()),
+            fmt_f64(self.min()),
+            fmt_f64(self.max())
+        )
+    }
+
     /// Merge another summary into this one (parallel Welford combination).
     pub fn merge(&mut self, other: &Summary) {
         if other.n == 0 {
@@ -154,6 +181,32 @@ impl Counter {
     /// Reset every counter to zero.
     pub fn clear(&mut self) {
         self.counts.clear();
+    }
+
+    /// Add every counter of `other` into this set (sweep-layer reduction
+    /// of per-run machines into one aggregate block).
+    pub fn merge(&mut self, other: &Counter) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Render the counters as a canonical JSON object: keys in sorted
+    /// (BTreeMap) order, integer values. Counters are deterministic
+    /// sim-side state, so this rendering is byte-stable across runs and
+    /// thread counts — the `BENCH_*.json` diff relies on that.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Counter names are static identifiers (no quotes/backslashes
+            // to escape).
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -294,6 +347,39 @@ mod tests {
         assert_eq!(h.percentile_ub(1.0), 1024);
         let nz: Vec<_> = h.iter_nonzero().collect();
         assert!(nz.contains(&(512, 1)));
+    }
+
+    #[test]
+    fn counter_merge_and_json() {
+        let mut a = Counter::new();
+        a.add("ipis_sent", 3);
+        a.bump("shootdown_done");
+        let mut b = Counter::new();
+        b.add("ipis_sent", 2);
+        b.bump("demand_fault");
+        a.merge(&b);
+        assert_eq!(a.get("ipis_sent"), 5);
+        // Keys render sorted (BTreeMap order), values as integers.
+        assert_eq!(
+            a.render_json(),
+            "{\"demand_fault\":1,\"ipis_sent\":5,\"shootdown_done\":1}"
+        );
+        assert_eq!(Counter::new().render_json(), "{}");
+    }
+
+    #[test]
+    fn summary_json_is_canonical() {
+        let mut s = Summary::new();
+        s.record(2.0);
+        s.record(4.0);
+        assert_eq!(
+            s.render_json(),
+            "{\"n\":2,\"mean\":3,\"stddev\":1.4142135623730951,\"min\":2,\"max\":4}"
+        );
+        assert_eq!(
+            Summary::new().render_json(),
+            "{\"n\":0,\"mean\":0,\"stddev\":0,\"min\":0,\"max\":0}"
+        );
     }
 
     #[test]

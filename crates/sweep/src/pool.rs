@@ -1,0 +1,256 @@
+//! The work-stealing thread pool.
+//!
+//! Jobs are distributed round-robin across per-worker deques; a worker
+//! pops from the *front* of its own deque and, when empty, steals from
+//! the *back* of its neighbours' (classic Chase–Lev shape, implemented
+//! with `Mutex<VecDeque>` since the container has no crossbeam and the
+//! jobs here are milliseconds-to-seconds of simulation, far above lock
+//! cost). No job spawns further jobs, so "every deque empty" means the
+//! sweep is drained and a worker may exit.
+//!
+//! Determinism: workers send `(id, output, wall)` tuples over a channel
+//! as they finish, in a nondeterministic order; [`run_jobs`] sorts the
+//! collected results by job ID before returning. Everything canonical
+//! downstream (rendered reductions, `BENCH` sim-metric blocks) is
+//! derived from that sorted vector, so thread count never shows.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One unit of sweep work: a stable ID plus a self-contained closure.
+///
+/// The closure must construct everything it touches (machine, config,
+/// RNG seeds) so that its output is a pure function of the job — see the
+/// crate docs for the determinism argument.
+pub struct Job<T> {
+    /// Stable identifier; the canonical reduction order is the sorted
+    /// order of these IDs, so they must be unique within a sweep.
+    pub id: String,
+    /// The work itself.
+    pub run: Box<dyn FnOnce() -> T + Send>,
+}
+
+impl<T> Job<T> {
+    /// Build a job from an ID and a closure.
+    pub fn new(id: impl Into<String>, run: impl FnOnce() -> T + Send + 'static) -> Self {
+        Job {
+            id: id.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// The outcome of one job.
+#[derive(Clone, Debug)]
+pub struct JobResult<T> {
+    /// The job's stable ID.
+    pub id: String,
+    /// What the closure returned.
+    pub output: T,
+    /// Host wall-clock spent inside the closure (non-canonical: varies
+    /// run to run and must stay out of byte-compared blocks).
+    pub wall: Duration,
+}
+
+/// A finished sweep: results in canonical job-ID order plus host-side
+/// timing.
+#[derive(Debug)]
+pub struct SweepReport<T> {
+    /// Per-job results, sorted by job ID.
+    pub results: Vec<JobResult<T>>,
+    /// Wall-clock for the whole sweep (non-canonical).
+    pub elapsed: Duration,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+impl<T> SweepReport<T> {
+    /// Sum of per-job wall-clock times — an estimate of what a serial
+    /// run of the same job set would have cost (each job is isolated, so
+    /// serial time is the sum of job times up to scheduling noise).
+    pub fn serial_estimate(&self) -> Duration {
+        self.results.iter().map(|r| r.wall).sum()
+    }
+
+    /// `serial_estimate / elapsed`: the sweep's speedup over a serial
+    /// run. ~1.0 on one core; approaches `threads` for a wide matrix.
+    pub fn speedup_vs_serial(&self) -> f64 {
+        let e = self.elapsed.as_secs_f64();
+        if e <= 0.0 {
+            return 1.0;
+        }
+        self.serial_estimate().as_secs_f64() / e
+    }
+}
+
+/// Resolve a requested thread count: 0 means "all host cores".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `jobs` on `threads` workers (0 = all host cores) and reduce in
+/// canonical job-ID order.
+///
+/// Panics if two jobs share an ID — silent ID collisions would make the
+/// canonical order ambiguous and the reduction nondeterministic.
+pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, threads: usize) -> SweepReport<T> {
+    {
+        let mut ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+        ids.sort_unstable();
+        for w in ids.windows(2) {
+            assert!(w[0] != w[1], "duplicate sweep job id {:?}", w[0]);
+        }
+    }
+    let n_jobs = jobs.len();
+    let threads = resolve_threads(threads).max(1).min(n_jobs.max(1));
+    let start = Instant::now();
+
+    // Round-robin distribution in input order: neighbouring jobs (which
+    // tend to have similar cost) land on different workers, and stealing
+    // smooths out the rest.
+    let deques: Vec<Arc<Mutex<VecDeque<Job<T>>>>> = (0..threads)
+        .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+        .collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        deques[i % threads].lock().unwrap().push_back(job);
+    }
+
+    let (tx, rx) = mpsc::channel::<JobResult<T>>();
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let deques = &deques;
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                // Own deque first (front), then steal (back).
+                let job = {
+                    let mut found = deques[me].lock().unwrap().pop_front();
+                    if found.is_none() {
+                        for d in 1..threads {
+                            let victim = (me + d) % threads;
+                            found = deques[victim].lock().unwrap().pop_back();
+                            if found.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    found
+                };
+                let Some(job) = job else { return };
+                let t0 = Instant::now();
+                let output = (job.run)();
+                let wall = t0.elapsed();
+                // The receiver outlives the scope; ignore send failure
+                // only if the main thread already hung up (it cannot:
+                // it is blocked on scope exit).
+                let _ = tx.send(JobResult {
+                    id: job.id,
+                    output,
+                    wall,
+                });
+            });
+        }
+        drop(tx);
+    });
+
+    let mut results: Vec<JobResult<T>> = rx.into_iter().collect();
+    assert_eq!(results.len(), n_jobs, "every job must report a result");
+    results.sort_by(|a, b| a.id.cmp(&b.id));
+    SweepReport {
+        results,
+        elapsed: start.elapsed(),
+        threads,
+    }
+}
+
+/// Concatenate rendered per-job fragments in canonical order, each under
+/// a `== job <id> ==` header. This is *the* reduction used for
+/// byte-identity checks between serial and parallel sweeps.
+pub fn reduce_rendered<T>(report: &SweepReport<T>, render: impl Fn(&T) -> &str) -> String {
+    let mut out = String::new();
+    for r in &report.results {
+        out.push_str("== job ");
+        out.push_str(&r.id);
+        out.push_str(" ==\n");
+        out.push_str(render(&r.output));
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_jobs_run_and_reduce_in_id_order() {
+        let jobs: Vec<Job<u64>> = (0..37)
+            .map(|i| Job::new(format!("job/{i:02}"), move || i * i))
+            .collect();
+        let rep = run_jobs(jobs, 4);
+        assert_eq!(rep.results.len(), 37);
+        for (i, r) in rep.results.iter().enumerate() {
+            assert_eq!(r.id, format!("job/{i:02}"));
+            assert_eq!(r.output, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_many_threads() {
+        let build = || -> Vec<Job<String>> {
+            (0..16)
+                .map(|i| Job::new(format!("j{i:02}"), move || format!("out-{}", i * 7 % 5)))
+                .collect()
+        };
+        let a = run_jobs(build(), 1);
+        let b = run_jobs(build(), 8);
+        let ra = reduce_rendered(&a, |s| s.as_str());
+        let rb = reduce_rendered(&b, |s| s.as_str());
+        assert_eq!(ra, rb, "reduction must not depend on thread count");
+    }
+
+    #[test]
+    fn uneven_jobs_get_stolen() {
+        // One long job pinned (by round-robin) to worker 0 alongside many
+        // short ones: with stealing, the short jobs complete elsewhere.
+        let jobs: Vec<Job<usize>> = (0..32)
+            .map(|i| {
+                Job::new(format!("j{i:02}"), move || {
+                    let spins = if i == 0 { 3_000_000 } else { 1_000 };
+                    let mut acc = 0usize;
+                    for k in 0..spins {
+                        acc = acc.wrapping_mul(31).wrapping_add(k);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        let rep = run_jobs(jobs, 4);
+        assert_eq!(rep.results.len(), 32);
+        // Timing depends on host core count; the invariant that holds
+        // everywhere is completeness + canonical order.
+        assert!(rep.results.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn thread_count_clamps_to_job_count() {
+        let jobs: Vec<Job<u8>> = vec![Job::new("only", || 1u8)];
+        let rep = run_jobs(jobs, 16);
+        assert_eq!(rep.threads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sweep job id")]
+    fn duplicate_ids_panic() {
+        let jobs: Vec<Job<u8>> = vec![Job::new("a", || 0u8), Job::new("a", || 1u8)];
+        run_jobs(jobs, 2);
+    }
+}

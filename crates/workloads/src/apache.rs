@@ -17,7 +17,7 @@ use tlbdown_core::OptConfig;
 use tlbdown_kernel::mm::FileId;
 use tlbdown_kernel::prog::{Prog, ProgAction, ProgCtx};
 use tlbdown_kernel::{KernelConfig, Machine, Syscall};
-use tlbdown_sim::SplitMix64;
+use tlbdown_sim::{Counter, SplitMix64};
 use tlbdown_types::{CoreId, Cycles, Topology, VirtAddr};
 
 /// Configuration of one Apache run.
@@ -61,7 +61,7 @@ impl ApacheCfg {
 }
 
 /// Result of one run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ApacheResult {
     /// Requests completed.
     pub requests: u64,
@@ -69,6 +69,10 @@ pub struct ApacheResult {
     pub seconds: f64,
     /// Requests per simulated second.
     pub throughput: f64,
+    /// Machine counters at the end of the run (sim-side, deterministic).
+    pub counters: Counter,
+    /// Final simulated time in cycles.
+    pub sim_cycles: u64,
 }
 
 /// One worker thread: open-loop arrivals, serve = mmap/touch/send/munmap.
@@ -199,6 +203,8 @@ pub fn run_apache(cfg: &ApacheCfg) -> ApacheResult {
         requests: n,
         seconds,
         throughput: n as f64 / seconds,
+        counters: m.stats.counters.clone(),
+        sim_cycles: m.now().as_u64(),
     }
 }
 

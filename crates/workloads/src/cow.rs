@@ -9,7 +9,7 @@
 use tlbdown_core::OptConfig;
 use tlbdown_kernel::prog::{Prog, ProgAction, ProgCtx};
 use tlbdown_kernel::{KernelConfig, Machine};
-use tlbdown_sim::{SplitMix64, Summary};
+use tlbdown_sim::{Counter, SplitMix64, Summary};
 use tlbdown_types::{CoreId, Cycles, Topology, VirtAddr};
 
 /// Configuration of one CoW experiment.
@@ -61,10 +61,23 @@ impl Prog for CowWriter {
     }
 }
 
-/// Run one Figure 9 cell; returns the CoW fault latency mean ± σ across
-/// runs (cycles).
-pub fn run_cow_bench(cfg: &CowBenchCfg) -> Summary {
+/// Result of one Figure 9 cell: latency plus structured sim-side metrics
+/// for the sweep layer.
+#[derive(Clone, Debug)]
+pub struct CowBenchResult {
+    /// CoW fault + access latency, mean ± σ across runs (cycles).
+    pub latency: Summary,
+    /// Machine counters summed across runs.
+    pub counters: Counter,
+    /// Total simulated cycles across runs.
+    pub sim_cycles: u64,
+}
+
+/// Run one Figure 9 cell.
+pub fn run_cow_bench(cfg: &CowBenchCfg) -> CowBenchResult {
     let mut agg = Summary::new();
+    let mut counters = Counter::new();
+    let mut sim_cycles = 0u64;
     for run in 0..cfg.runs {
         let mut kc = KernelConfig {
             topo: Topology::paper_machine(),
@@ -136,8 +149,14 @@ pub fn run_cow_bench(cfg: &CowBenchCfg) -> Summary {
             "every page CoW-faulted exactly once"
         );
         agg.record(lat.mean());
+        counters.merge(&m.stats.counters);
+        sim_cycles += m.now().as_u64();
     }
-    agg
+    CowBenchResult {
+        latency: agg,
+        counters,
+        sim_cycles,
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +167,7 @@ mod tests {
         let mut cfg = CowBenchCfg::new(safe, opts);
         cfg.pages = 120;
         cfg.runs = 2;
-        run_cow_bench(&cfg)
+        run_cow_bench(&cfg).latency
     }
 
     #[test]

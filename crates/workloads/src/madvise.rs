@@ -11,7 +11,7 @@
 use tlbdown_core::OptConfig;
 use tlbdown_kernel::prog::{BusyLoopProg, Prog, ProgAction, ProgCtx};
 use tlbdown_kernel::{KernelConfig, Machine, Syscall};
-use tlbdown_sim::{SplitMix64, Summary};
+use tlbdown_sim::{Counter, SplitMix64, Summary};
 use tlbdown_types::{CoreId, CostModel, Cycles, Topology, VirtAddr};
 
 /// Where the responder runs relative to the initiator (§5.1 runs every
@@ -91,13 +91,19 @@ impl MadviseBenchCfg {
     }
 }
 
-/// Result: per-metric mean ± σ across runs.
+/// Result: per-metric mean ± σ across runs, plus the structured sim-side
+/// metrics the sweep layer snapshots into `BENCH_*.json`.
 #[derive(Clone, Debug)]
 pub struct MadviseBenchResult {
     /// Initiator-side `madvise` latency (cycles).
     pub initiator: Summary,
     /// Responder-side interruption per shootdown (cycles).
     pub responder: Summary,
+    /// Machine counters (IPIs, shootdowns, flushes, ...) summed across
+    /// runs — deterministic, so byte-stable across repetitions.
+    pub counters: Counter,
+    /// Total simulated cycles across runs (sum of final machine times).
+    pub sim_cycles: u64,
 }
 
 /// The initiator program: mmap once, then loop touch-and-madvise.
@@ -161,6 +167,8 @@ impl Prog for Initiator {
 pub fn run_madvise_bench(cfg: &MadviseBenchCfg) -> MadviseBenchResult {
     let mut initiator = Summary::new();
     let mut responder = Summary::new();
+    let mut counters = Counter::new();
+    let mut sim_cycles = 0u64;
     for run in 0..cfg.runs {
         let mut kc = KernelConfig {
             topo: Topology::paper_machine(),
@@ -210,10 +218,14 @@ pub fn run_madvise_bench(cfg: &MadviseBenchCfg) -> MadviseBenchResult {
             .get(&cfg.placement.responder_core())
             .expect("responder took shootdown IRQs");
         responder.record(resp.mean());
+        counters.merge(&m.stats.counters);
+        sim_cycles += m.now().as_u64();
     }
     MadviseBenchResult {
         initiator,
         responder,
+        counters,
+        sim_cycles,
     }
 }
 

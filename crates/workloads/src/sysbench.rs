@@ -14,7 +14,7 @@ use tlbdown_core::OptConfig;
 use tlbdown_kernel::mm::FileId;
 use tlbdown_kernel::prog::{Prog, ProgAction, ProgCtx};
 use tlbdown_kernel::{KernelConfig, Machine, Syscall};
-use tlbdown_sim::SplitMix64;
+use tlbdown_sim::{Counter, SplitMix64};
 use tlbdown_types::{CoreId, Cycles, Topology, VirtAddr};
 
 /// Configuration of one Sysbench run.
@@ -60,7 +60,7 @@ impl SysbenchCfg {
 }
 
 /// Result of one run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SysbenchResult {
     /// Completed write operations.
     pub ops: u64,
@@ -68,6 +68,10 @@ pub struct SysbenchResult {
     pub seconds: f64,
     /// Writes per simulated second.
     pub throughput: f64,
+    /// Machine counters at the end of the run (sim-side, deterministic).
+    pub counters: Counter,
+    /// Final simulated time in cycles.
+    pub sim_cycles: u64,
 }
 
 /// One sysbench worker thread.
@@ -162,6 +166,8 @@ pub fn run_sysbench(cfg: &SysbenchCfg) -> SysbenchResult {
         ops: n,
         seconds,
         throughput: n as f64 / seconds,
+        counters: m.stats.counters.clone(),
+        sim_cycles: m.now().as_u64(),
     }
 }
 

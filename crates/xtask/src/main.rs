@@ -1,5 +1,6 @@
 //! Repo automation, `cargo xtask <command>` style:
 //!
+//! - `cargo xtask fmt` — the formatting gate: `cargo fmt --all -- --check`.
 //! - `cargo xtask clippy` — the lint gate: `cargo clippy --all-targets`
 //!   with warnings promoted to errors.
 //! - `cargo xtask replay [seed]` — the determinism gate: run the chaos
@@ -7,46 +8,140 @@
 //!   stats output. Any hidden nondeterminism (hash-map iteration order
 //!   leaking into scheduling, wall-clock use, an unseeded RNG) shows up
 //!   here as a diff.
-//! - `cargo xtask explore` — the model-checking gate: bounded schedule
-//!   exploration of the shootdown protocols at every cumulative
-//!   optimization level (zero violations expected), plus a seeded-bug
-//!   canary: the `buggy_nmi_check` variant must be caught, its
-//!   counterexample must shrink to a handful of choices, and the artifact
-//!   must replay byte-identically. The whole gate is budgeted to at most
-//!   50k schedules.
-//! - `cargo xtask ci` — all three, in order.
+//! - `cargo xtask explore [--threads N] [--out PATH]` — the
+//!   model-checking gate: bounded schedule exploration of the shootdown
+//!   protocols at every cumulative optimization level (zero violations
+//!   expected), fanned across host cores by the sweep pool, plus a
+//!   seeded-bug canary. Budgeted at 50k schedules; writes a
+//!   machine-readable summary to `explore_report.json`.
+//! - `cargo xtask bench [--threads N] [--out PATH] [--baseline PATH]
+//!   [--tolerance F]` — the perf gate: run the calibrated bench matrix
+//!   through the sweep pool, write `BENCH_1.json`, diff the
+//!   deterministic sim-metric blocks *byte-exactly* against the previous
+//!   snapshot and bound total wall-clock at a tolerance.
+//! - `cargo xtask sweep [--threads N] [--scale quick|full] [--out PATH]`
+//!   — the full figure/table matrix plus the seven explore jobs, reduced
+//!   in canonical job-ID order (byte-identical for any thread count).
+//! - `cargo xtask ci [seed]` — every gate above. All gates run even if
+//!   an early one fails; a final table reports per-gate pass/fail and
+//!   the exit code is nonzero if any failed.
 
-use std::fmt::Write as _;
 use std::process::{Command, ExitCode};
+use std::time::Duration;
 
-use tlbdown_check::{explore, replay_twice, run_schedule, scenario, shrink, Bounds};
+use tlbdown_bench::report::{diff_sim_metrics, render_bench_json, total_wall_ns};
+use tlbdown_bench::{bench_jobs, bench_matrix, full_matrix, Scale};
+use tlbdown_check::gate::{
+    per_level_bounds, run_canary, CanaryReport, GateReport, LevelReport, DEFAULT_BUDGET,
+};
+use tlbdown_check::{explore_opt_level, Bounds};
 use tlbdown_core::OptConfig;
 use tlbdown_kernel::chaos::ChaosConfig;
 use tlbdown_kernel::prog::{BusyLoopProg, MadviseLoopProg};
 use tlbdown_kernel::{KernelConfig, Machine};
 use tlbdown_sim::fault::FaultSpec;
+use tlbdown_sweep::{reduce_rendered, run_jobs, Job, Json};
 use tlbdown_types::{CoreId, Cycles};
+
+/// Maximum choices allowed in the shrunk canary counterexample.
+const MAX_CANARY_CHOICES: usize = 20;
+
+/// Shrinker trial budget for the canary.
+const SHRINK_BUDGET: u64 = 2_000;
+
+/// Default wall-clock tolerance for the perf gate: the current sweep may
+/// take at most this multiple of the baseline's wall-clock. Generous,
+/// because committed baselines cross hardware; the teeth of the gate are
+/// the byte-exact sim-metric diff.
+const DEFAULT_TOLERANCE: f64 = 3.0;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let ok = match args.first().map(String::as_str) {
+        Some("fmt") => fmt(),
         Some("clippy") => clippy(),
-        Some("replay") => replay(parse_seed(args.get(1))),
-        Some("explore") => explore_gate(),
-        Some("ci") => {
-            let c = clippy();
-            if c != ExitCode::SUCCESS {
-                return c;
-            }
-            let r = replay(parse_seed(args.get(1)));
-            if r != ExitCode::SUCCESS {
-                return r;
-            }
-            explore_gate()
-        }
+        Some("replay") => replay(parse_seed(positional(&args, 1))),
+        Some("explore") => explore_gate(
+            parse_threads(&args),
+            &flag(&args, "--out").unwrap_or_else(|| "explore_report.json".into()),
+        ),
+        Some("bench") => bench_gate(
+            parse_threads(&args),
+            &flag(&args, "--out").unwrap_or_else(|| "BENCH_1.json".into()),
+            flag(&args, "--baseline"),
+            parse_tolerance(&args),
+        ),
+        Some("sweep") => sweep(
+            parse_threads(&args),
+            parse_scale(&args),
+            flag(&args, "--out"),
+        ),
+        Some("ci") => return ci(parse_seed(positional(&args, 1))),
         _ => {
-            eprintln!("usage: cargo xtask <clippy | replay [seed] | explore | ci>");
-            ExitCode::FAILURE
+            eprintln!(
+                "usage: cargo xtask <fmt | clippy | replay [seed] | \
+                 explore [--threads N] [--out PATH] | \
+                 bench [--threads N] [--out PATH] [--baseline PATH] [--tolerance F] | \
+                 sweep [--threads N] [--scale quick|full] [--out PATH] | ci [seed]>"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The value following `name`, if present.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The positional argument at `idx`, skipping nothing — but only if it
+/// does not look like a flag.
+fn positional(args: &[String], idx: usize) -> Option<&String> {
+    args.get(idx).filter(|a| !a.starts_with("--"))
+}
+
+fn parse_threads(args: &[String]) -> usize {
+    flag(args, "--threads")
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("xtask: bad --threads {s:?}, expected a count (0 = all cores)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0)
+}
+
+fn parse_tolerance(args: &[String]) -> f64 {
+    flag(args, "--tolerance")
+        .map(|s| {
+            let v: f64 = s.parse().unwrap_or_else(|_| {
+                eprintln!("xtask: bad --tolerance {s:?}, expected a factor like 3.0");
+                std::process::exit(2);
+            });
+            if v < 1.0 {
+                eprintln!("xtask: --tolerance must be >= 1.0");
+                std::process::exit(2);
+            }
+            v
+        })
+        .unwrap_or(DEFAULT_TOLERANCE)
+}
+
+fn parse_scale(args: &[String]) -> Scale {
+    match flag(args, "--scale").as_deref() {
+        None | Some("quick") => Scale::Quick,
+        Some("full") => Scale::Full,
+        Some(other) => {
+            eprintln!("xtask: bad --scale {other:?}, expected quick or full");
+            std::process::exit(2);
         }
     }
 }
@@ -66,33 +161,57 @@ fn parse_seed(arg: Option<&String>) -> u64 {
     .unwrap_or(0x0dd5_eed5)
 }
 
-fn clippy() -> ExitCode {
-    println!("xtask: cargo clippy --workspace --all-targets -- -D warnings");
+/// The current commit hash, for snapshot provenance.
+fn git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn run_cargo(what: &str, args: &[&str]) -> bool {
+    println!("xtask: cargo {}", args.join(" "));
     let status = Command::new(env!("CARGO", "run via cargo"))
-        .args([
+        .args(args)
+        .status();
+    match status {
+        Ok(s) if s.success() => true,
+        Ok(_) => {
+            eprintln!("xtask: {what} failed");
+            false
+        }
+        Err(e) => {
+            eprintln!("xtask: could not run cargo {what}: {e}");
+            false
+        }
+    }
+}
+
+fn fmt() -> bool {
+    run_cargo("fmt", &["fmt", "--all", "--", "--check"])
+}
+
+fn clippy() -> bool {
+    run_cargo(
+        "clippy",
+        &[
             "clippy",
             "--workspace",
             "--all-targets",
             "--",
             "-D",
             "warnings",
-        ])
-        .status();
-    match status {
-        Ok(s) if s.success() => ExitCode::SUCCESS,
-        Ok(_) => {
-            eprintln!("xtask: clippy failed");
-            ExitCode::FAILURE
-        }
-        Err(e) => {
-            eprintln!("xtask: could not run cargo clippy: {e}");
-            ExitCode::FAILURE
-        }
-    }
+        ],
+    )
 }
 
 /// One full chaos-stress run, rendered to a canonical stats string.
 fn replay_run(seed: u64) -> String {
+    use std::fmt::Write as _;
     let chaos = ChaosConfig::with_fault(FaultSpec::everything(), seed);
     let mut m = Machine::new(
         KernelConfig::test_machine(4)
@@ -118,106 +237,7 @@ fn replay_run(seed: u64) -> String {
     out
 }
 
-/// Total schedule budget for the exploration gate, across all
-/// configurations.
-const EXPLORE_BUDGET: u64 = 50_000;
-
-/// The model-checking gate. Explores the dueling-madvise scenario at all
-/// seven cumulative optimization levels (expecting zero violations), then
-/// verifies the checker's teeth on the seeded `buggy_nmi_check` variant:
-/// caught, shrunk to ≤ 20 choices, replayed byte-identically, and clean
-/// again with the §3.2 extension restored.
-fn explore_gate() -> ExitCode {
-    let mut spent = 0u64;
-    let per_level = Bounds::default().with_max_schedules(2_000);
-    println!(
-        "xtask: bounded schedule exploration, budget {EXPLORE_BUDGET} schedules \
-         (preemption bound {}, window {} cycles)",
-        per_level.preemption_bound,
-        per_level.window.as_u64()
-    );
-    for level in 0..=6 {
-        let report = explore::explore(
-            &|| scenario::dueling_madvise(OptConfig::cumulative(level)),
-            &per_level,
-        );
-        spent += report.stats.schedules;
-        println!(
-            "xtask: opt level {level}: {} schedules, {} branch points, \
-             {} distinct states, {} digest-pruned — {}",
-            report.stats.schedules,
-            report.stats.branch_points,
-            report.stats.distinct_states,
-            report.stats.pruned_digest,
-            if report.all_safe() { "safe" } else { "VIOLATION" }
-        );
-        if let Some(cex) = report.counterexample {
-            eprintln!("xtask: counterexample at opt level {level}: {}", cex.schedule);
-            for v in &cex.violations {
-                eprintln!("xtask:   {v}");
-            }
-            return ExitCode::FAILURE;
-        }
-    }
-
-    // The canary: the checker must still have teeth.
-    let buggy = || scenario::nmi_probe_demo(true);
-    let bounds = Bounds::default();
-    if run_schedule(&buggy, &bounds, &[]).violated() {
-        eprintln!("xtask: canary drifted — the seeded bug fails under FIFO (should need exploration)");
-        return ExitCode::FAILURE;
-    }
-    let report = explore::explore(&buggy, &bounds);
-    spent += report.stats.schedules;
-    let Some(cex) = report.counterexample else {
-        eprintln!("xtask: CANARY FAILED — exploration missed the seeded buggy_nmi_check bug");
-        return ExitCode::FAILURE;
-    };
-    let minimized = shrink(&buggy, &bounds, &cex.schedule, 2_000);
-    spent += minimized.stats.trials;
-    if minimized.schedule.len() > 20 {
-        eprintln!(
-            "xtask: CANARY FAILED — shrunk schedule has {} choices (> 20): {}",
-            minimized.schedule.len(),
-            minimized.schedule
-        );
-        return ExitCode::FAILURE;
-    }
-    match replay_twice(&buggy, &bounds, &minimized.schedule) {
-        Ok(rep) if rep.violated() => {}
-        Ok(_) => {
-            eprintln!("xtask: CANARY FAILED — minimized schedule no longer violates");
-            return ExitCode::FAILURE;
-        }
-        Err(e) => {
-            eprintln!("xtask: CANARY FAILED — {e}");
-            return ExitCode::FAILURE;
-        }
-    }
-    spent += 2;
-    let safe_report = explore::explore(&|| scenario::nmi_probe_demo(false), &bounds);
-    spent += safe_report.stats.schedules;
-    if !safe_report.all_safe() {
-        eprintln!("xtask: correct nmi check violated under exploration");
-        return ExitCode::FAILURE;
-    }
-    println!(
-        "xtask: canary OK — seeded bug caught in {} schedules, shrunk to {} choices \
-         ({} trials), replays byte-identically; correct check clean in {} schedules",
-        report.stats.schedules,
-        minimized.schedule.len(),
-        minimized.stats.trials,
-        safe_report.stats.schedules
-    );
-    if spent > EXPLORE_BUDGET {
-        eprintln!("xtask: BUDGET EXCEEDED — {spent} schedules > {EXPLORE_BUDGET}");
-        return ExitCode::FAILURE;
-    }
-    println!("xtask: explore OK — {spent} of {EXPLORE_BUDGET} schedule budget used");
-    ExitCode::SUCCESS
-}
-
-fn replay(seed: u64) -> ExitCode {
+fn replay(seed: u64) -> bool {
     println!("xtask: deterministic-replay check, seed {seed:#x}");
     let a = replay_run(seed);
     let b = replay_run(seed);
@@ -226,7 +246,7 @@ fn replay(seed: u64) -> ExitCode {
             "xtask: replay OK — {} stats lines byte-identical across two runs",
             a.lines().count()
         );
-        ExitCode::SUCCESS
+        true
     } else {
         eprintln!("xtask: REPLAY DIVERGED — same seed produced different stats:");
         for (la, lb) in a.lines().zip(b.lines()) {
@@ -235,6 +255,297 @@ fn replay(seed: u64) -> ExitCode {
                 eprintln!("  run2: {lb}");
             }
         }
+        false
+    }
+}
+
+/// The seven per-level explorations as sweep jobs. The per-level DFS is
+/// deterministic in isolation, so the jobs can run on any worker in any
+/// order.
+fn explore_level_jobs() -> Vec<Job<LevelReport>> {
+    (0..=6u8)
+        .map(|level| {
+            let bounds = per_level_bounds();
+            Job::new(format!("explore/L{level}"), move || {
+                explore_opt_level(level, &bounds)
+            })
+        })
+        .collect()
+}
+
+fn print_level(rep: &LevelReport) {
+    println!(
+        "xtask: opt level {}: {} schedules, {} branch points, \
+         {} distinct states, {} digest-pruned — {}",
+        rep.level,
+        rep.schedules,
+        rep.branch_points,
+        rep.distinct_states,
+        rep.pruned_digest,
+        if rep.safe { "safe" } else { "VIOLATION" }
+    );
+    if let Some(v) = &rep.violation {
+        eprintln!("xtask: counterexample at opt level {}: {v}", rep.level);
+    }
+}
+
+fn print_canary(c: &CanaryReport) {
+    if !c.fifo_safe {
+        eprintln!(
+            "xtask: canary drifted — the seeded bug fails under FIFO (should need exploration)"
+        );
+        return;
+    }
+    if !c.caught {
+        eprintln!("xtask: CANARY FAILED — exploration missed the seeded buggy_nmi_check bug");
+        return;
+    }
+    if c.shrunk_choices > MAX_CANARY_CHOICES {
+        eprintln!(
+            "xtask: CANARY FAILED — shrunk schedule has {} choices (> {MAX_CANARY_CHOICES}): {}",
+            c.shrunk_choices, c.schedule
+        );
+    }
+    if !c.replay_ok {
+        eprintln!("xtask: CANARY FAILED — minimized schedule no longer violates or diverged");
+    }
+    if !c.safe_clean {
+        eprintln!("xtask: correct nmi check violated under exploration");
+    }
+    if c.pass(MAX_CANARY_CHOICES) {
+        println!(
+            "xtask: canary OK — seeded bug caught in {} schedules, shrunk to {} choices \
+             ({} trials), replays byte-identically; correct check clean in {} schedules",
+            c.caught_in_schedules, c.shrunk_choices, c.shrink_trials, c.safe_schedules
+        );
+    }
+}
+
+/// The model-checking gate: seven per-level explorations fanned across
+/// the sweep pool, the canary, a budget check, and a machine-readable
+/// report written to `out`.
+fn explore_gate(threads: usize, out: &str) -> bool {
+    let per_level = per_level_bounds();
+    println!(
+        "xtask: bounded schedule exploration, budget {DEFAULT_BUDGET} schedules \
+         (preemption bound {}, window {} cycles)",
+        per_level.preemption_bound,
+        per_level.window.as_u64()
+    );
+    let sweep = run_jobs(explore_level_jobs(), threads);
+    let levels: Vec<LevelReport> = sweep.results.iter().map(|r| r.output.clone()).collect();
+    for rep in &levels {
+        print_level(rep);
+    }
+    let canary = run_canary(&Bounds::default(), SHRINK_BUDGET);
+    print_canary(&canary);
+    let spent = levels.iter().map(|l| l.schedules).sum::<u64>() + canary.spent;
+    let gate = GateReport {
+        budget: DEFAULT_BUDGET,
+        spent,
+        threads: sweep.threads,
+        levels,
+        canary,
+        max_canary_choices: MAX_CANARY_CHOICES,
+    };
+    if let Err(e) = std::fs::write(out, gate.to_json().render_pretty()) {
+        eprintln!("xtask: could not write {out}: {e}");
+        return false;
+    }
+    println!(
+        "xtask: wrote {out} ({} levels, {} threads, {:.0?} wall)",
+        gate.levels.len(),
+        sweep.threads,
+        sweep.elapsed
+    );
+    if spent > DEFAULT_BUDGET {
+        eprintln!("xtask: BUDGET EXCEEDED — {spent} schedules > {DEFAULT_BUDGET}");
+    }
+    if gate.pass() {
+        println!("xtask: explore OK — {spent} of {DEFAULT_BUDGET} schedule budget used");
+    }
+    gate.pass()
+}
+
+/// The perf gate: run the calibrated bench matrix through the sweep
+/// pool, write a `BENCH_*.json` snapshot, diff the deterministic sim
+/// metrics byte-exactly against the previous one and bound wall-clock.
+fn bench_gate(threads: usize, out: &str, baseline: Option<String>, tolerance: f64) -> bool {
+    let jobs = bench_jobs(bench_matrix());
+    println!("xtask: perf sweep — {} jobs", jobs.len());
+    let sweep = run_jobs(jobs, threads);
+    let doc = render_bench_json(&sweep, &git_rev());
+    println!(
+        "xtask: {} jobs on {} threads in {:.2?} (serial estimate {:.2?}, speedup {:.2}x)",
+        sweep.results.len(),
+        sweep.threads,
+        sweep.elapsed,
+        sweep.serial_estimate(),
+        sweep.speedup_vs_serial()
+    );
+
+    // Diff against the previous snapshot (explicit --baseline, else the
+    // file we are about to overwrite).
+    let baseline_path = baseline.unwrap_or_else(|| out.to_string());
+    let mut ok = true;
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            match Json::parse(&text) {
+                Ok(base) => ok = gate_against_baseline(&doc, &base, &baseline_path, tolerance),
+                Err(e) => {
+                    eprintln!("xtask: baseline {baseline_path} is not valid JSON ({e}) — PERF GATE FAILED");
+                    ok = false;
+                }
+            }
+        }
+        Err(_) => {
+            println!("xtask: no baseline at {baseline_path} — recording first snapshot");
+        }
+    }
+
+    if let Err(e) = std::fs::write(out, doc.render_pretty()) {
+        eprintln!("xtask: could not write {out}: {e}");
+        return false;
+    }
+    println!("xtask: wrote {out}");
+    if ok {
+        println!("xtask: bench OK");
+    }
+    ok
+}
+
+fn gate_against_baseline(doc: &Json, base: &Json, path: &str, tolerance: f64) -> bool {
+    let diff = diff_sim_metrics(doc, base);
+    let mut ok = true;
+    for id in &diff.added {
+        println!("xtask: new job (no baseline metrics): {id}");
+    }
+    for id in &diff.removed {
+        println!("xtask: job removed from matrix: {id}");
+    }
+    if !diff.metrics_match() {
+        eprintln!(
+            "xtask: PERF GATE FAILED — deterministic sim metrics drifted vs {path} for {} job(s):",
+            diff.changed.len()
+        );
+        for id in &diff.changed {
+            eprintln!("xtask:   {id}");
+        }
+        eprintln!(
+            "xtask: a sim-metric diff is a behavioural change; if intentional, delete {path} to re-baseline"
+        );
+        ok = false;
+    } else {
+        println!(
+            "xtask: sim metrics byte-identical to {path} across {} common job(s)",
+            doc.get("jobs")
+                .and_then(Json::as_arr)
+                .map_or(0, <[Json]>::len)
+                - diff.added.len()
+        );
+    }
+    match (total_wall_ns(doc), total_wall_ns(base)) {
+        (Some(cur), Some(prev)) if prev > 0 => {
+            let ratio = cur as f64 / prev as f64;
+            if ratio > tolerance {
+                eprintln!(
+                    "xtask: PERF GATE FAILED — wall-clock {:.2?} is {ratio:.2}x the baseline's \
+                     {:.2?} (tolerance {tolerance:.1}x)",
+                    Duration::from_nanos(cur),
+                    Duration::from_nanos(prev)
+                );
+                ok = false;
+            } else {
+                println!(
+                    "xtask: wall-clock {:.2?} vs baseline {:.2?} ({ratio:.2}x, tolerance {tolerance:.1}x)",
+                    Duration::from_nanos(cur),
+                    Duration::from_nanos(prev)
+                );
+            }
+        }
+        _ => println!("xtask: baseline has no wall-clock totals; skipping the time bound"),
+    }
+    ok
+}
+
+/// The full sweep: every figure/table job plus the seven explore jobs,
+/// reduced in canonical job-ID order. The reduction is byte-identical
+/// for any `--threads` value.
+fn sweep(threads: usize, scale: Scale, out: Option<String>) -> bool {
+    let mut jobs: Vec<Job<String>> = full_matrix(scale)
+        .into_iter()
+        .map(|j| {
+            let id = j.id.clone();
+            Job::new(id, move || {
+                let o = j.run();
+                format!("{}sim {}\n", o.rendered, o.metrics.render())
+            })
+        })
+        .collect();
+    jobs.extend(explore_level_jobs().into_iter().map(|j| {
+        let id = j.id.clone();
+        Job::new(id, move || {
+            let rep = (j.run)();
+            format!(
+                "opt level {}: {} schedules, {} branch points, {} distinct states, \
+                 {} digest-pruned — {}\n",
+                rep.level,
+                rep.schedules,
+                rep.branch_points,
+                rep.distinct_states,
+                rep.pruned_digest,
+                if rep.safe { "safe" } else { "VIOLATION" }
+            )
+        })
+    }));
+    let n = jobs.len();
+    println!("xtask: full sweep — {n} jobs at {} scale", scale.label());
+    let report = run_jobs(jobs, threads);
+    let reduced = reduce_rendered(&report, |s| s.as_str());
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &reduced) {
+                eprintln!("xtask: could not write {path}: {e}");
+                return false;
+            }
+            println!("xtask: wrote {path} ({} bytes)", reduced.len());
+        }
+        None => print!("{reduced}"),
+    }
+    println!(
+        "xtask: {n} jobs on {} threads in {:.2?} (serial estimate {:.2?}, speedup {:.2}x)",
+        report.threads,
+        report.elapsed,
+        report.serial_estimate(),
+        report.speedup_vs_serial()
+    );
+    true
+}
+
+/// Every gate, in order. All of them run even if an early one fails —
+/// one CI invocation reports every broken gate, not just the first.
+fn ci(seed: u64) -> ExitCode {
+    let gates: Vec<(&str, bool)> = vec![
+        ("fmt", fmt()),
+        ("clippy", clippy()),
+        ("replay", replay(seed)),
+        ("explore", explore_gate(0, "explore_report.json")),
+        (
+            "bench",
+            bench_gate(0, "BENCH_1.json", None, DEFAULT_TOLERANCE),
+        ),
+    ];
+    println!("xtask: ── gate summary ──");
+    let mut all_ok = true;
+    for (name, ok) in &gates {
+        println!("xtask:   {name:<8} {}", if *ok { "PASS" } else { "FAIL" });
+        all_ok &= ok;
+    }
+    if all_ok {
+        println!("xtask: ci OK — all {} gates passed", gates.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask: ci FAILED — see the gate summary above");
         ExitCode::FAILURE
     }
 }

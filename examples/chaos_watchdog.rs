@@ -39,15 +39,12 @@ fn run(fault: Fault, label: &str) {
     ] {
         println!("  {k:<22}{:>12}", m.stats.counters.get(k));
     }
-    println!(
-        "  stall diagnostics     {:>12}",
-        m.recorded_errors().len()
+    println!("  stall diagnostics     {:>12}", m.recorded_errors().len());
+    println!("  oracle violations     {:>12}", m.violations().len());
+    assert!(
+        m.violations().is_empty(),
+        "the degraded path must stay safe"
     );
-    println!(
-        "  oracle violations     {:>12}",
-        m.violations().len()
-    );
-    assert!(m.violations().is_empty(), "the degraded path must stay safe");
     assert!(
         m.threads[0].done,
         "the watchdog must bound the initiator's completion"
@@ -55,6 +52,9 @@ fn run(fault: Fault, label: &str) {
 }
 
 fn main() {
-    run(Fault::none(), "healthy fabric (watchdog armed, never fires)");
+    run(
+        Fault::none(),
+        "healthy fabric (watchdog armed, never fires)",
+    );
     run(Fault::ipi_drop(), "lossy fabric: 35% of IPIs dropped");
 }

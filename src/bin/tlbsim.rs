@@ -152,8 +152,8 @@ fn main() {
             let s = run_cow_bench(&cfg);
             println!(
                 "CoW fault + access latency: {:.0} ± {:.0} cycles",
-                s.mean(),
-                s.stddev()
+                s.latency.mean(),
+                s.latency.stddev()
             );
         }
         "sysbench" => {
