@@ -1,0 +1,33 @@
+//! The no-trace bench guard: the tracing hooks must not tax the hot
+//! path. Two variants of the same workload — `untraced` runs with the
+//! tracer present but disabled (one predicted branch per hook),
+//! `enabled` pays for real emission — so hook bloat shows up as
+//! `untraced` regressing in the tracked criterion history. (The
+//! compiled-out configuration is pinned separately by `cargo xtask
+//! trace`, which builds the kernel with `--no-default-features`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlbdown_core::OptConfig;
+use tlbdown_workloads::madvise::{
+    run_madvise_bench, run_madvise_bench_traced, MadviseBenchCfg, Placement,
+};
+
+fn quick_cfg() -> MadviseBenchCfg {
+    let mut cfg = MadviseBenchCfg::new(Placement::SameSocket, 10, true, OptConfig::cumulative(6));
+    cfg.iters = 60;
+    cfg.runs = 1;
+    cfg
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+    g.bench_function("untraced", |b| b.iter(|| run_madvise_bench(&quick_cfg())));
+    g.bench_function("enabled", |b| {
+        b.iter(|| run_madvise_bench_traced(&quick_cfg(), 1 << 14))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! [`JobMetrics`] block: headline sim-side values (simulated cycles,
 //! latency means, speedups) plus the full machine counter set (IPIs,
 //! shootdowns, flushes — serialized through
-//! [`tlbdown_sim::Counter::render_json`]). All of it is *deterministic
+//! [`tlbdown_sim::Counter::to_json`]). All of it is *deterministic
 //! simulation state*: identical across hosts, thread counts and reruns.
 //! `BENCH_*.json` therefore diffs these blocks byte-exactly — any drift
 //! is a real behavioural change, not noise — while host wall-clock
@@ -54,9 +54,7 @@ impl JobMetrics {
         for (k, v) in &self.values {
             obj = obj.with(k, v.clone());
         }
-        let counters =
-            Json::parse(&self.counters.render_json()).expect("Counter::render_json is valid JSON");
-        obj.with("counters", counters)
+        obj.with("counters", self.counters.to_json())
     }
 
     /// Canonical compact rendering — the unit of byte-exact comparison

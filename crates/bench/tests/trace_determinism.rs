@@ -1,0 +1,35 @@
+//! Thread-count invariance of trace capture.
+//!
+//! One traced `dueling_madvise` job per optimization level, dispatched
+//! through the sweep pool: the reduced output — each job's Chrome
+//! trace_event export — must be byte-identical whether the pool runs on
+//! one thread or four. Trace determinism composes with the sweep
+//! layer's canonical job-ID-ordered reduction.
+
+use tlbdown_check::scenario::dueling_madvise;
+use tlbdown_core::OptConfig;
+use tlbdown_sweep::{reduce_rendered, run_jobs, Job};
+use tlbdown_trace::to_chrome_json;
+
+fn trace_jobs() -> Vec<Job<String>> {
+    (0..=6usize)
+        .map(|lvl| {
+            Job::new(format!("trace-L{lvl}"), move || {
+                let mut m = dueling_madvise(OptConfig::cumulative(lvl));
+                m.start_tracing(1 << 14);
+                m.run();
+                to_chrome_json(&m.take_trace()).render()
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn trace_exports_are_thread_count_invariant() {
+    let serial = run_jobs(trace_jobs(), 1);
+    let parallel = run_jobs(trace_jobs(), 4);
+    let a = reduce_rendered(&serial, |s: &String| s.as_str());
+    let b = reduce_rendered(&parallel, |s: &String| s.as_str());
+    assert_eq!(a, b, "trace bytes must not depend on pool thread count");
+    assert!(!a.is_empty());
+}

@@ -31,6 +31,9 @@ use tlbdown_types::{CoreId, Cycles, SimError};
 
 use crate::event::Event;
 use crate::machine::Machine;
+use crate::tracewire::trace_emit;
+#[cfg(feature = "trace")]
+use tlbdown_trace::{AckKind, PerturbKind, TraceEvent};
 
 /// The csd-lock watchdog on the initiator's ack spin-wait.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -107,11 +110,27 @@ impl Machine {
                 }
                 IpiFault::Drop => {
                     self.stats.counters.bump("chaos_ipi_dropped");
+                    trace_emit!(
+                        self,
+                        initiator,
+                        None::<u64>,
+                        TraceEvent::Perturb {
+                            kind: PerturbKind::IpiDropped,
+                        }
+                    );
                 }
                 IpiFault::Duplicate { gap } => {
                     self.engine.schedule_in(at, ev(d.target));
                     self.engine.schedule_in(at + gap, ev(d.target));
                     self.stats.counters.bump("chaos_ipi_duplicated");
+                    trace_emit!(
+                        self,
+                        initiator,
+                        None::<u64>,
+                        TraceEvent::Perturb {
+                            kind: PerturbKind::IpiDuplicated,
+                        }
+                    );
                     delivered += 2;
                 }
             }
@@ -146,12 +165,28 @@ impl Machine {
         }
         let pending: Vec<CoreId> = sd.pending_acks.iter().copied().collect();
         self.stats.counters.bump("csd_watchdog_fired");
+        trace_emit!(
+            self,
+            initiator,
+            Some(id.0),
+            TraceEvent::Perturb {
+                kind: PerturbKind::WatchdogFired,
+            }
+        );
         if resends < self.cfg.chaos.watchdog.max_resends {
             // Bounded retry: re-queue the work and re-send the IPIs (the
             // re-sends pass through the fault plan again — a lossy fabric
             // can eat these too; the degradation path below is the
             // backstop that keeps completion bounded).
             self.stats.counters.bump("csd_watchdog_resend");
+            trace_emit!(
+                self,
+                initiator,
+                Some(id.0),
+                TraceEvent::Perturb {
+                    kind: PerturbKind::WatchdogResend,
+                }
+            );
             for t in &pending {
                 if !self.cpus[t.index()].csq.contains(&id) {
                     self.cpus[t.index()].csq.push_back(id);
@@ -169,6 +204,14 @@ impl Machine {
         } else {
             // Degrade: conservative full flush + forced ack per laggard.
             self.stats.counters.bump("csd_watchdog_degrade");
+            trace_emit!(
+                self,
+                initiator,
+                Some(id.0),
+                TraceEvent::Perturb {
+                    kind: PerturbKind::WatchdogDegrade,
+                }
+            );
             self.record_error(SimError::ShootdownStall {
                 initiator,
                 pending: pending.clone(),
@@ -193,6 +236,14 @@ impl Machine {
         }
         let mm_id = sd.info.mm;
         self.stats.counters.bump("forced_full_flush");
+        trace_emit!(
+            self,
+            core,
+            Some(id.0),
+            TraceEvent::FullFlush {
+                user: self.cfg.safe_mode,
+            }
+        );
         if let Some(mm) = self.mms.get(&mm_id) {
             let pcid = mm.pcid;
             let cur_gen = mm.gen.current();
@@ -220,6 +271,15 @@ impl Machine {
         // of a stale id is tolerated by the IRQ handler, but dropping it
         // here keeps the queue honest.
         self.cpus[core.index()].csq.retain(|q| *q != id);
+        trace_emit!(
+            self,
+            core,
+            Some(id.0),
+            TraceEvent::IpiAck {
+                kind: AckKind::Forced,
+                by: core,
+            }
+        );
         self.record_ack(id, core);
     }
 }

@@ -240,6 +240,13 @@ pub struct ShootdownRun {
     pub decided: Option<FlushAction>,
     /// Whether the user-PCID side was already handled (full-flush deferral).
     pub user_handled: bool,
+    /// Trace-layer bookkeeping: the trace operation id for this run (the
+    /// shootdown id when one was registered, a synthetic local id
+    /// otherwise). Set on leaving `Prep`; `None` when tracing is off.
+    pub trace_op: Option<u64>,
+    /// Trace-layer bookkeeping: the last stage a phase mark was emitted
+    /// for, so each stage transition is recorded exactly once.
+    pub trace_stage: Option<SdStage>,
 }
 
 impl ShootdownRun {
@@ -266,6 +273,8 @@ impl ShootdownRun {
             retire: Vec::new(),
             decided: None,
             user_handled: false,
+            trace_op: None,
+            trace_stage: None,
         }
     }
 

@@ -20,6 +20,9 @@ use crate::mm::VmaKind;
 use crate::prog::{ProgAction, ProgCtx, Syscall};
 use crate::sem::SemMode;
 use crate::shoot::SdOut;
+use crate::tracewire::trace_emit;
+#[cfg(feature = "trace")]
+use tlbdown_trace::TraceEvent;
 
 /// Result of stepping one frame.
 pub(crate) enum StepOut {
@@ -407,6 +410,9 @@ impl Machine {
                     let lat = self.engine.now() + acc.cost - t0;
                     self.stats.record_fault(core, label, lat);
                 }
+                if !acc.hit {
+                    trace_emit!(self, core, None::<u64>, TraceEvent::PageWalk { va: va.0 });
+                }
                 let page = va.align_down(PageSize::Size4K);
                 if self.cfg.oracle {
                     if acc.hit {
@@ -654,6 +660,17 @@ impl Machine {
     fn syscall_body(&mut self, core: CoreId, sf: &mut SyscallFrame) -> Result<Cycles, SimError> {
         let mm_id = self.current_mm(core);
         let costs = self.cfg.costs.clone();
+        let trace_pages = match sf.call {
+            Syscall::MmapAnon { pages }
+            | Syscall::MmapFile { pages, .. }
+            | Syscall::Munmap { pages, .. }
+            | Syscall::MadviseDontNeed { pages, .. }
+            | Syscall::Msync { pages, .. }
+            | Syscall::Mprotect { pages, .. }
+            | Syscall::Send { pages, .. } => pages,
+            Syscall::Fdatasync { .. } => 0,
+        };
+        self.trace_mm_op(core, syscall_name(&sf.call), trace_pages);
         match sf.call {
             Syscall::MmapAnon { pages } => {
                 let mm = self.mms.get_mut(&mm_id).ok_or(SimError::NoSuchMm(mm_id))?;
@@ -1329,6 +1346,12 @@ impl Machine {
             // tables — architecturally free (§3.4 baseline behaviour).
             self.tlbs[core.index()].flush_pcid(user_pcid);
             self.stats.counters.bump("exit_full_user_flush");
+            trace_emit!(
+                self,
+                core,
+                None::<u64>,
+                TraceEvent::FullFlush { user: true }
+            );
             Cycles::ZERO
         } else {
             // The in-context INVLPG loop, plus the Spectre-v1 lfence.
@@ -1341,6 +1364,7 @@ impl Machine {
             }
             cost += self.cfg.costs.lfence;
             self.stats.counters.add("in_context_flushes", n);
+            trace_emit!(self, core, None::<u64>, TraceEvent::InContextFlush { n });
             cost
         }
     }

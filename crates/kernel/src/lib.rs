@@ -19,7 +19,11 @@
 //!   behaviour the paper argues is hazardous,
 //! - the [`oracle`]: a safety checker that flags any user-mode access
 //!   translating through a TLB entry whose removal the kernel has already
-//!   guaranteed.
+//!   guaranteed,
+//! - deterministic event tracing (the `trace` feature, on by default):
+//!   [`machine::Machine::start_tracing`] records typed `tlbdown_trace`
+//!   events — shootdown phases, IPIs, flushes, page walks, cacheline
+//!   transfers — without perturbing simulation state.
 
 pub mod chaos;
 pub mod config;
@@ -33,6 +37,7 @@ pub mod oracle;
 pub mod prog;
 pub mod sem;
 mod shoot;
+mod tracewire;
 
 pub use chaos::{ChaosConfig, WatchdogConfig};
 pub use config::KernelConfig;

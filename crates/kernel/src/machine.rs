@@ -22,6 +22,9 @@ use crate::mm::{File, FileId, FrameRefs, Mm};
 use crate::oracle::Oracle;
 use crate::prog::Prog;
 use crate::sem::RwSem;
+use crate::tracewire::trace_emit;
+#[cfg(feature = "trace")]
+use tlbdown_trace::TraceEvent;
 
 /// A thread pinned to a core.
 pub struct Thread {
@@ -135,6 +138,11 @@ pub struct Machine {
     pub(crate) dirty_index: HashMap<MmId, std::collections::BTreeSet<u64>>,
     /// Seeded jitter stream (see `KernelConfig::noise_cycles`).
     pub(crate) noise_rng: SplitMix64,
+    /// Structured event tracer (see [`Machine::start_tracing`]).
+    /// Disabled by default; emission behind one branch, and compiled
+    /// out entirely without the `trace` feature.
+    #[cfg(feature = "trace")]
+    pub tracer: tlbdown_trace::Tracer,
     next_sd: u64,
     next_mm: u64,
     next_pcid: u16,
@@ -190,6 +198,8 @@ impl Machine {
             pending_nmi_probe: HashMap::new(),
             dirty_index: HashMap::new(),
             noise_rng: SplitMix64::new(cfg_seed),
+            #[cfg(feature = "trace")]
+            tracer: tlbdown_trace::Tracer::disabled(),
             next_sd: 1,
             next_mm: 1,
             next_pcid: 1,
@@ -415,9 +425,30 @@ impl Machine {
                     self.step_core(core);
                 }
             }
-            Event::IpiArrive { core, vector } => self.on_ipi(core, vector),
-            Event::NmiArrive { core } => self.on_nmi(core),
-            Event::LazyFlushDue { core, info } => self.on_lazy_flush(core, info),
+            Event::IpiArrive { core, vector } => {
+                trace_emit!(self, core, None::<u64>, TraceEvent::IpiDeliver);
+                self.on_ipi(core, vector);
+            }
+            Event::NmiArrive { core } => {
+                trace_emit!(
+                    self,
+                    core,
+                    None::<u64>,
+                    TraceEvent::EngineDispatch { kind: "nmi_arrive" }
+                );
+                self.on_nmi(core);
+            }
+            Event::LazyFlushDue { core, info } => {
+                trace_emit!(
+                    self,
+                    core,
+                    None::<u64>,
+                    TraceEvent::EngineDispatch {
+                        kind: "lazy_flush_due"
+                    }
+                );
+                self.on_lazy_flush(core, info);
+            }
             Event::CsdWatchdog {
                 initiator,
                 id,
@@ -501,7 +532,18 @@ impl Machine {
         }
         // Chaos: a dawdling responder enters its handler late (interrupts
         // re-enabled only after a long critical section).
-        cost += self.faults.irq_entry_delay(core);
+        let entry_delay = self.faults.irq_entry_delay(core);
+        if entry_delay > Cycles::ZERO {
+            trace_emit!(
+                self,
+                core,
+                None::<u64>,
+                TraceEvent::Perturb {
+                    kind: tlbdown_trace::PerturbKind::IrqEntryDelay,
+                }
+            );
+        }
+        cost += entry_delay;
         self.stats.counters.bump("irq_dispatch");
         let frame = Frame::Irq(IrqFrame {
             started: self.engine.now(),
@@ -556,5 +598,24 @@ impl Machine {
         let id = ShootdownId(self.next_sd);
         self.next_sd += 1;
         id
+    }
+}
+
+#[cfg(feature = "trace")]
+impl Machine {
+    /// Turn on structured event tracing with per-core ring buffers of
+    /// `per_core_capacity` records each. Tracing never mutates simulation
+    /// state: no RNG draws, no cost charges, no scheduling — metrics and
+    /// digests are byte-identical with tracing on, off, or compiled out.
+    pub fn start_tracing(&mut self, per_core_capacity: usize) {
+        let n = self.cfg.topo.num_cores() as usize;
+        self.tracer.enable(n, per_core_capacity);
+    }
+
+    /// Drain everything recorded so far into a [`tlbdown_trace::Trace`],
+    /// leaving the tracer enabled (sequence numbers keep running, so a
+    /// later capture merges after this one).
+    pub fn take_trace(&mut self) -> tlbdown_trace::Trace {
+        self.tracer.take()
     }
 }

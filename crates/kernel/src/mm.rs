@@ -195,6 +195,38 @@ impl FrameRefs {
     }
 }
 
+#[cfg(feature = "trace")]
+impl crate::machine::Machine {
+    /// Record an address-space operation (`munmap`, `madvise_dontneed`,
+    /// …) in the trace. Syscall bodies call this unconditionally; the
+    /// no-trace build gets an empty inline twin.
+    pub(crate) fn trace_mm_op(
+        &mut self,
+        core: tlbdown_types::CoreId,
+        kind: &'static str,
+        pages: u64,
+    ) {
+        crate::tracewire::trace_emit!(
+            self,
+            core,
+            None::<u64>,
+            tlbdown_trace::TraceEvent::MmOp { kind, pages }
+        );
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+impl crate::machine::Machine {
+    #[inline(always)]
+    pub(crate) fn trace_mm_op(
+        &mut self,
+        _core: tlbdown_types::CoreId,
+        _kind: &'static str,
+        _pages: u64,
+    ) {
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

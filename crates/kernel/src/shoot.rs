@@ -8,6 +8,9 @@ use tlbdown_types::{CoreId, Cycles, PageSize, SimError, VirtRange};
 use crate::cpu::{IrqAct, IrqFrame, IrqStage, LocalMode, SdStage, ShootdownRun};
 use crate::event::Event;
 use crate::machine::Machine;
+use crate::tracewire::trace_emit;
+#[cfg(feature = "trace")]
+use tlbdown_trace::{AckKind, SdPhaseKind, SkipKind, TraceEvent};
 
 /// Result of stepping an initiator shootdown run.
 pub(crate) enum SdOut {
@@ -17,6 +20,74 @@ pub(crate) enum SdOut {
     Block,
     /// The run is complete (including remote acks).
     Done(Cycles),
+}
+
+#[cfg(feature = "trace")]
+impl Machine {
+    /// Open the trace span for `run` on leaving `Prep`: pick its
+    /// operation id (the registered shootdown id when there are remote
+    /// targets, a synthetic local id otherwise) and mark the `Prep`
+    /// phase. The mark carries the time the `Prep` step was dispatched
+    /// — the engine clock does not advance inside a step — so the span
+    /// starts exactly where the executor did.
+    fn trace_sd_begin(&mut self, core: CoreId, run: &mut ShootdownRun) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let op = match run.sd {
+            Some(id) => id.0,
+            None => self.tracer.alloc_local_op(),
+        };
+        run.trace_op = Some(op);
+        run.trace_stage = Some(SdStage::Prep);
+        trace_emit!(
+            self,
+            core,
+            Some(op),
+            TraceEvent::SdPhase {
+                phase: SdPhaseKind::Prep,
+            }
+        );
+    }
+
+    /// Mark a stage transition for `run`'s span, exactly once per stage
+    /// (per-entry INVLPG loops re-enter a stage many times). Called at
+    /// the top of every `step_sd`.
+    fn trace_sd_step(&mut self, core: CoreId, run: &mut ShootdownRun) {
+        let Some(op) = run.trace_op else { return };
+        if run.trace_stage == Some(run.stage) {
+            return;
+        }
+        let phase = match run.stage {
+            SdStage::SendIpis => SdPhaseKind::SendIpis,
+            SdStage::LocalFlush => SdPhaseKind::LocalFlush,
+            SdStage::UserFlush => SdPhaseKind::UserFlush,
+            SdStage::Wait => SdPhaseKind::Wait,
+            SdStage::Prep | SdStage::Done => return,
+        };
+        run.trace_stage = Some(run.stage);
+        trace_emit!(self, core, Some(op), TraceEvent::SdPhase { phase });
+    }
+
+    /// Close `run`'s span. `sync` is the final acknowledgement-poll cost,
+    /// charged after the completion timestamp, so the analysis layer
+    /// computes end-to-end latency as `done_at + sync - start`.
+    fn trace_sd_done(&mut self, core: CoreId, run: &ShootdownRun, sync: Cycles) {
+        if let Some(op) = run.trace_op {
+            trace_emit!(self, core, Some(op), TraceEvent::SdDone { sync });
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+impl Machine {
+    // No-op twins so `step_sd` reads the same in both builds.
+    #[inline(always)]
+    fn trace_sd_begin(&mut self, _core: CoreId, _run: &mut ShootdownRun) {}
+    #[inline(always)]
+    fn trace_sd_step(&mut self, _core: CoreId, _run: &mut ShootdownRun) {}
+    #[inline(always)]
+    fn trace_sd_done(&mut self, _core: CoreId, _run: &ShootdownRun, _sync: Cycles) {}
 }
 
 impl Machine {
@@ -38,6 +109,7 @@ impl Machine {
 
     /// Step the initiator-side shootdown state machine.
     pub(crate) fn step_sd(&mut self, core: CoreId, run: &mut ShootdownRun) -> SdOut {
+        self.trace_sd_step(core, run);
         match run.stage {
             SdStage::Prep => {
                 self.stats.counters.bump("shootdown");
@@ -65,6 +137,7 @@ impl Machine {
                         .counters
                         .add("latr_deferred", candidates.len() as u64);
                     run.stage = SdStage::LocalFlush;
+                    self.trace_sd_begin(core, run);
                     return SdOut::Continue(cost);
                 }
                 let mut targets = Vec::new();
@@ -77,10 +150,26 @@ impl Machine {
                         // no user access can happen there; it re-syncs at
                         // its own kernel exit.
                         self.stats.counters.bump("batched_skip");
+                        trace_emit!(
+                            self,
+                            core,
+                            None::<u64>,
+                            TraceEvent::Skip {
+                                kind: SkipKind::Batched,
+                            }
+                        );
                     } else if self.cpus[t.index()].tlb_state.needs_ipi_for(mm_id) {
                         targets.push(t);
                     } else {
                         self.stats.counters.bump("lazy_skip");
+                        trace_emit!(
+                            self,
+                            core,
+                            None::<u64>,
+                            TraceEvent::Skip {
+                                kind: SkipKind::Lazy,
+                            }
+                        );
                     }
                 }
                 if !targets.is_empty() {
@@ -97,6 +186,7 @@ impl Machine {
                     }
                 }
                 run.stage = self.sd_next(SdStage::Prep);
+                self.trace_sd_begin(core, run);
                 SdOut::Continue(cost)
             }
             SdStage::SendIpis => {
@@ -113,6 +203,8 @@ impl Machine {
                     // Chaos: the CSD cacheline may bounce slowly.
                     cost += self.faults.cacheline_jitter();
                     self.cpus[t.index()].csq.push_back(id);
+                    trace_emit!(self, core, Some(id.0), TraceEvent::CsqEnqueue { to: *t });
+                    trace_emit!(self, core, Some(id.0), TraceEvent::IpiSend { to: *t });
                 }
                 // Every delivery passes through the fault plan (delay,
                 // drop, duplicate); the watchdog below is the safety net
@@ -138,6 +230,14 @@ impl Machine {
                 match decided {
                     FlushAction::Skip => {
                         self.stats.counters.bump("local_flush_skip");
+                        trace_emit!(
+                            self,
+                            core,
+                            run.trace_op,
+                            TraceEvent::Skip {
+                                kind: SkipKind::LocalGen,
+                            }
+                        );
                         run.stage = self.sd_next(SdStage::LocalFlush);
                         SdOut::Continue(Cycles::new(50))
                     }
@@ -152,6 +252,12 @@ impl Machine {
                             run.user_handled = true;
                         }
                         self.stats.counters.bump("local_full_flush");
+                        trace_emit!(
+                            self,
+                            core,
+                            run.trace_op,
+                            TraceEvent::FullFlush { user: false }
+                        );
                         run.stage = self.sd_next(SdStage::LocalFlush);
                         SdOut::Continue(self.cfg.costs.full_flush)
                     }
@@ -190,6 +296,12 @@ impl Machine {
                                 }
                             };
                             self.cpus[core.index()].tlb_state.local_tlb_gen = upto;
+                            trace_emit!(
+                                self,
+                                core,
+                                run.trace_op,
+                                TraceEvent::AtomicRmw { va: va.0 }
+                            );
                             run.stage = self.sd_next(SdStage::LocalFlush);
                             return SdOut::Continue(self.cfg.costs.atomic_rmw + access_cost);
                         }
@@ -197,6 +309,15 @@ impl Machine {
                             let va = run.kernel_entries[run.kidx];
                             run.kidx += 1;
                             self.tlbs[core.index()].invlpg(kpcid, va);
+                            trace_emit!(
+                                self,
+                                core,
+                                run.trace_op,
+                                TraceEvent::Invlpg {
+                                    va: va.0,
+                                    user: false,
+                                }
+                            );
                             let slow = self.faults.invlpg_penalty(core);
                             SdOut::Continue(self.cfg.costs.invlpg + slow)
                         } else {
@@ -232,6 +353,15 @@ impl Machine {
                         run.uidx += 1;
                         self.tlbs[core.index()].invpcid_single(upcid, va);
                         self.stats.counters.bump("interleaved_user_flush");
+                        trace_emit!(
+                            self,
+                            core,
+                            run.trace_op,
+                            TraceEvent::Invlpg {
+                                va: va.0,
+                                user: true
+                            }
+                        );
                         let slow = self.faults.invlpg_penalty(core);
                         return SdOut::Continue(self.cfg.costs.invpcid_single + slow);
                     }
@@ -242,6 +372,7 @@ impl Machine {
                             .deferred_user
                             .record(rest, run.info.stride);
                         self.stats.counters.bump("user_flush_deferred");
+                        trace_emit!(self, core, run.trace_op, TraceEvent::UserFlushDeferred);
                     }
                     run.stage = self.sd_next(SdStage::UserFlush);
                     SdOut::Continue(Cycles::ZERO)
@@ -251,6 +382,15 @@ impl Machine {
                         let va = run.user_entries[run.uidx];
                         run.uidx += 1;
                         self.tlbs[core.index()].invpcid_single(upcid, va);
+                        trace_emit!(
+                            self,
+                            core,
+                            run.trace_op,
+                            TraceEvent::Invlpg {
+                                va: va.0,
+                                user: true
+                            }
+                        );
                         let slow = self.faults.invlpg_penalty(core);
                         SdOut::Continue(self.cfg.costs.invpcid_single + slow)
                     } else {
@@ -262,6 +402,7 @@ impl Machine {
             SdStage::Wait => {
                 let Some(id) = run.sd else {
                     run.stage = SdStage::Done;
+                    self.trace_sd_done(core, run, Cycles::ZERO);
                     return SdOut::Done(Cycles::ZERO);
                 };
                 if self
@@ -279,6 +420,7 @@ impl Machine {
                             "shootdown {id:?} vanished before its initiator's wait completed"
                         )));
                         run.stage = SdStage::Done;
+                        self.trace_sd_done(core, run, Cycles::ZERO);
                         return SdOut::Done(Cycles::ZERO);
                     };
                     // The spin-wait observes each responder's ack by
@@ -290,6 +432,7 @@ impl Machine {
                         cost += self.faults.cacheline_jitter();
                     }
                     run.stage = SdStage::Done;
+                    self.trace_sd_done(core, run, cost);
                     SdOut::Done(cost)
                 } else {
                     SdOut::Block
@@ -336,6 +479,14 @@ impl Machine {
             IrqStage::DrainQueue => {
                 f.queue = self.cpus[core.index()].csq.drain(..).collect();
                 f.qidx = 0;
+                trace_emit!(
+                    self,
+                    core,
+                    None::<u64>,
+                    TraceEvent::CsqDrain {
+                        n: f.queue.len() as u64,
+                    }
+                );
                 if f.queue.is_empty() {
                     self.stats.counters.bump("spurious_irq");
                     f.stage = IrqStage::Eoi;
@@ -354,6 +505,14 @@ impl Machine {
                     // decrement `acked_unflushed` on behalf of a *different*
                     // item still inside its §3.2 early-ack window.
                     self.stats.counters.bump("stale_csq_entry");
+                    trace_emit!(
+                        self,
+                        core,
+                        Some(id.0),
+                        TraceEvent::Skip {
+                            kind: SkipKind::StaleCsq,
+                        }
+                    );
                     f.act = IrqAct::Skip;
                     f.acked = false;
                     f.stage = IrqStage::LateAck;
@@ -367,6 +526,12 @@ impl Machine {
                 let script = self.smp.fetch_work(initiator, core);
                 let cost =
                     run_script(&mut self.dir, core, &script) + self.faults.cacheline_jitter();
+                trace_emit!(
+                    self,
+                    core,
+                    Some(id.0),
+                    TraceEvent::CachelineTransfer { cost }
+                );
                 let ts = &self.cpus[core.index()].tlb_state;
                 let action = if ts.loaded_mm != info.mm {
                     FlushAction::Skip
@@ -415,11 +580,28 @@ impl Machine {
                     f.acked = true;
                     self.cpus[core.index()].acked_unflushed += 1;
                     self.stats.counters.bump("early_ack");
+                    trace_emit!(
+                        self,
+                        core,
+                        Some(id.0),
+                        TraceEvent::IpiAck {
+                            kind: AckKind::Early,
+                            by: core,
+                        }
+                    );
                     self.record_ack(id, core);
                 }
                 match f.act {
                     IrqAct::Pending => unreachable!("decision made in FetchWork"),
                     IrqAct::Skip => {
+                        trace_emit!(
+                            self,
+                            core,
+                            Some(id.0),
+                            TraceEvent::Skip {
+                                kind: SkipKind::Responder,
+                            }
+                        );
                         f.stage = IrqStage::LateAck;
                         StepOut::Continue(cost + Cycles::new(50))
                     }
@@ -437,6 +619,12 @@ impl Machine {
                         // tlbstate line — the §3.3 false-sharing source.
                         let script = self.smp.touch_tlbstate(core);
                         cost += run_script(&mut self.dir, core, &script);
+                        trace_emit!(
+                            self,
+                            core,
+                            Some(id.0),
+                            TraceEvent::FullFlush { user: false }
+                        );
                         f.stage = IrqStage::LateAck;
                         StepOut::Continue(cost + self.cfg.costs.full_flush)
                     }
@@ -452,6 +640,15 @@ impl Machine {
                     let va = f.entries[f.eidx];
                     f.eidx += 1;
                     self.tlbs[core.index()].invlpg(kpcid, va);
+                    trace_emit!(
+                        self,
+                        core,
+                        Some(f.queue[f.qidx].0),
+                        TraceEvent::Invlpg {
+                            va: va.0,
+                            user: false,
+                        }
+                    );
                     let slow = self.faults.invlpg_penalty(core);
                     StepOut::Continue(self.cfg.costs.invlpg + slow)
                 } else {
@@ -482,6 +679,12 @@ impl Machine {
                                 .deferred_user
                                 .record(rest, i.stride);
                             self.stats.counters.bump("user_flush_deferred");
+                            trace_emit!(
+                                self,
+                                core,
+                                Some(f.queue[f.qidx].0),
+                                TraceEvent::UserFlushDeferred
+                            );
                         }
                     }
                     f.stage = IrqStage::LateAck;
@@ -491,6 +694,15 @@ impl Machine {
                     let va = f.user_entries[f.uidx];
                     f.uidx += 1;
                     self.tlbs[core.index()].invpcid_single(upcid, va);
+                    trace_emit!(
+                        self,
+                        core,
+                        Some(f.queue[f.qidx].0),
+                        TraceEvent::Invlpg {
+                            va: va.0,
+                            user: true
+                        }
+                    );
                     let slow = self.faults.invlpg_penalty(core);
                     StepOut::Continue(self.cfg.costs.invpcid_single + slow)
                 } else {
@@ -510,6 +722,15 @@ impl Machine {
                     cost += run_script(&mut self.dir, core, &script);
                     cost += self.faults.cacheline_jitter();
                     self.stats.counters.bump("late_ack");
+                    trace_emit!(
+                        self,
+                        core,
+                        Some(id.0),
+                        TraceEvent::IpiAck {
+                            kind: AckKind::Late,
+                            by: core,
+                        }
+                    );
                     self.record_ack(id, core);
                 }
                 f.qidx += 1;

@@ -99,6 +99,17 @@ impl<E> Engine<E> {
         self.popped
     }
 
+    /// The sequence number the *next* scheduled event will receive.
+    ///
+    /// Together with [`Engine::events_processed`] this gives trace
+    /// layers two deterministic monotone stamps: one for when work was
+    /// scheduled, one for the dispatch a record was emitted under. Both
+    /// are pure simulation state — no host time, no allocation order —
+    /// so anything keyed on them replays byte-identically.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
     /// Schedule `payload` to fire at absolute time `at`.
     ///
     /// Scheduling in the past is a logic error in the caller; the engine
@@ -377,5 +388,21 @@ mod tests {
         assert!(e.is_empty());
         assert_eq!(e.now(), Cycles::ZERO);
         assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn trace_stamps_are_monotone() {
+        let mut e: Engine<u32> = Engine::new();
+        assert_eq!(e.next_seq(), 0);
+        assert_eq!(e.events_processed(), 0);
+        e.schedule_in(Cycles::new(5), 1);
+        e.schedule_in(Cycles::new(5), 2);
+        assert_eq!(e.next_seq(), 2, "one seq per scheduled event");
+        e.pop();
+        assert_eq!(e.events_processed(), 1);
+        e.pop();
+        assert_eq!(e.events_processed(), 2);
+        e.reset();
+        assert_eq!(e.next_seq(), 0);
     }
 }

@@ -2,21 +2,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::fmt::Write as _;
 
+use tlbdown_sweep::Json;
 use tlbdown_types::Cycles;
-
-/// Canonical JSON float rendering: whole values render as integers
-/// (matching how they parse back), non-finite values as `null`.
-fn fmt_f64(v: f64) -> String {
-    if !v.is_finite() {
-        "null".to_string()
-    } else if v == v.trunc() && v.abs() < 1e15 {
-        format!("{}", v as i64)
-    } else {
-        format!("{v}")
-    }
-}
 
 /// Streaming mean and standard deviation (Welford's algorithm).
 ///
@@ -99,18 +87,22 @@ impl Summary {
         }
     }
 
-    /// Render the summary as a canonical JSON object. Means and σ are
-    /// exact f64s computed from deterministic inputs, so the rendering is
-    /// byte-stable for identical runs.
+    /// The summary as a canonical [`Json`] object. Means and σ are exact
+    /// f64s computed from deterministic inputs, and the shared writer's
+    /// float policy (whole values as integers, non-finite as `null`)
+    /// keeps the rendering byte-stable for identical runs.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("n", Json::U64(self.n))
+            .with("mean", Json::F64(self.mean()))
+            .with("stddev", Json::F64(self.stddev()))
+            .with("min", Json::F64(self.min()))
+            .with("max", Json::F64(self.max()))
+    }
+
+    /// Compact rendering of [`Summary::to_json`].
     pub fn render_json(&self) -> String {
-        format!(
-            "{{\"n\":{},\"mean\":{},\"stddev\":{},\"min\":{},\"max\":{}}}",
-            self.n,
-            fmt_f64(self.mean()),
-            fmt_f64(self.stddev()),
-            fmt_f64(self.min()),
-            fmt_f64(self.max())
-        )
+        self.to_json().render()
     }
 
     /// Merge another summary into this one (parallel Welford combination).
@@ -191,22 +183,22 @@ impl Counter {
         }
     }
 
-    /// Render the counters as a canonical JSON object: keys in sorted
+    /// The counters as a canonical [`Json`] object: keys in sorted
     /// (BTreeMap) order, integer values. Counters are deterministic
-    /// sim-side state, so this rendering is byte-stable across runs and
+    /// sim-side state, so the rendering is byte-stable across runs and
     /// thread counts — the `BENCH_*.json` diff relies on that.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.counts
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), Json::U64(*v)))
+                .collect(),
+        )
+    }
+
+    /// Compact rendering of [`Counter::to_json`].
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{");
-        for (i, (k, v)) in self.counts.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            // Counter names are static identifiers (no quotes/backslashes
-            // to escape).
-            let _ = write!(out, "\"{k}\":{v}");
-        }
-        out.push('}');
-        out
+        self.to_json().render()
     }
 }
 

@@ -165,6 +165,43 @@ impl Prog for Initiator {
 
 /// Run one experiment; returns per-run means aggregated across runs.
 pub fn run_madvise_bench(cfg: &MadviseBenchCfg) -> MadviseBenchResult {
+    run_with_hooks(cfg, |_, _| {}, |_, _| {})
+}
+
+/// Like [`run_madvise_bench`], with the first run traced: returns the
+/// aggregate result plus the captured [`tlbdown_trace::Trace`] of run 0.
+/// Tracing never perturbs the simulation, so the aggregate is
+/// byte-identical to the untraced runner's.
+#[cfg(feature = "trace")]
+pub fn run_madvise_bench_traced(
+    cfg: &MadviseBenchCfg,
+    per_core_capacity: usize,
+) -> (MadviseBenchResult, tlbdown_trace::Trace) {
+    let mut trace = tlbdown_trace::Trace::default();
+    let res = run_with_hooks(
+        cfg,
+        |run, m| {
+            if run == 0 {
+                m.start_tracing(per_core_capacity);
+            }
+        },
+        |run, m| {
+            if run == 0 {
+                trace = m.take_trace();
+            }
+        },
+    );
+    (res, trace)
+}
+
+/// The shared per-run loop. `pre` runs on the freshly built machine
+/// before it executes; `post` runs after it drains, before the stats are
+/// read out.
+fn run_with_hooks(
+    cfg: &MadviseBenchCfg,
+    mut pre: impl FnMut(u64, &mut Machine),
+    mut post: impl FnMut(u64, &mut Machine),
+) -> MadviseBenchResult {
     let mut initiator = Summary::new();
     let mut responder = Summary::new();
     let mut counters = Counter::new();
@@ -198,8 +235,10 @@ pub fn run_madvise_bench(cfg: &MadviseBenchCfg) -> MadviseBenchResult {
             }),
         );
         m.spawn(mm, cfg.placement.responder_core(), Box::new(BusyLoopProg));
+        pre(run, &mut m);
         // Generous deadline; the initiator exits well before it.
         m.run_until(Cycles::new(cfg.iters * 400_000));
+        post(run, &mut m);
         assert!(
             m.violations().is_empty(),
             "oracle violations: {:?}",

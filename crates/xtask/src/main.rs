@@ -22,6 +22,14 @@
 //! - `cargo xtask sweep [--threads N] [--scale quick|full] [--out PATH]`
 //!   — the full figure/table matrix plus the seven explore jobs, reduced
 //!   in canonical job-ID order (byte-identical for any thread count).
+//! - `cargo xtask trace [--out PATH]` — the tracing gate: capture the
+//!   calibrated dueling-madvise workload at every cumulative optimization
+//!   level, require exact per-phase attribution (sums to end-to-end
+//!   latency for every shootdown), byte-identical exports across replays
+//!   and pool thread counts, Chrome trace_event schema validity with a
+//!   strict-parser round-trip, and a clean compile of the kernel with
+//!   tracing compiled out. Prints the paper-style "where did the cycles
+//!   go" table and writes a sample `.trace.json` (opens in Perfetto).
 //! - `cargo xtask ci [seed]` — every gate above. All gates run even if
 //!   an early one fails; a final table reports per-gate pass/fail and
 //!   the exit code is nonzero if any failed.
@@ -41,6 +49,10 @@ use tlbdown_kernel::prog::{BusyLoopProg, MadviseLoopProg};
 use tlbdown_kernel::{KernelConfig, Machine};
 use tlbdown_sim::fault::FaultSpec;
 use tlbdown_sweep::{reduce_rendered, run_jobs, Job, Json};
+use tlbdown_trace::{
+    analyze, render_attribution_table, render_phase_diff, to_chrome_json, validate_chrome,
+    PhaseTotals, Trace,
+};
 use tlbdown_types::{CoreId, Cycles};
 
 /// Maximum choices allowed in the shrunk canary counterexample.
@@ -76,13 +88,17 @@ fn main() -> ExitCode {
             parse_scale(&args),
             flag(&args, "--out"),
         ),
+        Some("trace") => {
+            trace_gate(&flag(&args, "--out").unwrap_or_else(|| "sample.trace.json".into()))
+        }
         Some("ci") => return ci(parse_seed(positional(&args, 1))),
         _ => {
             eprintln!(
                 "usage: cargo xtask <fmt | clippy | replay [seed] | \
                  explore [--threads N] [--out PATH] | \
                  bench [--threads N] [--out PATH] [--baseline PATH] [--tolerance F] | \
-                 sweep [--threads N] [--scale quick|full] [--out PATH] | ci [seed]>"
+                 sweep [--threads N] [--scale quick|full] [--out PATH] | \
+                 trace [--out PATH] | ci [seed]>"
             );
             return ExitCode::FAILURE;
         }
@@ -522,6 +538,129 @@ fn sweep(threads: usize, scale: Scale, out: Option<String>) -> bool {
     true
 }
 
+/// One traced run of the calibrated trace-gate workload.
+fn traced_dueling(level: usize) -> Trace {
+    let mut m = tlbdown_check::scenario::dueling_madvise(OptConfig::cumulative(level));
+    m.start_tracing(1 << 14);
+    m.run();
+    m.take_trace()
+}
+
+/// The tracing gate. Five checks, all of which run even if an early one
+/// fails: exact per-phase attribution at every optimization level,
+/// byte-identical exports across two replays, thread-count invariance
+/// through the sweep pool, Chrome trace_event schema validity with a
+/// strict-parser round-trip, and the no-trace build of the kernel.
+/// Writes a sample export (Perfetto-loadable) to `out`.
+fn trace_gate(out: &str) -> bool {
+    let mut ok = true;
+
+    // 1. Exact attribution at every cumulative optimization level.
+    let mut columns = Vec::new();
+    for level in 0..=6usize {
+        let trace = traced_dueling(level);
+        let a = analyze(&trace);
+        let inexact = a
+            .spans
+            .iter()
+            .filter(|s| s.phase_sum() != s.end_to_end())
+            .count();
+        if inexact > 0 || a.incomplete > 0 || trace.dropped_total() > 0 || a.spans.is_empty() {
+            eprintln!(
+                "xtask: TRACE GATE FAILED — level {level}: {inexact} inexact span(s), \
+                 {} incomplete, {} dropped, {} spans",
+                a.incomplete,
+                trace.dropped_total(),
+                a.spans.len()
+            );
+            ok = false;
+        }
+        columns.push((format!("L{level}"), PhaseTotals::of(&a, true)));
+    }
+    if ok {
+        println!(
+            "xtask: attribution exact for every shootdown at all 7 opt levels \
+             (phase sums == end-to-end)"
+        );
+    }
+    println!("xtask: critical path, dueling_madvise, mean cycles per remote shootdown:");
+    print!("{}", render_attribution_table(&columns));
+    if let (Some(first), Some(last)) = (columns.first(), columns.last()) {
+        print!("{}", render_phase_diff(first, last));
+    }
+
+    // 2. Replay determinism: two captures, byte-identical export.
+    let sample = to_chrome_json(&traced_dueling(6));
+    let rendered = sample.render();
+    if rendered != to_chrome_json(&traced_dueling(6)).render() {
+        eprintln!("xtask: TRACE GATE FAILED — two replays exported different bytes");
+        ok = false;
+    } else {
+        println!(
+            "xtask: replay OK — {} byte export identical across two runs",
+            rendered.len()
+        );
+    }
+
+    // 3. Thread invariance: the same seven jobs through the sweep pool.
+    let trace_jobs = || -> Vec<Job<String>> {
+        (0..=6usize)
+            .map(|level| {
+                Job::new(format!("trace/L{level}"), move || {
+                    to_chrome_json(&traced_dueling(level)).render()
+                })
+            })
+            .collect()
+    };
+    let serial = reduce_rendered(&run_jobs(trace_jobs(), 1), |s: &String| s.as_str());
+    let pooled = reduce_rendered(&run_jobs(trace_jobs(), 4), |s: &String| s.as_str());
+    if serial != pooled {
+        eprintln!("xtask: TRACE GATE FAILED — exports differ between --threads 1 and 4");
+        ok = false;
+    } else {
+        println!("xtask: thread invariance OK — reductions byte-identical at 1 and 4 threads");
+    }
+
+    // 4. Schema validity + strict-parser round-trip.
+    match Json::parse(&rendered) {
+        Ok(parsed) if parsed.render() != rendered => {
+            eprintln!("xtask: TRACE GATE FAILED — export does not round-trip byte-exactly");
+            ok = false;
+        }
+        Ok(parsed) => match validate_chrome(&parsed) {
+            Ok(n) => println!("xtask: schema OK — {n} Chrome trace_event records validated"),
+            Err(e) => {
+                eprintln!("xtask: TRACE GATE FAILED — invalid Chrome trace: {e}");
+                ok = false;
+            }
+        },
+        Err(e) => {
+            eprintln!("xtask: TRACE GATE FAILED — export is not canonical JSON: {e}");
+            ok = false;
+        }
+    }
+
+    // 5. The compiled-out configuration must still build.
+    if run_cargo(
+        "no-trace build",
+        &["build", "-p", "tlbdown-kernel", "--no-default-features"],
+    ) {
+        println!("xtask: no-trace build OK — kernel compiles with tracing compiled out");
+    } else {
+        ok = false;
+    }
+
+    if let Err(e) = std::fs::write(out, sample.render_pretty()) {
+        eprintln!("xtask: could not write {out}: {e}");
+        return false;
+    }
+    println!("xtask: wrote {out}");
+    if ok {
+        println!("xtask: trace OK");
+    }
+    ok
+}
+
 /// Every gate, in order. All of them run even if an early one fails —
 /// one CI invocation reports every broken gate, not just the first.
 fn ci(seed: u64) -> ExitCode {
@@ -534,6 +673,7 @@ fn ci(seed: u64) -> ExitCode {
             "bench",
             bench_gate(0, "BENCH_1.json", None, DEFAULT_TOLERANCE),
         ),
+        ("trace", trace_gate("sample.trace.json")),
     ];
     println!("xtask: ── gate summary ──");
     let mut all_ok = true;

@@ -1,0 +1,53 @@
+//! Where did the 6,019 cycles go? — critical-path attribution of the
+//! `dueling_madvise` scenario at baseline (L0) versus every optimization
+//! enabled (L6), reconstructed from a deterministic event trace.
+//!
+//! Each remote shootdown is rebuilt as a span tree and its end-to-end
+//! latency is attributed *exactly* (the phases partition the timeline)
+//! to: initiator setup, IPI in-flight, remote flush, ack wait, and sync
+//! overhead. The diff shows which phases the paper's optimizations
+//! actually remove.
+//!
+//! ```text
+//! cargo run --release --example trace_critical_path
+//! ```
+
+use tlbdown::check::scenario::dueling_madvise;
+use tlbdown::core::OptConfig;
+use tlbdown::trace::{analyze, render_attribution_table, render_phase_diff, PhaseTotals, Trace};
+
+fn traced(level: usize) -> Trace {
+    let mut m = dueling_madvise(OptConfig::cumulative(level));
+    m.start_tracing(1 << 14);
+    m.run();
+    m.take_trace()
+}
+
+fn column(label: &str, level: usize) -> (String, PhaseTotals) {
+    let trace = traced(level);
+    let analysis = analyze(&trace);
+    for s in &analysis.spans {
+        assert_eq!(
+            s.phase_sum(),
+            s.end_to_end(),
+            "phase attribution must partition the span exactly"
+        );
+    }
+    (label.to_string(), PhaseTotals::of(&analysis, true))
+}
+
+fn main() {
+    println!("Critical-path attribution: dueling madvise, 2 cores, shared mm\n");
+    let baseline = column("baseline", 0);
+    let full = column("full-opt", 6);
+    println!(
+        "{}",
+        render_attribution_table(&[baseline.clone(), full.clone()])
+    );
+    println!("{}", render_phase_diff(&baseline, &full));
+    println!(
+        "Every span's per-phase sum equals its measured end-to-end latency\n\
+         by construction; the diff above is therefore a complete account of\n\
+         where the optimizations saved their cycles."
+    );
+}

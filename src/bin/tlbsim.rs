@@ -8,11 +8,17 @@
 //! ```
 
 use tlbdown::core::OptConfig;
+use tlbdown::trace::{analyze, to_chrome_json, PhaseTotals};
 use tlbdown::types::Cycles;
 use tlbdown::workloads::apache::{run_apache, ApacheCfg};
 use tlbdown::workloads::cow::{run_cow_bench, CowBenchCfg};
-use tlbdown::workloads::madvise::{run_madvise_bench, MadviseBenchCfg, Placement};
+use tlbdown::workloads::madvise::{
+    run_madvise_bench, run_madvise_bench_traced, MadviseBenchCfg, Placement,
+};
 use tlbdown::workloads::sysbench::{run_sysbench, SysbenchCfg};
+
+/// Per-core ring capacity used for `--trace` captures.
+const TRACE_RING_CAP: usize = 1 << 14;
 
 #[derive(Debug)]
 struct Args {
@@ -24,6 +30,7 @@ struct Args {
     opts: OptConfig,
     duration_ms: u64,
     seed: u64,
+    trace: Option<String>,
 }
 
 fn parse_opts(spec: &str) -> Result<OptConfig, String> {
@@ -58,6 +65,7 @@ fn parse() -> Result<Args, String> {
         opts: OptConfig::baseline(),
         duration_ms: 5,
         seed: 0x71bd,
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -100,6 +108,7 @@ fn parse() -> Result<Args, String> {
                         .map_err(|e| format!("--seed: {e}"))?
                 }
             }
+            "--trace" => a.trace = Some(value(&mut i)?),
             "--help" | "-h" => {
                 println!(
                     "tlbsim — TLB shootdown simulator\n\n\
@@ -107,7 +116,9 @@ fn parse() -> Result<Args, String> {
                             [--opts baseline|all|general|CSV of concurrent,early-ack,cacheline,in-context,cow,batching]\n\
                             [--safe|--unsafe] [--threads N] [--ptes N]\n\
                             [--placement same-core|same-socket|diff-socket]\n\
-                            [--duration-ms N] [--seed HEX]"
+                            [--duration-ms N] [--seed HEX]\n\
+                            [--trace PATH   (madvise only: write a Chrome trace_event\n\
+                                             JSON capture, openable in Perfetto)]"
                 );
                 std::process::exit(0);
             }
@@ -126,6 +137,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if a.trace.is_some() && a.workload != "madvise" {
+        eprintln!("tlbsim: --trace is only supported for the madvise workload");
+        std::process::exit(2);
+    }
     let mode = if a.safe { "safe" } else { "unsafe" };
     println!(
         "tlbsim: workload={} mode={mode} opts=[{}]\n",
@@ -136,7 +151,26 @@ fn main() {
         "madvise" => {
             let mut cfg = MadviseBenchCfg::new(a.placement, a.ptes, a.safe, a.opts);
             cfg.seed = a.seed;
-            let r = run_madvise_bench(&cfg);
+            let r = if let Some(path) = &a.trace {
+                let (r, trace) = run_madvise_bench_traced(&cfg, TRACE_RING_CAP);
+                let analysis = analyze(&trace);
+                let totals = PhaseTotals::of(&analysis, true);
+                if let Err(e) = std::fs::write(path, to_chrome_json(&trace).render_pretty()) {
+                    eprintln!("tlbsim: cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                println!(
+                    "trace: {} events ({} dropped), {} remote shootdowns, \
+                     mean critical path {:.0} cycles -> {path}",
+                    trace.len(),
+                    trace.dropped_total(),
+                    totals.shootdowns,
+                    totals.mean_total()
+                );
+                r
+            } else {
+                run_madvise_bench(&cfg)
+            };
             println!(
                 "initiator madvise latency: {:.0} ± {:.0} cycles\n\
                  responder interruption:    {:.0} ± {:.0} cycles",

@@ -66,6 +66,8 @@ pub use tlbdown_mem as mem;
 pub use tlbdown_sim as sim;
 /// The TLB model.
 pub use tlbdown_tlb as tlb;
+/// Deterministic event tracing and shootdown critical-path analysis.
+pub use tlbdown_trace as trace;
 /// Shared vocabulary types.
 pub use tlbdown_types as types;
 /// Nested translation and page fracturing.
