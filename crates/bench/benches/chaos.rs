@@ -16,7 +16,7 @@ fn run_chaos(fault: Fault, opts: OptConfig) -> Cycles {
             .with_opts(opts)
             .with_chaos(ChaosConfig::with_fault(fault, 0x0dd5_eed5)),
     );
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     m.spawn(mm, CoreId(0), Box::new(MadviseLoopProg::new(8, 5)));
     m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
     m.spawn(mm, CoreId(3), Box::new(BusyLoopProg));

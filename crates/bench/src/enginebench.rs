@@ -1,0 +1,233 @@
+//! The event-dispatch microbenchmark behind `BENCH_2.json`.
+//!
+//! Replays one seeded, madvise-shaped event stream through the engine in
+//! its two configurations — the allocating pure-heap baseline
+//! (`Engine::new_heap_only` + `pop_with_baseline`, the pre-overhaul
+//! dispatch structure) and the timing-wheel front-end with reusable
+//! scratch buffers (`Engine::new` + `pop_with`) — and times each. The
+//! two replays are verified identical by an FNV digest folded over every
+//! `(fire_time, payload)` dispatched, so the wall-clock ratio compares
+//! like with like: same events, same order, different plumbing.
+//!
+//! The stream's shape models the scale tier: a steady-state population
+//! of a few events per logical core (busy-loop resumes, in-flight IPIs,
+//! shootdown completions), delays dominated by short compute/IPI
+//! latencies with same-granule ties, and an occasional far-future timer
+//! that must take the heap fallback path.
+
+use std::time::{Duration, Instant};
+
+use tlbdown_sim::{Engine, FifoScheduler, SplitMix64};
+use tlbdown_types::Cycles;
+
+/// 64-bit FNV-1a offset basis / prime (same constants as the kernel's
+/// state digest).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One whole-word FNV-1a step — cheap enough that the digest does not
+/// distort the dispatch timing it verifies.
+fn fnv_fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Configuration of one dispatch replay.
+#[derive(Clone, Debug)]
+pub struct DispatchCfg {
+    /// Steady-state event population (events in flight at all times).
+    pub population: u64,
+    /// Total dispatches to time.
+    pub pops: u64,
+    /// Stream seed.
+    pub seed: u64,
+    /// Timed repetitions; the reported wall-clock is the best of these,
+    /// which strips scheduler noise from the throughput-ratio gate. The
+    /// digest must agree across repetitions (each replays the identical
+    /// stream from scratch).
+    pub runs: u32,
+}
+
+impl DispatchCfg {
+    /// The BENCH_2 configuration: a population of three events per
+    /// logical core of the 2×56 tier, ten million dispatches, best of
+    /// five timed runs.
+    pub fn scale_tier() -> Self {
+        DispatchCfg {
+            population: 3 * 112,
+            pops: 10_000_000,
+            seed: 0xd15b_a7c4,
+            runs: 5,
+        }
+    }
+
+    /// A tier-1-sized replay with the same stream shape.
+    pub fn quick() -> Self {
+        DispatchCfg {
+            pops: 200_000,
+            runs: 1,
+            ..Self::scale_tier()
+        }
+    }
+}
+
+/// What one replay produced.
+#[derive(Clone, Debug)]
+pub struct DispatchResult {
+    /// Dispatches completed (== `cfg.pops`; the stream self-refills).
+    pub pops: u64,
+    /// FNV digest over the `(fire_time, payload)` dispatch stream —
+    /// deterministic, and identical between the two engine
+    /// configurations.
+    pub digest: u64,
+    /// Host wall-clock for the timed loop. Non-canonical.
+    pub elapsed: Duration,
+}
+
+impl DispatchResult {
+    /// Dispatches per host second.
+    pub fn pops_per_sec(&self) -> f64 {
+        self.pops as f64 * 1e9 / self.elapsed.as_nanos().max(1) as f64
+    }
+}
+
+/// The next delay in the madvise-mix stream: mostly short compute/IPI
+/// latencies, 1-in-8 a same-granule tie candidate, 1-in-64 a far-future
+/// timer beyond the wheel horizon (watchdogs, LATR-style deferred
+/// flushes) that exercises the heap fallback.
+fn next_delay(rng: &mut SplitMix64) -> u64 {
+    let r = rng.next_u64();
+    if r.is_multiple_of(64) {
+        200_000 + (r >> 8) % 400_000
+    } else if r.is_multiple_of(8) {
+        (r >> 8) % 64
+    } else {
+        40 + (r >> 8) % 256
+    }
+}
+
+/// One timed replay of the stream through one engine configuration.
+fn dispatch_once(cfg: &DispatchCfg, wheel: bool) -> DispatchResult {
+    let mut eng: Engine<u64> = if wheel {
+        Engine::new()
+    } else {
+        Engine::new_heap_only()
+    };
+    let mut rng = SplitMix64::new(cfg.seed);
+    for i in 0..cfg.population {
+        eng.schedule_in(Cycles::new(next_delay(&mut rng)), i);
+    }
+    let mut sched = FifoScheduler;
+    let mut digest = FNV_OFFSET;
+    let mut done = 0u64;
+    let start = Instant::now();
+    while done < cfg.pops {
+        let popped = if wheel {
+            eng.pop_with(&mut sched, |_| false)
+        } else {
+            eng.pop_with_baseline(&mut sched, |_| false)
+        };
+        let Some(p) = popped else { break };
+        digest = fnv_fold(digest, eng.now().as_u64());
+        digest = fnv_fold(digest, p);
+        eng.schedule_in(Cycles::new(next_delay(&mut rng)), p);
+        done += 1;
+    }
+    DispatchResult {
+        pops: done,
+        digest,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Replay the stream through one engine configuration and time it,
+/// taking the best wall-clock of `cfg.runs` repetitions.
+pub fn run_dispatch(cfg: &DispatchCfg, wheel: bool) -> DispatchResult {
+    let mut best = dispatch_once(cfg, wheel);
+    for _ in 1..cfg.runs.max(1) {
+        let r = dispatch_once(cfg, wheel);
+        assert_eq!(
+            r.digest, best.digest,
+            "dispatch replay diverged across runs"
+        );
+        if r.elapsed < best.elapsed {
+            best.elapsed = r.elapsed;
+        }
+    }
+    best
+}
+
+/// Both engines timed on the same stream.
+#[derive(Clone, Debug)]
+pub struct DispatchPair {
+    /// The allocating pure-heap baseline.
+    pub heap: DispatchResult,
+    /// The timing-wheel engine with scratch buffers.
+    pub wheel: DispatchResult,
+}
+
+impl DispatchPair {
+    /// Dispatch-throughput improvement: baseline wall over wheel wall.
+    pub fn speedup(&self) -> f64 {
+        self.heap.elapsed.as_nanos().max(1) as f64 / self.wheel.elapsed.as_nanos().max(1) as f64
+    }
+}
+
+/// Time both engines on the identical stream, interleaving the timed
+/// repetitions (heap, wheel, heap, wheel, ...) so transient host noise —
+/// frequency scaling, a co-tenant burst — lands on both sides instead of
+/// skewing the ratio, and keeping the best wall-clock of each. Verifies
+/// the two engines dispatched the identical stream.
+pub fn run_dispatch_pair(cfg: &DispatchCfg) -> DispatchPair {
+    let mut heap = dispatch_once(cfg, false);
+    let mut wheel = dispatch_once(cfg, true);
+    for _ in 1..cfg.runs.max(1) {
+        let h = dispatch_once(cfg, false);
+        assert_eq!(h.digest, heap.digest, "heap replay diverged across runs");
+        if h.elapsed < heap.elapsed {
+            heap.elapsed = h.elapsed;
+        }
+        let w = dispatch_once(cfg, true);
+        assert_eq!(w.digest, wheel.digest, "wheel replay diverged across runs");
+        if w.elapsed < wheel.elapsed {
+            wheel.elapsed = w.elapsed;
+        }
+    }
+    assert_eq!(
+        heap.digest, wheel.digest,
+        "wheel and heap dispatched different streams"
+    );
+    DispatchPair { heap, wheel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_engines_replay_the_identical_stream() {
+        let cfg = DispatchCfg {
+            pops: 30_000,
+            ..DispatchCfg::quick()
+        };
+        let heap = run_dispatch(&cfg, false);
+        let wheel = run_dispatch(&cfg, true);
+        assert_eq!(heap.pops, cfg.pops);
+        assert_eq!(wheel.pops, cfg.pops);
+        assert_eq!(
+            heap.digest, wheel.digest,
+            "wheel and heap dispatched different streams"
+        );
+    }
+
+    #[test]
+    fn replays_are_deterministic() {
+        let cfg = DispatchCfg {
+            pops: 10_000,
+            ..DispatchCfg::quick()
+        };
+        assert_eq!(
+            run_dispatch(&cfg, true).digest,
+            run_dispatch(&cfg, true).digest
+        );
+    }
+}

@@ -292,7 +292,7 @@ pub fn fig4_ablation(scale: Scale) -> String {
         .with_opts(opts);
         let mut m = Machine::new(kc);
         let lines = m.smp.contended_line_count(CoreId(0), CoreId(28));
-        let mm = m.create_process();
+        let mm = m.create_process().expect("boot: create process");
         // Reuse the madvise microbench shape inline: initiator on 0,
         // responder on the other socket.
         use tlbdown_kernel::prog::{BusyLoopProg, Prog, ProgAction, ProgCtx};

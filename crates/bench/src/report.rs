@@ -50,13 +50,17 @@ pub fn render_bench_json(report: &SweepReport<(Json, JobOutput)>, git_rev: &str)
                 }
             }
         }
-        jobs.push(
-            Json::obj()
-                .with("id", Json::Str(r.id.clone()))
-                .with("config", config.clone())
-                .with("sim", sim)
-                .with("wall_ns", Json::U64(r.wall.as_nanos() as u64)),
-        );
+        let mut job = Json::obj()
+            .with("id", Json::Str(r.id.clone()))
+            .with("config", config.clone())
+            .with("sim", sim)
+            .with("wall_ns", Json::U64(r.wall.as_nanos() as u64));
+        // Host-side measurements ride along next to `wall_ns`; like it,
+        // they are outside the byte-exact `sim` diff.
+        if !matches!(&out.host, Json::Obj(pairs) if pairs.is_empty()) {
+            job = job.with("host", out.host.clone());
+        }
+        jobs.push(job);
     }
     let totals = Json::obj()
         .with("jobs", Json::U64(report.results.len() as u64))

@@ -1,0 +1,78 @@
+//! Observational equivalence of the two engine front-ends.
+//!
+//! The timing-wheel engine exists purely for dispatch throughput; it
+//! must never change what the simulation *does*. These tests run the
+//! same workloads twice — once on the wheel, once on the pure-heap
+//! reference engine — and require byte-identical observable state: the
+//! machine's canonical state digest, the full Chrome trace export, and
+//! the scale tier's event/cycle counts, at every cumulative
+//! optimization level and under chaos fault injection.
+
+use tlbdown_core::OptConfig;
+use tlbdown_kernel::chaos::ChaosConfig;
+use tlbdown_kernel::prog::{BusyLoopProg, MadviseLoopProg};
+use tlbdown_kernel::{KernelConfig, Machine};
+use tlbdown_sim::fault::FaultSpec;
+use tlbdown_trace::to_chrome_json;
+use tlbdown_types::{CoreId, Cycles};
+use tlbdown_workloads::madvise::{run_scale_tier, ScaleTierCfg};
+
+/// Run the dueling-madvise workload on one engine configuration,
+/// returning the state digest and the full trace export.
+fn traced_run(cfg: KernelConfig) -> (u64, String) {
+    let mut m = Machine::new(cfg);
+    m.start_tracing(1 << 13);
+    let mm = m.create_process().expect("boot: create process");
+    m.spawn(mm, CoreId(0), Box::new(MadviseLoopProg::new(6, 5)));
+    m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
+    m.spawn(mm, CoreId(2), Box::new(MadviseLoopProg::new(3, 5)));
+    m.spawn(mm, CoreId(3), Box::new(BusyLoopProg));
+    m.run_until(Cycles::new(4_000_000));
+    let export = to_chrome_json(&m.take_trace()).render();
+    (m.state_digest(), export)
+}
+
+#[test]
+fn wheel_matches_heap_at_every_opt_level() {
+    for level in 0..=6usize {
+        let cfg = || KernelConfig::test_machine(4).with_opts(OptConfig::cumulative(level));
+        let wheel = traced_run(cfg());
+        let heap = traced_run(cfg().with_heap_only_engine(true));
+        assert_eq!(
+            wheel.0, heap.0,
+            "state digest diverged between engines at opt level {level}"
+        );
+        assert_eq!(
+            wheel.1, heap.1,
+            "trace export diverged between engines at opt level {level}"
+        );
+    }
+}
+
+#[test]
+fn wheel_matches_heap_under_fault_injection() {
+    let cfg = || {
+        KernelConfig::test_machine(4)
+            .with_opts(OptConfig::general_four())
+            .with_chaos(ChaosConfig::with_fault(FaultSpec::everything(), 0xfa07))
+    };
+    let wheel = traced_run(cfg());
+    let heap = traced_run(cfg().with_heap_only_engine(true));
+    assert_eq!(wheel.0, heap.0, "state digest diverged under chaos");
+    assert_eq!(wheel.1, heap.1, "trace export diverged under chaos");
+}
+
+#[test]
+fn scale_tier_smoke_is_engine_invariant() {
+    let run = |heap_only: bool| {
+        let mut cfg = ScaleTierCfg::smoke();
+        cfg.heap_only_engine = heap_only;
+        run_scale_tier(&cfg)
+    };
+    let wheel = run(false);
+    let heap = run(true);
+    assert_eq!(wheel.digest, heap.digest, "tier digests diverged");
+    assert_eq!(wheel.events, heap.events);
+    assert_eq!(wheel.sim_cycles, heap.sim_cycles);
+    assert_eq!(wheel.counters.render_json(), heap.counters.render_json());
+}

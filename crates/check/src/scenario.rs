@@ -75,7 +75,7 @@ impl Prog for DelayedZap {
 pub fn dueling_madvise(opts: OptConfig) -> Machine {
     let cfg = KernelConfig::test_machine(2).with_opts(opts);
     let mut m = Machine::new(cfg);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     m.spawn(
         mm,
         CoreId(0),
@@ -123,8 +123,8 @@ pub fn nmi_probe(buggy: bool, inject_at: u64) -> Machine {
         .with_safe_mode(false);
     cfg.buggy_nmi_check = buggy;
     let mut m = Machine::new(cfg);
-    let mm = m.create_process();
-    let addr = m.setup_map_anon(mm, PAGES);
+    let mm = m.create_process().expect("boot: create process");
+    let addr = m.setup_map_anon(mm, PAGES).expect("boot: map anon");
     m.spawn(
         mm,
         CoreId(1),

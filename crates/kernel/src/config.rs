@@ -45,6 +45,13 @@ pub struct KernelConfig {
     /// Chaos layer: fault injection and the csd-lock watchdog. Inert
     /// faults and an armed (but never-firing) watchdog by default.
     pub chaos: ChaosConfig,
+    /// Bypass the engine's timing-wheel front-end and run every event
+    /// through the pure binary heap — the pre-overhaul dispatch
+    /// structure. The two configurations are byte-identical in every
+    /// simulated outcome (the determinism gate proves it); this flag
+    /// exists for those proofs and for before/after throughput
+    /// comparisons, not for production runs.
+    pub engine_heap_only: bool,
 }
 
 impl KernelConfig {
@@ -63,6 +70,7 @@ impl KernelConfig {
             noise_cycles: 0,
             seed: 0x71bd,
             chaos: ChaosConfig::default(),
+            engine_heap_only: false,
         }
     }
 
@@ -95,6 +103,13 @@ impl KernelConfig {
     /// Builder-style: set the chaos configuration.
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = chaos;
+        self
+    }
+
+    /// Builder-style: run the event engine on the pure heap (reference
+    /// configuration for determinism and throughput comparisons).
+    pub fn with_heap_only_engine(mut self, heap_only: bool) -> Self {
+        self.engine_heap_only = heap_only;
         self
     }
 }

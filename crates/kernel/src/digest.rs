@@ -119,7 +119,7 @@ mod tests {
 
     fn run_one() -> Vec<u64> {
         let mut m = Machine::new(KernelConfig::test_machine(2));
-        let mm = m.create_process();
+        let mm = m.create_process().expect("boot: create process");
         m.spawn(mm, CoreId(0), Box::new(MadviseLoopProg::new(2, 1)));
         m.spawn(mm, CoreId(1), Box::new(MadviseLoopProg::new(2, 1)));
         let mut sched = FifoScheduler;

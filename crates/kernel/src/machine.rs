@@ -13,7 +13,7 @@ use tlbdown_mem::{FrameState, PhysMem};
 use tlbdown_sim::fault::FaultPlan;
 use tlbdown_sim::{Counter, Engine, SplitMix64, Summary};
 use tlbdown_tlb::Tlb;
-use tlbdown_types::{CoreId, Cycles, MmId, Pcid, SimError, ThreadId, VirtAddr};
+use tlbdown_types::{CoreId, Cycles, MmId, Pcid, SimError, SimResult, ThreadId, VirtAddr};
 
 use crate::config::KernelConfig;
 use crate::cpu::{Cpu, Frame, FrameSlot, IrqFrame, IrqStage, NmiFrame, ResumeState};
@@ -152,51 +152,66 @@ pub struct Machine {
 
 impl Machine {
     /// Boot a machine with the given configuration.
+    ///
+    /// Per-core state is pre-sized for the steady-state footprint the
+    /// protocols actually reach (a few stacked frames, a handful of
+    /// queued call-single entries, one PCID generation per co-resident
+    /// mm), so a scaled dual-socket configuration boots without paying
+    /// growth reallocations on the first shootdown storm.
     pub fn new(cfg: KernelConfig) -> Self {
         let n = cfg.topo.num_cores();
         let cfg_seed = cfg.seed;
+        let heap_only = cfg.engine_heap_only;
         let faults = FaultPlan::new(cfg.chaos.fault.clone(), cfg.chaos.fault_seed, n);
         let mut dir = CacheDirectory::new(cfg.topo.clone(), cfg.costs.clone());
         let smp = SmpLayer::new(&mut dir, n, cfg.opts.cacheline_consolidation);
         let fabric = IpiFabric::new(cfg.topo.clone(), cfg.costs.clone());
         let cpus = (0..n)
-            .map(|i| Cpu {
-                id: CoreId(i),
-                tlb_state: CpuTlbState::load_mm(MmId::KERNEL, Pcid::new(0), 0),
-                lapic: LocalApic::new(),
-                frames: vec![FrameSlot {
+            .map(|i| {
+                let mut frames = Vec::with_capacity(4);
+                frames.push(FrameSlot {
                     frame: Frame::Idle,
                     resume: ResumeState::Blocked,
-                }],
-                runqueue: VecDeque::new(),
-                current: None,
-                csq: VecDeque::new(),
-                resume_token: 0,
-                acked_unflushed: 0,
-                in_batched_syscall: false,
-                pcid_gens: HashMap::new(),
+                });
+                Cpu {
+                    id: CoreId(i),
+                    tlb_state: CpuTlbState::load_mm(MmId::KERNEL, Pcid::new(0), 0),
+                    lapic: LocalApic::new(),
+                    frames,
+                    runqueue: VecDeque::with_capacity(4),
+                    current: None,
+                    csq: VecDeque::with_capacity(8),
+                    resume_token: 0,
+                    acked_unflushed: 0,
+                    in_batched_syscall: false,
+                    pcid_gens: HashMap::with_capacity(8),
+                }
             })
             .collect();
         Machine {
             cfg,
-            engine: Engine::new(),
+            engine: if heap_only {
+                Engine::new_heap_only()
+            } else {
+                Engine::new()
+            },
             mem: PhysMem::paper_machine(),
             tlbs: (0..n).map(|_| Tlb::default()).collect(),
             dir,
             smp,
             fabric,
             cpus,
-            mms: HashMap::new(),
-            files: HashMap::new(),
+            mms: HashMap::with_capacity(8),
+            files: HashMap::with_capacity(8),
             frame_refs: FrameRefs::new(),
-            threads: Vec::new(),
-            shootdowns: HashMap::new(),
+            threads: Vec::with_capacity(n as usize + 4),
+            shootdowns: HashMap::with_capacity(n as usize * 2),
             oracle: Oracle::new(),
             stats: MachineStats::default(),
             faults,
             errors: Vec::new(),
             pending_nmi_probe: HashMap::new(),
-            dirty_index: HashMap::new(),
+            dirty_index: HashMap::with_capacity(8),
             noise_rng: SplitMix64::new(cfg_seed),
             #[cfg(feature = "trace")]
             tracer: tlbdown_trace::Tracer::disabled(),
@@ -211,6 +226,11 @@ impl Machine {
     /// Current simulated time.
     pub fn now(&self) -> Cycles {
         self.engine.now()
+    }
+
+    /// Total events dispatched by the engine since boot.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_processed()
     }
 
     /// Violations the oracle has recorded.
@@ -235,14 +255,21 @@ impl Machine {
     // --- Setup API ---
 
     /// Create an address space (process) and return its id.
-    pub fn create_process(&mut self) -> MmId {
+    ///
+    /// Fails with [`SimError::OutOfMemory`] when no frame is left for
+    /// the root page table and with [`SimError::InvalidArgument`] when
+    /// the PCID space is exhausted — typed errors the caller can
+    /// surface, not release-mode panics.
+    pub fn create_process(&mut self) -> SimResult<MmId> {
+        match self.next_pcid.checked_add(2) {
+            Some(next) if next < Pcid::USER_BIT => {}
+            _ => return Err(SimError::InvalidArgument("PCID space exhausted".into())),
+        }
         let id = MmId::new(self.next_mm);
         self.next_mm += 1;
         let pcid = Pcid::new(self.next_pcid);
         self.next_pcid += 2; // leave room for the PTI user sibling bit
-        assert!(self.next_pcid < Pcid::USER_BIT, "PCID space exhausted");
-        let space =
-            tlbdown_mem::AddrSpace::new(&mut self.mem).expect("physical memory exhausted at boot");
+        let space = tlbdown_mem::AddrSpace::new(&mut self.mem)?;
         self.mms.insert(
             id,
             Mm {
@@ -256,22 +283,30 @@ impl Machine {
                 mmap_cursor: VirtAddr::new(0x1000_0000),
             },
         );
-        id
+        Ok(id)
     }
 
     /// Create a file of `pages` page-cache pages.
-    pub fn create_file(&mut self, pages: u64) -> FileId {
+    ///
+    /// Fails with [`SimError::OutOfMemory`] when the page cache cannot
+    /// be populated; pages already allocated for the failed file are
+    /// released back to the frame allocator.
+    pub fn create_file(&mut self, pages: u64) -> SimResult<FileId> {
         let id = FileId(self.next_file);
-        self.next_file += 1;
         let mut frames = Vec::with_capacity(pages as usize);
         for _ in 0..pages {
-            let pa = self
-                .mem
-                .alloc(FrameState::UserPage)
-                .expect("OOM creating file");
+            let Ok(pa) = self.mem.alloc(FrameState::UserPage) else {
+                for prev in frames {
+                    if matches!(self.frame_refs.put_page(prev), Ok(true)) {
+                        self.mem.free(prev);
+                    }
+                }
+                return Err(SimError::OutOfMemory);
+            };
             self.frame_refs.get_page(pa);
             frames.push(pa);
         }
+        self.next_file += 1;
         self.files.insert(
             id,
             File {
@@ -279,13 +314,14 @@ impl Machine {
                 dirty: BTreeSet::new(),
             },
         );
-        id
+        Ok(id)
     }
 
     /// Insert an anonymous VMA directly (benchmark setup; takes no
-    /// simulated time). Returns the mapped address.
-    pub fn setup_map_anon(&mut self, mm: MmId, pages: u64) -> VirtAddr {
-        let m = self.mms.get_mut(&mm).expect("unknown mm");
+    /// simulated time). Returns the mapped address, or
+    /// [`SimError::NoSuchMm`] for an unknown address space.
+    pub fn setup_map_anon(&mut self, mm: MmId, pages: u64) -> SimResult<VirtAddr> {
+        let m = self.mms.get_mut(&mm).ok_or(SimError::NoSuchMm(mm))?;
         let addr = m.mmap_cursor;
         m.mmap_cursor = m.mmap_cursor.add((pages + 1) * 4096);
         m.insert_vma(crate::mm::Vma {
@@ -293,16 +329,21 @@ impl Machine {
             kind: crate::mm::VmaKind::Anon,
             prot_write: true,
             prot_exec: false,
-        })
-        .expect("cursor placement cannot overlap");
-        addr
+        })?;
+        Ok(addr)
     }
 
     /// Map a whole file directly (benchmark setup; takes no simulated
-    /// time). Returns the mapped address.
-    pub fn setup_map_file(&mut self, mm: MmId, file: FileId, shared: bool) -> VirtAddr {
-        let pages = self.files[&file].pages.len() as u64;
-        let m = self.mms.get_mut(&mm).expect("unknown mm");
+    /// time). Returns the mapped address, or [`SimError::NoSuchMm`] /
+    /// [`SimError::InvalidArgument`] for an unknown mm or file.
+    pub fn setup_map_file(&mut self, mm: MmId, file: FileId, shared: bool) -> SimResult<VirtAddr> {
+        let pages = self
+            .files
+            .get(&file)
+            .ok_or_else(|| SimError::InvalidArgument(format!("no such file {file:?}")))?
+            .pages
+            .len() as u64;
+        let m = self.mms.get_mut(&mm).ok_or(SimError::NoSuchMm(mm))?;
         let addr = m.mmap_cursor;
         m.mmap_cursor = m.mmap_cursor.add((pages + 1) * 4096);
         let kind = if shared {
@@ -321,9 +362,8 @@ impl Machine {
             kind,
             prot_write: true,
             prot_exec: false,
-        })
-        .expect("cursor placement cannot overlap");
-        addr
+        })?;
+        Ok(addr)
     }
 
     /// Clear all measurement state (statistics, TLB/coherence/fabric
@@ -368,6 +408,19 @@ impl Machine {
     }
 
     // --- Event loop ---
+
+    /// Pop and handle exactly one event via the plain FIFO dispatch
+    /// path (no scheduler indirection — the fast loop the scale tier
+    /// drives). Returns `false` when the queue is drained.
+    pub fn step(&mut self) -> bool {
+        match self.engine.pop() {
+            Some(ev) => {
+                self.handle(ev);
+                true
+            }
+            None => false,
+        }
+    }
 
     /// Run until the event queue drains.
     pub fn run(&mut self) {
@@ -419,6 +472,15 @@ impl Machine {
     }
 
     fn handle(&mut self, ev: Event) {
+        // The engine clamps and logs any event dispatched with a stale
+        // fire time (always on, release builds included); surface those
+        // as recorded kernel errors so gates and digests see them. The
+        // common case is one branch on an empty log.
+        if self.engine.has_time_errors() {
+            for e in self.engine.take_time_errors() {
+                self.record_error(e);
+            }
+        }
         match ev {
             Event::Resume { core, token } => {
                 if token == self.cpus[core.index()].resume_token {
@@ -510,7 +572,16 @@ impl Machine {
     // --- Interrupt arrival ---
 
     fn on_ipi(&mut self, core: CoreId, vector: Vector) {
-        debug_assert!(!vector.is_nmi());
+        // NMIs travel via `Event::NmiArrive`, never the maskable IPI
+        // path; delivering one here would bypass LAPIC masking. Checked
+        // in release builds too — record and drop rather than corrupt
+        // the interrupt model.
+        if vector.is_nmi() {
+            self.record_error(SimError::InvalidArgument(
+                "NMI vector delivered on the maskable IPI path".into(),
+            ));
+            return;
+        }
         match self.cpus[core.index()].lapic.accept(vector) {
             DeliveryOutcome::Dispatch => self.dispatch_irq(core),
             DeliveryOutcome::Queued => {}

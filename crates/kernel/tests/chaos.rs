@@ -50,7 +50,7 @@ fn boot_chaos(opts: OptConfig, safe: bool, fault: FaultSpec) -> Machine {
 /// Spawn the shared-mm stress workload: two madvise initiators, two busy
 /// responders, one mm across all four cores.
 fn spawn_workload(m: &mut Machine) {
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     m.spawn(mm, CoreId(0), Box::new(MadviseLoopProg::new(8, ITERS)));
     m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
     m.spawn(mm, CoreId(2), Box::new(MadviseLoopProg::new(3, ITERS)));

@@ -82,7 +82,7 @@ impl Prog for MadviseLoop {
 #[test]
 fn single_thread_madvise_runs_clean() {
     let mut m = boot(2, OptConfig::baseline(), true);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(4, 10)));
     m.run();
     assert_eq!(m.stats.counters.get("madvise_dontneed"), 10);
@@ -103,7 +103,7 @@ fn shootdown_reaches_responder() {
     // A busy responder thread on core 1 shares the mm: madvise on core 0
     // must IPI core 1.
     let mut m = boot(2, OptConfig::baseline(), true);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(4, 5)));
     m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
     m.run_until(Cycles::new(3_000_000));
@@ -135,7 +135,7 @@ fn all_optimizations_stay_safe() {
         for level in 0..=6 {
             let opts = OptConfig::cumulative(level);
             let mut m = boot(4, opts, safe);
-            let mm = m.create_process();
+            let mm = m.create_process().expect("boot: create process");
             m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(8, 8)));
             m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
             m.spawn(mm, CoreId(2), Box::new(MadviseLoop::new(3, 8)));
@@ -160,7 +160,7 @@ fn optimized_initiator_is_faster() {
     // initiator drops relative to baseline (same machine, same workload).
     let lat = |opts: OptConfig| {
         let mut m = boot(2, opts, true);
-        let mm = m.create_process();
+        let mm = m.create_process().expect("boot: create process");
         m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(10, 50)));
         m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
         m.run_until(Cycles::new(50_000_000));
@@ -179,7 +179,7 @@ fn early_ack_not_used_for_munmap_freed_tables() {
     // munmap frees page tables → early ack must be suppressed even when
     // the optimization is on (§3.2).
     let mut m = boot(2, OptConfig::baseline().with_early_ack(true), true);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     let script = ScriptProg::new(vec![ProgAction::Syscall(Syscall::MmapAnon { pages: 4 })]);
     // Manual script: mmap, touch, munmap.
     struct P {
@@ -289,7 +289,7 @@ fn latr_lazy_mode_trips_the_oracle() {
                 .with_opts(OptConfig::baseline())
                 .with_lazy_latr(lazy),
         );
-        let mm = m.create_process();
+        let mm = m.create_process().expect("boot: create process");
         // Both threads use a fixed address: mmap + touch it first via a
         // setup program on core 0, which publishes the address.
         let addr = {
@@ -346,7 +346,7 @@ fn lazy_core_skips_ipi_and_syncs_on_wakeup() {
     // initiator flushes — no IPI needed; when core 1 runs a new thread of
     // the same mm it must flush at switch-in.
     let mut m = boot(2, OptConfig::baseline(), true);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     m.spawn(mm, CoreId(0), Box::new(MmapOnce::default()));
     m.run_until(Cycles::new(1_000_000));
     let addr = MMAP_RESULT.with(|r| r.get());
@@ -396,4 +396,25 @@ fn lazy_core_skips_ipi_and_syncs_on_wakeup() {
         m.stats.counters
     );
     assert!(m.violations().is_empty(), "{:?}", m.violations());
+}
+
+#[test]
+fn unknown_mm_setup_is_a_typed_error_not_a_panic() {
+    use tlbdown_types::{MmId, SimError};
+    let mut m = boot(2, OptConfig::baseline(), true);
+    let bogus = MmId::new(0xdead);
+    // Both setup entry points used to `expect("unknown mm")` and abort
+    // the whole simulation in release builds; they must now surface the
+    // bad handle as a typed error and leave the machine usable.
+    assert_eq!(m.setup_map_anon(bogus, 4), Err(SimError::NoSuchMm(bogus)));
+    let file = m.create_file(2).expect("create file");
+    assert_eq!(
+        m.setup_map_file(bogus, file, true),
+        Err(SimError::NoSuchMm(bogus))
+    );
+    let mm = m
+        .create_process()
+        .expect("create process after bad handles");
+    assert!(m.setup_map_anon(mm, 4).is_ok());
+    assert!(m.violations().is_empty());
 }

@@ -19,9 +19,9 @@ fn run_script(m: &mut Machine, mm: tlbdown_types::MmId, actions: Vec<ProgAction>
 #[test]
 fn msync_cleans_and_write_protects_dirty_pages() {
     let mut m = boot(1);
-    let mm = m.create_process();
-    let f = m.create_file(4);
-    let addr = m.setup_map_file(mm, f, true);
+    let mm = m.create_process().expect("boot: create process");
+    let f = m.create_file(4).expect("boot: create file");
+    let addr = m.setup_map_file(mm, f, true).expect("boot: map file");
     run_script(
         &mut m,
         mm,
@@ -66,9 +66,9 @@ fn msync_cleans_and_write_protects_dirty_pages() {
 #[test]
 fn write_after_msync_redirties_without_flush() {
     let mut m = boot(1);
-    let mm = m.create_process();
-    let f = m.create_file(1);
-    let addr = m.setup_map_file(mm, f, true);
+    let mm = m.create_process().expect("boot: create process");
+    let f = m.create_file(1).expect("boot: create file");
+    let addr = m.setup_map_file(mm, f, true).expect("boot: map file");
     run_script(
         &mut m,
         mm,
@@ -96,8 +96,8 @@ fn write_after_msync_redirties_without_flush() {
 #[test]
 fn mprotect_readonly_then_write_segfaults() {
     let mut m = boot(1);
-    let mm = m.create_process();
-    let addr = m.setup_map_anon(mm, 2);
+    let mm = m.create_process().expect("boot: create process");
+    let addr = m.setup_map_anon(mm, 2).expect("boot: map anon");
     run_script(
         &mut m,
         mm,
@@ -126,8 +126,8 @@ fn mprotect_readonly_then_write_segfaults() {
 #[test]
 fn mprotect_to_writable_needs_no_flush() {
     let mut m = boot(1);
-    let mm = m.create_process();
-    let addr = m.setup_map_anon(mm, 2);
+    let mm = m.create_process().expect("boot: create process");
+    let addr = m.setup_map_anon(mm, 2).expect("boot: map anon");
     run_script(
         &mut m,
         mm,
@@ -161,9 +161,9 @@ fn mprotect_to_writable_needs_no_flush() {
 #[test]
 fn send_reads_user_memory_through_kernel_pcid() {
     let mut m = boot(1);
-    let mm = m.create_process();
-    let f = m.create_file(3);
-    let addr = m.setup_map_file(mm, f, true);
+    let mm = m.create_process().expect("boot: create process");
+    let f = m.create_file(3).expect("boot: create file");
+    let addr = m.setup_map_file(mm, f, true).expect("boot: map file");
     run_script(
         &mut m,
         mm,
@@ -196,9 +196,9 @@ fn send_reads_user_memory_through_kernel_pcid() {
 #[test]
 fn send_faults_unmapped_pages_in() {
     let mut m = boot(1);
-    let mm = m.create_process();
-    let f = m.create_file(2);
-    let addr = m.setup_map_file(mm, f, true);
+    let mm = m.create_process().expect("boot: create process");
+    let f = m.create_file(2).expect("boot: create file");
+    let addr = m.setup_map_file(mm, f, true).expect("boot: map file");
     // No prior touches: the kernel demand-faults the pages itself.
     run_script(
         &mut m,
@@ -216,10 +216,10 @@ fn send_faults_unmapped_pages_in() {
 #[test]
 fn fdatasync_covers_every_mapping_of_the_file() {
     let mut m = boot(1);
-    let mm = m.create_process();
-    let f = m.create_file(4);
-    let a1 = m.setup_map_file(mm, f, true);
-    let a2 = m.setup_map_file(mm, f, true);
+    let mm = m.create_process().expect("boot: create process");
+    let f = m.create_file(4).expect("boot: create file");
+    let a1 = m.setup_map_file(mm, f, true).expect("boot: map file");
+    let a2 = m.setup_map_file(mm, f, true).expect("boot: map file");
     run_script(
         &mut m,
         mm,
@@ -250,8 +250,8 @@ fn fdatasync_covers_every_mapping_of_the_file() {
 #[test]
 fn munmap_frees_frames_and_faults_after() {
     let mut m = boot(1);
-    let mm = m.create_process();
-    let addr = m.setup_map_anon(mm, 4);
+    let mm = m.create_process().expect("boot: create process");
+    let addr = m.setup_map_anon(mm, 4).expect("boot: map anon");
     let frames_before = m.mem.allocated_frames();
     run_script(
         &mut m,
@@ -284,10 +284,10 @@ fn two_processes_are_isolated_by_pcid() {
     // Threads of different processes alternate on one core; TLB entries
     // are PCID-tagged, so no flush storm and no cross-talk.
     let mut m = boot(1);
-    let mm_a = m.create_process();
-    let mm_b = m.create_process();
-    let a = m.setup_map_anon(mm_a, 2);
-    let b = m.setup_map_anon(mm_b, 2);
+    let mm_a = m.create_process().expect("boot: create process");
+    let mm_b = m.create_process().expect("boot: create process");
+    let a = m.setup_map_anon(mm_a, 2).expect("boot: map anon");
+    let b = m.setup_map_anon(mm_b, 2).expect("boot: map anon");
     // Interleave by spawning A, letting it finish, then B, then A again.
     m.spawn(
         mm_a,
@@ -330,7 +330,7 @@ fn two_processes_are_isolated_by_pcid() {
 #[test]
 fn yield_round_robins_threads_on_one_core() {
     let mut m = boot(1);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     struct Yielder {
         left: u32,
         log: std::rc::Rc<std::cell::RefCell<Vec<u32>>>,
@@ -378,9 +378,9 @@ fn cow_write_through_one_mapping_preserves_the_other_reader() {
     // reader must see the new frame after the shootdown. Verify both the
     // shootdown and the PTE.
     let mut m = Machine::new(KernelConfig::test_machine(2).with_opts(OptConfig::all()));
-    let mm = m.create_process();
-    let f = m.create_file(1);
-    let addr = m.setup_map_file(mm, f, false);
+    let mm = m.create_process().expect("boot: create process");
+    let f = m.create_file(1).expect("boot: create file");
+    let addr = m.setup_map_file(mm, f, false).expect("boot: map file");
     struct Reader {
         addr: u64,
         i: u64,

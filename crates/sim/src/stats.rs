@@ -139,9 +139,18 @@ impl fmt::Display for Summary {
 }
 
 /// A named set of monotone counters (TLB misses, IPIs sent, ...).
+///
+/// Counter arithmetic is saturating, never wrapping: at the 10M-op
+/// scale tier a release build must not silently wrap a merge total the
+/// way unchecked `+=` would (debug builds would panic, release builds
+/// would wrap to a small number and corrupt every derived metric). A
+/// saturated addition is recorded in an explicit overflow count that
+/// surfaces in the JSON rendering as `counter_overflow` — present only
+/// when non-zero, so existing renderings are unchanged byte-for-byte.
 #[derive(Clone, Debug, Default)]
 pub struct Counter {
     counts: BTreeMap<&'static str, u64>,
+    overflows: u64,
 }
 
 impl Counter {
@@ -155,9 +164,22 @@ impl Counter {
         self.add(name, 1);
     }
 
-    /// Increment `name` by `by`.
+    /// Increment `name` by `by`, saturating at `u64::MAX` (and counting
+    /// the saturation) instead of wrapping in release builds.
     pub fn add(&mut self, name: &'static str, by: u64) {
-        *self.counts.entry(name).or_insert(0) += by;
+        let slot = self.counts.entry(name).or_insert(0);
+        match slot.checked_add(by) {
+            Some(v) => *slot = v,
+            None => {
+                *slot = u64::MAX;
+                self.overflows += 1;
+            }
+        }
+    }
+
+    /// Number of additions that saturated instead of wrapping.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflows
     }
 
     /// Current value of `name` (0 if never bumped).
@@ -173,27 +195,36 @@ impl Counter {
     /// Reset every counter to zero.
     pub fn clear(&mut self) {
         self.counts.clear();
+        self.overflows = 0;
     }
 
     /// Add every counter of `other` into this set (sweep-layer reduction
-    /// of per-run machines into one aggregate block).
+    /// of per-run machines into one aggregate block). Saturations that
+    /// `other` already absorbed carry over.
     pub fn merge(&mut self, other: &Counter) {
         for (k, v) in other.iter() {
             self.add(k, v);
         }
+        self.overflows = self.overflows.saturating_add(other.overflows);
     }
 
     /// The counters as a canonical [`Json`] object: keys in sorted
     /// (BTreeMap) order, integer values. Counters are deterministic
     /// sim-side state, so the rendering is byte-stable across runs and
-    /// thread counts — the `BENCH_*.json` diff relies on that.
+    /// thread counts — the `BENCH_*.json` diff relies on that. A
+    /// `counter_overflow` key is appended only when a saturation
+    /// occurred, so clean runs render exactly as before.
     pub fn to_json(&self) -> Json {
-        Json::Obj(
+        let mut obj = Json::Obj(
             self.counts
                 .iter()
                 .map(|(k, v)| ((*k).to_string(), Json::U64(*v)))
                 .collect(),
-        )
+        );
+        if self.overflows > 0 {
+            obj = obj.with("counter_overflow", Json::U64(self.overflows));
+        }
+        obj
     }
 
     /// Compact rendering of [`Counter::to_json`].
@@ -225,11 +256,11 @@ impl Histogram {
     }
 
     /// Record a value; bucket `i` holds values in `[2^i, 2^(i+1))`
-    /// (bucket 0 also holds 0).
+    /// (bucket 0 also holds 0). Counts saturate rather than wrap.
     pub fn record(&mut self, value: u64) {
         let idx = 63 - value.max(1).leading_zeros() as usize;
-        self.buckets[idx] += 1;
-        self.total += 1;
+        self.buckets[idx] = self.buckets[idx].saturating_add(1);
+        self.total = self.total.saturating_add(1);
     }
 
     /// Total number of recorded values.
@@ -357,6 +388,30 @@ mod tests {
             "{\"demand_fault\":1,\"ipis_sent\":5,\"shootdown_done\":1}"
         );
         assert_eq!(Counter::new().render_json(), "{}");
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut c = Counter::new();
+        c.add("near_max", u64::MAX - 1);
+        c.add("near_max", 5); // would wrap to 3 with unchecked +=
+        assert_eq!(c.get("near_max"), u64::MAX);
+        assert_eq!(c.overflow_count(), 1);
+        assert_eq!(
+            c.render_json(),
+            format!("{{\"near_max\":{},\"counter_overflow\":1}}", u64::MAX),
+        );
+        // Merging carries the saturation record along.
+        let mut total = Counter::new();
+        total.merge(&c);
+        assert_eq!(total.overflow_count(), 1);
+        assert_eq!(total.get("near_max"), u64::MAX);
+        // A clean counter renders with no overflow key at all.
+        let mut clean = Counter::new();
+        clean.bump("ok");
+        assert_eq!(clean.render_json(), "{\"ok\":1}");
+        c.clear();
+        assert_eq!(c.overflow_count(), 0);
     }
 
     #[test]

@@ -95,6 +95,12 @@ pub struct TlbStats {
     pub perm_rewalks: u64,
     /// Entries evicted by capacity pressure.
     pub evictions: u64,
+    /// Times the fractured-entry accounting was found inconsistent and
+    /// repaired (a residue after a full wipe, or a decrement below
+    /// zero). Always zero in a correct model; checked in release builds
+    /// too, where the old `debug_assert` would have let a stuck fracture
+    /// flag silently escalate every later selective flush.
+    pub fracture_leaks: u64,
 }
 
 /// A small instruction-TLB model.
@@ -279,10 +285,21 @@ impl Tlb {
         None
     }
 
+    /// Drop one fractured entry from the count without wrapping: a
+    /// decrement below zero means the accounting already broke, so it is
+    /// recorded and skipped instead of underflowing `usize` in release.
+    fn uncount_fractured(&mut self) {
+        if self.fractured_count == 0 {
+            self.stats.fracture_leaks += 1;
+        } else {
+            self.fractured_count -= 1;
+        }
+    }
+
     fn remove_key(&mut self, key: &Key) -> Option<TlbEntry> {
         let e = self.entries.remove(key)?;
         if e.fractured {
-            self.fractured_count -= 1;
+            self.uncount_fractured();
         }
         self.stats.entries_invalidated += 1;
         Some(e)
@@ -299,7 +316,7 @@ impl Tlb {
         }
         if let Some(old) = self.entries.insert(key, e) {
             if old.fractured {
-                self.fractured_count -= 1;
+                self.uncount_fractured();
             }
         } else {
             self.fifo.push_back(key);
@@ -382,7 +399,15 @@ impl Tlb {
         self.fifo.clear();
         self.itlb.flush_all(true);
         self.pwc_flush_all();
-        debug_assert_eq!(self.fractured_count, 0);
+        // Every entry was just removed, so any residue is an accounting
+        // bug — and a sticky one: it would pin the fracture flag and
+        // escalate every future selective flush to a full flush. Repair
+        // and record it (in release builds too) rather than asserting
+        // only in debug builds.
+        if self.fractured_count != 0 {
+            self.stats.fracture_leaks += 1;
+            self.fractured_count = 0;
+        }
     }
 
     /// `INVLPG`: invalidate the translation for `va` in the *current*

@@ -68,6 +68,20 @@ pub enum SimError {
     /// The caller passed inconsistent arguments (unaligned address, zero
     /// length, overlapping fixed mapping...).
     InvalidArgument(String),
+    /// An event reached the dispatcher with a fire time behind the
+    /// simulation clock. The engine clamps the event to "now" so time
+    /// stays monotone, but the schedule that produced it is broken (a
+    /// negative delay, e.g. from a corrupted fault plan) — so the
+    /// condition is recorded as a typed error instead of a debug-only
+    /// assert that release builds silently skip.
+    TimeRegression {
+        /// The event's (stale) fire time, in cycles.
+        at: u64,
+        /// The simulation clock when the event was dispatched, in cycles.
+        now: u64,
+        /// The event's engine sequence number.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -103,6 +117,10 @@ impl fmt::Display for SimError {
             SimError::NoSuchMm(mm) => write!(f, "no such address space: {mm:?}"),
             SimError::NotMapped(addr) => write!(f, "address not mapped: {addr}"),
             SimError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+            SimError::TimeRegression { at, now, seq } => write!(
+                f,
+                "time went backwards: event #{seq} fired at {at} with clock already at {now}"
+            ),
         }
     }
 }

@@ -165,9 +165,9 @@ pub fn run_apache(cfg: &ApacheCfg) -> ApacheResult {
     .with_opts(cfg.opts)
     .with_safe_mode(cfg.safe);
     let mut m = Machine::new(kc);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     let files: Vec<FileId> = (0..cfg.files)
-        .map(|_| m.create_file(cfg.file_pages))
+        .map(|_| m.create_file(cfg.file_pages).expect("boot: create file"))
         .collect();
     let completed = Rc::new(Cell::new(0u64));
     let mut rng = SplitMix64::new(cfg.seed);

@@ -88,9 +88,9 @@ pub fn run_cow_bench(cfg: &CowBenchCfg) -> CowBenchResult {
         kc.noise_cycles = 60;
         kc.seed = cfg.seed ^ (run + 1).wrapping_mul(0x2545_f491);
         let mut m = Machine::new(kc);
-        let mm = m.create_process();
-        let file = m.create_file(cfg.pages);
-        let addr = m.setup_map_file(mm, file, false); // MAP_PRIVATE → CoW
+        let mm = m.create_process().expect("boot: create process");
+        let file = m.create_file(cfg.pages).expect("boot: create file");
+        let addr = m.setup_map_file(mm, file, false).expect("boot: map file"); // MAP_PRIVATE → CoW
         let mut rng = SplitMix64::new(cfg.seed ^ run.wrapping_mul(0x517c_c1b7));
         let mut order: Vec<u64> = (0..cfg.pages).collect();
         rng.shuffle(&mut order);

@@ -219,7 +219,7 @@ fn run_with_hooks(
             kc.costs = costs.clone();
         }
         let mut m = Machine::new(kc);
-        let mm = m.create_process();
+        let mm = m.create_process().expect("boot: create process");
         let rng = SplitMix64::new(cfg.seed ^ run.wrapping_mul(0x9e37_79b9));
         m.spawn(
             mm,
@@ -265,6 +265,145 @@ fn run_with_hooks(
         responder,
         counters,
         sim_cycles,
+    }
+}
+
+/// Configuration of the dual-socket scale tier: a machine far beyond the
+/// paper's 2×28 evaluation box, every core busy, a handful of madvise
+/// initiators broadcasting shootdowns into a single shared mm, run until
+/// a fixed number of engine dispatches instead of a simulated deadline.
+/// The driver is [`Machine::step`] — the plain FIFO dispatch fast path —
+/// so the run measures (and stresses) the engine front-end itself.
+#[derive(Clone, Debug)]
+pub struct ScaleTierCfg {
+    /// Socket count.
+    pub sockets: u32,
+    /// Logical cores per socket.
+    pub logical_per_socket: u32,
+    /// SMT ways.
+    pub smt: u32,
+    /// How many cores run the madvise initiator (evenly spaced; the
+    /// rest run busy loops that absorb the IPIs).
+    pub initiators: u32,
+    /// PTEs zapped per madvise.
+    pub ptes: u64,
+    /// Stop once the engine has dispatched this many events.
+    pub target_events: u64,
+    /// Mitigations on?
+    pub safe: bool,
+    /// Optimizations active.
+    pub opts: OptConfig,
+    /// Seed for the initiators' jitter streams.
+    pub seed: u64,
+    /// Run the reference pure-heap engine instead of the timing wheel
+    /// (before/after comparisons; simulated outcome is identical).
+    pub heap_only_engine: bool,
+}
+
+impl ScaleTierCfg {
+    /// The BENCH_2 tier: 2 sockets × 56 logical cores (2-way SMT), ten
+    /// million engine dispatches.
+    pub fn dual_socket_56(target_events: u64) -> Self {
+        ScaleTierCfg {
+            sockets: 2,
+            logical_per_socket: 56,
+            smt: 2,
+            initiators: 4,
+            ptes: 10,
+            target_events,
+            safe: true,
+            opts: OptConfig::baseline(),
+            seed: 0x5ca1_e71e,
+            heap_only_engine: false,
+        }
+    }
+
+    /// A tier-1-sized version of the same shape: 2×8 logical cores,
+    /// 40k dispatches — small enough for the test suite, still
+    /// exercising cross-socket broadcast shootdowns under full load.
+    pub fn smoke() -> Self {
+        ScaleTierCfg {
+            sockets: 2,
+            logical_per_socket: 8,
+            smt: 2,
+            initiators: 2,
+            ptes: 4,
+            target_events: 40_000,
+            ..Self::dual_socket_56(0)
+        }
+    }
+
+    /// Total logical cores in the tier.
+    pub fn num_cores(&self) -> u32 {
+        self.sockets * self.logical_per_socket
+    }
+}
+
+/// What a scale-tier run produced. Everything here is deterministic —
+/// byte-identical between the timing-wheel and pure-heap engines and
+/// across reruns; wall-clock is the caller's to measure.
+#[derive(Clone, Debug)]
+pub struct ScaleTierResult {
+    /// Events actually dispatched (== `target_events` unless the queue
+    /// drained early, which a healthy run never does).
+    pub events: u64,
+    /// Final simulated time.
+    pub sim_cycles: u64,
+    /// Canonical machine-state digest at the stop point.
+    pub digest: u64,
+    /// Full machine counter set at the stop point.
+    pub counters: Counter,
+}
+
+/// Run the scale tier to its dispatch target.
+pub fn run_scale_tier(cfg: &ScaleTierCfg) -> ScaleTierResult {
+    let topo = Topology::new(cfg.sockets, cfg.logical_per_socket).with_smt(cfg.smt);
+    let n = topo.num_cores();
+    assert!(
+        cfg.initiators >= 1 && cfg.initiators <= n,
+        "initiator count must fit the machine"
+    );
+    let kc = KernelConfig {
+        topo,
+        ..KernelConfig::paper_baseline()
+    }
+    .with_opts(cfg.opts)
+    .with_safe_mode(cfg.safe)
+    .with_heap_only_engine(cfg.heap_only_engine);
+    let mut m = Machine::new(kc);
+    let mm = m.create_process().expect("boot: create process");
+    let stride = n / cfg.initiators;
+    for core in 0..n {
+        if core % stride == 0 && core / stride < cfg.initiators {
+            let rng = SplitMix64::new(cfg.seed ^ u64::from(core).wrapping_mul(0x9e37_79b9));
+            m.spawn(
+                mm,
+                CoreId(core),
+                Box::new(Initiator {
+                    addr: 0,
+                    ptes: cfg.ptes,
+                    iters: u64::MAX,
+                    state: 0,
+                    touch: 0,
+                    iter: 0,
+                    rng,
+                }),
+            );
+        } else {
+            m.spawn(mm, CoreId(core), Box::new(BusyLoopProg));
+        }
+    }
+    while m.events_processed() < cfg.target_events && m.step() {}
+    assert!(
+        m.violations().is_empty(),
+        "oracle violations at scale: {:?}",
+        m.violations()
+    );
+    ScaleTierResult {
+        events: m.events_processed(),
+        sim_cycles: m.now().as_u64(),
+        digest: m.state_digest(),
+        counters: m.stats.counters.clone(),
     }
 }
 
@@ -324,6 +463,17 @@ mod tests {
         let ten = quick(Placement::SameSocket, 10, true, OptConfig::baseline());
         assert!(ten.initiator.mean() > one.initiator.mean());
         assert!(ten.responder.mean() > one.responder.mean());
+    }
+
+    #[test]
+    fn scale_tier_smoke_hits_its_target_deterministically() {
+        let cfg = ScaleTierCfg::smoke();
+        let a = run_scale_tier(&cfg);
+        let b = run_scale_tier(&cfg);
+        assert_eq!(a.events, cfg.target_events, "queue must not drain early");
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.sim_cycles, b.sim_cycles);
+        assert!(a.counters.get("shootdown") > 0, "madvise traffic flowed");
     }
 
     #[test]

@@ -132,9 +132,9 @@ pub fn run_sysbench(cfg: &SysbenchCfg) -> SysbenchResult {
     .with_opts(cfg.opts)
     .with_safe_mode(cfg.safe);
     let mut m = Machine::new(kc);
-    let mm = m.create_process();
-    let file = m.create_file(cfg.file_pages);
-    let addr = m.setup_map_file(mm, file, true); // MAP_SHARED
+    let mm = m.create_process().expect("boot: create process");
+    let file = m.create_file(cfg.file_pages).expect("boot: create file");
+    let addr = m.setup_map_file(mm, file, true).expect("boot: map file"); // MAP_SHARED
     let ops = Rc::new(Cell::new(0u64));
     let mut rng = SplitMix64::new(cfg.seed);
     for t in 0..cfg.threads {

@@ -19,6 +19,19 @@
 //!   through the sweep pool, write `BENCH_1.json`, diff the
 //!   deterministic sim-metric blocks *byte-exactly* against the previous
 //!   snapshot and bound total wall-clock at a tolerance.
+//! - `cargo xtask scalebench [--out PATH] [--baseline PATH]
+//!   [--tolerance F]` — the scale-up gate behind `BENCH_2.json`: run the
+//!   dual-socket 2×56-core tier in both engine configurations (timing
+//!   wheel vs the pure-heap baseline) and the engine-dispatch
+//!   microbenchmark, serially so the host timings are honest. Requires
+//!   the tier sim blocks and dispatch stream digests to be identical
+//!   across engines (the wheel is observationally equivalent) and the
+//!   dispatch throughput improvement to clear its floor; then diffs the
+//!   snapshot against the committed baseline like `bench` does.
+//! - `cargo xtask engine [seed]` — the engine-equivalence gate: the
+//!   timing-wheel and pure-heap engines must produce byte-identical
+//!   state digests on a chaos-stressed machine at every cumulative
+//!   optimization level, and on the scale-tier smoke configuration.
 //! - `cargo xtask sweep [--threads N] [--scale quick|full] [--out PATH]`
 //!   — the full figure/table matrix plus the seven explore jobs, reduced
 //!   in canonical job-ID order (byte-identical for any thread count).
@@ -37,8 +50,8 @@
 use std::process::{Command, ExitCode};
 use std::time::Duration;
 
-use tlbdown_bench::report::{diff_sim_metrics, render_bench_json, total_wall_ns};
-use tlbdown_bench::{bench_jobs, bench_matrix, full_matrix, Scale};
+use tlbdown_bench::report::{diff_sim_metrics, render_bench_json, sim_blocks, total_wall_ns};
+use tlbdown_bench::{bench_jobs, bench_matrix, full_matrix, scale_matrix, Scale};
 use tlbdown_check::gate::{
     per_level_bounds, run_canary, CanaryReport, GateReport, LevelReport, DEFAULT_BUDGET,
 };
@@ -54,6 +67,7 @@ use tlbdown_trace::{
     PhaseTotals, Trace,
 };
 use tlbdown_types::{CoreId, Cycles};
+use tlbdown_workloads::madvise::{run_scale_tier, ScaleTierCfg};
 
 /// Maximum choices allowed in the shrunk canary counterexample.
 const MAX_CANARY_CHOICES: usize = 20;
@@ -66,6 +80,10 @@ const SHRINK_BUDGET: u64 = 2_000;
 /// because committed baselines cross hardware; the teeth of the gate are
 /// the byte-exact sim-metric diff.
 const DEFAULT_TOLERANCE: f64 = 3.0;
+
+/// Minimum dispatch-throughput improvement (pure-heap wall-clock over
+/// timing-wheel wall-clock on the same stream) the scale gate requires.
+const MIN_DISPATCH_SPEEDUP: f64 = 2.0;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,6 +101,12 @@ fn main() -> ExitCode {
             flag(&args, "--baseline"),
             parse_tolerance(&args),
         ),
+        Some("scalebench") => scale_bench_gate(
+            &flag(&args, "--out").unwrap_or_else(|| "BENCH_2.json".into()),
+            flag(&args, "--baseline"),
+            parse_tolerance(&args),
+        ),
+        Some("engine") => engine_gate(parse_seed(positional(&args, 1))),
         Some("sweep") => sweep(
             parse_threads(&args),
             parse_scale(&args),
@@ -97,6 +121,8 @@ fn main() -> ExitCode {
                 "usage: cargo xtask <fmt | clippy | replay [seed] | \
                  explore [--threads N] [--out PATH] | \
                  bench [--threads N] [--out PATH] [--baseline PATH] [--tolerance F] | \
+                 scalebench [--out PATH] [--baseline PATH] [--tolerance F] | \
+                 engine [seed] | \
                  sweep [--threads N] [--scale quick|full] [--out PATH] | \
                  trace [--out PATH] | ci [seed]>"
             );
@@ -234,7 +260,7 @@ fn replay_run(seed: u64) -> String {
             .with_opts(OptConfig::general_four())
             .with_chaos(chaos),
     );
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     m.spawn(mm, CoreId(0), Box::new(MadviseLoopProg::new(8, 6)));
     m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
     m.spawn(mm, CoreId(2), Box::new(MadviseLoopProg::new(3, 6)));
@@ -484,6 +510,181 @@ fn gate_against_baseline(doc: &Json, base: &Json, path: &str, tolerance: f64) ->
     ok
 }
 
+/// A `u64` field of one job's host block, if present.
+fn host_u64(doc: &Json, id: &str, key: &str) -> Option<u64> {
+    doc.get("jobs")?
+        .as_arr()?
+        .iter()
+        .find(|j| j.get("id").and_then(Json::as_str) == Some(id))?
+        .get("host")?
+        .get(key)?
+        .as_u64()
+}
+
+/// The scale-up gate behind `BENCH_2.json`: the 2×56-core tier under
+/// both engines plus the dispatch microbenchmark, run serially so the
+/// host timings are honest. Two checks before the baseline diff: the
+/// tier's sim blocks must be byte-identical across engines (the
+/// dispatch job asserts its own stream-digest equality internally), and
+/// the wheel must clear the dispatch throughput floor over the
+/// allocating pure-heap baseline.
+fn scale_bench_gate(out: &str, baseline: Option<String>, tolerance: f64) -> bool {
+    let jobs = bench_jobs(scale_matrix(Scale::Full));
+    println!(
+        "xtask: scale sweep — {} jobs, serial (host-timing fidelity)",
+        jobs.len()
+    );
+    let sweep = run_jobs(jobs, 1);
+    let mut doc = render_bench_json(&sweep, &git_rev());
+    let mut ok = true;
+
+    let blocks = sim_blocks(&doc);
+    let mut identical = |kind: &str, a: &str, b: &str| match (blocks.get(a), blocks.get(b)) {
+        (Some(x), Some(y)) if x == y => {
+            println!("xtask: {kind} sim metrics byte-identical across engines");
+        }
+        (Some(_), Some(_)) => {
+            eprintln!("xtask: SCALE GATE FAILED — {kind} sim metrics differ between {a} and {b}");
+            ok = false;
+        }
+        _ => {
+            eprintln!("xtask: SCALE GATE FAILED — {kind} jobs missing from the sweep");
+            ok = false;
+        }
+    };
+    identical(
+        "scale tier",
+        "scale/full/2x56-heap",
+        "scale/full/2x56-wheel",
+    );
+
+    match (
+        host_u64(&doc, "engine/full/dispatch", "heap_ns"),
+        host_u64(&doc, "engine/full/dispatch", "wheel_ns"),
+    ) {
+        (Some(heap), Some(wheel)) if wheel > 0 => {
+            let speedup = heap as f64 / wheel as f64;
+            doc = doc.with("dispatch_speedup", Json::F64(speedup));
+            if speedup >= MIN_DISPATCH_SPEEDUP {
+                println!(
+                    "xtask: dispatch speedup {speedup:.2}x — heap {:.2?} vs wheel {:.2?} \
+                     (floor {MIN_DISPATCH_SPEEDUP:.1}x)",
+                    Duration::from_nanos(heap),
+                    Duration::from_nanos(wheel)
+                );
+            } else {
+                eprintln!(
+                    "xtask: SCALE GATE FAILED — dispatch speedup {speedup:.2}x is below the \
+                     {MIN_DISPATCH_SPEEDUP:.1}x floor (heap {:.2?}, wheel {:.2?})",
+                    Duration::from_nanos(heap),
+                    Duration::from_nanos(wheel)
+                );
+                ok = false;
+            }
+        }
+        _ => {
+            eprintln!("xtask: SCALE GATE FAILED — dispatch host timings missing");
+            ok = false;
+        }
+    }
+
+    let baseline_path = baseline.unwrap_or_else(|| out.to_string());
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(base) => ok &= gate_against_baseline(&doc, &base, &baseline_path, tolerance),
+            Err(e) => {
+                eprintln!(
+                    "xtask: baseline {baseline_path} is not valid JSON ({e}) — SCALE GATE FAILED"
+                );
+                ok = false;
+            }
+        },
+        Err(_) => println!("xtask: no baseline at {baseline_path} — recording first snapshot"),
+    }
+
+    if let Err(e) = std::fs::write(out, doc.render_pretty()) {
+        eprintln!("xtask: could not write {out}: {e}");
+        return false;
+    }
+    println!("xtask: wrote {out}");
+    if ok {
+        println!("xtask: scalebench OK");
+    }
+    ok
+}
+
+/// One chaos-stressed machine run for the engine-equivalence gate.
+fn engine_gate_run(level: usize, seed: u64, heap_only: bool) -> (u64, u64, usize, usize) {
+    let chaos = ChaosConfig::with_fault(FaultSpec::everything(), seed);
+    let mut m = Machine::new(
+        KernelConfig::test_machine(4)
+            .with_opts(OptConfig::cumulative(level))
+            .with_chaos(chaos)
+            .with_heap_only_engine(heap_only),
+    );
+    let mm = m.create_process().expect("boot: create process");
+    m.spawn(mm, CoreId(0), Box::new(MadviseLoopProg::new(8, 6)));
+    m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
+    m.spawn(mm, CoreId(2), Box::new(MadviseLoopProg::new(3, 6)));
+    m.spawn(mm, CoreId(3), Box::new(BusyLoopProg));
+    m.run_until(Cycles::new(10_000_000));
+    (
+        m.state_digest(),
+        m.now().as_u64(),
+        m.violations().len(),
+        m.recorded_errors().len(),
+    )
+}
+
+/// The engine-equivalence gate: the timing-wheel and pure-heap engines
+/// must be observationally identical — same state digest, final time,
+/// violation and error counts — on a chaos-stressed machine at every
+/// cumulative optimization level, and on the scale-tier smoke
+/// configuration.
+fn engine_gate(seed: u64) -> bool {
+    println!("xtask: engine-equivalence check, seed {seed:#x}");
+    let mut ok = true;
+    for level in 0..=6usize {
+        let wheel = engine_gate_run(level, seed, false);
+        let heap = engine_gate_run(level, seed, true);
+        if wheel != heap {
+            eprintln!(
+                "xtask: ENGINE GATE FAILED — level {level}: wheel \
+                 (digest {:016x}, t {}, {} violations, {} errors) != heap \
+                 (digest {:016x}, t {}, {} violations, {} errors)",
+                wheel.0, wheel.1, wheel.2, wheel.3, heap.0, heap.1, heap.2, heap.3
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!(
+            "xtask: engine OK — chaos-run state digests byte-identical across engines \
+             at all 7 opt levels"
+        );
+    }
+    let tier = |heap_only: bool| {
+        let mut cfg = ScaleTierCfg::smoke();
+        cfg.heap_only_engine = heap_only;
+        let r = run_scale_tier(&cfg);
+        (r.digest, r.events, r.sim_cycles)
+    };
+    let (wheel, heap) = (tier(false), tier(true));
+    if wheel == heap {
+        println!(
+            "xtask: engine OK — scale-tier smoke digest {:016x} identical across engines",
+            wheel.0
+        );
+    } else {
+        eprintln!(
+            "xtask: ENGINE GATE FAILED — scale-tier smoke diverged: \
+             wheel {wheel:?} vs heap {heap:?}"
+        );
+        ok = false;
+    }
+    ok
+}
+
 /// The full sweep: every figure/table job plus the seven explore jobs,
 /// reduced in canonical job-ID order. The reduction is byte-identical
 /// for any `--threads` value.
@@ -668,10 +869,15 @@ fn ci(seed: u64) -> ExitCode {
         ("fmt", fmt()),
         ("clippy", clippy()),
         ("replay", replay(seed)),
+        ("engine", engine_gate(seed)),
         ("explore", explore_gate(0, "explore_report.json")),
         (
             "bench",
             bench_gate(0, "BENCH_1.json", None, DEFAULT_TOLERANCE),
+        ),
+        (
+            "scale",
+            scale_bench_gate("BENCH_2.json", None, DEFAULT_TOLERANCE),
         ),
         ("trace", trace_gate("sample.trace.json")),
     ];

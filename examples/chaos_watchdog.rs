@@ -21,7 +21,7 @@ fn run(fault: Fault, label: &str) {
         .with_opts(OptConfig::general_four())
         .with_chaos(chaos);
     let mut m = Machine::new(cfg);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     m.spawn(mm, CoreId(0), Box::new(MadviseLoopProg::new(8, 6))); // initiator
     m.spawn(mm, CoreId(1), Box::new(BusyLoopProg)); // victim responder
     m.run_until(Cycles::new(80_000_000));

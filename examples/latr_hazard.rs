@@ -72,13 +72,13 @@ impl Prog for Zapper {
 fn run(lazy: bool) -> usize {
     let cfg = KernelConfig::test_machine(2).with_lazy_latr(lazy);
     let mut m = Machine::new(cfg);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     let zapper = Zapper { state: 0, addr: 0 };
     // The zapper must publish the address to the toucher; in this demo we
     // run the mmap synchronously first by a tiny warm-up simulation.
     let mut probe = Machine::new(KernelConfig::test_machine(1));
-    let pmm = probe.create_process();
-    let addr = probe.setup_map_anon(pmm, 1); // deterministic cursor: same addr
+    let pmm = probe.create_process().expect("boot: create process");
+    let addr = probe.setup_map_anon(pmm, 1).expect("boot: map anon"); // deterministic cursor: same addr
     m.spawn(mm, CoreId(0), Box::new(zapper));
     m.spawn(
         mm,

@@ -61,7 +61,7 @@ fn run(opts: OptConfig, label: &str) {
     }
     .with_opts(opts);
     let mut m = Machine::new(cfg);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     // Initiator on socket 0, responder on socket 1 — the worst case.
     m.spawn(
         mm,

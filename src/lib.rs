@@ -34,7 +34,7 @@
 //! // Boot a 4-core machine with every optimization on.
 //! let cfg = KernelConfig::test_machine(4).with_opts(OptConfig::all());
 //! let mut m = Machine::new(cfg);
-//! let mm = m.create_process();
+//! let mm = m.create_process().expect("boot: create process");
 //!
 //! // A program that maps a page and releases it (forcing a shootdown,
 //! // since the busy thread on core 1 shares the address space).

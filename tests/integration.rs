@@ -74,7 +74,7 @@ fn multicast_uses_cluster_batches() {
         ..KernelConfig::paper_baseline()
     };
     let mut m = Machine::new(cfg);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(4, 3)));
     for i in 1..=20u32 {
         let core = if i <= 10 {
@@ -102,7 +102,7 @@ fn identical_seeds_are_bit_identical() {
         cfg.noise_cycles = 200;
         cfg.seed = 0xfeed;
         let mut m = Machine::new(cfg);
-        let mm = m.create_process();
+        let mm = m.create_process().expect("boot: create process");
         m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(6, 20)));
         m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
         m.spawn(mm, CoreId(2), Box::new(MadviseLoop::new(3, 20)));
@@ -129,7 +129,7 @@ fn batched_core_is_skipped_and_resyncs() {
     // never uses a stale entry afterwards.
     let cfg = KernelConfig::test_machine(3).with_opts(OptConfig::baseline().with_batching(true));
     let mut m = Machine::new(cfg);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     // Two threads madvise-looping concurrently: each spends most time in
     // the (batched) syscall, so each is regularly skipped by the other.
     m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(8, 40)));
@@ -160,8 +160,8 @@ fn nmi_uaccess_extension_blocks_the_early_ack_hazard() {
             .with_safe_mode(false); // single PCID: user touches warm the probe's view
         cfg.buggy_nmi_check = buggy;
         let mut m = Machine::new(cfg);
-        let mm = m.create_process();
-        let addr = m.setup_map_anon(mm, 16);
+        let mm = m.create_process().expect("boot: create process");
+        let addr = m.setup_map_anon(mm, 16).expect("boot: map anon");
         // Responder hammers the last page of the range, keeping exactly
         // the entry the NMI will probe warm in its TLB. That page is
         // flushed last by the responder's handler, so the window between
@@ -253,11 +253,11 @@ fn cow_after_fork_style_sharing_is_isolated() {
     // frame, and frame refcounts must drop correctly on exit.
     let cfg = KernelConfig::test_machine(2).with_opts(OptConfig::all());
     let mut m = Machine::new(cfg);
-    let f = m.create_file(4);
-    let mm_a = m.create_process();
-    let mm_b = m.create_process();
-    let addr_a = m.setup_map_file(mm_a, f, false);
-    let addr_b = m.setup_map_file(mm_b, f, false);
+    let f = m.create_file(4).expect("boot: create file");
+    let mm_a = m.create_process().expect("boot: create process");
+    let mm_b = m.create_process().expect("boot: create process");
+    let addr_a = m.setup_map_file(mm_a, f, false).expect("boot: map file");
+    let addr_b = m.setup_map_file(mm_b, f, false).expect("boot: map file");
     // A reads then writes every page (CoW); B only reads.
     let script = |addr: u64, write: bool| {
         struct P {
@@ -322,7 +322,7 @@ fn safe_mode_flushes_both_views() {
         .with_safe_mode(true);
     cfg.noise_cycles = 100;
     let mut m = Machine::new(cfg);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(10, 60)));
     m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
     m.run_until(Cycles::new(80_000_000));

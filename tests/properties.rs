@@ -107,13 +107,17 @@ fn chaos_machine(seed: u64, opts: OptConfig, safe: bool, cores: u32) -> Machine 
     cfg.noise_cycles = 150;
     cfg.seed = seed;
     let mut m = Machine::new(cfg);
-    let mm = m.create_process();
+    let mm = m.create_process().expect("boot: create process");
     // Shared anon region + shared file (msync targets) + private file (CoW).
-    let anon = m.setup_map_anon(mm, 32);
-    let shared_file = m.create_file(16);
-    let shared = m.setup_map_file(mm, shared_file, true);
-    let cow_file = m.create_file(16);
-    let cow = m.setup_map_file(mm, cow_file, false);
+    let anon = m.setup_map_anon(mm, 32).expect("boot: map anon");
+    let shared_file = m.create_file(16).expect("boot: create file");
+    let shared = m
+        .setup_map_file(mm, shared_file, true)
+        .expect("boot: map file");
+    let cow_file = m.create_file(16).expect("boot: create file");
+    let cow = m
+        .setup_map_file(mm, cow_file, false)
+        .expect("boot: map file");
     let mut rng = SplitMix64::new(seed);
     for c in 0..cores {
         // Half the threads chaos over (anon, cow), half over (shared, cow):
