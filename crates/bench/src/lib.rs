@@ -19,6 +19,9 @@ pub use enginebench::{run_dispatch, run_dispatch_pair, DispatchCfg, DispatchPair
 pub use figures::{fig10, fig11, fig4_ablation, fig5_to_8, fig9, table3, Scale};
 pub use fractured::table4;
 pub use loc::table2;
-pub use matrix::{bench_matrix, full_matrix, scale_matrix, JobOutput, JobSpec, MatrixJob};
+pub use matrix::{
+    bench_matrix, full_matrix, scale_matrix, storm_faults, storm_matrix, JobOutput, JobSpec,
+    MatrixJob,
+};
 pub use metrics::JobMetrics;
 pub use report::{bench_jobs, diff_sim_metrics, render_bench_json, sim_blocks, SimDiff};

@@ -17,12 +17,15 @@
 //! mode, fracturing, CoW) leaves a metric in `BENCH_*.json`.
 
 use tlbdown_core::OptConfig;
+use tlbdown_sim::fault::FaultSpec;
 use tlbdown_sweep::Json;
+use tlbdown_types::Cycles;
 use tlbdown_workloads::apache::{run_apache, ApacheCfg};
 use tlbdown_workloads::cow::{run_cow_bench, CowBenchCfg};
 use tlbdown_workloads::madvise::{
     run_madvise_bench, run_scale_tier, MadviseBenchCfg, Placement, ScaleTierCfg,
 };
+use tlbdown_workloads::storm::{run_storm, StormCfg, StormIntensity};
 use tlbdown_workloads::sysbench::{run_sysbench, SysbenchCfg};
 
 use crate::ablations::{ceiling_sweep, invpcid_sensitivity, paravirt_hint};
@@ -81,6 +84,19 @@ pub enum JobSpec {
         /// wheel. Sim metrics are byte-identical either way; only host
         /// wall-clock differs.
         heap_only: bool,
+    },
+    /// One shootdown-storm survival cell (`cargo xtask storm`): a storm
+    /// intensity × fault preset, run at every cumulative optimization
+    /// level L0..L6 with each level executed **twice** — the second run
+    /// is the byte-identical seed-replay check, recorded per level as
+    /// `L{n}_replay_ok` alongside the survival verdict (violations,
+    /// wedge, thread completion) and the victim's fault-latency signal
+    /// percentiles.
+    Storm {
+        /// Storm intensity (first matrix axis).
+        intensity: StormIntensity,
+        /// Index into [`storm_faults`] (second matrix axis).
+        fault: usize,
     },
     /// The engine dispatch microbenchmark: replay the seeded
     /// madvise-mix event stream through both engine configurations —
@@ -148,6 +164,7 @@ impl MatrixJob {
             JobSpec::Table4Row { .. } => "table4_row",
             JobSpec::Ablation { .. } => "ablation",
             JobSpec::ScaleTier { .. } => "scale_tier",
+            JobSpec::Storm { .. } => "storm",
             JobSpec::EngineDispatch => "engine_dispatch",
         };
         let mut obj = Json::obj()
@@ -177,6 +194,15 @@ impl MatrixJob {
             JobSpec::ScaleTier { heap_only } => {
                 obj = obj.with("heap_only", Json::Bool(*heap_only));
             }
+            JobSpec::Storm { intensity, fault } => {
+                let (fault_name, _) = storm_faults()
+                    .into_iter()
+                    .nth(*fault)
+                    .expect("fault index in storm_faults range");
+                obj = obj
+                    .with("intensity", Json::Str(intensity.label().into()))
+                    .with("fault", Json::Str(fault_name.into()));
+            }
             JobSpec::Table3 | JobSpec::Fig4 | JobSpec::EngineDispatch => {}
         }
         obj
@@ -202,6 +228,7 @@ impl MatrixJob {
                 JobMetrics::new(),
             ),
             JobSpec::ScaleTier { heap_only } => run_scale_tier_job(*heap_only, self.scale),
+            JobSpec::Storm { intensity, fault } => run_storm_cell(*intensity, *fault, self.scale),
             JobSpec::EngineDispatch => run_engine_dispatch_job(self.scale),
         }
     }
@@ -382,6 +409,82 @@ fn run_scale_tier_job(heap_only: bool, scale: Scale) -> JobOutput {
     JobOutput::sim(rendered, metrics)
 }
 
+/// The storm matrix's fault axis: delivery/entry faults layered under
+/// the shootdown storm, ending in the composite preset that stacks IPI
+/// drop, delay and duplication at once. The escalation ladder must keep
+/// every cell alive (zero violations, no wedge) under all of them.
+pub fn storm_faults() -> Vec<(&'static str, FaultSpec)> {
+    vec![
+        ("none", FaultSpec::none()),
+        ("ipi-drop", FaultSpec::ipi_drop()),
+        ("late-responder", FaultSpec::late_responder()),
+        ("combined", FaultSpec::combined()),
+    ]
+}
+
+/// Workload deadline for one storm run at `scale`. The post-deadline
+/// drain window stays at the [`StormCfg`] default either way — drain is
+/// event-driven and costs nothing once the machine quiesces.
+fn storm_duration(scale: Scale) -> Cycles {
+    match scale {
+        Scale::Quick => Cycles::new(1_200_000),
+        Scale::Full => Cycles::new(4_000_000),
+    }
+}
+
+fn run_storm_cell(intensity: StormIntensity, fault: usize, scale: Scale) -> JobOutput {
+    let (fault_name, fault_spec) = storm_faults()
+        .into_iter()
+        .nth(fault)
+        .expect("fault index in storm_faults range");
+    let mut metrics = JobMetrics::new();
+    let mut rendered = format!(
+        "storm {} × {fault_name}: survival and victim signal per opt level\n",
+        intensity.label()
+    );
+    for level in 0..=6usize {
+        let mut cfg = StormCfg::new(intensity, OptConfig::cumulative(level));
+        cfg.fault = fault_spec.clone();
+        cfg.duration = storm_duration(scale);
+        let a = run_storm(&cfg);
+        let b = run_storm(&cfg);
+        let replay_ok = a.digest == b.digest
+            && a.sim_cycles == b.sim_cycles
+            && a.counters.render_json() == b.counters.render_json();
+        rendered += &format!(
+            "  L{level} violations {} wedged {} done {} replay {} — \
+             faults {:>5} p50 {:>6} p90 {:>6} p99 {:>7} protects {:>4} bystander {:>5}\n",
+            a.violations,
+            a.wedged,
+            a.threads_done,
+            if replay_ok { "ok" } else { "DIVERGED" },
+            a.victim_faults,
+            a.fault_p50,
+            a.fault_p90,
+            a.fault_p99,
+            a.monitor_protects,
+            a.bystander_requests
+        );
+        metrics.put_u64(&format!("L{level}_violations"), a.violations as u64);
+        metrics.put_u64(&format!("L{level}_wedged"), a.wedged as u64);
+        metrics.put_u64(&format!("L{level}_threads_done"), a.threads_done as u64);
+        metrics.put_u64(&format!("L{level}_replay_ok"), replay_ok as u64);
+        metrics.put_u64(&format!("L{level}_victim_faults"), a.victim_faults);
+        metrics.put_u64(&format!("L{level}_fault_p50"), a.fault_p50);
+        metrics.put_u64(&format!("L{level}_fault_p90"), a.fault_p90);
+        metrics.put_u64(&format!("L{level}_fault_p99"), a.fault_p99);
+        metrics.put_u64(&format!("L{level}_monitor_protects"), a.monitor_protects);
+        metrics.put_u64(
+            &format!("L{level}_bystander_requests"),
+            a.bystander_requests,
+        );
+        metrics.put_u64(&format!("L{level}_sim_cycles"), a.sim_cycles);
+        metrics.put_u64(&format!("L{level}_digest"), a.digest);
+        metrics.merge_counters(&a.counters);
+    }
+    JobOutput::sim(rendered, metrics)
+}
+
 fn run_engine_dispatch_job(scale: Scale) -> JobOutput {
     let cfg = match scale {
         Scale::Quick => DispatchCfg::quick(),
@@ -545,13 +648,36 @@ pub fn scale_matrix(scale: Scale) -> Vec<MatrixJob> {
     ]
 }
 
+/// The `BENCH_3.json` shootdown-storm survival matrix behind
+/// `cargo xtask storm`: every [`StormIntensity`] × every
+/// [`storm_faults`] preset, with all seven cumulative optimization
+/// levels (each run twice, for the seed-replay check) inside each cell.
+pub fn storm_matrix(scale: Scale) -> Vec<MatrixJob> {
+    let s = scale.label();
+    let mut jobs = Vec::new();
+    for intensity in StormIntensity::ALL {
+        for (fault, (name, _)) in storm_faults().iter().enumerate() {
+            jobs.push(MatrixJob::new(
+                format!("storm/{s}/{}/{name}", intensity.label()),
+                scale,
+                JobSpec::Storm { intensity, fault },
+            ));
+        }
+    }
+    jobs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn matrix_ids_are_unique() {
-        for jobs in [full_matrix(Scale::Quick), bench_matrix()] {
+        for jobs in [
+            full_matrix(Scale::Quick),
+            bench_matrix(),
+            storm_matrix(Scale::Quick),
+        ] {
             let mut ids: Vec<_> = jobs.iter().map(|j| j.id.clone()).collect();
             let n = ids.len();
             ids.sort();
@@ -593,6 +719,50 @@ mod tests {
         assert!(disp.host.get("wheel_ns").is_some());
         assert!(disp.host.get("dispatch_speedup").is_some());
         assert!(disp.metrics.render().contains("stream_digest"));
+    }
+
+    #[test]
+    fn storm_matrix_covers_every_intensity_and_fault() {
+        let jobs = storm_matrix(Scale::Quick);
+        assert_eq!(
+            jobs.len(),
+            StormIntensity::ALL.len() * storm_faults().len(),
+            "one cell per intensity × fault preset"
+        );
+        assert!(storm_faults().len() >= 4);
+        assert!(storm_faults().iter().any(|(n, _)| *n == "combined"));
+    }
+
+    #[test]
+    fn storm_cell_survives_and_replays() {
+        // One mild cell end-to-end through the job interface: survival
+        // and replay metrics present and green at every level.
+        let job = MatrixJob::new(
+            "storm/quick/mild/combined".into(),
+            Scale::Quick,
+            JobSpec::Storm {
+                intensity: StormIntensity::Mild,
+                fault: 3,
+            },
+        );
+        let out = job.run();
+        let sim = out.metrics.to_json();
+        for level in 0..=6 {
+            let get = |k: &str| {
+                sim.get(&format!("L{level}_{k}"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or_else(|| panic!("missing L{level}_{k}"))
+            };
+            assert_eq!(get("violations"), 0, "L{level} violated");
+            assert_eq!(get("wedged"), 0, "L{level} wedged");
+            assert_eq!(get("threads_done"), 1, "L{level} threads hung");
+            assert_eq!(get("replay_ok"), 1, "L{level} replay diverged");
+            assert!(get("victim_faults") > 0, "L{level} produced no signal");
+        }
+        assert_eq!(
+            job.config_json().get("fault"),
+            Some(&Json::Str("combined".into()))
+        );
     }
 
     #[test]

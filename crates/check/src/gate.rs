@@ -146,13 +146,43 @@ impl CanaryReport {
     }
 }
 
-/// Run the canary: catch the seeded `buggy_nmi_check` bug, shrink it,
-/// replay it byte-identically, and prove the corrected check clean.
-/// Parallel-safe, though the gate runs it once, after the level sweep.
+/// Run the §3.2 NMI canary: catch the seeded `buggy_nmi_check` bug,
+/// shrink it, replay it byte-identically, and prove the corrected check
+/// clean. Parallel-safe, though the gate runs it once, after the level
+/// sweep.
 pub fn run_canary(bounds: &Bounds, shrink_budget: u64) -> CanaryReport {
-    let buggy = || scenario::nmi_probe_demo(true);
+    run_canary_scenario(
+        &|| scenario::nmi_probe_demo(true),
+        &|| scenario::nmi_probe_demo(false),
+        bounds,
+        shrink_budget,
+    )
+}
+
+/// Run the escalation-ladder canary: the seeded `buggy_quarantine`
+/// variant (quarantined responder keeps the selective path but drops the
+/// `acked_unflushed` bookkeeping) must be caught, shrunk and replayed,
+/// while the real quarantine semantics explore clean.
+pub fn run_quarantine_canary(bounds: &Bounds, shrink_budget: u64) -> CanaryReport {
+    run_canary_scenario(
+        &|| scenario::quarantine_probe_demo(true),
+        &|| scenario::quarantine_probe_demo(false),
+        bounds,
+        shrink_budget,
+    )
+}
+
+/// The shared canary harness: `buggy` must be FIFO-safe yet caught by
+/// exploration; the shrunk counterexample must replay byte-identically;
+/// `safe` must explore clean under the same bounds.
+pub fn run_canary_scenario(
+    buggy: &crate::explore::Scenario<'_>,
+    safe: &crate::explore::Scenario<'_>,
+    bounds: &Bounds,
+    shrink_budget: u64,
+) -> CanaryReport {
     let mut spent = 0u64;
-    let fifo_safe = !run_schedule(&buggy, bounds, &[]).violated();
+    let fifo_safe = !run_schedule(buggy, bounds, &[]).violated();
     spent += 1;
     if !fifo_safe {
         return CanaryReport {
@@ -168,7 +198,7 @@ pub fn run_canary(bounds: &Bounds, shrink_budget: u64) -> CanaryReport {
             spent,
         };
     }
-    let report = explore(&buggy, bounds);
+    let report = explore(buggy, bounds);
     spent += report.stats.schedules;
     let Some(cex) = report.counterexample else {
         return CanaryReport {
@@ -184,14 +214,14 @@ pub fn run_canary(bounds: &Bounds, shrink_budget: u64) -> CanaryReport {
             spent,
         };
     };
-    let minimized = shrink::shrink(&buggy, bounds, &cex.schedule, shrink_budget);
+    let minimized = shrink::shrink(buggy, bounds, &cex.schedule, shrink_budget);
     spent += minimized.stats.trials;
     let replay_ok = matches!(
-        replay_twice(&buggy, bounds, &minimized.schedule),
+        replay_twice(buggy, bounds, &minimized.schedule),
         Ok(rep) if rep.violated()
     );
     spent += 2;
-    let safe_report = explore(&|| scenario::nmi_probe_demo(false), bounds);
+    let safe_report = explore(safe, bounds);
     spent += safe_report.stats.schedules;
     CanaryReport {
         fifo_safe,
@@ -221,9 +251,11 @@ pub struct GateReport {
     pub threads: usize,
     /// Per-optimization-level results, in level order.
     pub levels: Vec<LevelReport>,
-    /// The canary result.
+    /// The §3.2 NMI canary result.
     pub canary: CanaryReport,
-    /// Maximum choices allowed in the shrunk canary schedule.
+    /// The escalation-ladder quarantine canary result.
+    pub quarantine_canary: CanaryReport,
+    /// Maximum choices allowed in each shrunk canary schedule.
     pub max_canary_choices: usize,
 }
 
@@ -232,13 +264,14 @@ impl GateReport {
     pub fn pass(&self) -> bool {
         self.levels.iter().all(|l| l.safe)
             && self.canary.pass(self.max_canary_choices)
+            && self.quarantine_canary.pass(self.max_canary_choices)
             && self.spent <= self.budget
     }
 
     /// Serialize for `explore_report.json`.
     pub fn to_json(&self) -> Json {
         Json::obj()
-            .with("schema_version", Json::U64(1))
+            .with("schema_version", Json::U64(2))
             .with("budget", Json::U64(self.budget))
             .with("spent", Json::U64(self.spent))
             .with("threads", Json::U64(self.threads as u64))
@@ -248,6 +281,7 @@ impl GateReport {
                 Json::Arr(self.levels.iter().map(|l| l.to_json()).collect()),
             )
             .with("canary", self.canary.to_json())
+            .with("quarantine_canary", self.quarantine_canary.to_json())
     }
 }
 
@@ -262,6 +296,24 @@ mod tests {
         assert!(rep.safe, "{:?}", rep.violation);
         assert!(rep.schedules > 0);
         assert!(rep.to_json().render().contains("\"safe\":true"));
+    }
+
+    #[test]
+    fn quarantine_canary_has_teeth_and_real_path_is_clean() {
+        // The escalation-ladder canary end-to-end at a small budget: the
+        // seeded buggy_quarantine bug needs exploration (FIFO-safe), is
+        // caught quickly, shrinks small, replays byte-identically, and
+        // the real quarantine semantics explore clean.
+        let bounds = Bounds::default().with_max_schedules(200);
+        let rep = run_quarantine_canary(&bounds, 500);
+        assert!(rep.fifo_safe, "seeded bug must not fail under plain FIFO");
+        assert!(rep.caught, "explorer missed the buggy_quarantine bug");
+        assert!(rep.replay_ok, "shrunk schedule diverged on replay");
+        assert!(
+            rep.safe_clean,
+            "real quarantine semantics violated under exploration"
+        );
+        assert!(rep.shrunk_choices <= 20, "shrunk to {}", rep.shrunk_choices);
     }
 
     #[test]
@@ -292,6 +344,7 @@ mod tests {
             spent: 67,
             threads: 4,
             levels: vec![level],
+            quarantine_canary: canary.clone(),
             canary,
             max_canary_choices: 20,
         };

@@ -11,6 +11,7 @@
 //!   protocol window under test instead of on boring setup traffic.
 
 use tlbdown_core::OptConfig;
+use tlbdown_kernel::chaos::{ChaosConfig, WatchdogConfig};
 use tlbdown_kernel::prog::{Prog, ProgAction, ProgCtx};
 use tlbdown_kernel::{KernelConfig, Machine, Syscall};
 use tlbdown_types::{CoreId, Cycles, VirtAddr};
@@ -99,6 +100,80 @@ pub const NMI_PROBE_DEMO_INJECT_AT: u64 = 17_500;
 /// The [`nmi_probe`] scenario at the calibrated demo injection time.
 pub fn nmi_probe_demo(buggy: bool) -> Machine {
     nmi_probe(buggy, NMI_PROBE_DEMO_INJECT_AT)
+}
+
+/// Calibrated injection time for [`quarantine_probe`], chosen the same
+/// way as [`NMI_PROBE_DEMO_INJECT_AT`]: FIFO-safe, but inside the
+/// explorer's perturbation reach of the quarantined responder's
+/// ack-to-flush window.
+pub const QUARANTINE_PROBE_DEMO_INJECT_AT: u64 = 17_500;
+
+/// The [`quarantine_probe`] scenario at the calibrated injection time.
+pub fn quarantine_probe_demo(buggy: bool) -> Machine {
+    quarantine_probe(buggy, QUARANTINE_PROBE_DEMO_INJECT_AT)
+}
+
+/// The escalation-ladder quarantine scenario: identical traffic to
+/// [`nmi_probe`] — responder (core 1) warms a range, initiator (core 0)
+/// zaps it, one NMI probes the last page — but core 1 starts
+/// *quarantined* by the watchdog escalation ladder. The real quarantine
+/// semantics force the responder onto the unconditional full-flush path,
+/// where flush and ack happen in one step and every interleaving is
+/// safe. With `buggy` set ([`KernelConfig::buggy_quarantine`]), the
+/// responder instead keeps the selective early-ack path *and* skips the
+/// `acked_unflushed` bookkeeping — so an NMI pulled into the ack-to-
+/// flush window sails past `nmi_uaccess_okay` and reads a stale entry.
+/// The explorer must catch that variant while the real path explores
+/// clean.
+pub fn quarantine_probe(buggy: bool, inject_at: u64) -> Machine {
+    /// Same range size as [`nmi_probe`]: a wide post-ack flush window.
+    const PAGES: u64 = 8;
+    let mut cfg = KernelConfig::test_machine(2)
+        .with_opts(
+            OptConfig::baseline()
+                .with_early_ack(true)
+                .with_concurrent(true),
+        )
+        .with_safe_mode(false)
+        .with_chaos(ChaosConfig {
+            watchdog: WatchdogConfig {
+                // Probation long enough that core 1 stays quarantined for
+                // the scenario's whole (single-shootdown) lifetime.
+                probation_acks: 1_000_000,
+                ..WatchdogConfig::default()
+            },
+            ..ChaosConfig::default()
+        });
+    cfg.buggy_quarantine = buggy;
+    let mut m = Machine::new(cfg);
+    m.quarantine_core(CoreId(1));
+    let mm = m.create_process().expect("boot: create process");
+    let addr = m.setup_map_anon(mm, PAGES).expect("boot: map anon");
+    m.spawn(
+        mm,
+        CoreId(1),
+        Box::new(TouchThenSpin {
+            addr: addr.as_u64(),
+            pages: PAGES,
+            chunks: 200,
+            chunk_cycles: 300,
+            i: 0,
+        }),
+    );
+    m.spawn(
+        mm,
+        CoreId(0),
+        Box::new(DelayedZap {
+            addr: addr.as_u64(),
+            pages: PAGES,
+            delay: 12_000,
+            i: 0,
+        }),
+    );
+    m.run_until(Cycles::new(inject_at));
+    let probe = VirtAddr::new(addr.as_u64() + (PAGES - 1) * 4096);
+    m.inject_nmi(CoreId(0), CoreId(1), Some(probe));
+    m
 }
 
 /// The §3.2 NMI-probe scenario: a responder (core 1) warms a range of

@@ -35,7 +35,66 @@ use crate::tracewire::trace_emit;
 #[cfg(feature = "trace")]
 use tlbdown_trace::{AckKind, PerturbKind, TraceEvent};
 
-/// The csd-lock watchdog on the initiator's ack spin-wait.
+/// The storm detector: a per-core EWMA of shootdown inter-arrival gaps.
+///
+/// Under a shootdown storm (a sev-step-style monitor hammering a victim
+/// with one shootdown per faulting access) a responder can be *healthy*
+/// yet slow simply because it is drowning in IRQs; firing the full
+/// escalation ladder at it would be a false positive. When the detector
+/// is enabled and a watchdog fires with acks still missing while any
+/// pending responder's arrival EWMA is below `hot_gap_cycles`, the
+/// check is postponed (bounded by `max_widens`) instead of escalating.
+///
+/// The EWMA is *tracked* unconditionally (a few integer ops per IPI
+/// send) but only *consulted* when `enabled` — and only on the
+/// fired-with-pending-acks path, which benign runs never reach. Enabling
+/// the detector therefore cannot perturb a fault-free schedule: same
+/// events, same times, same counters, byte-identical metrics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StormDetectorConfig {
+    /// Whether widening is applied at all.
+    pub enabled: bool,
+    /// An arrival EWMA below this many cycles marks the core as
+    /// storm-loaded.
+    pub hot_gap_cycles: u64,
+    /// Each widening postpones the check by `timeout_cycles ×` this.
+    pub widen_factor: u64,
+    /// Bounded number of widenings per watchdog chain, so a genuinely
+    /// wedged responder still reaches the degrade rung.
+    pub max_widens: u32,
+    /// EWMA decay: `ewma += (gap - ewma) >> ewma_shift`.
+    pub ewma_shift: u32,
+}
+
+impl Default for StormDetectorConfig {
+    fn default() -> Self {
+        StormDetectorConfig {
+            enabled: false,
+            hot_gap_cycles: 50_000,
+            widen_factor: 4,
+            max_widens: 2,
+            ewma_shift: 3,
+        }
+    }
+}
+
+/// The csd-lock watchdog on the initiator's ack spin-wait, grown into a
+/// Linux-style escalation ladder:
+///
+/// 1. **retry** — re-send the lost IPIs with exponential backoff and
+///    seeded jitter, up to `max_resends` times;
+/// 2. **degrade** — give up on the laggards: forced full flush + forced
+///    ack per core, recorded as [`SimError::ShootdownStall`];
+/// 3. **quarantine** — a core that rode the ladder to the degrade rung
+///    `quarantine_after` consecutive times is exiled: shootdowns that
+///    find it pending skip the retry rung entirely (straight to the
+///    forced flush) and the responder itself applies unconditional
+///    full-flush semantics until `probation_acks` healthy
+///    acknowledgements buy its way back in.
+///
+/// The storm detector (`storm`) sits in front of the ladder and widens
+/// the effective timeout under load so a merely-swamped responder is not
+/// mistaken for a wedged one.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WatchdogConfig {
     /// Whether the watchdog is armed at all.
@@ -46,6 +105,18 @@ pub struct WatchdogConfig {
     pub timeout_cycles: u64,
     /// Bounded IPI re-sends before degrading to the forced-flush path.
     pub max_resends: u32,
+    /// Maximum seeded jitter added to each backoff re-arm (de-synchronizes
+    /// retry herds; drawn from a dedicated stream only when a retry is
+    /// actually scheduled, so healthy runs never touch it).
+    pub jitter_cycles: u64,
+    /// Consecutive degrade-rung stalls before a responder is
+    /// quarantined. `0` disables quarantine.
+    pub quarantine_after: u32,
+    /// Healthy (non-forced) acknowledgements a quarantined responder
+    /// must deliver before it rejoins the selective-flush path.
+    pub probation_acks: u32,
+    /// The storm detector in front of the ladder.
+    pub storm: StormDetectorConfig,
 }
 
 impl Default for WatchdogConfig {
@@ -54,6 +125,10 @@ impl Default for WatchdogConfig {
             enabled: true,
             timeout_cycles: 1_000_000,
             max_resends: 2,
+            jitter_cycles: 2_500,
+            quarantine_after: 3,
+            probation_acks: 2,
+            storm: StormDetectorConfig::default(),
         }
     }
 }
@@ -79,6 +154,45 @@ impl ChaosConfig {
             fault,
             fault_seed,
             watchdog: WatchdogConfig::default(),
+        }
+    }
+}
+
+/// Per-core escalation-ladder state (see [`WatchdogConfig`]): stall
+/// streaks, quarantine membership, probation credit, and the storm
+/// detector's arrival EWMAs. All of it is protocol-relevant (it steers
+/// future flush decisions), so `Machine::state_digest` hashes it.
+#[derive(Debug)]
+pub(crate) struct Escalation {
+    /// Jitter stream for backoff re-arms. Drawn from *only* when a retry
+    /// is scheduled, so healthy schedules never advance it.
+    pub(crate) jitter_rng: tlbdown_sim::SplitMix64,
+    /// Consecutive degrade-rung stalls per core.
+    pub(crate) streak: Vec<u32>,
+    /// Whether each core is currently quarantined.
+    pub(crate) quarantined: Vec<bool>,
+    /// Healthy acks still owed before a quarantined core is released.
+    pub(crate) probation: Vec<u32>,
+    /// Per-core EWMA of shootdown-IPI inter-arrival gaps (cycles);
+    /// `u64::MAX` until two arrivals have been seen.
+    pub(crate) ewma_gap: Vec<u64>,
+    /// Cycle stamp of the last shootdown IPI sent at each core (0 =
+    /// never).
+    pub(crate) last_arrival: Vec<u64>,
+}
+
+impl Escalation {
+    /// Fresh state for an `n`-core machine. The jitter stream is forked
+    /// off the fault seed so the same faults replay with the same
+    /// backoff schedule.
+    pub(crate) fn new(n: u32, fault_seed: u64) -> Self {
+        Escalation {
+            jitter_rng: tlbdown_sim::SplitMix64::new(fault_seed ^ 0x5707_11db_0a7c_41e5),
+            streak: vec![0; n as usize],
+            quarantined: vec![false; n as usize],
+            probation: vec![0; n as usize],
+            ewma_gap: vec![u64::MAX; n as usize],
+            last_arrival: vec![0; n as usize],
         }
     }
 }
@@ -142,19 +256,121 @@ impl Machine {
     /// Arm the watchdog for shootdown `id` if enabled.
     pub(crate) fn arm_watchdog(&mut self, initiator: CoreId, id: ShootdownId) {
         if self.cfg.chaos.watchdog.enabled {
+            trace_emit!(
+                self,
+                initiator,
+                Some(id.0),
+                TraceEvent::Perturb {
+                    kind: PerturbKind::WatchdogArmed,
+                }
+            );
             self.engine.schedule_in(
                 Cycles::new(self.cfg.chaos.watchdog.timeout_cycles),
                 Event::CsdWatchdog {
                     initiator,
                     id,
                     resends: 0,
+                    widened: 0,
                 },
             );
         }
     }
 
-    /// The csd-lock watchdog fires for shootdown `id`.
-    pub(crate) fn on_csd_watchdog(&mut self, initiator: CoreId, id: ShootdownId, resends: u32) {
+    /// Update `core`'s arrival EWMA for a shootdown IPI sent now. Always
+    /// tracked (the storm detector only *reads* it when enabled) so that
+    /// toggling the detector cannot change machine state evolution.
+    pub(crate) fn note_shootdown_arrival(&mut self, core: CoreId) {
+        let now = self.engine.now().as_u64();
+        let i = core.index();
+        let last = self.esc.last_arrival[i];
+        self.esc.last_arrival[i] = now;
+        if last == 0 {
+            return;
+        }
+        let gap = now.saturating_sub(last);
+        let s = self.cfg.chaos.watchdog.storm.ewma_shift;
+        let ewma = self.esc.ewma_gap[i];
+        self.esc.ewma_gap[i] = if ewma == u64::MAX {
+            gap
+        } else {
+            // ewma += (gap - ewma) >> s, in unsigned-safe form.
+            ewma - (ewma >> s) + (gap >> s)
+        };
+    }
+
+    /// A responder delivered a healthy (early or late, never forced)
+    /// acknowledgement: reset its stall streak and, if quarantined, pay
+    /// down its probation — releasing it once the balance clears.
+    pub(crate) fn note_healthy_ack(&mut self, core: CoreId) {
+        let i = core.index();
+        self.esc.streak[i] = 0;
+        if self.esc.quarantined[i] {
+            self.esc.probation[i] = self.esc.probation[i].saturating_sub(1);
+            if self.esc.probation[i] == 0 {
+                self.esc.quarantined[i] = false;
+                self.stats.counters.bump("quarantine_exits");
+                trace_emit!(
+                    self,
+                    core,
+                    None::<u64>,
+                    TraceEvent::Perturb {
+                        kind: PerturbKind::QuarantineExit,
+                    }
+                );
+            }
+        }
+    }
+
+    /// Whether `core` is currently quarantined by the escalation ladder.
+    pub fn is_quarantined(&self, core: CoreId) -> bool {
+        self.esc.quarantined[core.index()]
+    }
+
+    /// Force `core` into quarantine (test/scenario setup; takes no
+    /// simulated time and records no error). Probation is set from the
+    /// watchdog config, exactly as an organic entry would.
+    pub fn quarantine_core(&mut self, core: CoreId) {
+        let i = core.index();
+        self.esc.streak[i] = self.cfg.chaos.watchdog.quarantine_after;
+        self.esc.quarantined[i] = true;
+        self.esc.probation[i] = self.cfg.chaos.watchdog.probation_acks.max(1);
+    }
+
+    /// `core` rode the ladder to the degrade rung: bump its stall streak
+    /// and quarantine it once the streak reaches the configured K.
+    fn note_stall(&mut self, core: CoreId) {
+        let w = &self.cfg.chaos.watchdog;
+        let (after, acks) = (w.quarantine_after, w.probation_acks);
+        let i = core.index();
+        self.esc.streak[i] = self.esc.streak[i].saturating_add(1);
+        if after > 0 && !self.esc.quarantined[i] && self.esc.streak[i] >= after {
+            self.esc.quarantined[i] = true;
+            self.esc.probation[i] = acks.max(1);
+            self.stats.counters.bump("quarantine_entries");
+            let streak = self.esc.streak[i];
+            self.record_error(SimError::ResponderQuarantined { core, streak });
+            trace_emit!(
+                self,
+                core,
+                None::<u64>,
+                TraceEvent::Perturb {
+                    kind: PerturbKind::QuarantineEnter,
+                }
+            );
+        }
+    }
+
+    /// The csd-lock watchdog fires for shootdown `id`. The rungs, in
+    /// order: healthy no-op → storm widening → quarantined fast-degrade →
+    /// bounded retry with backoff + jitter → degrade + quarantine
+    /// bookkeeping.
+    pub(crate) fn on_csd_watchdog(
+        &mut self,
+        initiator: CoreId,
+        id: ShootdownId,
+        resends: u32,
+        widened: u32,
+    ) {
         // Completed (and reaped) in time: the healthy no-op path.
         let Some(sd) = self.shootdowns.get(&id) else {
             return;
@@ -164,6 +380,40 @@ impl Machine {
             return;
         }
         let pending: Vec<CoreId> = sd.pending_acks.iter().copied().collect();
+        let w = self.cfg.chaos.watchdog.clone();
+        // Storm rung: acks are missing, but if a pending responder is
+        // drowning in shootdown arrivals it is presumed swamped rather
+        // than wedged — postpone the check instead of escalating. Benign
+        // runs never reach this line, so an enabled-but-idle detector is
+        // perturbation-free by construction.
+        if w.storm.enabled && widened < w.storm.max_widens {
+            let hot = pending
+                .iter()
+                .any(|t| self.esc.ewma_gap[t.index()] < w.storm.hot_gap_cycles);
+            if hot {
+                let grace = w.timeout_cycles.saturating_mul(w.storm.widen_factor);
+                self.stats.counters.bump("storm_widen");
+                self.stats.counters.add("storm_detected_cycles", grace);
+                trace_emit!(
+                    self,
+                    initiator,
+                    Some(id.0),
+                    TraceEvent::Perturb {
+                        kind: PerturbKind::StormWiden,
+                    }
+                );
+                self.engine.schedule_in(
+                    Cycles::new(grace),
+                    Event::CsdWatchdog {
+                        initiator,
+                        id,
+                        resends,
+                        widened: widened + 1,
+                    },
+                );
+                return;
+            }
+        }
         self.stats.counters.bump("csd_watchdog_fired");
         trace_emit!(
             self,
@@ -173,12 +423,30 @@ impl Machine {
                 kind: PerturbKind::WatchdogFired,
             }
         );
-        if resends < self.cfg.chaos.watchdog.max_resends {
+        // Quarantined laggards skip the retry rung: their record says
+        // retries don't help, so the forced flush runs immediately and
+        // the initiator's wait stays short.
+        let (exiled, healthy): (Vec<CoreId>, Vec<CoreId>) = pending
+            .iter()
+            .copied()
+            .partition(|t| self.esc.quarantined[t.index()]);
+        for t in &exiled {
+            self.stats.counters.bump("quarantine_fast_degrade");
+            self.engine
+                .schedule_in(Cycles::ZERO, Event::ForcedFullFlush { core: *t, id });
+        }
+        if healthy.is_empty() {
+            return;
+        }
+        if resends < w.max_resends {
             // Bounded retry: re-queue the work and re-send the IPIs (the
             // re-sends pass through the fault plan again — a lossy fabric
             // can eat these too; the degradation path below is the
-            // backstop that keeps completion bounded).
+            // backstop that keeps completion bounded). Backoff doubles
+            // per rung (capped) and seeded jitter de-synchronizes
+            // concurrent retry chains.
             self.stats.counters.bump("csd_watchdog_resend");
+            self.stats.counters.bump("watchdog_retries");
             trace_emit!(
                 self,
                 initiator,
@@ -187,23 +455,33 @@ impl Machine {
                     kind: PerturbKind::WatchdogResend,
                 }
             );
-            for t in &pending {
+            for t in &healthy {
                 if !self.cpus[t.index()].csq.contains(&id) {
                     self.cpus[t.index()].csq.push_back(id);
                 }
             }
-            self.send_ipis_faulted(initiator, &pending, Cycles::ZERO);
+            self.send_ipis_faulted(initiator, &healthy, Cycles::ZERO);
+            let backoff = w
+                .timeout_cycles
+                .saturating_mul(1u64 << (resends + 1).min(6));
+            let jitter = if w.jitter_cycles > 0 {
+                self.esc.jitter_rng.gen_range(w.jitter_cycles + 1)
+            } else {
+                0
+            };
             self.engine.schedule_in(
-                Cycles::new(self.cfg.chaos.watchdog.timeout_cycles),
+                Cycles::new(backoff + jitter),
                 Event::CsdWatchdog {
                     initiator,
                     id,
                     resends: resends + 1,
+                    widened,
                 },
             );
         } else {
             // Degrade: conservative full flush + forced ack per laggard.
             self.stats.counters.bump("csd_watchdog_degrade");
+            self.stats.counters.bump("watchdog_escalations");
             trace_emit!(
                 self,
                 initiator,
@@ -214,9 +492,10 @@ impl Machine {
             );
             self.record_error(SimError::ShootdownStall {
                 initiator,
-                pending: pending.clone(),
+                pending: healthy.clone(),
             });
-            for t in pending {
+            for t in healthy {
+                self.note_stall(t);
                 self.engine
                     .schedule_in(Cycles::ZERO, Event::ForcedFullFlush { core: t, id });
             }
@@ -298,6 +577,26 @@ mod tests {
         assert!(w.enabled);
         assert!(w.timeout_cycles >= 100_000);
         assert!(w.max_resends >= 1);
+        assert!(w.jitter_cycles < w.timeout_cycles, "jitter stays a tweak");
+        assert!(w.quarantine_after >= 1, "one stall must never quarantine");
+        assert!(w.probation_acks >= 1);
+    }
+
+    #[test]
+    fn storm_detector_defaults_off() {
+        let s = StormDetectorConfig::default();
+        assert!(!s.enabled, "opt-in: benign configs must not widen");
+        assert!(s.max_widens >= 1 && s.widen_factor >= 1);
+        assert!(s.ewma_shift >= 1 && s.ewma_shift < 32);
+    }
+
+    #[test]
+    fn escalation_state_boots_cold() {
+        let e = Escalation::new(4, 0x99);
+        assert_eq!(e.streak, vec![0; 4]);
+        assert_eq!(e.quarantined, vec![false; 4]);
+        assert_eq!(e.ewma_gap, vec![u64::MAX; 4]);
+        assert_eq!(e.last_arrival, vec![0; 4]);
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub struct KernelConfig {
     /// extension, so NMI probes during the early-ack window read through
     /// stale entries (used by tests to demonstrate the hazard).
     pub buggy_nmi_check: bool,
+    /// Failure injection for the escalation ladder: a quarantined
+    /// responder skips its unconditional-full-flush override *and* the
+    /// `acked_unflushed` bookkeeping on early ack (rationalised as "the
+    /// forced-flush path accounts for quarantined cores"), leaving the
+    /// §3.2 window unprotected. The schedule explorer must catch this
+    /// variant (`check::scenario::quarantine_probe`) while the real
+    /// quarantine path explores clean.
+    pub buggy_quarantine: bool,
     /// Maximum seeded jitter (cycles) added to IPI delivery and interrupt
     /// dispatch, emulating the microarchitectural noise behind the
     /// paper's error bars. Zero (default) keeps the machine fully
@@ -67,6 +75,7 @@ impl KernelConfig {
             speculative_fill_on_fault: true,
             oracle: true,
             buggy_nmi_check: false,
+            buggy_quarantine: false,
             noise_cycles: 0,
             seed: 0x71bd,
             chaos: ChaosConfig::default(),

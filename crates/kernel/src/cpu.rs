@@ -355,6 +355,11 @@ pub struct IrqFrame {
     pub cur_initiator: CoreId,
     /// Whether the current item allows early acknowledgement.
     pub cur_early: bool,
+    /// Failure injection (`buggy_quarantine`): the current item was
+    /// early-acked *without* the `acked_unflushed` bump, so `LateAck`
+    /// must skip the matching decrement or a healthy item's §3.2 window
+    /// accounting would be stolen.
+    pub cur_buggy_ack: bool,
 }
 
 /// Stages of the NMI handler.

@@ -71,7 +71,20 @@ impl Machine {
             let mut gens: Vec<_> = cpu.pcid_gens.iter().collect();
             gens.sort_unstable_by_key(|(mm, _)| **mm);
             let _ = write!(h, "pcid_gens={gens:?};");
+            // Escalation-ladder state steers future flush decisions
+            // (quarantine override, storm widening), so it is part of
+            // the protocol state.
+            let _ = write!(
+                h,
+                "esc=({},{},{},{},{});",
+                self.esc.streak[i],
+                self.esc.quarantined[i],
+                self.esc.probation[i],
+                self.esc.ewma_gap[i],
+                self.esc.last_arrival[i],
+            );
         }
+        let _ = write!(h, "esc_rng={:?};", self.esc.jitter_rng);
         for (i, tlb) in self.tlbs.iter().enumerate() {
             let mut entries: Vec<String> = tlb.iter_entries().map(|e| format!("{e:?}")).collect();
             entries.sort_unstable();

@@ -44,6 +44,9 @@ pub enum Event {
         id: ShootdownId,
         /// How many re-sends this watchdog chain has already issued.
         resends: u32,
+        /// How many times the storm detector already widened this
+        /// chain's timeout (bounded; see `StormDetectorConfig`).
+        widened: u32,
     },
     /// Degraded recovery: force a conservative full flush + ack on a
     /// responder that never answered its (re-sent) IPIs.

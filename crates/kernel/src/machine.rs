@@ -64,6 +64,10 @@ pub struct MachineStats {
     /// Per-(core, fault kind) latency summaries, in cycles
     /// (the §5.1 / Figure 9 CoW metric uses kind = "cow").
     pub fault_lat: HashMap<(CoreId, &'static str), Summary>,
+    /// Per-fault-kind latency histograms (log₂ buckets) — the
+    /// distribution behind the storm workload's signal-observability
+    /// table, where a Summary's mean hides the attacker-visible tail.
+    pub fault_hist: HashMap<&'static str, tlbdown_sim::Histogram>,
 }
 
 impl MachineStats {
@@ -88,6 +92,10 @@ impl MachineStats {
             .entry((core, kind))
             .or_default()
             .record_cycles(lat);
+        self.fault_hist
+            .entry(kind)
+            .or_default()
+            .record(lat.as_u64());
         self.counters.bump(kind);
     }
 }
@@ -138,6 +146,10 @@ pub struct Machine {
     pub(crate) dirty_index: HashMap<MmId, std::collections::BTreeSet<u64>>,
     /// Seeded jitter stream (see `KernelConfig::noise_cycles`).
     pub(crate) noise_rng: SplitMix64,
+    /// Watchdog escalation-ladder state: per-core stall streaks,
+    /// quarantine membership, and the storm detector's arrival EWMAs
+    /// (see `chaos.rs`).
+    pub(crate) esc: crate::chaos::Escalation,
     /// Structured event tracer (see [`Machine::start_tracing`]).
     /// Disabled by default; emission behind one branch, and compiled
     /// out entirely without the `trace` feature.
@@ -163,6 +175,7 @@ impl Machine {
         let cfg_seed = cfg.seed;
         let heap_only = cfg.engine_heap_only;
         let faults = FaultPlan::new(cfg.chaos.fault.clone(), cfg.chaos.fault_seed, n);
+        let esc = crate::chaos::Escalation::new(n, cfg.chaos.fault_seed);
         let mut dir = CacheDirectory::new(cfg.topo.clone(), cfg.costs.clone());
         let smp = SmpLayer::new(&mut dir, n, cfg.opts.cacheline_consolidation);
         let fabric = IpiFabric::new(cfg.topo.clone(), cfg.costs.clone());
@@ -213,6 +226,7 @@ impl Machine {
             pending_nmi_probe: HashMap::new(),
             dirty_index: HashMap::with_capacity(8),
             noise_rng: SplitMix64::new(cfg_seed),
+            esc,
             #[cfg(feature = "trace")]
             tracer: tlbdown_trace::Tracer::disabled(),
             next_sd: 1,
@@ -515,7 +529,8 @@ impl Machine {
                 initiator,
                 id,
                 resends,
-            } => self.on_csd_watchdog(initiator, id, resends),
+                widened,
+            } => self.on_csd_watchdog(initiator, id, resends, widened),
             Event::ForcedFullFlush { core, id } => self.on_forced_flush(core, id),
         }
     }
@@ -631,6 +646,7 @@ impl Machine {
             cur_info: None,
             cur_initiator: CoreId(0),
             cur_early: false,
+            cur_buggy_ack: false,
         });
         self.push_frame(core, frame, cost);
     }

@@ -203,6 +203,10 @@ impl Machine {
                     // Chaos: the CSD cacheline may bounce slowly.
                     cost += self.faults.cacheline_jitter();
                     self.cpus[t.index()].csq.push_back(id);
+                    // Storm detector: one EWMA update per first-send
+                    // arrival (watchdog re-sends don't count — a
+                    // retried core is stalled, not stormed).
+                    self.note_shootdown_arrival(*t);
                     trace_emit!(self, core, Some(id.0), TraceEvent::CsqEnqueue { to: *t });
                     trace_emit!(self, core, Some(id.0), TraceEvent::IpiSend { to: *t });
                 }
@@ -532,12 +536,44 @@ impl Machine {
                     Some(id.0),
                     TraceEvent::CachelineTransfer { cost }
                 );
-                let ts = &self.cpus[core.index()].tlb_state;
-                let action = if ts.loaded_mm != info.mm {
+                let loaded = self.cpus[core.index()].tlb_state.loaded_mm == info.mm;
+                let mm_gen = self.mms.get(&info.mm).map(|m| m.gen.current()).unwrap_or(0);
+                let quarantine_full = self.is_quarantined(core) && !self.cfg.buggy_quarantine;
+                let action = if quarantine_full {
+                    // Quarantine semantics: this core's selective-flush
+                    // bookkeeping is no longer trusted, so every work
+                    // item degrades to an unconditional full flush of
+                    // the target mm — correctness preserved outright,
+                    // selectivity sacrificed until probation clears.
+                    self.stats.counters.bump("quarantine_full_flush");
+                    if loaded {
+                        FlushAction::Full { upto: mm_gen }
+                    } else {
+                        // Not loaded: the suspect entries live under the
+                        // mm's own PCID; flush them wholesale and record
+                        // the synced generation for the next switch-in.
+                        if let Some(pcid) = self.mms.get(&info.mm).map(|m| m.pcid) {
+                            self.tlbs[core.index()].flush_pcid(pcid);
+                            if self.cfg.safe_mode {
+                                self.tlbs[core.index()].flush_pcid(pcid.user_sibling());
+                            }
+                            self.cpus[core.index()].pcid_gens.insert(info.mm, mm_gen);
+                            trace_emit!(
+                                self,
+                                core,
+                                Some(id.0),
+                                TraceEvent::FullFlush {
+                                    user: self.cfg.safe_mode,
+                                }
+                            );
+                        }
+                        FlushAction::Skip
+                    }
+                } else if !loaded {
                     FlushAction::Skip
                 } else {
-                    let mm_gen = self.mms.get(&info.mm).map(|m| m.gen.current()).unwrap_or(0);
-                    flush_decision(ts.local_tlb_gen, mm_gen, &info)
+                    let local = self.cpus[core.index()].tlb_state.local_tlb_gen;
+                    flush_decision(local, mm_gen, &info)
                 };
                 f.acked = false;
                 match action {
@@ -578,7 +614,19 @@ impl Machine {
                     cost += run_script(&mut self.dir, core, &script);
                     cost += self.faults.cacheline_jitter();
                     f.acked = true;
-                    self.cpus[core.index()].acked_unflushed += 1;
+                    if self.cfg.buggy_quarantine && self.is_quarantined(core) {
+                        // THE INJECTED BUG: assume the forced-flush path
+                        // does the §3.2 accounting for quarantined cores
+                        // and skip the `acked_unflushed` bump — but when
+                        // the IPI actually arrives, it is *this* handler
+                        // that flushes, and an NMI landing inside the
+                        // ack→flush window now probes through stale
+                        // entries unchallenged.
+                        f.cur_buggy_ack = true;
+                        self.stats.counters.bump("buggy_quarantine_ack");
+                    } else {
+                        self.cpus[core.index()].acked_unflushed += 1;
+                    }
                     self.stats.counters.bump("early_ack");
                     trace_emit!(
                         self,
@@ -590,6 +638,7 @@ impl Machine {
                         }
                     );
                     self.record_ack(id, core);
+                    self.note_healthy_ack(core);
                 }
                 match f.act {
                     IrqAct::Pending => unreachable!("decision made in FetchWork"),
@@ -715,8 +764,12 @@ impl Machine {
                 let mut cost = Cycles::ZERO;
                 if f.acked {
                     // Early-acked: the flush for this item is now done.
-                    let c = &mut self.cpus[core.index()].acked_unflushed;
-                    *c = c.saturating_sub(1);
+                    // A buggy-quarantine ack never bumped the window
+                    // counter, so it must not decrement it either.
+                    if !f.cur_buggy_ack {
+                        let c = &mut self.cpus[core.index()].acked_unflushed;
+                        *c = c.saturating_sub(1);
+                    }
                 } else if self.shootdowns.contains_key(&id) {
                     let script = self.smp.ack(f.cur_initiator, core);
                     cost += run_script(&mut self.dir, core, &script);
@@ -732,9 +785,11 @@ impl Machine {
                         }
                     );
                     self.record_ack(id, core);
+                    self.note_healthy_ack(core);
                 }
                 f.qidx += 1;
                 f.acked = false;
+                f.cur_buggy_ack = false;
                 f.act = IrqAct::Pending;
                 f.cur_info = None;
                 f.stage = if f.qidx < f.queue.len() {

@@ -30,6 +30,7 @@ fn test_watchdog() -> WatchdogConfig {
         enabled: true,
         timeout_cycles: 250_000,
         max_resends: 1,
+        ..WatchdogConfig::default()
     }
 }
 
@@ -197,6 +198,57 @@ fn total_ipi_loss_degrades_to_forced_full_flush() {
 }
 
 #[test]
+fn slow_but_healthy_responders_are_never_quarantined() {
+    // The escalation ladder's false-positive guard: responders that enter
+    // their handlers very late (every IRQ entry delayed, up to past the
+    // watchdog timeout) but never lose an IPI must ride out the retry
+    // rungs — the backoff gives them room to ack — and finish at every
+    // optimization level with zero quarantine entries and zero degrades.
+    let fault = FaultSpec {
+        irq_entry_delay_p: 1.0,
+        irq_entry_delay_max: 300_000, // > test_watchdog timeout (250k)
+        ..FaultSpec::none()
+    };
+    for level in 0..=6 {
+        let opts = OptConfig::cumulative(level);
+        let baseline = {
+            let mut m = boot_chaos(opts, true, FaultSpec::none());
+            run_workload(&mut m)
+        };
+        let mut m = boot_chaos(opts, true, fault.clone());
+        let out = run_workload(&mut m);
+        assert!(
+            m.faults.counters().irq_entries_delayed > 0,
+            "level {level}: the fault plan never delayed an entry"
+        );
+        assert_eq!(
+            m.stats.counters.get("quarantine_entries"),
+            0,
+            "level {level}: a slow-but-healthy responder was quarantined: {:?}",
+            m.stats.counters
+        );
+        assert_eq!(
+            m.stats.counters.get("csd_watchdog_degrade"),
+            0,
+            "level {level}: the ladder degraded on a merely-slow responder: {:?}",
+            m.stats.counters
+        );
+        assert!(
+            !m.recorded_errors()
+                .iter()
+                .any(|e| matches!(e, SimError::ResponderQuarantined { .. })),
+            "level {level}: quarantine diagnostic recorded: {:?}",
+            m.recorded_errors()
+        );
+        assert!(m.violations().is_empty(), "level {level}");
+        assert_eq!(
+            out, baseline,
+            "level {level}: slow entries changed the semantic outcome"
+        );
+    }
+}
+
+#[test]
 fn watchdog_disabled_hangs_on_total_ipi_loss() {
     // Negative control: with the watchdog off, a fully lossy fabric leaves
     // the first cross-core shootdown spinning forever — proof that the
@@ -226,6 +278,57 @@ fn watchdog_disabled_hangs_on_total_ipi_loss() {
         m.stats.counters
     );
     assert!(out.madvise < 2 * ITERS);
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn watchdog_stall_attribution_stays_exact_in_real_traces() {
+    // End-to-end span exactness under the escalation ladder: trace a run
+    // whose fabric eats every IPI, so chains ride the watchdog to forced
+    // acks. Every completed span must still partition exactly
+    // (phase_sum == end_to_end), and for the forced spans the stall must
+    // be attributed to the wait split (remote-flush / ack-wait), at
+    // least one full watchdog timeout of it.
+    use tlbdown_trace::span::{analyze, Phase};
+    use tlbdown_trace::AckKind;
+    let fault = FaultSpec {
+        ipi_drop_p: 1.0,
+        ..FaultSpec::none()
+    };
+    let mut m = boot_chaos(OptConfig::baseline(), true, fault);
+    m.start_tracing(1 << 16);
+    let out = run_workload(&mut m);
+    assert!(out.initiators_done);
+    let trace = m.take_trace();
+    let a = analyze(&trace);
+    assert!(!a.spans.is_empty(), "no spans reconstructed");
+    let mut forced_spans = 0u64;
+    for sp in &a.spans {
+        assert_eq!(
+            sp.phase_sum(),
+            sp.end_to_end(),
+            "span {:x} lost cycles in attribution",
+            sp.op
+        );
+        if sp.acks.iter().any(|(_, _, k)| *k == AckKind::Forced) {
+            forced_spans += 1;
+            // The watchdog arms at Prep, so the wait split holds the
+            // timeout minus the initiator's own pre-wait work.
+            let pre_wait = sp.phases[Phase::Setup.idx()] + sp.phases[Phase::IpiInFlight.idx()];
+            let wait = sp.phases[Phase::RemoteFlush.idx()] + sp.phases[Phase::AckWait.idx()];
+            assert!(
+                wait + pre_wait >= test_watchdog().timeout_cycles,
+                "span {:x}: forced chain shows {wait} wait + {pre_wait} pre-wait \
+                 cycles but a full timeout ({}) elapsed before the forced ack",
+                sp.op,
+                test_watchdog().timeout_cycles
+            );
+        }
+    }
+    assert!(
+        forced_spans > 0,
+        "total IPI loss should force-ack at least one traced span"
+    );
 }
 
 #[test]

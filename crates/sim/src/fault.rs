@@ -147,6 +147,41 @@ impl FaultSpec {
         }
     }
 
+    /// The combined adversary: drop + delay + duplicate on the same
+    /// fabric, at full preset strength. Unlike [`FaultSpec::everything`]
+    /// (every injection point at moderated rates) this composes the
+    /// three IPI-delivery presets via [`FaultSpec::merge`], so a single
+    /// delivery can lose the race against all three hazards — the
+    /// storm-survival matrix's worst fabric.
+    pub fn combined() -> Self {
+        FaultSpec::ipi_drop()
+            .merge(&FaultSpec::ipi_delay())
+            .merge(&FaultSpec::ipi_duplicate())
+    }
+
+    /// Compose two specs: per-field maximum of every probability,
+    /// magnitude and afflicted-core count. Presets stop being mutually
+    /// exclusive constructors — `a.merge(&b)` injects everything either
+    /// one would, at the stronger of the two rates. The single-roll
+    /// partition in [`FaultPlan::ipi_fault`] caps the summed delivery
+    /// probabilities at 1.0 implicitly (drop wins over duplicate wins
+    /// over delay), so merged specs stay well-formed.
+    #[must_use]
+    pub fn merge(&self, other: &FaultSpec) -> FaultSpec {
+        FaultSpec {
+            ipi_delay_p: self.ipi_delay_p.max(other.ipi_delay_p),
+            ipi_delay_max: self.ipi_delay_max.max(other.ipi_delay_max),
+            ipi_drop_p: self.ipi_drop_p.max(other.ipi_drop_p),
+            ipi_duplicate_p: self.ipi_duplicate_p.max(other.ipi_duplicate_p),
+            irq_entry_delay_p: self.irq_entry_delay_p.max(other.irq_entry_delay_p),
+            irq_entry_delay_max: self.irq_entry_delay_max.max(other.irq_entry_delay_max),
+            cacheline_jitter_p: self.cacheline_jitter_p.max(other.cacheline_jitter_p),
+            cacheline_jitter_max: self.cacheline_jitter_max.max(other.cacheline_jitter_max),
+            slow_invlpg_cores: self.slow_invlpg_cores.max(other.slow_invlpg_cores),
+            slow_invlpg_penalty: self.slow_invlpg_penalty.max(other.slow_invlpg_penalty),
+        }
+    }
+
     /// Everything at once, at moderated rates.
     pub fn everything() -> Self {
         FaultSpec {
@@ -183,6 +218,7 @@ impl FaultSpec {
             ("late-responder", FaultSpec::late_responder()),
             ("cacheline-jitter", FaultSpec::cacheline_jitter()),
             ("slow-invlpg", FaultSpec::slow_invlpg()),
+            ("combined", FaultSpec::combined()),
             ("everything", FaultSpec::everything()),
         ]
     }
@@ -430,7 +466,7 @@ mod tests {
     #[test]
     fn matrix_presets_are_distinct() {
         let m = FaultSpec::matrix();
-        assert_eq!(m.len(), 8);
+        assert_eq!(m.len(), 9);
         for (name, spec) in &m {
             if *name == "none" {
                 assert!(spec.is_inert());
@@ -438,5 +474,51 @@ mod tests {
                 assert!(!spec.is_inert(), "{name} should inject something");
             }
         }
+        for i in 0..m.len() {
+            for j in i + 1..m.len() {
+                assert_ne!(m[i].1, m[j].1, "{} and {} coincide", m[i].0, m[j].0);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_takes_fieldwise_maximum() {
+        let a = FaultSpec::ipi_drop();
+        let b = FaultSpec::ipi_delay();
+        let m = a.merge(&b);
+        assert_eq!(m.ipi_drop_p, a.ipi_drop_p);
+        assert_eq!(m.ipi_delay_p, b.ipi_delay_p);
+        assert_eq!(m.ipi_delay_max, b.ipi_delay_max);
+        // Commutative, idempotent against itself, identity against none.
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&a), a);
+        assert_eq!(a.merge(&FaultSpec::none()), a);
+    }
+
+    #[test]
+    fn combined_composes_the_three_delivery_presets() {
+        let c = FaultSpec::combined();
+        assert_eq!(c.ipi_drop_p, FaultSpec::ipi_drop().ipi_drop_p);
+        assert_eq!(c.ipi_delay_p, FaultSpec::ipi_delay().ipi_delay_p);
+        assert_eq!(
+            c.ipi_duplicate_p,
+            FaultSpec::ipi_duplicate().ipi_duplicate_p
+        );
+        assert!(!c.is_inert());
+        // Delivery hazards only: the non-fabric injection points stay off.
+        assert_eq!(c.irq_entry_delay_p, 0.0);
+        assert_eq!(c.slow_invlpg_cores, 0);
+    }
+
+    #[test]
+    fn combined_plan_injects_all_three_hazards() {
+        let mut p = FaultPlan::new(FaultSpec::combined(), 21, 8);
+        for i in 0..10_000u64 {
+            p.ipi_fault(CoreId((i % 8) as u32));
+        }
+        let c = p.counters();
+        assert!(c.ipis_dropped > 0);
+        assert!(c.ipis_delayed > 0);
+        assert!(c.ipis_duplicated > 0);
     }
 }

@@ -97,6 +97,13 @@ impl SkipKind {
 }
 
 /// A fault-plan (chaos) perturbation that the trace makes visible.
+///
+/// The watchdog variants mirror the escalation ladder one rung each:
+/// `WatchdogArmed` (timer scheduled at `SendIpis`), `WatchdogFired`
+/// (timeout elapsed with acks missing), `WatchdogResend` (a bounded
+/// retry with exponential backoff + jitter), `WatchdogDegrade` (gave up:
+/// forced full flush per laggard), and the quarantine pair around a
+/// laggard's exile from the selective-IPI path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PerturbKind {
     /// An IPI delivery was dropped by the fault plan.
@@ -105,12 +112,20 @@ pub enum PerturbKind {
     IpiDuplicated,
     /// A responder entered its handler late.
     IrqEntryDelay,
+    /// The csd-lock watchdog was armed for a shootdown.
+    WatchdogArmed,
     /// The csd-lock watchdog fired.
     WatchdogFired,
     /// The watchdog re-sent the shootdown IPIs.
     WatchdogResend,
     /// The watchdog gave up and degraded to a forced full flush.
     WatchdogDegrade,
+    /// A laggard core entered quarantine after K consecutive stalls.
+    QuarantineEnter,
+    /// A quarantined core finished probation and rejoined the IPI path.
+    QuarantineExit,
+    /// The storm detector widened a watchdog timeout under load.
+    StormWiden,
 }
 
 impl PerturbKind {
@@ -120,9 +135,13 @@ impl PerturbKind {
             PerturbKind::IpiDropped => "ipi_dropped",
             PerturbKind::IpiDuplicated => "ipi_duplicated",
             PerturbKind::IrqEntryDelay => "irq_entry_delay",
+            PerturbKind::WatchdogArmed => "watchdog_armed",
             PerturbKind::WatchdogFired => "watchdog_fired",
             PerturbKind::WatchdogResend => "watchdog_resend",
             PerturbKind::WatchdogDegrade => "watchdog_degrade",
+            PerturbKind::QuarantineEnter => "quarantine_enter",
+            PerturbKind::QuarantineExit => "quarantine_exit",
+            PerturbKind::StormWiden => "storm_widen",
         }
     }
 }

@@ -516,6 +516,54 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_stall_lands_in_the_wait_split_exactly() {
+        // A watchdog-degraded chain: the initiator enters Wait, the
+        // responder's IPI is lost, the watchdog fires and eventually
+        // force-acks on the responder's behalf much later. The entire
+        // stall must land inside the Wait window's split — RemoteFlush
+        // up to the forced ack, AckWait after — never in setup or IPI
+        // phases, and the partition must stay exact.
+        let mut s = Stream::new();
+        s.push(0, 0, 5, phase(SdPhaseKind::Prep))
+            .push(100, 0, 5, phase(SdPhaseKind::SendIpis))
+            .push(300, 0, 5, TraceEvent::IpiSend { to: CoreId(1) })
+            .push(300, 0, 5, phase(SdPhaseKind::LocalFlush))
+            .push(500, 0, 5, phase(SdPhaseKind::UserFlush))
+            .push(600, 0, 5, phase(SdPhaseKind::Wait))
+            // ... 250_000 cycles of watchdog escalation later ...
+            .push(
+                250_600,
+                0,
+                5,
+                TraceEvent::IpiAck {
+                    kind: AckKind::Forced,
+                    by: CoreId(1),
+                },
+            )
+            .push(
+                250_900,
+                0,
+                5,
+                TraceEvent::SdDone {
+                    sync: Cycles::new(25),
+                },
+            );
+        let a = analyze(&s.trace());
+        assert_eq!(a.incomplete, 0);
+        let sp = &a.spans[0];
+        assert_eq!(sp.phase_sum(), sp.end_to_end());
+        assert_eq!(sp.acks.len(), 1);
+        assert_eq!(sp.acks[0].2, AckKind::Forced);
+        // The stall never bleeds into setup/IPI attribution.
+        assert_eq!(sp.phases[Phase::Setup.idx()], 400);
+        assert_eq!(sp.phases[Phase::IpiInFlight.idx()], 200);
+        // Wait window 600..250_900 splits at the forced ack (250_600).
+        assert_eq!(sp.phases[Phase::RemoteFlush.idx()], 250_000);
+        assert_eq!(sp.phases[Phase::AckWait.idx()], 300);
+        assert_eq!(sp.phases[Phase::Sync.idx()], 25);
+    }
+
+    #[test]
     fn truncated_spans_are_counted_not_invented() {
         let mut s = Stream::new();
         // Completion without any phase records (entry marks were

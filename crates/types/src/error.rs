@@ -52,6 +52,18 @@ pub enum SimError {
         /// Responders that never acknowledged before degradation.
         pending: Vec<CoreId>,
     },
+    /// A responder stalled through the watchdog's full escalation ladder
+    /// `K` consecutive times and was quarantined: until it proves itself
+    /// healthy again, shootdowns targeting it skip the IPI round-trip and
+    /// degrade straight to the forced full flush (correctness preserved
+    /// unconditionally, selectivity sacrificed). Recorded once per
+    /// quarantine entry as a diagnostic, like [`SimError::ShootdownStall`].
+    ResponderQuarantined {
+        /// The quarantined responder.
+        core: CoreId,
+        /// Consecutive stalled shootdowns that triggered the quarantine.
+        streak: u32,
+    },
     /// A frame refcount decrement on a frame the kernel never tracked —
     /// double free or unmatched `put_page` (recorded instead of
     /// panicking on the unmap/CoW hot paths).
@@ -109,6 +121,10 @@ impl fmt::Display for SimError {
             SimError::ShootdownStall { initiator, pending } => write!(
                 f,
                 "shootdown stalled on {initiator}: no ack from {pending:?} within the watchdog budget"
+            ),
+            SimError::ResponderQuarantined { core, streak } => write!(
+                f,
+                "responder {core} quarantined after {streak} consecutive stalled shootdowns"
             ),
             SimError::FrameUnderflow { pfn } => {
                 write!(f, "put_page on untracked frame pfn {pfn:#x}")

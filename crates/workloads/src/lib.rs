@@ -12,9 +12,15 @@
 //! - [`apache`]: the §5.3/Figure 11 thread-per-request webserver model
 //!   that mmaps, touches, sends and munmaps a small file per request.
 
+//! - [`storm`]: the shootdown-storm adversary — SEV-Step-style monitor
+//!   cores write-protect/unprotect a victim's working set in a tight
+//!   loop while bystanders serve Apache-style traffic, driving the
+//!   watchdog escalation ladder and the storm survival matrix.
+
 pub mod apache;
 pub mod cow;
 pub mod madvise;
+pub mod storm;
 pub mod sysbench;
 
 pub use madvise::Placement;

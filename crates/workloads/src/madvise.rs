@@ -9,6 +9,7 @@
 //! `runs` runs as the paper does.
 
 use tlbdown_core::OptConfig;
+use tlbdown_kernel::chaos::ChaosConfig;
 use tlbdown_kernel::prog::{BusyLoopProg, Prog, ProgAction, ProgCtx};
 use tlbdown_kernel::{KernelConfig, Machine, Syscall};
 use tlbdown_sim::{Counter, SplitMix64, Summary};
@@ -73,6 +74,11 @@ pub struct MadviseBenchCfg {
     pub seed: u64,
     /// Override the machine cost model (sensitivity ablations).
     pub costs_override: Option<CostModel>,
+    /// Chaos layer (fault injection, watchdog, storm detector). The
+    /// default is inert; BENCH_1 runs with it untouched, and the
+    /// perturbation-freedom regression test pins that enabling the storm
+    /// detector alone leaves every reported number byte-identical.
+    pub chaos: ChaosConfig,
 }
 
 impl MadviseBenchCfg {
@@ -87,6 +93,7 @@ impl MadviseBenchCfg {
             runs: 5,
             seed: 0x51ab,
             costs_override: None,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -212,7 +219,8 @@ fn run_with_hooks(
             ..KernelConfig::paper_baseline()
         }
         .with_opts(cfg.opts)
-        .with_safe_mode(cfg.safe);
+        .with_safe_mode(cfg.safe)
+        .with_chaos(cfg.chaos.clone());
         kc.noise_cycles = 120;
         kc.seed = cfg.seed ^ (run + 1).wrapping_mul(0x2545_f491);
         if let Some(costs) = &cfg.costs_override {
@@ -298,6 +306,9 @@ pub struct ScaleTierCfg {
     /// Run the reference pure-heap engine instead of the timing wheel
     /// (before/after comparisons; simulated outcome is identical).
     pub heap_only_engine: bool,
+    /// Chaos layer. Inert by default; the perturbation-freedom test pins
+    /// that the storm detector alone never moves the state digest.
+    pub chaos: ChaosConfig,
 }
 
 impl ScaleTierCfg {
@@ -315,6 +326,7 @@ impl ScaleTierCfg {
             opts: OptConfig::baseline(),
             seed: 0x5ca1_e71e,
             heap_only_engine: false,
+            chaos: ChaosConfig::default(),
         }
     }
 
@@ -369,7 +381,8 @@ pub fn run_scale_tier(cfg: &ScaleTierCfg) -> ScaleTierResult {
     }
     .with_opts(cfg.opts)
     .with_safe_mode(cfg.safe)
-    .with_heap_only_engine(cfg.heap_only_engine);
+    .with_heap_only_engine(cfg.heap_only_engine)
+    .with_chaos(cfg.chaos.clone());
     let mut m = Machine::new(kc);
     let mm = m.create_process().expect("boot: create process");
     let stride = n / cfg.initiators;
@@ -474,6 +487,61 @@ mod tests {
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.sim_cycles, b.sim_cycles);
         assert!(a.counters.get("shootdown") > 0, "madvise traffic flowed");
+    }
+
+    #[test]
+    fn storm_detector_never_perturbs_benign_runs() {
+        // The perturbation-freedom pin: with zero faults injected, a
+        // machine with the storm detector armed must produce *byte
+        // identical* BENCH_1- and BENCH_2-shaped results to the default
+        // config. The detector's EWMA is tracked unconditionally and
+        // consulted only on the fire-with-pending-acks path, which a
+        // benign run never reaches — so enabling it may not move a
+        // single counter, latency sample, digest bit or cycle.
+        use tlbdown_kernel::chaos::StormDetectorConfig;
+        let detector_on = |mut chaos: ChaosConfig| {
+            chaos.watchdog.storm = StormDetectorConfig {
+                enabled: true,
+                ..StormDetectorConfig::default()
+            };
+            chaos
+        };
+
+        // BENCH_1 shape: the §5.1 microbenchmark.
+        let mut base =
+            MadviseBenchCfg::new(Placement::DiffSocket, 10, true, OptConfig::general_four());
+        base.iters = 60;
+        base.runs = 2;
+        let mut armed = base.clone();
+        armed.chaos = detector_on(armed.chaos);
+        let a = run_madvise_bench(&base);
+        let b = run_madvise_bench(&armed);
+        assert_eq!(a.sim_cycles, b.sim_cycles, "BENCH_1 sim time moved");
+        assert_eq!(
+            a.counters.render_json(),
+            b.counters.render_json(),
+            "BENCH_1 counters moved"
+        );
+        assert_eq!(
+            format!("{:?}{:?}", a.initiator, a.responder),
+            format!("{:?}{:?}", b.initiator, b.responder),
+            "BENCH_1 latency summaries moved"
+        );
+
+        // BENCH_2 shape: the scale tier, digest included.
+        let base = ScaleTierCfg::smoke();
+        let mut armed = base.clone();
+        armed.chaos = detector_on(armed.chaos);
+        let a = run_scale_tier(&base);
+        let b = run_scale_tier(&armed);
+        assert_eq!(a.digest, b.digest, "BENCH_2 state digest moved");
+        assert_eq!(a.sim_cycles, b.sim_cycles, "BENCH_2 sim time moved");
+        assert_eq!(a.events, b.events);
+        assert_eq!(
+            a.counters.render_json(),
+            b.counters.render_json(),
+            "BENCH_2 counters moved"
+        );
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! The shootdown-storm adversary (SEV-Step-style, arXiv 2401.15558).
+//!
+//! A single-stepping monitor observes a victim by write-protecting its
+//! working set and timing the faults: every protect is a ranged
+//! `mprotect` shootdown into the victim's mm, every victim write then
+//! trips the write-protect fault whose latency *is* the attacker's
+//! signal. Repeated at storm rates this is simultaneously a side channel
+//! and a denial-of-service against the shootdown machinery — exactly the
+//! regime the csd-lock watchdog escalation ladder (retry → degrade →
+//! quarantine, with storm-rate timeout widening) must survive without
+//! either wedging or relaxing the flush guarantee.
+//!
+//! The storm machine has three populations sharing one box:
+//!
+//! - **monitor cores** run the protect/unprotect loop against the
+//!   victim's shared-file working set (same mm as the victims — the
+//!   monitor is a co-resident thread, as in a deduplicating hypervisor
+//!   or a malicious runtime);
+//! - **victim cores** write through the working set in a configurable
+//!   pattern ([`AccessPattern`]): each write to a protected page faults
+//!   down the `re_dirty` path, re-enabling the page until the next
+//!   protect burst;
+//! - **bystander cores** serve Apache-style traffic (mmap / touch /
+//!   send / munmap of small files) in a *separate* mm — collateral
+//!   damage is visible as lost bystander throughput, not correctness.
+//!
+//! [`run_storm`] runs one configuration and reports the survival
+//! verdict (oracle violations, post-drain wedge check), the victim
+//! fault-latency distribution (the observable signal, per §5.1-style
+//! percentiles), and the full counter set. Everything is deterministic:
+//! same [`StormCfg`] ⇒ byte-identical [`StormResult`], which the storm
+//! gate (`cargo xtask storm`) verifies by running every cell twice.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use tlbdown_core::OptConfig;
+use tlbdown_kernel::chaos::{ChaosConfig, StormDetectorConfig, WatchdogConfig};
+use tlbdown_kernel::mm::FileId;
+use tlbdown_kernel::prog::{Prog, ProgAction, ProgCtx};
+use tlbdown_kernel::{KernelConfig, Machine, Syscall};
+use tlbdown_sim::fault::FaultSpec;
+use tlbdown_sim::{Counter, SplitMix64};
+use tlbdown_types::{CoreId, Cycles, VirtAddr};
+
+/// How a victim walks its working set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Page `i`, `i+1`, ... wrapping — the prefetch-friendly baseline.
+    Sequential,
+    /// Fixed stride through the set (TLB-hostile; stride should be
+    /// coprime with the set size to cover every page).
+    Strided {
+        /// Stride in pages.
+        stride: u64,
+    },
+    /// Most accesses hit the first `hot_pages`; the rest scatter over
+    /// the full set (the skew that makes per-page protect cheap for the
+    /// monitor and the signal dense).
+    HotSet {
+        /// Size of the hot region, in pages.
+        hot_pages: u64,
+    },
+}
+
+impl AccessPattern {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessPattern::Sequential => "sequential",
+            AccessPattern::Strided { .. } => "strided",
+            AccessPattern::HotSet { .. } => "hot-set",
+        }
+    }
+
+    /// The next page index after `idx` for a set of `pages` pages.
+    fn next(self, idx: u64, pages: u64, rng: &mut SplitMix64) -> u64 {
+        match self {
+            AccessPattern::Sequential => (idx + 1) % pages,
+            AccessPattern::Strided { stride } => (idx + stride.max(1)) % pages,
+            AccessPattern::HotSet { hot_pages } => {
+                let hot = hot_pages.clamp(1, pages);
+                // 7-in-8 accesses stay hot.
+                if rng.gen_range(8) < 7 {
+                    rng.gen_range(hot)
+                } else {
+                    rng.gen_range(pages)
+                }
+            }
+        }
+    }
+}
+
+/// Named storm intensities (the survival matrix's first axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StormIntensity {
+    /// One monitor, long think time: an attacker pacing itself below
+    /// the storm detector's radar.
+    Mild,
+    /// One monitor at single-step rates: the detector's design point.
+    Brisk,
+    /// Two monitors hammering the same set with near-zero think time:
+    /// the densest IPI storm the pack produces.
+    Savage,
+}
+
+impl StormIntensity {
+    /// All intensities, mild to savage.
+    pub const ALL: [StormIntensity; 3] = [
+        StormIntensity::Mild,
+        StormIntensity::Brisk,
+        StormIntensity::Savage,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            StormIntensity::Mild => "mild",
+            StormIntensity::Brisk => "brisk",
+            StormIntensity::Savage => "savage",
+        }
+    }
+}
+
+/// Configuration of one storm cell.
+#[derive(Clone, Debug)]
+pub struct StormCfg {
+    /// Total cores (single-socket test topology).
+    pub cores: u32,
+    /// Cores running the protect/unprotect monitor loop.
+    pub monitors: u32,
+    /// Cores running the victim access loop.
+    pub victims: u32,
+    /// Cores serving Apache-style bystander traffic (the rest idle).
+    pub bystanders: u32,
+    /// Victim working-set size, in pages.
+    pub working_set_pages: u64,
+    /// Victim access pattern.
+    pub pattern: AccessPattern,
+    /// Monitor think time between protect-toggle syscalls, in cycles
+    /// (the storm-intensity knob: smaller ⇒ denser shootdowns).
+    pub monitor_think: u64,
+    /// Victim think time between writes, in cycles.
+    pub victim_think: u64,
+    /// Pages per bystander-served file.
+    pub bystander_file_pages: u64,
+    /// Optimizations active.
+    pub opts: OptConfig,
+    /// Mitigations on?
+    pub safe: bool,
+    /// Fault plan layered under the storm (the matrix's second axis).
+    pub fault: FaultSpec,
+    /// Seed for the fault plan and watchdog jitter.
+    pub fault_seed: u64,
+    /// Watchdog / escalation-ladder configuration. Storm cells enable
+    /// the storm detector; the perturbation-freedom test pins that this
+    /// alone never changes a benign run.
+    pub watchdog: WatchdogConfig,
+    /// Workload deadline: programs exit at this simulated time.
+    pub duration: Cycles,
+    /// Post-deadline drain window: in-flight shootdowns (including full
+    /// watchdog escalations) must complete within it or the run is
+    /// declared wedged.
+    pub drain: Cycles,
+    /// Seed for victim/bystander jitter streams.
+    pub seed: u64,
+}
+
+impl StormCfg {
+    /// A storm cell at the given intensity on an 8-core box.
+    pub fn new(intensity: StormIntensity, opts: OptConfig) -> Self {
+        let (monitors, working_set_pages, monitor_think, victim_think) = match intensity {
+            StormIntensity::Mild => (1, 16, 150_000, 800),
+            StormIntensity::Brisk => (1, 32, 40_000, 400),
+            StormIntensity::Savage => (2, 64, 10_000, 200),
+        };
+        let pattern = match intensity {
+            StormIntensity::Mild => AccessPattern::Sequential,
+            StormIntensity::Brisk => AccessPattern::Strided { stride: 7 },
+            StormIntensity::Savage => AccessPattern::HotSet { hot_pages: 8 },
+        };
+        StormCfg {
+            cores: 8,
+            monitors,
+            victims: 2,
+            bystanders: 8 - monitors - 2,
+            working_set_pages,
+            pattern,
+            monitor_think,
+            victim_think,
+            bystander_file_pages: 3,
+            opts,
+            safe: true,
+            fault: FaultSpec::none(),
+            fault_seed: 0x5708_11db,
+            watchdog: WatchdogConfig {
+                enabled: true,
+                timeout_cycles: 250_000,
+                max_resends: 2,
+                storm: StormDetectorConfig {
+                    enabled: true,
+                    ..StormDetectorConfig::default()
+                },
+                ..WatchdogConfig::default()
+            },
+            duration: Cycles::new(4_000_000),
+            drain: Cycles::new(16_000_000),
+            seed: 0x5e75_7e9b,
+        }
+    }
+}
+
+/// What one storm cell produced. Deterministic: same cfg ⇒ same result,
+/// byte for byte (the gate replays every cell to prove it).
+#[derive(Clone, Debug)]
+pub struct StormResult {
+    /// Oracle violations recorded (survival requires zero).
+    pub violations: usize,
+    /// True if the post-deadline drain left protocol state in flight:
+    /// unreaped shootdowns, queued call-single work, or an open
+    /// early-ack window (survival requires false).
+    pub wedged: bool,
+    /// Every spawned program reached its deadline and exited.
+    pub threads_done: bool,
+    /// Victim write-protect faults taken (the attacker's sample count).
+    pub victim_faults: u64,
+    /// Victim fault-latency percentile upper bounds, in cycles — the
+    /// observable signal the optimization levels reshape.
+    pub fault_p50: u64,
+    /// 90th-percentile upper bound.
+    pub fault_p90: u64,
+    /// 99th-percentile upper bound.
+    pub fault_p99: u64,
+    /// Monitor protect-toggle syscalls completed.
+    pub monitor_protects: u64,
+    /// Bystander requests served (collateral-damage metric).
+    pub bystander_requests: u64,
+    /// Full machine counter set at the end of the drain.
+    pub counters: Counter,
+    /// Final simulated time.
+    pub sim_cycles: u64,
+    /// Canonical machine-state digest at the end of the drain.
+    pub digest: u64,
+}
+
+/// The monitor: write-protect the working set, dwell, restore, dwell.
+/// Each protect is a ranged shootdown; each restore is flush-free
+/// (permissions widen). The victim's `re_dirty` faults between the two
+/// are the single-step signal.
+struct MonitorProg {
+    addr: u64,
+    pages: u64,
+    think: u64,
+    deadline: u64,
+    state: u32,
+}
+
+impl Prog for MonitorProg {
+    fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
+        if ctx.now.as_u64() >= self.deadline {
+            return ProgAction::Exit;
+        }
+        match self.state {
+            0 => {
+                self.state = 1;
+                ProgAction::Syscall(Syscall::Mprotect {
+                    addr: VirtAddr::new(self.addr),
+                    pages: self.pages,
+                    write: false,
+                })
+            }
+            1 => {
+                self.state = 2;
+                ProgAction::Compute(Cycles::new(self.think.max(1)))
+            }
+            2 => {
+                self.state = 3;
+                ProgAction::Syscall(Syscall::Mprotect {
+                    addr: VirtAddr::new(self.addr),
+                    pages: self.pages,
+                    write: true,
+                })
+            }
+            3 => {
+                self.state = 0;
+                ProgAction::Compute(Cycles::new(self.think.max(1)))
+            }
+            _ => ProgAction::Exit,
+        }
+    }
+}
+
+/// The victim: write through the working set in the configured pattern.
+/// Writes landing on a protected page fault down the `re_dirty` path.
+struct VictimProg {
+    addr: u64,
+    pages: u64,
+    pattern: AccessPattern,
+    think: u64,
+    deadline: u64,
+    idx: u64,
+    rng: SplitMix64,
+    state: u32,
+}
+
+impl Prog for VictimProg {
+    fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
+        if ctx.now.as_u64() >= self.deadline {
+            return ProgAction::Exit;
+        }
+        match self.state {
+            0 => {
+                self.idx = self.pattern.next(self.idx, self.pages, &mut self.rng);
+                self.state = 1;
+                ProgAction::Access {
+                    va: VirtAddr::new(self.addr + self.idx * 4096),
+                    write: true,
+                }
+            }
+            _ => {
+                self.state = 0;
+                ProgAction::Compute(Cycles::new(self.think.max(1)))
+            }
+        }
+    }
+}
+
+/// A bystander worker: closed-loop Apache-style serving in its own mm —
+/// mmap a small file, touch it, `send` it, tear it down.
+struct BystanderProg {
+    files: Vec<FileId>,
+    file_pages: u64,
+    deadline: u64,
+    rng: SplitMix64,
+    completed: Rc<Cell<u64>>,
+    state: u32,
+    addr: u64,
+    touch: u64,
+}
+
+impl Prog for BystanderProg {
+    fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
+        match self.state {
+            0 => {
+                if ctx.now.as_u64() >= self.deadline {
+                    return ProgAction::Exit;
+                }
+                let file = self.files[self.rng.gen_range(self.files.len() as u64) as usize];
+                self.state = 1;
+                ProgAction::Syscall(Syscall::MmapFile {
+                    file,
+                    page_offset: 0,
+                    pages: self.file_pages,
+                    shared: true,
+                })
+            }
+            1 => {
+                self.addr = ctx.retval;
+                self.touch = 0;
+                self.state = 2;
+                ProgAction::Nop
+            }
+            2 => {
+                if self.touch < self.file_pages {
+                    let va = VirtAddr::new(self.addr + self.touch * 4096);
+                    self.touch += 1;
+                    ProgAction::Access { va, write: false }
+                } else {
+                    self.state = 3;
+                    ProgAction::Syscall(Syscall::Send {
+                        addr: VirtAddr::new(self.addr),
+                        pages: self.file_pages,
+                    })
+                }
+            }
+            3 => {
+                self.state = 4;
+                ProgAction::Syscall(Syscall::Munmap {
+                    addr: VirtAddr::new(self.addr),
+                    pages: self.file_pages,
+                })
+            }
+            4 => {
+                self.completed.set(self.completed.get() + 1);
+                self.state = 0;
+                ProgAction::Nop
+            }
+            _ => ProgAction::Exit,
+        }
+    }
+}
+
+/// Run one storm cell to its deadline, drain, and report.
+pub fn run_storm(cfg: &StormCfg) -> StormResult {
+    assert!(
+        cfg.monitors >= 1 && cfg.victims >= 1,
+        "a storm needs at least one monitor and one victim"
+    );
+    assert!(
+        cfg.monitors + cfg.victims + cfg.bystanders <= cfg.cores,
+        "core populations exceed the machine"
+    );
+    let chaos = ChaosConfig {
+        fault: cfg.fault.clone(),
+        fault_seed: cfg.fault_seed,
+        watchdog: cfg.watchdog.clone(),
+    };
+    let mut kc = KernelConfig::test_machine(cfg.cores)
+        .with_opts(cfg.opts)
+        .with_safe_mode(cfg.safe)
+        .with_chaos(chaos);
+    kc.seed = cfg.seed;
+    let mut m = Machine::new(kc);
+
+    // Victim mm: monitors and victims are threads of one process; the
+    // working set is a shared file mapping so write-protect faults
+    // resolve down the `re_dirty` path instead of segfaulting.
+    let victim_mm = m.create_process().expect("boot: victim process");
+    let ws_file = m
+        .create_file(cfg.working_set_pages)
+        .expect("boot: working-set file");
+    let ws_addr = m
+        .setup_map_file(victim_mm, ws_file, true)
+        .expect("boot: map working set");
+    let deadline = cfg.duration.as_u64();
+    let mut next_core = 0u32;
+    for _ in 0..cfg.monitors {
+        m.spawn(
+            victim_mm,
+            CoreId(next_core),
+            Box::new(MonitorProg {
+                addr: ws_addr.0,
+                pages: cfg.working_set_pages,
+                think: cfg.monitor_think,
+                deadline,
+                state: 0,
+            }),
+        );
+        next_core += 1;
+    }
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+    for _ in 0..cfg.victims {
+        m.spawn(
+            victim_mm,
+            CoreId(next_core),
+            Box::new(VictimProg {
+                addr: ws_addr.0,
+                pages: cfg.working_set_pages,
+                pattern: cfg.pattern,
+                think: cfg.victim_think,
+                deadline,
+                idx: 0,
+                rng: rng.fork(),
+                state: 0,
+            }),
+        );
+        next_core += 1;
+    }
+
+    // Bystander mm: separate process, separate files — its shootdowns
+    // are its own; the storm reaches it only through shared hardware.
+    let served = Rc::new(Cell::new(0u64));
+    if cfg.bystanders > 0 {
+        let by_mm = m.create_process().expect("boot: bystander process");
+        let files: Vec<FileId> = (0..8)
+            .map(|_| {
+                m.create_file(cfg.bystander_file_pages)
+                    .expect("boot: bystander file")
+            })
+            .collect();
+        for _ in 0..cfg.bystanders {
+            m.spawn(
+                by_mm,
+                CoreId(next_core),
+                Box::new(BystanderProg {
+                    files: files.clone(),
+                    file_pages: cfg.bystander_file_pages,
+                    deadline,
+                    rng: rng.fork(),
+                    completed: served.clone(),
+                    state: 0,
+                    addr: 0,
+                    touch: 0,
+                }),
+            );
+            next_core += 1;
+        }
+    }
+
+    m.run_until(cfg.duration);
+    // Drain: whatever the storm left in flight — including a watchdog
+    // chain walking the full widen/retry/degrade ladder — must settle
+    // within the drain window.
+    m.run_until(cfg.duration + cfg.drain);
+
+    let wedged = !m.shootdowns.is_empty()
+        || m.cpus
+            .iter()
+            .any(|c| !c.csq.is_empty() || c.acked_unflushed > 0);
+    let threads_done = m.threads.iter().all(|t| t.done);
+    let (victim_faults, p50, p90, p99) = match m.stats.fault_hist.get("re_dirty") {
+        Some(h) => (
+            h.count(),
+            h.percentile_ub(0.50),
+            h.percentile_ub(0.90),
+            h.percentile_ub(0.99),
+        ),
+        None => (0, 0, 0, 0),
+    };
+    StormResult {
+        violations: m.violations().len(),
+        wedged,
+        threads_done,
+        victim_faults,
+        fault_p50: p50,
+        fault_p90: p90,
+        fault_p99: p99,
+        monitor_protects: m.stats.counters.get("mprotect"),
+        bystander_requests: served.get(),
+        counters: m.stats.counters.clone(),
+        sim_cycles: m.now().as_u64(),
+        digest: m.state_digest(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(intensity: StormIntensity, opts: OptConfig) -> StormResult {
+        let mut cfg = StormCfg::new(intensity, opts);
+        cfg.duration = Cycles::new(1_500_000);
+        run_storm(&cfg)
+    }
+
+    #[test]
+    fn storm_generates_signal_and_survives() {
+        let r = quick(StormIntensity::Brisk, OptConfig::baseline());
+        assert_eq!(r.violations, 0);
+        assert!(!r.wedged, "storm wedged the machine: {:?}", r.counters);
+        assert!(r.threads_done);
+        assert!(r.monitor_protects > 0, "monitor never protected");
+        assert!(
+            r.victim_faults > 0,
+            "victim never faulted — no signal: {:?}",
+            r.counters
+        );
+        assert!(r.bystander_requests > 0, "bystanders starved outright");
+        assert!(r.fault_p50 > 0 && r.fault_p99 >= r.fault_p50);
+    }
+
+    #[test]
+    fn storm_replays_byte_identically() {
+        let cfg = {
+            let mut c = StormCfg::new(StormIntensity::Savage, OptConfig::all());
+            c.duration = Cycles::new(1_200_000);
+            c.fault = FaultSpec::combined();
+            c
+        };
+        let a = run_storm(&cfg);
+        let b = run_storm(&cfg);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.sim_cycles, b.sim_cycles);
+        assert_eq!(a.counters.render_json(), b.counters.render_json());
+        assert_eq!(
+            (a.victim_faults, a.fault_p50, a.fault_p90, a.fault_p99),
+            (b.victim_faults, b.fault_p50, b.fault_p90, b.fault_p99)
+        );
+    }
+
+    #[test]
+    fn savage_storm_out_shoots_mild() {
+        let mild = quick(StormIntensity::Mild, OptConfig::baseline());
+        let savage = quick(StormIntensity::Savage, OptConfig::baseline());
+        assert!(
+            savage.counters.get("shootdown") > mild.counters.get("shootdown"),
+            "savage {} !> mild {}",
+            savage.counters.get("shootdown"),
+            mild.counters.get("shootdown")
+        );
+    }
+
+    #[test]
+    fn every_pattern_produces_faults() {
+        for pattern in [
+            AccessPattern::Sequential,
+            AccessPattern::Strided { stride: 7 },
+            AccessPattern::HotSet { hot_pages: 4 },
+        ] {
+            let mut cfg = StormCfg::new(StormIntensity::Brisk, OptConfig::baseline());
+            cfg.pattern = pattern;
+            cfg.duration = Cycles::new(1_200_000);
+            let r = run_storm(&cfg);
+            assert_eq!(r.violations, 0, "{}", pattern.label());
+            assert!(r.victim_faults > 0, "{}: no faults", pattern.label());
+        }
+    }
+}

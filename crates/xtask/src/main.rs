@@ -43,6 +43,19 @@
 //!   strict-parser round-trip, and a clean compile of the kernel with
 //!   tracing compiled out. Prints the paper-style "where did the cycles
 //!   go" table and writes a sample `.trace.json` (opens in Perfetto).
+//! - `cargo xtask storm [--threads N] [--scale quick|full] [--out PATH]
+//!   [--report PATH] [--baseline PATH] [--tolerance F]` — the
+//!   shootdown-storm survival gate behind `BENCH_3.json`: the
+//!   SEV-Step-style adversary pack ({mild, brisk, savage} monitors ×
+//!   {none, ipi-drop, late-responder, combined} fault presets) run at
+//!   all seven cumulative optimization levels, every cell twice. Every
+//!   cell must survive — zero oracle violations, no post-drain wedge,
+//!   all threads done, byte-identical seed replay — with the watchdog
+//!   escalation ladder and storm detector enabled throughout. Prints
+//!   the victim signal-observability table (fault-latency percentiles
+//!   per opt level), writes `storm_report.json` with the per-cell
+//!   verdicts, and diffs `BENCH_3.json` against the committed baseline
+//!   like `bench` does.
 //! - `cargo xtask ci [seed]` — every gate above. All gates run even if
 //!   an early one fails; a final table reports per-gate pass/fail and
 //!   the exit code is nonzero if any failed.
@@ -51,9 +64,10 @@ use std::process::{Command, ExitCode};
 use std::time::Duration;
 
 use tlbdown_bench::report::{diff_sim_metrics, render_bench_json, sim_blocks, total_wall_ns};
-use tlbdown_bench::{bench_jobs, bench_matrix, full_matrix, scale_matrix, Scale};
+use tlbdown_bench::{bench_jobs, bench_matrix, full_matrix, scale_matrix, storm_matrix, Scale};
 use tlbdown_check::gate::{
-    per_level_bounds, run_canary, CanaryReport, GateReport, LevelReport, DEFAULT_BUDGET,
+    per_level_bounds, run_canary, run_quarantine_canary, CanaryReport, GateReport, LevelReport,
+    DEFAULT_BUDGET,
 };
 use tlbdown_check::{explore_opt_level, Bounds};
 use tlbdown_core::OptConfig;
@@ -107,6 +121,14 @@ fn main() -> ExitCode {
             parse_tolerance(&args),
         ),
         Some("engine") => engine_gate(parse_seed(positional(&args, 1))),
+        Some("storm") => storm_gate(
+            parse_threads(&args),
+            parse_scale(&args),
+            &flag(&args, "--out").unwrap_or_else(|| "BENCH_3.json".into()),
+            &flag(&args, "--report").unwrap_or_else(|| "storm_report.json".into()),
+            flag(&args, "--baseline"),
+            parse_tolerance(&args),
+        ),
         Some("sweep") => sweep(
             parse_threads(&args),
             parse_scale(&args),
@@ -123,6 +145,8 @@ fn main() -> ExitCode {
                  bench [--threads N] [--out PATH] [--baseline PATH] [--tolerance F] | \
                  scalebench [--out PATH] [--baseline PATH] [--tolerance F] | \
                  engine [seed] | \
+                 storm [--threads N] [--scale quick|full] [--out PATH] [--report PATH] \
+                 [--baseline PATH] [--tolerance F] | \
                  sweep [--threads N] [--scale quick|full] [--out PATH] | \
                  trace [--out PATH] | ci [seed]>"
             );
@@ -331,32 +355,36 @@ fn print_level(rep: &LevelReport) {
     }
 }
 
-fn print_canary(c: &CanaryReport) {
+fn print_canary(name: &str, c: &CanaryReport) {
     if !c.fifo_safe {
         eprintln!(
-            "xtask: canary drifted — the seeded bug fails under FIFO (should need exploration)"
+            "xtask: {name} canary drifted — the seeded bug fails under FIFO \
+             (should need exploration)"
         );
         return;
     }
     if !c.caught {
-        eprintln!("xtask: CANARY FAILED — exploration missed the seeded buggy_nmi_check bug");
+        eprintln!("xtask: CANARY FAILED — exploration missed the seeded {name} bug");
         return;
     }
     if c.shrunk_choices > MAX_CANARY_CHOICES {
         eprintln!(
-            "xtask: CANARY FAILED — shrunk schedule has {} choices (> {MAX_CANARY_CHOICES}): {}",
+            "xtask: CANARY FAILED — {name} shrunk schedule has {} choices \
+             (> {MAX_CANARY_CHOICES}): {}",
             c.shrunk_choices, c.schedule
         );
     }
     if !c.replay_ok {
-        eprintln!("xtask: CANARY FAILED — minimized schedule no longer violates or diverged");
+        eprintln!(
+            "xtask: CANARY FAILED — {name} minimized schedule no longer violates or diverged"
+        );
     }
     if !c.safe_clean {
-        eprintln!("xtask: correct nmi check violated under exploration");
+        eprintln!("xtask: correct {name} check violated under exploration");
     }
     if c.pass(MAX_CANARY_CHOICES) {
         println!(
-            "xtask: canary OK — seeded bug caught in {} schedules, shrunk to {} choices \
+            "xtask: {name} canary OK — seeded bug caught in {} schedules, shrunk to {} choices \
              ({} trials), replays byte-identically; correct check clean in {} schedules",
             c.caught_in_schedules, c.shrunk_choices, c.shrink_trials, c.safe_schedules
         );
@@ -380,14 +408,18 @@ fn explore_gate(threads: usize, out: &str) -> bool {
         print_level(rep);
     }
     let canary = run_canary(&Bounds::default(), SHRINK_BUDGET);
-    print_canary(&canary);
-    let spent = levels.iter().map(|l| l.schedules).sum::<u64>() + canary.spent;
+    print_canary("buggy_nmi_check", &canary);
+    let quarantine_canary = run_quarantine_canary(&Bounds::default(), SHRINK_BUDGET);
+    print_canary("buggy_quarantine", &quarantine_canary);
+    let spent =
+        levels.iter().map(|l| l.schedules).sum::<u64>() + canary.spent + quarantine_canary.spent;
     let gate = GateReport {
         budget: DEFAULT_BUDGET,
         spent,
         threads: sweep.threads,
         levels,
         canary,
+        quarantine_canary,
         max_canary_choices: MAX_CANARY_CHOICES,
     };
     if let Err(e) = std::fs::write(out, gate.to_json().render_pretty()) {
@@ -685,6 +717,183 @@ fn engine_gate(seed: u64) -> bool {
     ok
 }
 
+/// Optimization levels every storm cell runs at (L0..L6 cumulative).
+const STORM_LEVELS: usize = 7;
+
+/// Per-level survival requirements, as (metric suffix, required value)
+/// pairs read from each storm cell's deterministic sim block.
+const STORM_SURVIVAL: [(&str, u64); 4] = [
+    ("violations", 0),
+    ("wedged", 0),
+    ("threads_done", 1),
+    ("replay_ok", 1),
+];
+
+/// The victim signal-observability table: fault-latency percentile
+/// upper bounds per opt level, one column group per storm intensity,
+/// read from the fault-free cells (the clean side-channel signal the
+/// optimization levels reshape). This is the table EXPERIMENTS.md
+/// records.
+fn render_storm_signal_table(cells: &[(String, Json)], scale: Scale) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let intensities = ["mild", "brisk", "savage"];
+    write!(out, "{:<6}", "level").unwrap();
+    for i in &intensities {
+        write!(out, "  {i:>7} p50/p90/p99 (n)     ").unwrap();
+    }
+    out.push('\n');
+    for level in 0..STORM_LEVELS {
+        write!(out, "L{level:<5}").unwrap();
+        for i in &intensities {
+            let id = format!("storm/{}/{i}/none", scale.label());
+            let sim = cells.iter().find(|(cid, _)| cid == &id).map(|(_, s)| s);
+            let get = |k: &str| {
+                sim.and_then(|s| s.get(&format!("L{level}_{k}")))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            };
+            write!(
+                out,
+                "  {:>7}/{:>6}/{:>7} ({:>5})",
+                get("fault_p50"),
+                get("fault_p90"),
+                get("fault_p99"),
+                get("victim_faults")
+            )
+            .unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The shootdown-storm survival gate behind `BENCH_3.json`: run the
+/// storm matrix (intensity × fault preset, L0..L6 inside each cell,
+/// every level twice) through the sweep pool, require every cell to
+/// survive — zero violations, no wedge, threads done, byte-identical
+/// replay — print the signal-observability table, write the per-cell
+/// verdicts to `report_out`, and diff the snapshot against the
+/// committed baseline like `bench` does.
+fn storm_gate(
+    threads: usize,
+    scale: Scale,
+    out: &str,
+    report_out: &str,
+    baseline: Option<String>,
+    tolerance: f64,
+) -> bool {
+    let jobs = bench_jobs(storm_matrix(scale));
+    println!(
+        "xtask: storm survival matrix — {} cells × {STORM_LEVELS} opt levels, every cell run twice",
+        jobs.len()
+    );
+    let sweep = run_jobs(jobs, threads);
+    let doc = render_bench_json(&sweep, &git_rev());
+    println!(
+        "xtask: {} cells on {} threads in {:.2?} (serial estimate {:.2?}, speedup {:.2}x)",
+        sweep.results.len(),
+        sweep.threads,
+        sweep.elapsed,
+        sweep.serial_estimate(),
+        sweep.speedup_vs_serial()
+    );
+
+    let cells: Vec<(String, Json)> = sweep
+        .results
+        .iter()
+        .map(|r| (r.id.clone(), r.output.1.metrics.to_json()))
+        .collect();
+
+    // Survival: every requirement at every level of every cell.
+    let mut ok = true;
+    let mut cell_reports = Vec::new();
+    for (id, sim) in &cells {
+        let mut cell_ok = true;
+        for level in 0..STORM_LEVELS {
+            for (key, want) in STORM_SURVIVAL {
+                let got = sim
+                    .get(&format!("L{level}_{key}"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(u64::MAX);
+                if got != want {
+                    eprintln!(
+                        "xtask: STORM GATE FAILED — {id} L{level}: {key} = {got} (want {want})"
+                    );
+                    cell_ok = false;
+                }
+            }
+            // The storm is only an adversary if the victim observes it.
+            let faults = sim
+                .get(&format!("L{level}_victim_faults"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            if faults == 0 {
+                eprintln!(
+                    "xtask: STORM GATE FAILED — {id} L{level}: victim took no \
+                     write-protect faults (storm produced no signal)"
+                );
+                cell_ok = false;
+            }
+        }
+        cell_reports.push(
+            Json::obj()
+                .with("id", Json::Str(id.clone()))
+                .with("pass", Json::Bool(cell_ok)),
+        );
+        ok &= cell_ok;
+    }
+    if ok {
+        println!(
+            "xtask: survival OK — {} cells × {STORM_LEVELS} levels: zero violations, \
+             no wedge, all threads done, byte-identical replay",
+            cells.len()
+        );
+    }
+
+    let signal_table = render_storm_signal_table(&cells, scale);
+    println!("xtask: victim fault-latency signal (fault preset none), percentile upper bounds in cycles:");
+    print!("{signal_table}");
+
+    let report = Json::obj()
+        .with("schema_version", Json::U64(1))
+        .with("git_rev", Json::Str(git_rev()))
+        .with("scale", Json::Str(scale.label().into()))
+        .with("levels", Json::U64(STORM_LEVELS as u64))
+        .with("pass", Json::Bool(ok))
+        .with("cells", Json::Arr(cell_reports))
+        .with("signal_table", Json::Str(signal_table));
+    if let Err(e) = std::fs::write(report_out, report.render_pretty()) {
+        eprintln!("xtask: could not write {report_out}: {e}");
+        return false;
+    }
+    println!("xtask: wrote {report_out}");
+
+    let baseline_path = baseline.unwrap_or_else(|| out.to_string());
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(base) => ok &= gate_against_baseline(&doc, &base, &baseline_path, tolerance),
+            Err(e) => {
+                eprintln!(
+                    "xtask: baseline {baseline_path} is not valid JSON ({e}) — STORM GATE FAILED"
+                );
+                ok = false;
+            }
+        },
+        Err(_) => println!("xtask: no baseline at {baseline_path} — recording first snapshot"),
+    }
+
+    if let Err(e) = std::fs::write(out, doc.render_pretty()) {
+        eprintln!("xtask: could not write {out}: {e}");
+        return false;
+    }
+    println!("xtask: wrote {out}");
+    if ok {
+        println!("xtask: storm OK");
+    }
+    ok
+}
+
 /// The full sweep: every figure/table job plus the seven explore jobs,
 /// reduced in canonical job-ID order. The reduction is byte-identical
 /// for any `--threads` value.
@@ -878,6 +1087,17 @@ fn ci(seed: u64) -> ExitCode {
         (
             "scale",
             scale_bench_gate("BENCH_2.json", None, DEFAULT_TOLERANCE),
+        ),
+        (
+            "storm",
+            storm_gate(
+                0,
+                Scale::Quick,
+                "BENCH_3.json",
+                "storm_report.json",
+                None,
+                DEFAULT_TOLERANCE,
+            ),
         ),
         ("trace", trace_gate("sample.trace.json")),
     ];
