@@ -33,6 +33,7 @@ fn bench_fig5_to_8(c: &mut Criterion) {
                 |b, &(safe, ptes, opts)| {
                     b.iter(|| {
                         run_madvise_bench(&quick_cfg(Placement::DiffSocket, ptes, safe, opts))
+                            .expect("bench cell runs clean")
                     })
                 },
             );

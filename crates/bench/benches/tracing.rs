@@ -22,9 +22,11 @@ fn quick_cfg() -> MadviseBenchCfg {
 fn bench_trace_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("trace_overhead");
     g.sample_size(10);
-    g.bench_function("untraced", |b| b.iter(|| run_madvise_bench(&quick_cfg())));
+    g.bench_function("untraced", |b| {
+        b.iter(|| run_madvise_bench(&quick_cfg()).expect("bench cell runs clean"))
+    });
     g.bench_function("enabled", |b| {
-        b.iter(|| run_madvise_bench_traced(&quick_cfg(), 1 << 14))
+        b.iter(|| run_madvise_bench_traced(&quick_cfg(), 1 << 14).expect("bench cell runs clean"))
     });
     g.finish();
 }

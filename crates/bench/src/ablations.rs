@@ -23,7 +23,7 @@ pub fn ceiling_sweep() -> String {
             MadviseBenchCfg::new(Placement::SameSocket, ptes, true, OptConfig::baseline());
         cfg.iters = 100;
         cfg.runs = 1;
-        let r = run_madvise_bench(&cfg);
+        let r = run_madvise_bench(&cfg).expect("ablation cell runs clean");
         let mode = if ptes > 33 { "full flush" } else { "selective" };
         out += &format!(
             "  {ptes:>5} {:>16.0} {:>12.0}   {mode}\n",
@@ -55,7 +55,10 @@ pub fn invpcid_sensitivity() -> String {
                 invpcid_single: Cycles::new(invpcid),
                 ..Default::default()
             });
-            run_madvise_bench(&cfg).responder.mean()
+            run_madvise_bench(&cfg)
+                .expect("sensitivity cell runs clean")
+                .responder
+                .mean()
         };
         let without = run(false);
         let with = run(true);

@@ -128,7 +128,7 @@ pub fn fig5_to_8(fig: u32, scale: Scale) -> String {
                 let mut cfg = MadviseBenchCfg::new(p, ptes, safe, opts);
                 cfg.iters = scale.madvise_iters();
                 cfg.runs = scale.runs();
-                let r = run_madvise_bench(&cfg);
+                let r = run_madvise_bench(&cfg).expect("microbench cell runs clean");
                 let s = if side == "initiator" {
                     r.initiator
                 } else {
@@ -167,8 +167,8 @@ pub fn table3(scale: Scale) -> String {
             base_cfg.runs = scale.runs();
             let mut opt_cfg = base_cfg.clone();
             opt_cfg.opts = OptConfig::general_four();
-            let base = run_madvise_bench(&base_cfg);
-            let opt = run_madvise_bench(&opt_cfg);
+            let base = run_madvise_bench(&base_cfg).expect("baseline cell runs clean");
+            let opt = run_madvise_bench(&opt_cfg).expect("optimized cell runs clean");
             let ri = 100.0 * (1.0 - opt.initiator.mean() / base.initiator.mean());
             let rr = 100.0 * (1.0 - opt.responder.mean() / base.responder.mean());
             out += &format!("  {ri:>4.0}% / {rr:>3.0}% |");

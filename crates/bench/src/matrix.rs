@@ -256,7 +256,7 @@ fn run_micro_row(fig: u32, level: usize, scale: Scale) -> JobOutput {
         let mut cfg = MadviseBenchCfg::new(p, ptes, safe, opts);
         cfg.iters = scale.madvise_iters();
         cfg.runs = scale.runs();
-        let r = run_madvise_bench(&cfg);
+        let r = run_madvise_bench(&cfg).expect("micro row cell runs clean");
         rendered += &format!(
             "  {:<12} initiator {:>9.0} ± {:>6.0}   responder {:>9.0} ± {:>6.0}\n",
             p.label(),
@@ -285,8 +285,8 @@ fn run_table3(scale: Scale) -> JobOutput {
             base_cfg.runs = scale.runs();
             let mut opt_cfg = base_cfg.clone();
             opt_cfg.opts = OptConfig::general_four();
-            let base = run_madvise_bench(&base_cfg);
-            let opt = run_madvise_bench(&opt_cfg);
+            let base = run_madvise_bench(&base_cfg).expect("table3 baseline runs clean");
+            let opt = run_madvise_bench(&opt_cfg).expect("table3 optimized runs clean");
             let ri = 100.0 * (1.0 - opt.initiator.mean() / base.initiator.mean());
             let rr = 100.0 * (1.0 - opt.responder.mean() / base.responder.mean());
             let mode = if safe { "safe" } else { "unsafe" };
@@ -389,7 +389,7 @@ fn run_scale_tier_job(heap_only: bool, scale: Scale) -> JobOutput {
         Scale::Full => ScaleTierCfg::dual_socket_56(10_000_000),
     };
     cfg.heap_only_engine = heap_only;
-    let r = run_scale_tier(&cfg);
+    let r = run_scale_tier(&cfg).expect("scale tier runs clean");
     let engine = if heap_only { "heap" } else { "wheel" };
     let rendered = format!(
         "scale tier {}x{} ({} cores, {} engine): {} events, {} sim cycles, digest {:016x}\n",
@@ -446,8 +446,8 @@ fn run_storm_cell(intensity: StormIntensity, fault: usize, scale: Scale) -> JobO
         let mut cfg = StormCfg::new(intensity, OptConfig::cumulative(level));
         cfg.fault = fault_spec.clone();
         cfg.duration = storm_duration(scale);
-        let a = run_storm(&cfg);
-        let b = run_storm(&cfg);
+        let a = run_storm(&cfg).expect("storm cell runs clean");
+        let b = run_storm(&cfg).expect("storm cell runs clean");
         let replay_ok = a.digest == b.digest
             && a.sim_cycles == b.sim_cycles
             && a.counters.render_json() == b.counters.render_json();

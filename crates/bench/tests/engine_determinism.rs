@@ -67,7 +67,7 @@ fn scale_tier_smoke_is_engine_invariant() {
     let run = |heap_only: bool| {
         let mut cfg = ScaleTierCfg::smoke();
         cfg.heap_only_engine = heap_only;
-        run_scale_tier(&cfg)
+        run_scale_tier(&cfg).expect("tier runs clean")
     };
     let wheel = run(false);
     let heap = run(true);

@@ -1,0 +1,43 @@
+//! Rough per-machine cost of the headline-topology node sim.
+use std::time::Instant;
+use tlbdown_fleet::{run_node, FleetCfg, FleetFaultSpec};
+
+fn main() {
+    let cfg = FleetCfg::full_tier(FleetFaultSpec::combined(), 7);
+    // One machine, headline topology.
+    let plan = tlbdown_fleet::FleetFaultPlan::new(&cfg.spec, cfg.seed, 4, cfg.window);
+    for i in 0..4u32 {
+        let node = {
+            // mirror FleetCfg::node_cfg via a quick rebuild
+            tlbdown_fleet::NodeCfg {
+                machine_id: i,
+                sockets: cfg.sockets,
+                logical_per_socket: cfg.logical_per_socket,
+                smt: cfg.smt,
+                workers: cfg.workers,
+                churn_slots: cfg.churn_slots,
+                file_pages: cfg.file_pages,
+                files: cfg.files,
+                request_work: cfg.request_work,
+                offered_rps: cfg.node_rps,
+                window: cfg.window,
+                cold_window: cfg.cold_window,
+                opts: cfg.opts,
+                safe: cfg.safe,
+                ipi: cfg.spec.ipi.clone(),
+                faults: plan.machines[i as usize].clone(),
+                seed: cfg.seed ^ u64::from(i + 1),
+                trace_capacity: cfg.trace_capacity,
+            }
+        };
+        let t = Instant::now();
+        let p = run_node(&node).expect("node runs");
+        println!(
+            "machine {i}: {:?} — {} req, {} shootdowns, crashed={}",
+            t.elapsed(),
+            p.requests,
+            p.shootdowns,
+            p.crashed
+        );
+    }
+}

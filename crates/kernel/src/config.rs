@@ -50,6 +50,13 @@ pub struct KernelConfig {
     pub noise_cycles: u64,
     /// Seed for the machine's internal jitter stream.
     pub seed: u64,
+    /// Which boot of this (simulated) chassis this is. Zero for a fresh
+    /// machine; [`crate::Machine::cold_reboot`] bumps it so the rebooted
+    /// kernel's seeded streams (noise, fault plan, escalation) diverge
+    /// from the pre-crash boot the way a real reboot's would, while
+    /// staying a pure function of `(seed, boot_epoch)`. Epoch 0 leaves
+    /// every derived seed exactly as before this field existed.
+    pub boot_epoch: u64,
     /// Chaos layer: fault injection and the csd-lock watchdog. Inert
     /// faults and an armed (but never-firing) watchdog by default.
     pub chaos: ChaosConfig,
@@ -78,6 +85,7 @@ impl KernelConfig {
             buggy_quarantine: false,
             noise_cycles: 0,
             seed: 0x71bd,
+            boot_epoch: 0,
             chaos: ChaosConfig::default(),
             engine_heap_only: false,
         }
@@ -120,6 +128,18 @@ impl KernelConfig {
     pub fn with_heap_only_engine(mut self, heap_only: bool) -> Self {
         self.engine_heap_only = heap_only;
         self
+    }
+
+    /// Builder-style: set the boot epoch (see [`Self::boot_epoch`]).
+    pub fn with_boot_epoch(mut self, epoch: u64) -> Self {
+        self.boot_epoch = epoch;
+        self
+    }
+
+    /// Seed for a derived stream, mixed with the boot epoch. Epoch 0 is
+    /// the identity so pre-existing single-boot digests are unchanged.
+    pub fn epoch_seed(&self, base: u64) -> u64 {
+        base ^ self.boot_epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }
 }
 

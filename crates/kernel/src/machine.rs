@@ -172,10 +172,15 @@ impl Machine {
     /// growth reallocations on the first shootdown storm.
     pub fn new(cfg: KernelConfig) -> Self {
         let n = cfg.topo.num_cores();
-        let cfg_seed = cfg.seed;
+        // Mix the boot epoch into every derived seed so a cold-rebooted
+        // machine replays a *different* (but still deterministic) noise
+        // and fault schedule than its pre-crash boot. Epoch 0 is the
+        // identity, keeping all single-boot digests unchanged.
+        let cfg_seed = cfg.epoch_seed(cfg.seed);
+        let fault_seed = cfg.epoch_seed(cfg.chaos.fault_seed);
         let heap_only = cfg.engine_heap_only;
-        let faults = FaultPlan::new(cfg.chaos.fault.clone(), cfg.chaos.fault_seed, n);
-        let esc = crate::chaos::Escalation::new(n, cfg.chaos.fault_seed);
+        let faults = FaultPlan::new(cfg.chaos.fault.clone(), fault_seed, n);
+        let esc = crate::chaos::Escalation::new(n, fault_seed);
         let mut dir = CacheDirectory::new(cfg.topo.clone(), cfg.costs.clone());
         let smp = SmpLayer::new(&mut dir, n, cfg.opts.cacheline_consolidation);
         let fabric = IpiFabric::new(cfg.topo.clone(), cfg.costs.clone());
@@ -235,6 +240,27 @@ impl Machine {
             next_file: 1,
             next_thread: 1,
         }
+    }
+
+    /// Cold-reboot the machine: consume the crashed instance and boot a
+    /// fresh kernel from the same configuration with a bumped
+    /// [`KernelConfig::boot_epoch`].
+    ///
+    /// Everything volatile is lost — TLBs come back empty (every first
+    /// touch refaults), PCIDs and address spaces are gone, in-flight
+    /// shootdowns simply vanish (as a power cycle makes them), and the
+    /// event clock restarts at zero. Determinism is preserved because
+    /// the rebooted machine is a pure function of `(cfg, boot_epoch+1)`;
+    /// nothing from the crashed boot leaks across except the config.
+    pub fn cold_reboot(self) -> Machine {
+        let epoch = self.cfg.boot_epoch + 1;
+        Machine::new(self.cfg.with_boot_epoch(epoch))
+    }
+
+    /// Which boot of this chassis is running (see
+    /// [`KernelConfig::boot_epoch`]).
+    pub fn boot_epoch(&self) -> u64 {
+        self.cfg.boot_epoch
     }
 
     /// Current simulated time.

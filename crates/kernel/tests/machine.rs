@@ -418,3 +418,40 @@ fn unknown_mm_setup_is_a_typed_error_not_a_panic() {
     assert!(m.setup_map_anon(mm, 4).is_ok());
     assert!(m.violations().is_empty());
 }
+
+#[test]
+fn cold_reboot_restarts_fresh_and_deterministic() {
+    let run_workload = |m: &mut Machine| {
+        let mm = m.create_process().expect("create process");
+        m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(4, 6)));
+        m.spawn(mm, CoreId(1), Box::new(BusyLoopProg));
+        m.run_until(Cycles::new(2_000_000));
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+        m.state_digest()
+    };
+
+    let mut m = boot(2, OptConfig::all(), true);
+    let first_boot = run_workload(&mut m);
+    assert!(m.now() > Cycles::ZERO);
+    assert!(!m.threads.is_empty());
+
+    // The reboot loses everything volatile: clock, threads, address
+    // spaces, TLB contents, in-flight shootdowns.
+    let mut m = m.cold_reboot();
+    assert_eq!(m.boot_epoch(), 1);
+    assert_eq!(m.now(), Cycles::ZERO);
+    assert!(m.threads.is_empty());
+    assert!(m.mms.is_empty());
+    assert!(m.shootdowns.is_empty());
+    assert!(m.tlbs.iter().all(|t| t.is_empty()));
+
+    // The rebooted kernel serves the same workload, and a second
+    // machine rebooted the same way lands on the same digest: the
+    // lifecycle is a pure function of (cfg, epoch).
+    let second_boot = run_workload(&mut m);
+    let mut twin = boot(2, OptConfig::all(), true);
+    let twin_first = run_workload(&mut twin);
+    assert_eq!(first_boot, twin_first);
+    let mut twin = twin.cold_reboot();
+    assert_eq!(run_workload(&mut twin), second_boot);
+}

@@ -35,4 +35,4 @@ pub mod json;
 pub mod pool;
 
 pub use json::Json;
-pub use pool::{reduce_rendered, resolve_threads, run_jobs, Job, JobResult, SweepReport};
+pub use pool::{reduce_rendered, resolve_threads, run_jobs, Job, JobError, JobResult, SweepReport};

@@ -15,6 +15,7 @@
 //! derived from that sorted vector, so thread count never shows.
 
 use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -54,12 +55,33 @@ pub struct JobResult<T> {
     pub wall: Duration,
 }
 
+/// A job whose closure panicked instead of returning.
+///
+/// Panics are caught at the job boundary (`catch_unwind`) so one bad
+/// job cannot poison the pool's deques or starve the collector; the
+/// panic becomes this typed record in the reduced output instead.
+#[derive(Clone, Debug)]
+pub struct JobError {
+    /// The job's stable ID.
+    pub id: String,
+    /// The panic payload, if it was a string (the common `panic!` /
+    /// `assert!` case), else a placeholder. Deterministic for
+    /// deterministic jobs, so it is safe inside byte-compared blocks.
+    pub message: String,
+    /// Host wall-clock spent inside the closure before it panicked
+    /// (non-canonical).
+    pub wall: Duration,
+}
+
 /// A finished sweep: results in canonical job-ID order plus host-side
 /// timing.
 #[derive(Debug)]
 pub struct SweepReport<T> {
-    /// Per-job results, sorted by job ID.
+    /// Per-job results, sorted by job ID. Jobs that panicked are not
+    /// here — they are in [`SweepReport::failures`].
     pub results: Vec<JobResult<T>>,
+    /// Jobs whose closure panicked, sorted by job ID.
+    pub failures: Vec<JobError>,
     /// Wall-clock for the whole sweep (non-canonical).
     pub elapsed: Duration,
     /// Worker threads actually used.
@@ -70,8 +92,10 @@ impl<T> SweepReport<T> {
     /// Sum of per-job wall-clock times — an estimate of what a serial
     /// run of the same job set would have cost (each job is isolated, so
     /// serial time is the sum of job times up to scheduling noise).
+    /// Panicked jobs count the time they burned before unwinding.
     pub fn serial_estimate(&self) -> Duration {
-        self.results.iter().map(|r| r.wall).sum()
+        self.results.iter().map(|r| r.wall).sum::<Duration>()
+            + self.failures.iter().map(|f| f.wall).sum::<Duration>()
     }
 
     /// `serial_estimate / elapsed`: the sweep's speedup over a serial
@@ -122,7 +146,7 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, threads: usize) -> SweepReport<T> {
         deques[i % threads].lock().unwrap().push_back(job);
     }
 
-    let (tx, rx) = mpsc::channel::<JobResult<T>>();
+    let (tx, rx) = mpsc::channel::<Result<JobResult<T>, JobError>>();
     std::thread::scope(|scope| {
         for me in 0..threads {
             let deques = &deques;
@@ -144,41 +168,96 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, threads: usize) -> SweepReport<T> {
                 };
                 let Some(job) = job else { return };
                 let t0 = Instant::now();
-                let output = (job.run)();
+                // Isolate the job: a panic unwinds only to here, is
+                // converted to a typed record, and the worker moves on
+                // to the next job. Deques are never locked across the
+                // closure, so there is no poison to worry about;
+                // AssertUnwindSafe is sound because the closure owns
+                // everything it touches (per-job isolation invariant).
+                let outcome = panic::catch_unwind(AssertUnwindSafe(job.run));
                 let wall = t0.elapsed();
-                // The receiver outlives the scope; ignore send failure
-                // only if the main thread already hung up (it cannot:
-                // it is blocked on scope exit).
-                let _ = tx.send(JobResult {
+                let msg = match outcome {
+                    Ok(output) => {
+                        // The receiver outlives the scope; send failure
+                        // would need the main thread hung up (it cannot:
+                        // it is blocked on scope exit).
+                        let _ = tx.send(Ok(JobResult {
+                            id: job.id,
+                            output,
+                            wall,
+                        }));
+                        continue;
+                    }
+                    Err(payload) => panic_message(payload.as_ref()),
+                };
+                let _ = tx.send(Err(JobError {
                     id: job.id,
-                    output,
+                    message: msg,
                     wall,
-                });
+                }));
             });
         }
         drop(tx);
     });
 
-    let mut results: Vec<JobResult<T>> = rx.into_iter().collect();
-    assert_eq!(results.len(), n_jobs, "every job must report a result");
+    let mut results: Vec<JobResult<T>> = Vec::new();
+    let mut failures: Vec<JobError> = Vec::new();
+    for outcome in rx {
+        match outcome {
+            Ok(r) => results.push(r),
+            Err(e) => failures.push(e),
+        }
+    }
+    assert_eq!(
+        results.len() + failures.len(),
+        n_jobs,
+        "every job must report a result or a failure"
+    );
     results.sort_by(|a, b| a.id.cmp(&b.id));
+    failures.sort_by(|a, b| a.id.cmp(&b.id));
     SweepReport {
         results,
+        failures,
         elapsed: start.elapsed(),
         threads,
     }
 }
 
+/// Extract a printable message from a panic payload: the common
+/// `panic!("...")` / `assert!` payloads are `String` or `&str`; anything
+/// else gets a stable placeholder so the reduced output stays
+/// deterministic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Concatenate rendered per-job fragments in canonical order, each under
 /// a `== job <id> ==` header. This is *the* reduction used for
-/// byte-identity checks between serial and parallel sweeps.
+/// byte-identity checks between serial and parallel sweeps. Panicked
+/// jobs appear in the same canonical ID order as `panicked: <message>`
+/// bodies, so a failing sweep reduces just as deterministically as a
+/// passing one.
 pub fn reduce_rendered<T>(report: &SweepReport<T>, render: impl Fn(&T) -> &str) -> String {
-    let mut out = String::new();
+    let mut fragments: Vec<(&str, String)> = Vec::new();
     for r in &report.results {
+        fragments.push((r.id.as_str(), render(&r.output).to_string()));
+    }
+    for f in &report.failures {
+        fragments.push((f.id.as_str(), format!("panicked: {}", f.message)));
+    }
+    fragments.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::new();
+    for (id, body) in fragments {
         out.push_str("== job ");
-        out.push_str(&r.id);
+        out.push_str(id);
         out.push_str(" ==\n");
-        out.push_str(render(&r.output));
+        out.push_str(&body);
         if !out.ends_with('\n') {
             out.push('\n');
         }
@@ -252,5 +331,53 @@ mod tests {
     fn duplicate_ids_panic() {
         let jobs: Vec<Job<u8>> = vec![Job::new("a", || 0u8), Job::new("a", || 1u8)];
         run_jobs(jobs, 2);
+    }
+
+    /// Quiet the default panic hook (which prints to stderr) for the
+    /// duration of a closure, restoring it afterwards. Test-only: the
+    /// library itself never touches the global hook.
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    fn one_bad_apple() -> Vec<Job<u64>> {
+        (0..24)
+            .map(|i| {
+                Job::new(format!("job/{i:02}"), move || {
+                    if i == 7 {
+                        panic!("deliberate failure in job 7");
+                    }
+                    i * 3
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_typed() {
+        let rep = with_quiet_panics(|| run_jobs(one_bad_apple(), 4));
+        // All other jobs completed; the panic became a typed JobError.
+        assert_eq!(rep.results.len(), 23);
+        assert_eq!(rep.failures.len(), 1);
+        assert_eq!(rep.failures[0].id, "job/07");
+        assert_eq!(rep.failures[0].message, "deliberate failure in job 7");
+        assert!(rep.results.iter().all(|r| r.id != "job/07"));
+        // Successes still arrive in canonical ID order.
+        assert!(rep.results.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn panicking_job_reduction_is_thread_count_invariant() {
+        let (ra, rb) = with_quiet_panics(|| {
+            let a = run_jobs(one_bad_apple(), 1);
+            let b = run_jobs(one_bad_apple(), 8);
+            (reduce_rendered(&a, |_| "ok"), reduce_rendered(&b, |_| "ok"))
+        });
+        assert_eq!(ra, rb, "failure reduction must not depend on threads");
+        assert!(ra.contains("== job job/07 ==\npanicked: deliberate failure in job 7\n"));
     }
 }

@@ -18,6 +18,7 @@
 //!   watchdog escalation ladder and the storm survival matrix.
 
 pub mod apache;
+pub mod churn;
 pub mod cow;
 pub mod madvise;
 pub mod storm;

@@ -13,7 +13,7 @@ use tlbdown_kernel::chaos::ChaosConfig;
 use tlbdown_kernel::prog::{BusyLoopProg, Prog, ProgAction, ProgCtx};
 use tlbdown_kernel::{KernelConfig, Machine, Syscall};
 use tlbdown_sim::{Counter, SplitMix64, Summary};
-use tlbdown_types::{CoreId, CostModel, Cycles, Topology, VirtAddr};
+use tlbdown_types::{CoreId, CostModel, Cycles, SimError, SimResult, Topology, VirtAddr};
 
 /// Where the responder runs relative to the initiator (§5.1 runs every
 /// experiment in all three placements).
@@ -171,7 +171,11 @@ impl Prog for Initiator {
 }
 
 /// Run one experiment; returns per-run means aggregated across runs.
-pub fn run_madvise_bench(cfg: &MadviseBenchCfg) -> MadviseBenchResult {
+///
+/// Fails with a typed [`SimError`] instead of panicking when a run
+/// cannot even boot (frame exhaustion), records an oracle violation, or
+/// finishes without the expected measurements.
+pub fn run_madvise_bench(cfg: &MadviseBenchCfg) -> SimResult<MadviseBenchResult> {
     run_with_hooks(cfg, |_, _| {}, |_, _| {})
 }
 
@@ -183,7 +187,7 @@ pub fn run_madvise_bench(cfg: &MadviseBenchCfg) -> MadviseBenchResult {
 pub fn run_madvise_bench_traced(
     cfg: &MadviseBenchCfg,
     per_core_capacity: usize,
-) -> (MadviseBenchResult, tlbdown_trace::Trace) {
+) -> SimResult<(MadviseBenchResult, tlbdown_trace::Trace)> {
     let mut trace = tlbdown_trace::Trace::default();
     let res = run_with_hooks(
         cfg,
@@ -197,8 +201,8 @@ pub fn run_madvise_bench_traced(
                 trace = m.take_trace();
             }
         },
-    );
-    (res, trace)
+    )?;
+    Ok((res, trace))
 }
 
 /// The shared per-run loop. `pre` runs on the freshly built machine
@@ -208,7 +212,7 @@ fn run_with_hooks(
     cfg: &MadviseBenchCfg,
     mut pre: impl FnMut(u64, &mut Machine),
     mut post: impl FnMut(u64, &mut Machine),
-) -> MadviseBenchResult {
+) -> SimResult<MadviseBenchResult> {
     let mut initiator = Summary::new();
     let mut responder = Summary::new();
     let mut counters = Counter::new();
@@ -227,7 +231,7 @@ fn run_with_hooks(
             kc.costs = costs.clone();
         }
         let mut m = Machine::new(kc);
-        let mm = m.create_process().expect("boot: create process");
+        let mm = m.create_process()?;
         let rng = SplitMix64::new(cfg.seed ^ run.wrapping_mul(0x9e37_79b9));
         m.spawn(
             mm,
@@ -247,33 +251,37 @@ fn run_with_hooks(
         // Generous deadline; the initiator exits well before it.
         m.run_until(Cycles::new(cfg.iters * 400_000));
         post(run, &mut m);
-        assert!(
-            m.violations().is_empty(),
-            "oracle violations: {:?}",
-            m.violations()
-        );
+        if let Some(v) = m.violations().first() {
+            return Err(v.clone());
+        }
         let init = m
             .stats
             .syscall_lat
             .get(&(CoreId(0), "madvise_dontneed"))
-            .expect("initiator ran madvise");
-        assert_eq!(init.count(), cfg.iters, "all madvise calls completed");
+            .ok_or_else(|| SimError::InvalidArgument("initiator never ran madvise".into()))?;
+        if init.count() != cfg.iters {
+            return Err(SimError::InvalidArgument(format!(
+                "only {}/{} madvise calls completed",
+                init.count(),
+                cfg.iters
+            )));
+        }
         initiator.record(init.mean());
         let resp = m
             .stats
             .irq_lat
             .get(&cfg.placement.responder_core())
-            .expect("responder took shootdown IRQs");
+            .ok_or_else(|| SimError::InvalidArgument("responder took no shootdown IRQs".into()))?;
         responder.record(resp.mean());
         counters.merge(&m.stats.counters);
         sim_cycles += m.now().as_u64();
     }
-    MadviseBenchResult {
+    Ok(MadviseBenchResult {
         initiator,
         responder,
         counters,
         sim_cycles,
-    }
+    })
 }
 
 /// Configuration of the dual-socket scale tier: a machine far beyond the
@@ -368,13 +376,18 @@ pub struct ScaleTierResult {
 }
 
 /// Run the scale tier to its dispatch target.
-pub fn run_scale_tier(cfg: &ScaleTierCfg) -> ScaleTierResult {
+///
+/// Fails with a typed [`SimError`] on a misconfigured tier, a boot that
+/// cannot allocate, or an oracle violation at scale.
+pub fn run_scale_tier(cfg: &ScaleTierCfg) -> SimResult<ScaleTierResult> {
     let topo = Topology::new(cfg.sockets, cfg.logical_per_socket).with_smt(cfg.smt);
     let n = topo.num_cores();
-    assert!(
-        cfg.initiators >= 1 && cfg.initiators <= n,
-        "initiator count must fit the machine"
-    );
+    if cfg.initiators < 1 || cfg.initiators > n {
+        return Err(SimError::InvalidArgument(format!(
+            "initiator count {} must fit the {n}-core machine",
+            cfg.initiators
+        )));
+    }
     let kc = KernelConfig {
         topo,
         ..KernelConfig::paper_baseline()
@@ -384,7 +397,7 @@ pub fn run_scale_tier(cfg: &ScaleTierCfg) -> ScaleTierResult {
     .with_heap_only_engine(cfg.heap_only_engine)
     .with_chaos(cfg.chaos.clone());
     let mut m = Machine::new(kc);
-    let mm = m.create_process().expect("boot: create process");
+    let mm = m.create_process()?;
     let stride = n / cfg.initiators;
     for core in 0..n {
         if core % stride == 0 && core / stride < cfg.initiators {
@@ -407,17 +420,15 @@ pub fn run_scale_tier(cfg: &ScaleTierCfg) -> ScaleTierResult {
         }
     }
     while m.events_processed() < cfg.target_events && m.step() {}
-    assert!(
-        m.violations().is_empty(),
-        "oracle violations at scale: {:?}",
-        m.violations()
-    );
-    ScaleTierResult {
+    if let Some(v) = m.violations().first() {
+        return Err(v.clone());
+    }
+    Ok(ScaleTierResult {
         events: m.events_processed(),
         sim_cycles: m.now().as_u64(),
         digest: m.state_digest(),
         counters: m.stats.counters.clone(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -428,7 +439,7 @@ mod tests {
         let mut cfg = MadviseBenchCfg::new(placement, ptes, safe, opts);
         cfg.iters = 60;
         cfg.runs = 2;
-        run_madvise_bench(&cfg)
+        run_madvise_bench(&cfg).expect("bench runs clean")
     }
 
     #[test]
@@ -481,8 +492,8 @@ mod tests {
     #[test]
     fn scale_tier_smoke_hits_its_target_deterministically() {
         let cfg = ScaleTierCfg::smoke();
-        let a = run_scale_tier(&cfg);
-        let b = run_scale_tier(&cfg);
+        let a = run_scale_tier(&cfg).expect("tier runs clean");
+        let b = run_scale_tier(&cfg).expect("tier runs clean");
         assert_eq!(a.events, cfg.target_events, "queue must not drain early");
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.sim_cycles, b.sim_cycles);
@@ -514,8 +525,8 @@ mod tests {
         base.runs = 2;
         let mut armed = base.clone();
         armed.chaos = detector_on(armed.chaos);
-        let a = run_madvise_bench(&base);
-        let b = run_madvise_bench(&armed);
+        let a = run_madvise_bench(&base).expect("benign run");
+        let b = run_madvise_bench(&armed).expect("benign run");
         assert_eq!(a.sim_cycles, b.sim_cycles, "BENCH_1 sim time moved");
         assert_eq!(
             a.counters.render_json(),
@@ -532,8 +543,8 @@ mod tests {
         let base = ScaleTierCfg::smoke();
         let mut armed = base.clone();
         armed.chaos = detector_on(armed.chaos);
-        let a = run_scale_tier(&base);
-        let b = run_scale_tier(&armed);
+        let a = run_scale_tier(&base).expect("benign run");
+        let b = run_scale_tier(&armed).expect("benign run");
         assert_eq!(a.digest, b.digest, "BENCH_2 state digest moved");
         assert_eq!(a.sim_cycles, b.sim_cycles, "BENCH_2 sim time moved");
         assert_eq!(a.events, b.events);

@@ -41,7 +41,7 @@ use tlbdown_kernel::prog::{Prog, ProgAction, ProgCtx};
 use tlbdown_kernel::{KernelConfig, Machine, Syscall};
 use tlbdown_sim::fault::FaultSpec;
 use tlbdown_sim::{Counter, SplitMix64};
-use tlbdown_types::{CoreId, Cycles, VirtAddr};
+use tlbdown_types::{CoreId, Cycles, SimError, SimResult, VirtAddr};
 
 /// How a victim walks its working set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -391,15 +391,21 @@ impl Prog for BystanderProg {
 }
 
 /// Run one storm cell to its deadline, drain, and report.
-pub fn run_storm(cfg: &StormCfg) -> StormResult {
-    assert!(
-        cfg.monitors >= 1 && cfg.victims >= 1,
-        "a storm needs at least one monitor and one victim"
-    );
-    assert!(
-        cfg.monitors + cfg.victims + cfg.bystanders <= cfg.cores,
-        "core populations exceed the machine"
-    );
+///
+/// Fails with a typed [`SimError`] on a misconfigured cell or a boot
+/// that cannot allocate, instead of panicking mid-sweep.
+pub fn run_storm(cfg: &StormCfg) -> SimResult<StormResult> {
+    if cfg.monitors < 1 || cfg.victims < 1 {
+        return Err(SimError::InvalidArgument(
+            "a storm needs at least one monitor and one victim".into(),
+        ));
+    }
+    if cfg.monitors + cfg.victims + cfg.bystanders > cfg.cores {
+        return Err(SimError::InvalidArgument(format!(
+            "core populations {}+{}+{} exceed the {}-core machine",
+            cfg.monitors, cfg.victims, cfg.bystanders, cfg.cores
+        )));
+    }
     let chaos = ChaosConfig {
         fault: cfg.fault.clone(),
         fault_seed: cfg.fault_seed,
@@ -415,13 +421,9 @@ pub fn run_storm(cfg: &StormCfg) -> StormResult {
     // Victim mm: monitors and victims are threads of one process; the
     // working set is a shared file mapping so write-protect faults
     // resolve down the `re_dirty` path instead of segfaulting.
-    let victim_mm = m.create_process().expect("boot: victim process");
-    let ws_file = m
-        .create_file(cfg.working_set_pages)
-        .expect("boot: working-set file");
-    let ws_addr = m
-        .setup_map_file(victim_mm, ws_file, true)
-        .expect("boot: map working set");
+    let victim_mm = m.create_process()?;
+    let ws_file = m.create_file(cfg.working_set_pages)?;
+    let ws_addr = m.setup_map_file(victim_mm, ws_file, true)?;
     let deadline = cfg.duration.as_u64();
     let mut next_core = 0u32;
     for _ in 0..cfg.monitors {
@@ -461,13 +463,11 @@ pub fn run_storm(cfg: &StormCfg) -> StormResult {
     // are its own; the storm reaches it only through shared hardware.
     let served = Rc::new(Cell::new(0u64));
     if cfg.bystanders > 0 {
-        let by_mm = m.create_process().expect("boot: bystander process");
-        let files: Vec<FileId> = (0..8)
-            .map(|_| {
-                m.create_file(cfg.bystander_file_pages)
-                    .expect("boot: bystander file")
-            })
-            .collect();
+        let by_mm = m.create_process()?;
+        let mut files: Vec<FileId> = Vec::with_capacity(8);
+        for _ in 0..8 {
+            files.push(m.create_file(cfg.bystander_file_pages)?);
+        }
         for _ in 0..cfg.bystanders {
             m.spawn(
                 by_mm,
@@ -507,7 +507,7 @@ pub fn run_storm(cfg: &StormCfg) -> StormResult {
         ),
         None => (0, 0, 0, 0),
     };
-    StormResult {
+    Ok(StormResult {
         violations: m.violations().len(),
         wedged,
         threads_done,
@@ -520,7 +520,7 @@ pub fn run_storm(cfg: &StormCfg) -> StormResult {
         counters: m.stats.counters.clone(),
         sim_cycles: m.now().as_u64(),
         digest: m.state_digest(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -530,7 +530,7 @@ mod tests {
     fn quick(intensity: StormIntensity, opts: OptConfig) -> StormResult {
         let mut cfg = StormCfg::new(intensity, opts);
         cfg.duration = Cycles::new(1_500_000);
-        run_storm(&cfg)
+        run_storm(&cfg).expect("storm runs clean")
     }
 
     #[test]
@@ -557,8 +557,8 @@ mod tests {
             c.fault = FaultSpec::combined();
             c
         };
-        let a = run_storm(&cfg);
-        let b = run_storm(&cfg);
+        let a = run_storm(&cfg).expect("storm runs clean");
+        let b = run_storm(&cfg).expect("storm runs clean");
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.sim_cycles, b.sim_cycles);
         assert_eq!(a.counters.render_json(), b.counters.render_json());
@@ -590,7 +590,7 @@ mod tests {
             let mut cfg = StormCfg::new(StormIntensity::Brisk, OptConfig::baseline());
             cfg.pattern = pattern;
             cfg.duration = Cycles::new(1_200_000);
-            let r = run_storm(&cfg);
+            let r = run_storm(&cfg).expect("storm runs clean");
             assert_eq!(r.violations, 0, "{}", pattern.label());
             assert!(r.victim_faults > 0, "{}: no faults", pattern.label());
         }

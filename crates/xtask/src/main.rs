@@ -56,6 +56,20 @@
 //!   per opt level), writes `storm_report.json` with the per-cell
 //!   verdicts, and diffs `BENCH_3.json` against the committed baseline
 //!   like `bench` does.
+//! - `cargo xtask fleet [--threads N] [--scale quick|full] [--out PATH]
+//!   [--report PATH] [--baseline PATH] [--tolerance F]` — the fleet
+//!   survival gate behind `BENCH_4.json`: N independent machine sims
+//!   (full kernel each) behind a deterministic load balancer, crossed
+//!   over machine-level fault presets ({crash, slow-machine, partition,
+//!   tenant-churn}) × IPI presets ({none, ipi-drop, combined}), plus
+//!   the headline tier (full scale: 1000 machines / 112k simulated
+//!   cores under the combined fault mix). Every cell must survive —
+//!   every request served or typed-failed, zero oracle violations,
+//!   every crashed machine cold-rebooted back into service or ejected
+//!   by the LB, and byte-identical replay at two thread counts. Writes
+//!   `fleet_report.json` with per-cell verdicts and diffs `BENCH_4.json`
+//!   against the committed baseline like `bench` does. Defaults to full
+//!   scale; CI runs `--scale quick`.
 //! - `cargo xtask ci [seed]` — every gate above. All gates run even if
 //!   an early one fails; a final table reports per-gate pass/fail and
 //!   the exit code is nonzero if any failed.
@@ -71,6 +85,7 @@ use tlbdown_check::gate::{
 };
 use tlbdown_check::{explore_opt_level, Bounds};
 use tlbdown_core::OptConfig;
+use tlbdown_fleet::{run_fleet, FleetCfg, FleetFaultSpec};
 use tlbdown_kernel::chaos::ChaosConfig;
 use tlbdown_kernel::prog::{BusyLoopProg, MadviseLoopProg};
 use tlbdown_kernel::{KernelConfig, Machine};
@@ -129,6 +144,23 @@ fn main() -> ExitCode {
             flag(&args, "--baseline"),
             parse_tolerance(&args),
         ),
+        Some("fleet") => fleet_gate(
+            parse_threads(&args),
+            // The headline 1000-machine tier is the point of this gate,
+            // so `fleet` defaults to full; CI passes `--scale quick`.
+            match flag(&args, "--scale").as_deref() {
+                None | Some("full") => Scale::Full,
+                Some("quick") => Scale::Quick,
+                Some(other) => {
+                    eprintln!("xtask: bad --scale {other:?}, expected quick or full");
+                    return ExitCode::FAILURE;
+                }
+            },
+            &flag(&args, "--out").unwrap_or_else(|| "BENCH_4.json".into()),
+            &flag(&args, "--report").unwrap_or_else(|| "fleet_report.json".into()),
+            flag(&args, "--baseline"),
+            parse_tolerance(&args),
+        ),
         Some("sweep") => sweep(
             parse_threads(&args),
             parse_scale(&args),
@@ -146,6 +178,8 @@ fn main() -> ExitCode {
                  scalebench [--out PATH] [--baseline PATH] [--tolerance F] | \
                  engine [seed] | \
                  storm [--threads N] [--scale quick|full] [--out PATH] [--report PATH] \
+                 [--baseline PATH] [--tolerance F] | \
+                 fleet [--threads N] [--scale quick|full] [--out PATH] [--report PATH] \
                  [--baseline PATH] [--tolerance F] | \
                  sweep [--threads N] [--scale quick|full] [--out PATH] | \
                  trace [--out PATH] | ci [seed]>"
@@ -698,7 +732,7 @@ fn engine_gate(seed: u64) -> bool {
     let tier = |heap_only: bool| {
         let mut cfg = ScaleTierCfg::smoke();
         cfg.heap_only_engine = heap_only;
-        let r = run_scale_tier(&cfg);
+        let r = run_scale_tier(&cfg).expect("engine gate: scale-tier smoke runs clean");
         (r.digest, r.events, r.sim_cycles)
     };
     let (wheel, heap) = (tier(false), tier(true));
@@ -890,6 +924,275 @@ fn storm_gate(
     println!("xtask: wrote {out}");
     if ok {
         println!("xtask: storm OK");
+    }
+    ok
+}
+
+/// The fleet survival matrix: machine-level fault presets crossed with
+/// IPI-level presets, plus the headline tier.
+fn fleet_cells(scale: Scale) -> Vec<(String, FleetCfg)> {
+    let ipi_axis: [(&str, FaultSpec); 3] = [
+        ("none", FaultSpec::none()),
+        ("ipi-drop", FaultSpec::ipi_drop()),
+        ("combined", FaultSpec::combined()),
+    ];
+    let cell_machines = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 16,
+    };
+    let mut cells = Vec::new();
+    let mut idx = 0u64;
+    for (mname, mspec) in FleetFaultSpec::matrix() {
+        for (iname, ipi) in &ipi_axis {
+            let id = format!("fleet/{}/{mname}/{iname}", scale.label());
+            let seed = 0x5eed_f1ee_7000 + idx;
+            idx += 1;
+            cells.push((
+                id,
+                FleetCfg::quick(cell_machines, mspec.clone().with_ipi(ipi.clone()), seed),
+            ));
+        }
+    }
+    // The headline tier runs the hardest mix at fleet scale: every
+    // machine-level hazard armed, IPI drops underneath.
+    let headline_spec = FleetFaultSpec::combined().with_ipi(FaultSpec::ipi_drop());
+    let headline = match scale {
+        Scale::Quick => FleetCfg::quick(120, headline_spec, 0x5eed_f1ee_8000),
+        Scale::Full => FleetCfg::full_tier(headline_spec, 0x5eed_f1ee_8000),
+    };
+    cells.push((format!("fleet/{}/headline", scale.label()), headline));
+    cells
+}
+
+/// The fleet survival gate behind `BENCH_4.json`: run every cell of the
+/// machine-fault × IPI-fault matrix plus the headline tier (full scale:
+/// 1000 machines, 112k simulated cores), require every cell to survive
+/// — total request accounting, zero oracle violations, every crashed
+/// machine recovered or ejected, byte-identical replay at two thread
+/// counts — write the per-cell verdicts to `report_out`, and diff the
+/// snapshot against the committed baseline like `bench` does.
+fn fleet_gate(
+    threads: usize,
+    scale: Scale,
+    out: &str,
+    report_out: &str,
+    baseline: Option<String>,
+    tolerance: f64,
+) -> bool {
+    let cells = fleet_cells(scale);
+    let threads_a = tlbdown_sweep::resolve_threads(threads);
+    let threads_b = if threads_a == 1 { 2 } else { 1 };
+    println!(
+        "xtask: fleet survival matrix — {} cells, every cell replayed at {} and {} threads",
+        cells.len(),
+        threads_a,
+        threads_b
+    );
+    let start = std::time::Instant::now();
+    let mut ok = true;
+    let mut jobs_json = Vec::new();
+    let mut cell_reports = Vec::new();
+    let mut serial = Duration::ZERO;
+    for (id, cfg) in &cells {
+        let cell_start = std::time::Instant::now();
+        let (run, replay_match) = match run_fleet(cfg, threads_a) {
+            Ok(a) => match run_fleet(cfg, threads_b) {
+                Ok(b) => {
+                    let matched = a.sim_json().render() == b.sim_json().render();
+                    (Some(a), matched)
+                }
+                Err(e) => {
+                    eprintln!("xtask: FLEET GATE FAILED — {id} replay run: {e}");
+                    (Some(a), false)
+                }
+            },
+            Err(e) => {
+                eprintln!("xtask: FLEET GATE FAILED — {id}: {e}");
+                (None, false)
+            }
+        };
+        let wall = cell_start.elapsed();
+        serial += wall;
+        let Some(r) = run else {
+            ok = false;
+            cell_reports.push(
+                Json::obj()
+                    .with("id", Json::Str(id.clone()))
+                    .with("pass", Json::Bool(false)),
+            );
+            continue;
+        };
+        let mut cell_ok = replay_match;
+        if !replay_match {
+            eprintln!(
+                "xtask: FLEET GATE FAILED — {id}: replay diverged between \
+                 {threads_a} and {threads_b} threads"
+            );
+        }
+        for (name, verdict) in [
+            ("fully_accounted", r.fully_accounted),
+            ("zero_violations", r.zero_violations),
+            (
+                "crashed_recovered_or_ejected",
+                r.crashed_recovered_or_ejected,
+            ),
+        ] {
+            if !verdict {
+                eprintln!("xtask: FLEET GATE FAILED — {id}: {name} is false");
+                cell_ok = false;
+            }
+        }
+        if id.ends_with("/headline")
+            && scale == Scale::Full
+            && (r.machines < 1000 || r.total_cores < 100_000)
+        {
+            eprintln!(
+                "xtask: FLEET GATE FAILED — {id}: headline tier is {} machines / {} cores \
+                 (want 1000+ / 100k+)",
+                r.machines, r.total_cores
+            );
+            cell_ok = false;
+        }
+        println!(
+            "xtask:   {id}: {} machines / {} cores, {:.3e} req/s, {} served / {} offered, \
+             {} ejections, {} rejoins — {} in {:.2?}",
+            r.machines,
+            r.total_cores,
+            r.requests_per_sec(),
+            r.lb.served(),
+            r.lb.offered,
+            r.lb.ejections,
+            r.lb.rejoins,
+            if cell_ok { "ok" } else { "FAILED" },
+            wall
+        );
+        let config = Json::obj()
+            .with("machines", Json::U64(u64::from(cfg.machines)))
+            .with("total_cores", Json::U64(cfg.total_cores()))
+            .with("window", Json::U64(cfg.window))
+            .with("workers", Json::U64(u64::from(cfg.workers)))
+            .with("churn_slots", Json::U64(u64::from(cfg.churn_slots)))
+            .with("seed", Json::U64(cfg.seed));
+        jobs_json.push(
+            Json::obj()
+                .with("id", Json::Str(id.clone()))
+                .with("config", config)
+                .with("sim", r.sim_json())
+                .with("wall_ns", Json::U64(wall.as_nanos() as u64)),
+        );
+        cell_reports.push(
+            Json::obj()
+                .with("id", Json::Str(id.clone()))
+                .with("machines", Json::U64(u64::from(r.machines)))
+                .with("total_cores", Json::U64(r.total_cores))
+                .with("requests_per_sec", Json::F64(r.requests_per_sec()))
+                .with("offered", Json::U64(r.lb.offered))
+                .with("served", Json::U64(r.lb.served()))
+                .with("failed", Json::U64(r.lb.failed_total()))
+                .with("crashed_machines", Json::U64(r.crashed.len() as u64))
+                .with("ejections", Json::U64(r.lb.ejections))
+                .with("rejoins", Json::U64(r.lb.rejoins))
+                .with("fully_accounted", Json::Bool(r.fully_accounted))
+                .with("zero_violations", Json::Bool(r.zero_violations))
+                .with(
+                    "crashed_recovered_or_ejected",
+                    Json::Bool(r.crashed_recovered_or_ejected),
+                )
+                .with("replay_match", Json::Bool(replay_match))
+                .with("pass", Json::Bool(cell_ok)),
+        );
+        ok &= cell_ok;
+    }
+    let elapsed = start.elapsed();
+    if ok {
+        println!(
+            "xtask: fleet survival OK — {} cells: total accounting, zero violations, \
+             crash recovery/ejection, byte-identical replay ({:.2?})",
+            cells.len(),
+            elapsed
+        );
+    }
+
+    let report = Json::obj()
+        .with("schema_version", Json::U64(1))
+        .with("git_rev", Json::Str(git_rev()))
+        .with("scale", Json::Str(scale.label().into()))
+        .with("pass", Json::Bool(ok))
+        .with("cells", Json::Arr(cell_reports));
+    if let Err(e) = std::fs::write(report_out, report.render_pretty()) {
+        eprintln!("xtask: could not write {report_out}: {e}");
+        return false;
+    }
+    println!("xtask: wrote {report_out}");
+
+    let run_doc = Json::obj().with("jobs", Json::Arr(jobs_json.clone())).with(
+        "totals",
+        Json::obj().with("wall_ns", Json::U64(elapsed.as_nanos() as u64)),
+    );
+    // One snapshot file holds both scales — job IDs are scale-prefixed
+    // (`fleet/quick/…`, `fleet/full/…`) — so the CI quick run diffs
+    // byte-exactly against the committed quick cells without clobbering
+    // the full tier recorded by `cargo xtask fleet`. Baseline jobs this
+    // run didn't produce are carried over verbatim; wall-clock totals
+    // aren't comparable across scales, so the time bound is skipped
+    // whenever anything was carried.
+    let baseline_path = baseline.unwrap_or_else(|| out.to_string());
+    let mut carried: Vec<Json> = Vec::new();
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(base) => {
+                let mut same_scale: Vec<Json> = Vec::new();
+                if let Some(base_jobs) = base.get("jobs").and_then(Json::as_arr) {
+                    for j in base_jobs {
+                        let id = j.get("id").and_then(Json::as_str);
+                        if id.is_some_and(|id| cells.iter().any(|(cid, _)| cid == id)) {
+                            same_scale.push(j.clone());
+                        } else {
+                            carried.push(j.clone());
+                        }
+                    }
+                }
+                let base_cmp = if carried.is_empty() {
+                    base
+                } else {
+                    Json::obj().with("jobs", Json::Arr(same_scale))
+                };
+                ok &= gate_against_baseline(&run_doc, &base_cmp, &baseline_path, tolerance);
+            }
+            Err(e) => {
+                eprintln!(
+                    "xtask: baseline {baseline_path} is not valid JSON ({e}) — FLEET GATE FAILED"
+                );
+                ok = false;
+            }
+        },
+        Err(_) => println!("xtask: no baseline at {baseline_path} — recording first snapshot"),
+    }
+    let mut all_jobs = jobs_json;
+    all_jobs.extend(carried);
+    all_jobs.sort_by(|a, b| {
+        a.get("id")
+            .and_then(Json::as_str)
+            .cmp(&b.get("id").and_then(Json::as_str))
+    });
+    let totals = Json::obj()
+        .with("jobs", Json::U64(all_jobs.len() as u64))
+        .with("wall_ns", Json::U64(elapsed.as_nanos() as u64))
+        .with("serial_ns", Json::U64(serial.as_nanos() as u64))
+        .with("speedup_vs_serial", Json::F64(1.0));
+    let doc = Json::obj()
+        .with("schema_version", Json::U64(1))
+        .with("git_rev", Json::Str(git_rev()))
+        .with("threads", Json::U64(threads_a as u64))
+        .with("jobs", Json::Arr(all_jobs))
+        .with("totals", totals);
+    if let Err(e) = std::fs::write(out, doc.render_pretty()) {
+        eprintln!("xtask: could not write {out}: {e}");
+        return false;
+    }
+    println!("xtask: wrote {out}");
+    if ok {
+        println!("xtask: fleet OK");
     }
     ok
 }
@@ -1095,6 +1398,17 @@ fn ci(seed: u64) -> ExitCode {
                 Scale::Quick,
                 "BENCH_3.json",
                 "storm_report.json",
+                None,
+                DEFAULT_TOLERANCE,
+            ),
+        ),
+        (
+            "fleet",
+            fleet_gate(
+                0,
+                Scale::Quick,
+                "BENCH_4.json",
+                "fleet_report.json",
                 None,
                 DEFAULT_TOLERANCE,
             ),

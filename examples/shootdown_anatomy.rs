@@ -16,7 +16,7 @@ fn measure(ptes: u64, safe: bool, opts: OptConfig) -> (f64, f64) {
     let mut cfg = MadviseBenchCfg::new(Placement::DiffSocket, ptes, safe, opts);
     cfg.iters = 200;
     cfg.runs = 3;
-    let r = run_madvise_bench(&cfg);
+    let r = run_madvise_bench(&cfg).expect("example run is clean");
     (r.initiator.mean(), r.responder.mean())
 }
 

@@ -152,7 +152,11 @@ fn main() {
             let mut cfg = MadviseBenchCfg::new(a.placement, a.ptes, a.safe, a.opts);
             cfg.seed = a.seed;
             let r = if let Some(path) = &a.trace {
-                let (r, trace) = run_madvise_bench_traced(&cfg, TRACE_RING_CAP);
+                let (r, trace) =
+                    run_madvise_bench_traced(&cfg, TRACE_RING_CAP).unwrap_or_else(|e| {
+                        eprintln!("tlbsim: madvise bench failed: {e}");
+                        std::process::exit(2);
+                    });
                 let analysis = analyze(&trace);
                 let totals = PhaseTotals::of(&analysis, true);
                 if let Err(e) = std::fs::write(path, to_chrome_json(&trace).render_pretty()) {
@@ -169,7 +173,10 @@ fn main() {
                 );
                 r
             } else {
-                run_madvise_bench(&cfg)
+                run_madvise_bench(&cfg).unwrap_or_else(|e| {
+                    eprintln!("tlbsim: madvise bench failed: {e}");
+                    std::process::exit(2);
+                })
             };
             println!(
                 "initiator madvise latency: {:.0} ± {:.0} cycles\n\
