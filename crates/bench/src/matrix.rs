@@ -18,6 +18,7 @@
 
 use tlbdown_core::OptConfig;
 use tlbdown_sim::fault::FaultSpec;
+use tlbdown_sim::par::ParCfg;
 use tlbdown_sweep::Json;
 use tlbdown_types::Cycles;
 use tlbdown_workloads::apache::{run_apache, ApacheCfg};
@@ -33,6 +34,7 @@ use crate::enginebench::{run_dispatch_pair, DispatchCfg};
 use crate::figures::{app_levels, fig4_ablation, micro_levels, Scale};
 use crate::fractured::table4;
 use crate::metrics::JobMetrics;
+use crate::stealbench::{run_par_bench, run_steal_pair, StealCfg};
 
 /// What one sweep job runs.
 #[derive(Clone, Debug)]
@@ -107,6 +109,22 @@ pub enum JobSpec {
     /// diffed sim metrics; the wall-clocks and speedup land in the
     /// snapshot's non-diffed `host` block.
     EngineDispatch,
+    /// The steal-pool microbenchmark behind `BENCH_5.json`: a
+    /// deliberately imbalanced sweep matrix (all heavy jobs parked on
+    /// worker 0 by the round-robin pre-distribution) run through the
+    /// old central-mutex pool and the Chase-Lev work-stealing pool,
+    /// timed repetitions interleaved. The canonical reduction digest
+    /// (byte-identical between pools, asserted inside the job) lands in
+    /// the diffed sim metrics; wall-clocks and the steal speedup land
+    /// in the `host` block.
+    StealBench,
+    /// The partitioned-sim microbenchmark behind `BENCH_5.json`: the
+    /// conservative-window parallel executor on the 112-core tier
+    /// shape, run as merged-heap reference, windowed×1 and windowed×N.
+    /// The stream digest (identical across all three, asserted inside
+    /// the job) lands in the diffed sim metrics; wall-clocks, dispatch
+    /// throughput and the intra-sim speedup land in the `host` block.
+    ParSim,
 }
 
 /// One independent unit of sweep work.
@@ -166,6 +184,8 @@ impl MatrixJob {
             JobSpec::ScaleTier { .. } => "scale_tier",
             JobSpec::Storm { .. } => "storm",
             JobSpec::EngineDispatch => "engine_dispatch",
+            JobSpec::StealBench => "steal_bench",
+            JobSpec::ParSim => "par_sim",
         };
         let mut obj = Json::obj()
             .with("kind", Json::Str(kind.into()))
@@ -203,7 +223,11 @@ impl MatrixJob {
                     .with("intensity", Json::Str(intensity.label().into()))
                     .with("fault", Json::Str(fault_name.into()));
             }
-            JobSpec::Table3 | JobSpec::Fig4 | JobSpec::EngineDispatch => {}
+            JobSpec::Table3
+            | JobSpec::Fig4
+            | JobSpec::EngineDispatch
+            | JobSpec::StealBench
+            | JobSpec::ParSim => {}
         }
         obj
     }
@@ -230,6 +254,8 @@ impl MatrixJob {
             JobSpec::ScaleTier { heap_only } => run_scale_tier_job(*heap_only, self.scale),
             JobSpec::Storm { intensity, fault } => run_storm_cell(*intensity, *fault, self.scale),
             JobSpec::EngineDispatch => run_engine_dispatch_job(self.scale),
+            JobSpec::StealBench => run_steal_bench_job(self.scale),
+            JobSpec::ParSim => run_par_sim_job(self.scale),
         }
     }
 }
@@ -521,6 +547,84 @@ fn run_engine_dispatch_job(scale: Scale) -> JobOutput {
     }
 }
 
+fn run_steal_bench_job(scale: Scale) -> JobOutput {
+    let cfg = match scale {
+        Scale::Quick => StealCfg::quick(),
+        Scale::Full => StealCfg::scale_tier(),
+    };
+    let pair = run_steal_pair(&cfg);
+    let mutex_ns = pair.mutex.elapsed.as_nanos().max(1) as u64;
+    let deque_ns = pair.deque.elapsed.as_nanos().max(1) as u64;
+    let rendered = format!(
+        "steal pool: {} jobs ({} heavy) on {} threads, reduction digest {:016x}\n  \
+         mutex {:>10.2?}\n  \
+         deque {:>10.2?}  speedup {:.2}x\n",
+        pair.deque.jobs,
+        cfg.jobs / cfg.heavy_every,
+        pair.deque.threads,
+        pair.deque.digest,
+        pair.mutex.elapsed,
+        pair.deque.elapsed,
+        pair.speedup()
+    );
+    let mut metrics = JobMetrics::new();
+    metrics.put_u64("jobs", pair.deque.jobs);
+    metrics.put_u64("reduction_digest", pair.deque.digest);
+    let host = Json::obj()
+        .with("mutex_ns", Json::U64(mutex_ns))
+        .with("deque_ns", Json::U64(deque_ns))
+        .with("steal_speedup", Json::F64(pair.speedup()))
+        .with("pool_threads", Json::U64(pair.deque.threads as u64));
+    JobOutput {
+        rendered,
+        metrics,
+        host,
+    }
+}
+
+fn run_par_sim_job(scale: Scale) -> JobOutput {
+    let (cfg, threads, runs) = match scale {
+        Scale::Quick => (ParCfg::quick(0xbe9c_5ea1), 4, 1),
+        Scale::Full => (ParCfg::tier_112(0xbe9c_5ea1), 8, 3),
+    };
+    let b = run_par_bench(&cfg, threads, runs);
+    let serial_ns = b.serial.elapsed.as_nanos().max(1) as u64;
+    let parallel_ns = b.parallel.elapsed.as_nanos().max(1) as u64;
+    let rendered = format!(
+        "partitioned sim: {} partitions, {} dispatches, {} windows, digest {:016x}\n  \
+         windowed x1  {:>10.2?}  {:>5.1}M disp/s\n  \
+         windowed x{:<2} {:>10.2?}  {:>5.1}M disp/s  speedup {:.2}x\n",
+        cfg.partitions,
+        b.parallel.dispatched,
+        b.parallel.windows,
+        b.parallel.digest,
+        b.serial.elapsed,
+        b.serial.dispatch_per_sec() / 1e6,
+        b.parallel.threads,
+        b.parallel.elapsed,
+        b.parallel.dispatch_per_sec() / 1e6,
+        b.speedup()
+    );
+    let mut metrics = JobMetrics::new();
+    metrics.put_u64("dispatched", b.parallel.dispatched);
+    metrics.put_u64("stream_digest", b.parallel.digest);
+    metrics.put_u64("windows", b.parallel.windows);
+    let host = Json::obj()
+        .with("serial_ns", Json::U64(serial_ns))
+        .with("parallel_ns", Json::U64(parallel_ns))
+        .with("par_speedup", Json::F64(b.speedup()))
+        .with("par_threads", Json::U64(b.parallel.threads as u64))
+        .with(
+            "parallel_dispatch_per_sec",
+            Json::F64(b.parallel.dispatch_per_sec()),
+        );
+    JobOutput {
+        rendered,
+        metrics,
+        host,
+    }
+}
+
 /// The full sweep matrix at `scale`: every figure/table decomposed along
 /// its optimization-level axis.
 pub fn full_matrix(scale: Scale) -> Vec<MatrixJob> {
@@ -648,6 +752,22 @@ pub fn scale_matrix(scale: Scale) -> Vec<MatrixJob> {
     ]
 }
 
+/// The `BENCH_5.json` work-stealing matrix behind
+/// `cargo xtask stealbench`: the imbalanced steal-pool comparison and
+/// the conservative-window partitioned sim. Both jobs assert their own
+/// cross-executor byte-equality internally; their sim blocks (reduction
+/// digest, stream digest, window count) are deterministic and diffed
+/// byte-exactly, while wall-clocks and speedups ride in the host
+/// blocks. Run at `Scale::Full` for the committed snapshot,
+/// `Scale::Quick` in tests.
+pub fn stealbench_matrix(scale: Scale) -> Vec<MatrixJob> {
+    let s = scale.label();
+    vec![
+        MatrixJob::new(format!("steal/{s}/parsim"), scale, JobSpec::ParSim),
+        MatrixJob::new(format!("steal/{s}/pool"), scale, JobSpec::StealBench),
+    ]
+}
+
 /// The `BENCH_3.json` shootdown-storm survival matrix behind
 /// `cargo xtask storm`: every [`StormIntensity`] × every
 /// [`storm_faults`] preset, with all seven cumulative optimization
@@ -719,6 +839,24 @@ mod tests {
         assert!(disp.host.get("wheel_ns").is_some());
         assert!(disp.host.get("dispatch_speedup").is_some());
         assert!(disp.metrics.render().contains("stream_digest"));
+    }
+
+    #[test]
+    fn stealbench_matrix_jobs_carry_digests_and_host_timings() {
+        let jobs = stealbench_matrix(Scale::Quick);
+        assert_eq!(jobs.len(), 2);
+        let parsim = jobs[0].run();
+        assert!(parsim.metrics.render().contains("stream_digest"));
+        assert!(parsim.host.get("serial_ns").is_some());
+        assert!(parsim.host.get("par_speedup").is_some());
+        let pool = jobs[1].run();
+        assert!(pool.metrics.render().contains("reduction_digest"));
+        assert!(pool.host.get("mutex_ns").is_some());
+        assert!(pool.host.get("steal_speedup").is_some());
+        assert_eq!(
+            jobs[1].config_json().get("kind"),
+            Some(&Json::Str("steal_bench".into()))
+        );
     }
 
     #[test]

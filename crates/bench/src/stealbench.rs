@@ -1,0 +1,311 @@
+//! The work-stealing microbenchmarks behind `BENCH_5.json`.
+//!
+//! Two before/after pairs, mirroring the `enginebench` discipline of
+//! timing *the identical deterministic work* through two executors and
+//! letting only the plumbing differ:
+//!
+//! 1. **Steal pool** — a deliberately imbalanced sweep matrix (every
+//!    16th job is ~200× heavier than the rest, and the round-robin
+//!    pre-distribution parks *all* of the heavy jobs on worker 0) run
+//!    through the old central-mutex pool
+//!    ([`tlbdown_sweep::run_jobs_mutex`]) and the Chase-Lev
+//!    work-stealing pool ([`tlbdown_sweep::run_jobs`]). The canonical
+//!    reduction must be byte-identical between the two pools and across
+//!    every repetition; the wall-clock ratio is the steal speedup.
+//!
+//! 2. **Partitioned sim** — the conservative-window parallel executor
+//!    ([`tlbdown_sim::par`]) on the 112-core tier shape: the merged-heap
+//!    reference, the windowed executor on one thread, and the windowed
+//!    executor on `threads` workers all dispatch the identical event
+//!    stream (equal digests, asserted here), and the serial-vs-parallel
+//!    wall ratio is the intra-sim speedup.
+//!
+//! Timed repetitions are interleaved (mutex, deque, mutex, deque, …) so
+//! transient host noise lands on both sides of each ratio, and the best
+//! wall-clock of each side is reported — same rationale as
+//! [`crate::enginebench::run_dispatch_pair`]. All wall-clocks and
+//! speedups are host-side (non-canonical); the digests and reductions
+//! are deterministic simulation state and land in the byte-diffed sim
+//! blocks.
+
+use std::time::{Duration, Instant};
+
+use tlbdown_sim::par::{run_reference, run_windowed, ParCfg, ParResult};
+use tlbdown_sim::SplitMix64;
+use tlbdown_sweep::{reduce_rendered, run_jobs, run_jobs_mutex, Job};
+
+/// 64-bit FNV-1a offset basis / prime (same constants as the kernel's
+/// state digest).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One whole-word FNV-1a step.
+fn fnv_fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// Configuration of one steal-pool comparison.
+#[derive(Clone, Debug)]
+pub struct StealCfg {
+    /// Total sweep jobs in the matrix.
+    pub jobs: usize,
+    /// Every `heavy_every`-th job runs `heavy_iters`; the rest run
+    /// `base_iters`. Kept a multiple of `threads` so the round-robin
+    /// pre-distribution sends every heavy job to worker 0 — the
+    /// worst-case imbalance the stealers must fix.
+    pub heavy_every: usize,
+    /// Digest-fold iterations for a light job.
+    pub base_iters: u64,
+    /// Digest-fold iterations for a heavy job.
+    pub heavy_iters: u64,
+    /// Seed for the per-job work streams.
+    pub seed: u64,
+    /// Pool width for both pools.
+    pub threads: usize,
+    /// Timed repetitions; the reported wall-clock per pool is the best
+    /// of these. The reduction must agree across all of them.
+    pub runs: u32,
+}
+
+impl StealCfg {
+    /// The BENCH_5 configuration: 512 jobs, 32 of them heavy and all 32
+    /// parked on worker 0 of an 8-wide pool, best of five.
+    pub fn scale_tier() -> Self {
+        StealCfg {
+            jobs: 512,
+            heavy_every: 16,
+            base_iters: 2_000,
+            heavy_iters: 400_000,
+            seed: 0x57ea_1b05,
+            threads: 8,
+            runs: 5,
+        }
+    }
+
+    /// A tier-1-sized comparison with the same imbalance shape.
+    pub fn quick() -> Self {
+        StealCfg {
+            jobs: 96,
+            heavy_iters: 40_000,
+            base_iters: 500,
+            runs: 1,
+            ..Self::scale_tier()
+        }
+    }
+
+    /// Work size of job `i`.
+    fn iters_for(&self, i: usize) -> u64 {
+        if i.is_multiple_of(self.heavy_every) {
+            self.heavy_iters
+        } else {
+            self.base_iters
+        }
+    }
+}
+
+/// What one pool run produced.
+#[derive(Clone, Debug)]
+pub struct StealResult {
+    /// Jobs completed (== `cfg.jobs`; a panic fails the benchmark).
+    pub jobs: u64,
+    /// FNV digest over the canonical reduction — deterministic, and
+    /// identical between the two pools at any thread count.
+    pub digest: u64,
+    /// The canonical reduction itself (kept for byte-exact comparison).
+    pub reduced: String,
+    /// Host wall-clock for the sweep. Non-canonical.
+    pub elapsed: Duration,
+    /// Worker threads the pool actually used.
+    pub threads: usize,
+}
+
+/// Build the imbalanced job matrix. Each job's output is a pure
+/// function of `(seed, index)`, so the reduction is byte-identical for
+/// any pool, thread count or schedule.
+fn steal_jobs(cfg: &StealCfg) -> Vec<Job<String>> {
+    (0..cfg.jobs)
+        .map(|i| {
+            let iters = cfg.iters_for(i);
+            let seed = cfg.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            Job::new(format!("steal/{i:04}"), move || {
+                let mut rng = SplitMix64::new(seed);
+                let mut h = FNV_OFFSET;
+                for _ in 0..iters {
+                    h = fnv_fold(h, rng.next_u64());
+                }
+                format!("steal job {i:04}: {iters} iters, digest {h:016x}\n")
+            })
+        })
+        .collect()
+}
+
+/// One timed sweep of the matrix through one pool implementation.
+fn steal_once(cfg: &StealCfg, mutex: bool) -> StealResult {
+    let jobs = steal_jobs(cfg);
+    let start = Instant::now();
+    let report = if mutex {
+        run_jobs_mutex(jobs, cfg.threads)
+    } else {
+        run_jobs(jobs, cfg.threads)
+    };
+    let elapsed = start.elapsed();
+    assert!(
+        report.failures.is_empty(),
+        "steal bench job panicked: {:?}",
+        report.failures
+    );
+    let reduced = reduce_rendered(&report, |s: &String| s.as_str());
+    let mut digest = FNV_OFFSET;
+    for b in reduced.bytes() {
+        digest = fnv_fold(digest, u64::from(b));
+    }
+    StealResult {
+        jobs: report.results.len() as u64,
+        digest,
+        reduced,
+        elapsed,
+        threads: report.threads,
+    }
+}
+
+/// Both pools timed on the identical matrix.
+#[derive(Clone, Debug)]
+pub struct StealPair {
+    /// The central-mutex queue (the pre-overhaul pool).
+    pub mutex: StealResult,
+    /// The Chase-Lev work-stealing pool.
+    pub deque: StealResult,
+}
+
+impl StealPair {
+    /// Steal-pool improvement: mutex wall over deque wall.
+    pub fn speedup(&self) -> f64 {
+        self.mutex.elapsed.as_nanos().max(1) as f64 / self.deque.elapsed.as_nanos().max(1) as f64
+    }
+}
+
+/// Run the imbalanced matrix through both pools, interleaving the timed
+/// repetitions and keeping the best wall-clock of each. Asserts the
+/// canonical reduction is byte-identical between the pools and across
+/// every repetition.
+pub fn run_steal_pair(cfg: &StealCfg) -> StealPair {
+    let mut mutex = steal_once(cfg, true);
+    let mut deque = steal_once(cfg, false);
+    assert_eq!(
+        mutex.reduced, deque.reduced,
+        "mutex and deque pools reduced different bytes"
+    );
+    for _ in 1..cfg.runs.max(1) {
+        let m = steal_once(cfg, true);
+        assert_eq!(m.reduced, mutex.reduced, "mutex reduction drifted");
+        if m.elapsed < mutex.elapsed {
+            mutex.elapsed = m.elapsed;
+        }
+        let d = steal_once(cfg, false);
+        assert_eq!(d.reduced, deque.reduced, "deque reduction drifted");
+        if d.elapsed < deque.elapsed {
+            deque.elapsed = d.elapsed;
+        }
+    }
+    StealPair { mutex, deque }
+}
+
+/// The three partitioned-sim executions of one configuration.
+#[derive(Clone, Debug)]
+pub struct ParBench {
+    /// The merged-heap serial reference (semantic anchor; run once).
+    pub reference: ParResult,
+    /// The windowed executor on one thread.
+    pub serial: ParResult,
+    /// The windowed executor on the benchmark thread count.
+    pub parallel: ParResult,
+}
+
+impl ParBench {
+    /// Intra-sim speedup: windowed-serial wall over windowed-parallel
+    /// wall (same executor, same barriers — only the workers differ).
+    pub fn speedup(&self) -> f64 {
+        self.serial.elapsed.as_nanos().max(1) as f64
+            / self.parallel.elapsed.as_nanos().max(1) as f64
+    }
+}
+
+/// Run the partitioned sim three ways — reference, windowed×1,
+/// windowed×`threads` — asserting all three dispatch the identical
+/// stream (equal digests and dispatch counts), with the timed windowed
+/// repetitions interleaved and best-of-`runs` like the pool pair.
+pub fn run_par_bench(cfg: &ParCfg, threads: usize, runs: u32) -> ParBench {
+    let reference = run_reference(cfg);
+    let mut serial = run_windowed(cfg, 1);
+    let mut parallel = run_windowed(cfg, threads);
+    for r in [&serial, &parallel] {
+        assert_eq!(
+            r.digest, reference.digest,
+            "windowed executor diverged from the merged-heap reference"
+        );
+        assert_eq!(r.dispatched, reference.dispatched);
+    }
+    for _ in 1..runs.max(1) {
+        let s = run_windowed(cfg, 1);
+        assert_eq!(s.digest, reference.digest, "serial replay drifted");
+        if s.elapsed < serial.elapsed {
+            serial.elapsed = s.elapsed;
+        }
+        let p = run_windowed(cfg, threads);
+        assert_eq!(p.digest, reference.digest, "parallel replay drifted");
+        if p.elapsed < parallel.elapsed {
+            parallel.elapsed = p.elapsed;
+        }
+    }
+    ParBench {
+        reference,
+        serial,
+        parallel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_reduce_identical_bytes_on_the_imbalanced_matrix() {
+        let cfg = StealCfg::quick();
+        let pair = run_steal_pair(&cfg);
+        assert_eq!(pair.mutex.jobs, cfg.jobs as u64);
+        assert_eq!(pair.deque.jobs, cfg.jobs as u64);
+        assert_eq!(pair.mutex.digest, pair.deque.digest);
+        assert_eq!(pair.mutex.reduced, pair.deque.reduced);
+        assert!(pair.speedup() > 0.0);
+    }
+
+    #[test]
+    fn steal_digest_is_thread_invariant() {
+        let one = StealCfg {
+            threads: 1,
+            ..StealCfg::quick()
+        };
+        let eight = StealCfg::quick();
+        assert_eq!(
+            steal_once(&one, false).digest,
+            steal_once(&eight, false).digest,
+            "reduction must not depend on pool width"
+        );
+    }
+
+    #[test]
+    fn par_bench_executors_agree() {
+        let cfg = ParCfg::quick(0xbe9c_5ea1);
+        let b = run_par_bench(&cfg, 4, 1);
+        assert_eq!(b.reference.digest, b.serial.digest);
+        assert_eq!(b.reference.digest, b.parallel.digest);
+        // Near drain, a chain can die on a budget-exhausted partition,
+        // so the exact total is seed-dependent — but it is bounded by
+        // the configured population + follow-up budget and must be the
+        // bulk of it.
+        assert!(b.serial.dispatched <= cfg.expected_dispatches());
+        assert!(b.serial.dispatched > cfg.expected_dispatches() / 2);
+        assert_eq!(b.serial.windows, b.parallel.windows);
+        assert!(b.speedup() > 0.0);
+    }
+}

@@ -1,12 +1,13 @@
-//! Observational equivalence of the two engine front-ends.
+//! Observational equivalence of the three engine front-ends.
 //!
-//! The timing-wheel engine exists purely for dispatch throughput; it
-//! must never change what the simulation *does*. These tests run the
-//! same workloads twice — once on the wheel, once on the pure-heap
-//! reference engine — and require byte-identical observable state: the
-//! machine's canonical state digest, the full Chrome trace export, and
-//! the scale tier's event/cycle counts, at every cumulative
-//! optimization level and under chaos fault injection.
+//! The timing-wheel and per-socket-partitioned engines exist purely for
+//! dispatch throughput; they must never change what the simulation
+//! *does*. These tests run the same workloads on each front-end — the
+//! wheel, the pure-heap reference, and the partitioned mode — and
+//! require byte-identical observable state: the machine's canonical
+//! state digest, the full Chrome trace export, and the scale tier's
+//! event/cycle counts, at every cumulative optimization level, under
+//! chaos fault injection, and on the 2×56 scale tier.
 
 use tlbdown_core::OptConfig;
 use tlbdown_kernel::chaos::ChaosConfig;
@@ -50,6 +51,37 @@ fn wheel_matches_heap_at_every_opt_level() {
 }
 
 #[test]
+fn partitioned_matches_serial_at_every_opt_level() {
+    // A multi-socket machine so the partition split is real (two
+    // sub-heaps), at all 7 cumulative optimization levels. Digest *and*
+    // trace export must match the serial engines byte-for-byte.
+    let base = || KernelConfig {
+        topo: tlbdown_types::Topology::new(2, 2),
+        ..KernelConfig::paper_baseline()
+    };
+    for level in 0..=6usize {
+        let cfg = || base().with_opts(OptConfig::cumulative(level));
+        let serial = traced_run(cfg());
+        let part = traced_run(cfg().with_partitioned_engine(true));
+        assert_eq!(
+            serial.0, part.0,
+            "state digest diverged serial vs partitioned at opt level {level}"
+        );
+        assert_eq!(
+            serial.1, part.1,
+            "trace export diverged serial vs partitioned at opt level {level}"
+        );
+        // And against the pure-heap reference, closing the triangle.
+        let heap = traced_run(cfg().with_heap_only_engine(true));
+        assert_eq!(
+            heap.0, part.0,
+            "heap vs partitioned digest at level {level}"
+        );
+        assert_eq!(heap.1, part.1, "heap vs partitioned trace at level {level}");
+    }
+}
+
+#[test]
 fn wheel_matches_heap_under_fault_injection() {
     let cfg = || {
         KernelConfig::test_machine(4)
@@ -63,16 +95,41 @@ fn wheel_matches_heap_under_fault_injection() {
 }
 
 #[test]
+fn partitioned_matches_serial_under_fault_injection() {
+    // The chaos fault preset on a dual-socket machine: IPI drops,
+    // delays, duplicates and late IRQs must replay identically when
+    // events live in per-socket sub-heaps.
+    let cfg = || {
+        KernelConfig {
+            topo: tlbdown_types::Topology::new(2, 2),
+            ..KernelConfig::paper_baseline()
+        }
+        .with_opts(OptConfig::general_four())
+        .with_chaos(ChaosConfig::with_fault(FaultSpec::everything(), 0xfa07))
+    };
+    let serial = traced_run(cfg());
+    let part = traced_run(cfg().with_partitioned_engine(true));
+    assert_eq!(serial.0, part.0, "state digest diverged under chaos");
+    assert_eq!(serial.1, part.1, "trace export diverged under chaos");
+}
+
+#[test]
 fn scale_tier_smoke_is_engine_invariant() {
-    let run = |heap_only: bool| {
+    let run = |heap_only: bool, partitioned: bool| {
         let mut cfg = ScaleTierCfg::smoke();
         cfg.heap_only_engine = heap_only;
+        cfg.partitioned_engine = partitioned;
         run_scale_tier(&cfg).expect("tier runs clean")
     };
-    let wheel = run(false);
-    let heap = run(true);
+    let wheel = run(false, false);
+    let heap = run(true, false);
+    let part = run(false, true);
     assert_eq!(wheel.digest, heap.digest, "tier digests diverged");
     assert_eq!(wheel.events, heap.events);
     assert_eq!(wheel.sim_cycles, heap.sim_cycles);
     assert_eq!(wheel.counters.render_json(), heap.counters.render_json());
+    assert_eq!(part.digest, heap.digest, "partitioned tier digest diverged");
+    assert_eq!(part.events, heap.events);
+    assert_eq!(part.sim_cycles, heap.sim_cycles);
+    assert_eq!(part.counters.render_json(), heap.counters.render_json());
 }

@@ -67,6 +67,14 @@ pub struct KernelConfig {
     /// exists for those proofs and for before/after throughput
     /// comparisons, not for production runs.
     pub engine_heap_only: bool,
+    /// Run the engine on the *partitioned* front-end with one sub-heap
+    /// per socket (events routed by the core they execute on). Dispatch
+    /// order — and therefore every digest, trace and metric — is
+    /// byte-identical to the other two front-ends; the mode exists for
+    /// partition-safe machine stepping and the engine-determinism gate
+    /// that pins it. Mutually exclusive with `engine_heap_only`
+    /// (heap-only wins if both are set). Off by default.
+    pub engine_partitioned: bool,
 }
 
 impl KernelConfig {
@@ -88,6 +96,7 @@ impl KernelConfig {
             boot_epoch: 0,
             chaos: ChaosConfig::default(),
             engine_heap_only: false,
+            engine_partitioned: false,
         }
     }
 
@@ -127,6 +136,14 @@ impl KernelConfig {
     /// configuration for determinism and throughput comparisons).
     pub fn with_heap_only_engine(mut self, heap_only: bool) -> Self {
         self.engine_heap_only = heap_only;
+        self
+    }
+
+    /// Builder-style: run the event engine on per-socket partition
+    /// sub-heaps (byte-identical dispatch; see
+    /// [`KernelConfig::engine_partitioned`]).
+    pub fn with_partitioned_engine(mut self, partitioned: bool) -> Self {
+        self.engine_partitioned = partitioned;
         self
     }
 

@@ -1,0 +1,556 @@
+//! Deterministic intra-sim parallelism: conservative windowed execution
+//! over per-partition event streams.
+//!
+//! # The model
+//!
+//! A simulated machine is split into `P` partitions (per x2APIC cluster
+//! on the 2×56 tier: clusters never straddle sockets, and 112 logical
+//! cores give 8 clusters of 14). Every event belongs to exactly one
+//! partition; an event's dispatch may schedule follow-up work either
+//! *locally* (any latency ≥ 1 cycle) or *cross-partition* — and every
+//! cross-partition interaction costs at least the minimum inter-cluster
+//! communication latency `W` (a same-socket cacheline transfer, 120
+//! cycles in the cost model; IPIs cost far more). That physical bound
+//! is the **lookahead**.
+//!
+//! # Conservative windows
+//!
+//! Execution proceeds in epochs. In the window `[T, T+W)` every
+//! partition advances independently — in parallel, on real host threads
+//! — processing its own events in key order. Any cross-partition send
+//! produced at time `t ≥ T` delivers at `t + L` with `L ≥ W`, hence at
+//! or after `T+W`: **no message can land inside the window that
+//! produced it**, so partitions cannot affect each other mid-window and
+//! need no mid-window synchronization. At the epoch barrier the
+//! buffered sends are delivered (in deterministic sender order, though
+//! order cannot matter — see below), the next window start is reduced
+//! as the minimum pending event time across partitions, and the epoch
+//! repeats. This is classic conservative parallel discrete-event
+//! simulation (CMB-style lookahead), with the barrier playing the role
+//! of null messages.
+//!
+//! # Determinism argument (DESIGN.md §17)
+//!
+//! Each event carries its own totally-ordered key `(at, origin
+//! partition, origin counter)` — assigned at *creation*, not at
+//! insertion — so a partition's processing order is a pure function of
+//! its event set, never of arrival order or host interleaving. By
+//! induction over windows, each partition processes an identical event
+//! sequence under any thread count, *and* under no windowing at all:
+//! [`run_reference`] executes the same model on a single merged heap in
+//! global key order and must produce byte-identical per-partition
+//! digests. `assert_par_digests_match` in the stealbench gate holds all
+//! three (reference, windowed×1 thread, windowed×N threads) equal.
+//!
+//! The per-partition digest folds every dispatch `(at, origin, ctr,
+//! payload)` in processing order; the machine digest folds the
+//! partition digests in partition order. Wall-clock is the only thing
+//! allowed to differ.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// FNV-1a 64-bit offset basis / prime (the digest everywhere else in
+/// this workspace uses the same constants).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_fold(mut h: u64, words: &[u64]) -> u64 {
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// SplitMix64 finalizer: the per-event decision stream. A pure function
+/// of `(seed, partition, counter)` so serial and windowed executions
+/// derive identical follow-ups.
+#[inline]
+fn mix(seed: u64, part: u64, ctr: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(part.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(ctr.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One simulated event. Ordered by the carried key `(at, origin, ctr)`,
+/// which is unique (the counter is per-origin monotone) and assigned at
+/// creation — the property the determinism argument rests on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ev {
+    at: u64,
+    origin: u32,
+    ctr: u64,
+    /// Which partition dispatches this event.
+    target: u32,
+    payload: u64,
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.origin, self.ctr).cmp(&(other.at, other.origin, other.ctr))
+    }
+}
+
+/// Configuration of a partitioned simulation run.
+#[derive(Clone, Debug)]
+pub struct ParCfg {
+    /// Number of partitions (x2APIC clusters on the 2×56 tier).
+    pub partitions: usize,
+    /// Conservative lookahead `W`: the minimum cross-partition latency.
+    /// Every cross-partition send costs at least this many cycles.
+    pub lookahead: u64,
+    /// Seed for the per-event decision stream.
+    pub seed: u64,
+    /// Initial event population per partition (concurrent chains).
+    pub initial_per_part: usize,
+    /// Follow-up budget per partition: each dispatch generates one
+    /// follow-up until the dispatching partition's budget is spent, then
+    /// the population drains.
+    pub followups_per_part: u64,
+    /// Per-mille of follow-ups that cross partitions.
+    pub cross_permille: u64,
+}
+
+impl ParCfg {
+    /// The 112-core tier shape: 8 clusters × 14 cores, ~10M dispatches,
+    /// lookahead = same-socket cacheline transfer (120 cycles).
+    pub fn tier_112(seed: u64) -> Self {
+        ParCfg {
+            partitions: 8,
+            lookahead: 120,
+            seed,
+            initial_per_part: 512,
+            followups_per_part: 1_249_488,
+            cross_permille: 150,
+        }
+    }
+
+    /// A small configuration for tests and smoke runs (~100k dispatches).
+    pub fn quick(seed: u64) -> Self {
+        ParCfg {
+            partitions: 4,
+            lookahead: 120,
+            seed,
+            initial_per_part: 64,
+            followups_per_part: 25_000,
+            cross_permille: 200,
+        }
+    }
+
+    /// Total dispatches this configuration will execute.
+    pub fn expected_dispatches(&self) -> u64 {
+        (self.partitions as u64) * (self.initial_per_part as u64 + self.followups_per_part)
+    }
+}
+
+/// Outcome of a partitioned run. `digest` and `dispatched` are pure
+/// simulation state — identical across executors and thread counts;
+/// `windows` describes the executor (0 for the merged-heap reference);
+/// `elapsed` is host wall-clock.
+#[derive(Clone, Debug)]
+pub struct ParResult {
+    /// Total events dispatched.
+    pub dispatched: u64,
+    /// Machine digest: per-partition dispatch digests folded in
+    /// partition order.
+    pub digest: u64,
+    /// Epoch windows executed (0 for [`run_reference`]).
+    pub windows: u64,
+    /// Worker threads used (1 for [`run_reference`]).
+    pub threads: usize,
+    /// Host wall-clock.
+    pub elapsed: Duration,
+}
+
+impl ParResult {
+    /// Aggregate dispatch throughput in events per second.
+    pub fn dispatch_per_sec(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            return 0.0;
+        }
+        self.dispatched as f64 / s
+    }
+}
+
+/// Mutable per-partition state: the dispatch digest, the creation
+/// counter, and the remaining follow-up budget.
+struct PartState {
+    index: u32,
+    ctr: u64,
+    budget: u64,
+    digest: u64,
+    dispatched: u64,
+}
+
+impl PartState {
+    fn new(index: u32, cfg: &ParCfg) -> Self {
+        PartState {
+            index,
+            ctr: 0,
+            budget: cfg.followups_per_part,
+            digest: FNV_OFFSET,
+            dispatched: 0,
+        }
+    }
+
+    /// The partition's initial event population (all self-originated).
+    fn seed_events(&mut self, cfg: &ParCfg) -> Vec<Ev> {
+        (0..cfg.initial_per_part)
+            .map(|_| {
+                let ctr = self.ctr;
+                self.ctr += 1;
+                let bits = mix(cfg.seed, u64::from(self.index), ctr);
+                Ev {
+                    at: 1 + bits % (4 * cfg.lookahead),
+                    origin: self.index,
+                    ctr,
+                    target: self.index,
+                    payload: bits,
+                }
+            })
+            .collect()
+    }
+
+    /// Dispatch `ev` on this partition: fold the digest and, while the
+    /// budget lasts, derive one follow-up (returned routed — the caller
+    /// decides whether "routed" means own heap, merged heap, or outbox).
+    #[inline]
+    fn dispatch(&mut self, ev: &Ev, cfg: &ParCfg) -> Option<Ev> {
+        self.digest = fnv_fold(
+            self.digest,
+            &[ev.at, u64::from(ev.origin), ev.ctr, ev.payload],
+        );
+        self.dispatched += 1;
+        if self.budget == 0 {
+            return None;
+        }
+        self.budget -= 1;
+        let ctr = self.ctr;
+        self.ctr += 1;
+        let bits = mix(cfg.seed, u64::from(self.index), ctr);
+        let cross = cfg.partitions > 1 && bits % 1000 < cfg.cross_permille;
+        let (target, latency) = if cross {
+            let others = (cfg.partitions - 1) as u64;
+            let t = (u64::from(self.index) + 1 + (bits >> 10) % others) % cfg.partitions as u64;
+            // Cross-partition latency is at least the lookahead — the
+            // physical bound the window safety proof needs — spanning
+            // same-socket cacheline up to cross-socket IPI territory.
+            (
+                t as u32,
+                cfg.lookahead + (bits >> 32) % (15 * cfg.lookahead),
+            )
+        } else {
+            (self.index, 1 + (bits >> 32) % (2 * cfg.lookahead))
+        };
+        Some(Ev {
+            at: ev.at + latency,
+            origin: self.index,
+            ctr,
+            target,
+            payload: bits,
+        })
+    }
+}
+
+/// Fold the per-partition digests (in partition order) into one machine
+/// digest, and sum dispatch counts.
+fn reduce_parts(parts: &[PartState]) -> (u64, u64) {
+    let mut digest = FNV_OFFSET;
+    let mut dispatched = 0;
+    for p in parts {
+        digest = fnv_fold(digest, &[u64::from(p.index), p.digest, p.dispatched]);
+        dispatched += p.dispatched;
+    }
+    (digest, dispatched)
+}
+
+/// The serial reference: every event in one merged heap, processed in
+/// global key order with immediate delivery — no windows, no barriers,
+/// no partition separation beyond the carried key. The windowed
+/// executor must match this byte-for-byte.
+pub fn run_reference(cfg: &ParCfg) -> ParResult {
+    let start = Instant::now();
+    let mut parts: Vec<PartState> = (0..cfg.partitions)
+        .map(|i| PartState::new(i as u32, cfg))
+        .collect();
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    for p in &mut parts {
+        for ev in p.seed_events(cfg) {
+            heap.push(Reverse(ev));
+        }
+    }
+    while let Some(Reverse(ev)) = heap.pop() {
+        let p = ev.target as usize;
+        if let Some(f) = parts[p].dispatch(&ev, cfg) {
+            heap.push(Reverse(f));
+        }
+    }
+    let (digest, dispatched) = reduce_parts(&parts);
+    ParResult {
+        dispatched,
+        digest,
+        windows: 0,
+        threads: 1,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// A sense-reversing spin barrier for a fixed set of participants.
+/// Spins briefly, then yields — the windowed executor must also behave
+/// on hosts with fewer cores than workers.
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    fn wait(&self, local_sense: &mut bool) {
+        *local_sense = !*local_sense;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(*local_sense, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != *local_sense {
+                spins = spins.wrapping_add(1);
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// A cross-partition message parked in an outbox until the epoch
+/// barrier.
+struct Outbox {
+    msgs: Mutex<Vec<Ev>>,
+}
+
+/// The conservative windowed executor. `threads = 1` runs the identical
+/// window/barrier structure on one worker (the "serial partitioned"
+/// execution); `threads = N` spreads partitions round-robin across `N`
+/// workers. The returned `digest`/`dispatched` are byte-identical to
+/// [`run_reference`] for the same `cfg`, at any thread count.
+pub fn run_windowed(cfg: &ParCfg, threads: usize) -> ParResult {
+    let threads = threads.clamp(1, cfg.partitions);
+    let start = Instant::now();
+
+    // Partition ownership: partition i → worker i % threads. Each worker
+    // owns its partitions' heaps and state outright; only outboxes and
+    // the window-min reduction are shared.
+    let mut owned: Vec<Vec<(BinaryHeap<Reverse<Ev>>, PartState)>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    let mut first_t = u64::MAX;
+    for i in 0..cfg.partitions {
+        let mut st = PartState::new(i as u32, cfg);
+        let mut heap = BinaryHeap::new();
+        for ev in st.seed_events(cfg) {
+            first_t = first_t.min(ev.at);
+            heap.push(Reverse(ev));
+        }
+        owned[i % threads].push((heap, st));
+    }
+
+    let outboxes: Vec<Outbox> = (0..cfg.partitions)
+        .map(|_| Outbox {
+            msgs: Mutex::new(Vec::new()),
+        })
+        .collect();
+    let barrier = SpinBarrier::new(threads);
+    // Double-buffered window-min reduction: round r mins into slot
+    // (r+1)&1 while slot r&1 still holds the current window's start.
+    let next_min = [AtomicU64::new(first_t), AtomicU64::new(u64::MAX)];
+
+    let finished: Vec<(Vec<PartState>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = owned
+            .into_iter()
+            .map(|my_parts| {
+                let (outboxes, barrier, next_min) = (&outboxes, &barrier, &next_min);
+                scope.spawn(move || {
+                    let mut my_parts = my_parts;
+                    let mut sense = false;
+                    let mut round = 0u64;
+                    let mut windows = 0u64;
+                    loop {
+                        let window_start = next_min[(round & 1) as usize].load(Ordering::Acquire);
+                        if window_start == u64::MAX {
+                            break;
+                        }
+                        windows += 1;
+                        let window_end = window_start + cfg.lookahead;
+                        // Phase A: advance own partitions through
+                        // [window_start, window_end), parking cross
+                        // sends. Draining the own outbox first is safe:
+                        // last round's deliveries completed before the
+                        // previous barrier.
+                        for (heap, st) in my_parts.iter_mut() {
+                            outboxes[st.index as usize].msgs.lock().unwrap().clear();
+                            while heap.peek().is_some_and(|Reverse(ev)| ev.at < window_end) {
+                                let Reverse(ev) = heap.pop().unwrap();
+                                if let Some(f) = st.dispatch(&ev, cfg) {
+                                    if f.target == st.index {
+                                        heap.push(Reverse(f));
+                                    } else {
+                                        // Park: `f.at ≥ window_end` by
+                                        // the lookahead bound, so it
+                                        // cannot be needed this window.
+                                        outboxes[st.index as usize].msgs.lock().unwrap().push(f);
+                                    }
+                                }
+                            }
+                        }
+                        barrier.wait(&mut sense);
+                        // Phase B: deliver parked sends into own
+                        // partitions and reduce the next window start.
+                        // The upcoming slot was reset to MAX one round
+                        // ago; reset the now-consumed slot for reuse.
+                        next_min[(round & 1) as usize].store(u64::MAX, Ordering::Release);
+                        let mut local_min = u64::MAX;
+                        for (heap, st) in my_parts.iter_mut() {
+                            for ob in outboxes {
+                                for ev in ob.msgs.lock().unwrap().iter() {
+                                    if ev.target == st.index {
+                                        heap.push(Reverse(*ev));
+                                    }
+                                }
+                            }
+                            if let Some(Reverse(ev)) = heap.peek() {
+                                local_min = local_min.min(ev.at);
+                            }
+                        }
+                        next_min[((round + 1) & 1) as usize].fetch_min(local_min, Ordering::AcqRel);
+                        barrier.wait(&mut sense);
+                        round += 1;
+                    }
+                    (
+                        my_parts.into_iter().map(|(_, st)| st).collect::<Vec<_>>(),
+                        windows,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Reassemble partition order (worker w owned partitions w, w+T, ...).
+    let windows = finished[0].1;
+    let mut parts: Vec<PartState> = finished.into_iter().flat_map(|(ps, _)| ps).collect();
+    parts.sort_by_key(|p| p.index);
+    let (digest, dispatched) = reduce_parts(&parts);
+    ParResult {
+        dispatched,
+        digest,
+        windows,
+        threads,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_deterministic() {
+        let cfg = ParCfg::quick(0x51ab);
+        let a = run_reference(&cfg);
+        let b = run_reference(&cfg);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.dispatched, b.dispatched);
+        assert_eq!(a.dispatched, cfg.expected_dispatches());
+    }
+
+    #[test]
+    fn windowed_matches_reference_at_any_thread_count() {
+        for seed in [0u64, 0x51ab, 0xdead_beef] {
+            let cfg = ParCfg::quick(seed);
+            let reference = run_reference(&cfg);
+            for threads in [1usize, 2, 3, 4, 9] {
+                let w = run_windowed(&cfg, threads);
+                assert_eq!(
+                    w.digest, reference.digest,
+                    "digest diverged: seed {seed:#x}, {threads} threads"
+                );
+                assert_eq!(w.dispatched, reference.dispatched);
+                assert!(w.windows > 0);
+                assert!(w.threads <= cfg.partitions, "threads clamp to partitions");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_thread_counts_agree_on_window_count() {
+        // The epoch structure itself is deterministic: same windows
+        // regardless of how partitions spread over workers.
+        let cfg = ParCfg::quick(7);
+        let a = run_windowed(&cfg, 1);
+        let b = run_windowed(&cfg, 4);
+        assert_eq!(a.windows, b.windows);
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn seeds_produce_distinct_digests() {
+        let a = run_reference(&ParCfg::quick(1));
+        let b = run_reference(&ParCfg::quick(2));
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn cross_sends_respect_the_lookahead_bound() {
+        // Structural check on the generator: every cross-partition
+        // follow-up must be at least `lookahead` in the future.
+        let cfg = ParCfg::quick(0xc0de);
+        let mut st = PartState::new(0, &cfg);
+        let seeds = st.seed_events(&cfg);
+        for ev in &seeds {
+            let mut st2 = st;
+            if let Some(f) = st2.dispatch(ev, &cfg) {
+                if f.target != ev.target {
+                    assert!(f.at >= ev.at + cfg.lookahead);
+                }
+            }
+            st = st2;
+        }
+    }
+
+    #[test]
+    fn single_partition_degenerates_cleanly() {
+        let cfg = ParCfg {
+            partitions: 1,
+            ..ParCfg::quick(3)
+        };
+        let r = run_reference(&cfg);
+        let w = run_windowed(&cfg, 8);
+        assert_eq!(r.digest, w.digest);
+        assert_eq!(w.threads, 1);
+    }
+}

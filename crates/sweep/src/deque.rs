@@ -1,0 +1,401 @@
+//! A dependency-free Chase–Lev work-stealing deque.
+//!
+//! One [`Worker`] owns the bottom end (`push` / `pop`, no atomics on the
+//! fast path beyond a fence); any number of [`Stealer`] clones contend
+//! lock-free on the top end. The memory-ordering protocol follows Lê,
+//! Pop, Cohen & Zappa Nardelli, *Correct and Efficient Work-Stealing for
+//! Weak Memory Models* (PPoPP 2013) — the C11 port of Chase & Lev's
+//! original algorithm — translated onto `std::sync::atomic`:
+//!
+//! - **`push`** writes the element into the buffer, then publishes it
+//!   with a `Release` store of `bottom`. A stealer's `Acquire` load of
+//!   `bottom` therefore observes the element write.
+//! - **`pop`** decrements `bottom` with a plain store, then issues a
+//!   `SeqCst` fence before reading `top`. Paired with the `SeqCst` fence
+//!   in `steal`, this guarantees the owner and a concurrent stealer
+//!   cannot both miss each other's claim on the last element: one of the
+//!   two fences is globally ordered first, and whoever fenced second
+//!   sees the other's index update. The single-element race is resolved
+//!   by a `SeqCst` CAS on `top` (owner and stealer race for the same
+//!   increment; exactly one wins).
+//! - **`steal`** loads `top` (`Acquire`), fences `SeqCst`, loads
+//!   `bottom` (`Acquire`), reads the element, then claims it by CAS on
+//!   `top`. The element is read *before* the CAS and forgotten if the
+//!   CAS fails — a failed claim must not drop a value some other thread
+//!   now owns.
+//!
+//! **Buffer growth** is owner-only: when full, the owner allocates a
+//! buffer of twice the capacity, copies the live window `[top, bottom)`,
+//! and publishes the new buffer with a `Release` store; stealers load it
+//! with `Acquire`. A stealer may still be reading the *old* buffer when
+//! the new one is published, so grown-out buffers are never freed while
+//! the deque is alive — they are retired into a list owned by the shared
+//! state and freed on drop. Geometric growth bounds the leak at roughly
+//! one buffer's worth of memory (the sum of all smaller power-of-two
+//! capacities is less than the final capacity). A stealer reading a
+//! stale buffer is still correct: its subsequent CAS on `top` fails
+//! (the owner only grows after observing `top`, and any interleaved
+//! steal moved `top`), so the stale element is forgotten, never used.
+//!
+//! Indices are `i64` and grow without wrapping for the life of the
+//! deque (2^63 pushes is out of reach); slot selection masks into the
+//! power-of-two buffer.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicI64, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Initial buffer capacity (power of two).
+const MIN_CAP: usize = 64;
+
+/// A fixed-capacity circular buffer. Slots are `UnsafeCell` because the
+/// owner writes a slot while stealers may (harmlessly, see module docs)
+/// read it; every read that *keeps* the value is serialized by the CAS
+/// on `top`.
+struct Buffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Box<Self> {
+        assert!(cap.is_power_of_two(), "deque buffers are power-of-two");
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Box::new(Buffer { slots })
+    }
+
+    fn cap(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Raw pointer to the slot for index `i` (masked into the buffer).
+    fn slot(&self, i: i64) -> *mut MaybeUninit<T> {
+        let mask = self.slots.len() as i64 - 1;
+        self.slots[(i & mask) as usize].get()
+    }
+
+    /// Bitwise-copy the value at index `i` out of the buffer. The caller
+    /// must ensure the slot was initialized and must either own the copy
+    /// (claim won) or forget it (claim lost).
+    unsafe fn read(&self, i: i64) -> T {
+        (*self.slot(i)).assume_init_read()
+    }
+
+    /// Write `value` into the slot for index `i`.
+    unsafe fn write(&self, i: i64, value: T) {
+        (*self.slot(i)).write(value);
+    }
+}
+
+/// State shared between the worker and its stealers.
+struct Inner<T> {
+    /// Steal end. Monotonically increasing; `top <= bottom` except
+    /// transiently inside `pop`.
+    top: AtomicI64,
+    /// Owner end. Only the worker stores it (stealers just load).
+    bottom: AtomicI64,
+    /// Current buffer. Only the worker swaps it (on growth).
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Grown-out buffers, kept alive until drop so stealers holding a
+    /// stale buffer pointer never read freed memory.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// The deque moves `T` across threads (worker pushes, stealer pops), so
+// `T: Send` is required; the shared indices/pointers are all atomics.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Sole owner now: drain live elements, then free every buffer.
+        let buf = *self.buffer.get_mut();
+        let top = *self.top.get_mut();
+        let bottom = *self.bottom.get_mut();
+        unsafe {
+            for i in top..bottom {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+            for old in self.retired.get_mut().unwrap().drain(..) {
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+/// The owning end of a deque: LIFO `push`/`pop` on the bottom. `!Sync`
+/// by construction (one owner), but `Send` so a deque can be filled on
+/// one thread and handed to its worker.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    /// Cached `buffer` pointer: only this handle ever swaps it, so the
+    /// cache is always current and saves an atomic load per operation.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+// SAFETY: moving the single owner between threads is fine; concurrent
+// use from two threads is prevented by `!Sync` + no `Clone`.
+unsafe impl<T: Send> Send for Worker<T> {}
+
+/// The stealing end: lock-free FIFO `steal` from the top. Cheaply
+/// cloneable and fully thread-safe.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Outcome of a [`Stealer::steal`] attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race (another stealer or the owner claimed the element);
+    /// worth retrying immediately.
+    Retry,
+    /// Claimed the oldest element.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// `Some` on success, `None` otherwise (drops the distinction
+    /// between `Empty` and `Retry`).
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Create a new deque, returning its two ends.
+pub fn deque<T>() -> (Worker<T>, Stealer<T>) {
+    let inner = Arc::new(Inner {
+        top: AtomicI64::new(0),
+        bottom: AtomicI64::new(0),
+        buffer: AtomicPtr::new(Box::into_raw(Buffer::new(MIN_CAP))),
+        retired: Mutex::new(Vec::new()),
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+            _not_sync: PhantomData,
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T> Worker<T> {
+    /// A stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of elements currently in the deque (owner's view).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque is empty (owner's view).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push onto the bottom. Owner-only; never blocks (grows instead).
+    pub fn push(&self, value: T) {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        let mut buf = self.inner.buffer.load(Ordering::Relaxed);
+        unsafe {
+            if b - t >= (*buf).cap() as i64 {
+                buf = self.grow(buf, t, b);
+            }
+            (*buf).write(b, value);
+        }
+        // Release-publish the element to stealers' Acquire load of
+        // `bottom`.
+        self.inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pop from the bottom (the most recently pushed element). Owner-only.
+    pub fn pop(&self) -> Option<T> {
+        let b = self.inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.inner.buffer.load(Ordering::Relaxed);
+        self.inner.bottom.store(b, Ordering::Relaxed);
+        // Order the `bottom` decrement against stealers' reads: after
+        // this fence, either we see every concurrent steal's `top`
+        // increment, or the stealer's fenced `bottom` load sees our
+        // decrement (and backs off from the contested element).
+        fence(Ordering::SeqCst);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        if t < b {
+            // More than one element: ours without contention.
+            return Some(unsafe { (*buf).read(b) });
+        }
+        if t == b {
+            // Exactly one element: race any stealer for it via `top`.
+            let won = self
+                .inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.inner.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then(|| unsafe { (*buf).read(b) });
+        }
+        // Empty: restore `bottom`.
+        self.inner.bottom.store(b + 1, Ordering::Relaxed);
+        None
+    }
+
+    /// Double the buffer, copying the live window `[t, b)`. Returns the
+    /// new buffer pointer. The old buffer is retired, not freed — a
+    /// stealer may still hold a pointer into it (see module docs).
+    ///
+    /// SAFETY (caller): `t`/`b` are the current indices and the live
+    /// elements occupy `[t, b)` of `old`.
+    unsafe fn grow(&self, old: *mut Buffer<T>, t: i64, b: i64) -> *mut Buffer<T> {
+        let new = Box::into_raw(Buffer::new((*old).cap() * 2));
+        for i in t..b {
+            // Bitwise move: the old slots are treated as logically
+            // uninitialized from here on (the old buffer is only kept
+            // for stealers' stale *reads*, which forget their copy on
+            // CAS failure).
+            let v = (*old).read(i);
+            (*new).write(i, v);
+        }
+        // Publish before any element written to `new` becomes reachable
+        // via a subsequent `bottom` release-store.
+        self.inner.buffer.store(new, Ordering::Release);
+        self.inner.retired.lock().unwrap().push(old);
+        new
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Whether the deque appears empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        b <= t
+    }
+
+    /// Try to claim the oldest element (FIFO end).
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.inner.top.load(Ordering::Acquire);
+        // Pair with the fence in `pop` (see there).
+        fence(Ordering::SeqCst);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        if b <= t {
+            return Steal::Empty;
+        }
+        // Read the element *before* claiming it: after a successful CAS
+        // the owner may immediately overwrite the slot. The Acquire
+        // buffer load pairs with the owner's Release publish on growth.
+        let buf = self.inner.buffer.load(Ordering::Acquire);
+        let value = std::mem::ManuallyDrop::new(unsafe { (*buf).read(t) });
+        if self
+            .inner
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            // Lost the race; the copy is forgotten (ManuallyDrop), the
+            // winner owns the real value.
+            return Steal::Retry;
+        }
+        Steal::Success(std::mem::ManuallyDrop::into_inner(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_stealer() {
+        let (w, s) = deque();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn growth_preserves_order_and_values() {
+        let (w, s) = deque();
+        for i in 0..10_000u64 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 10_000);
+        for i in 0..5_000 {
+            assert_eq!(s.steal(), Steal::Success(i));
+        }
+        for i in (5_000..10_000).rev() {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn drop_frees_live_elements() {
+        // Boxes would leak (and Miri/asan would flag it) if Drop missed
+        // live slots or retired buffers.
+        let (w, _s) = deque();
+        for i in 0..1_000 {
+            w.push(Box::new(i));
+        }
+        for _ in 0..250 {
+            w.pop();
+        }
+        drop(w);
+    }
+
+    #[test]
+    fn interleaved_push_pop_steal_single_thread() {
+        let (w, s) = deque();
+        let mut seen = Vec::new();
+        let mut next = 0u32;
+        for round in 0..2_000 {
+            match round % 5 {
+                0..=2 => {
+                    w.push(next);
+                    next += 1;
+                }
+                3 => {
+                    if let Some(v) = w.pop() {
+                        seen.push(v);
+                    }
+                }
+                _ => {
+                    if let Steal::Success(v) = s.steal() {
+                        seen.push(v);
+                    }
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..next).collect();
+        assert_eq!(seen, expect, "every pushed value observed exactly once");
+    }
+}

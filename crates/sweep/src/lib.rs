@@ -6,9 +6,9 @@
 //! (machines share no state), runs it to completion, and renders a
 //! result. That shape fans out perfectly, and this crate provides the
 //! harness: a work-stealing thread pool over `std::thread` + channels
-//! (the build container is offline, so no rayon), plus a canonical
-//! reduction rule that keeps parallel output byte-identical to serial
-//! output.
+//! built on an in-repo lock-free Chase–Lev deque (the build container
+//! is offline, so no rayon or crossbeam), plus a canonical reduction
+//! rule that keeps parallel output byte-identical to serial output.
 //!
 //! The determinism argument (DESIGN.md §12) is two-layered:
 //!
@@ -31,8 +31,12 @@
 
 #![warn(missing_docs)]
 
+pub mod deque;
 pub mod json;
 pub mod pool;
 
 pub use json::Json;
-pub use pool::{reduce_rendered, resolve_threads, run_jobs, Job, JobError, JobResult, SweepReport};
+pub use pool::{
+    reduce_rendered, resolve_threads, run_jobs, run_jobs_mutex, Job, JobError, JobResult,
+    SweepReport,
+};

@@ -1,24 +1,41 @@
 //! The work-stealing thread pool.
 //!
-//! Jobs are distributed round-robin across per-worker deques; a worker
-//! pops from the *front* of its own deque and, when empty, steals from
-//! the *back* of its neighbours' (classic Chase–Lev shape, implemented
-//! with `Mutex<VecDeque>` since the container has no crossbeam and the
-//! jobs here are milliseconds-to-seconds of simulation, far above lock
-//! cost). No job spawns further jobs, so "every deque empty" means the
-//! sweep is drained and a worker may exit.
+//! Jobs are distributed round-robin across per-worker [Chase–Lev
+//! deques](crate::deque): a worker pops the *bottom* of its own deque
+//! (LIFO, plain loads plus one fence) and, when empty, steals the *top*
+//! of its neighbours' (FIFO, one CAS per claimed job). The deque's
+//! correctness rests on three ordering pairs, argued in detail in
+//! [`crate::deque`] and DESIGN.md §17:
+//!
+//! 1. `push` publishes the element with a `Release` store of `bottom`
+//!    that a stealer's `Acquire` load synchronizes with;
+//! 2. `pop` and `steal` each issue a `SeqCst` fence between touching
+//!    `bottom` and `top`, so for the last element exactly one side sees
+//!    the other's claim and backs into the `SeqCst` CAS on `top` that
+//!    arbitrates it;
+//! 3. buffer growth publishes the new buffer `Release`/`Acquire` and
+//!    retires (never frees) the old one, so a stealer racing growth
+//!    reads stale-but-alive memory and its CAS then fails harmlessly.
+//!
+//! No job spawns further jobs, so "every deque observed empty" means the
+//! sweep is drained and a worker may exit. The pre-PR-8 `Mutex<VecDeque>`
+//! pool survives as [`run_jobs_mutex`], the baseline the
+//! `cargo xtask stealbench` gate measures steal-heavy speedup against.
 //!
 //! Determinism: workers send `(id, output, wall)` tuples over a channel
 //! as they finish, in a nondeterministic order; [`run_jobs`] sorts the
 //! collected results by job ID before returning. Everything canonical
 //! downstream (rendered reductions, `BENCH` sim-metric blocks) is
-//! derived from that sorted vector, so thread count never shows.
+//! derived from that sorted vector, so neither thread count nor steal
+//! interleaving ever shows.
 
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use crate::deque::{deque, Steal, Stealer, Worker};
 
 /// One unit of sweep work: a stable ID plus a self-contained closure.
 ///
@@ -119,87 +136,50 @@ pub fn resolve_threads(requested: usize) -> usize {
         .unwrap_or(1)
 }
 
-/// Run `jobs` on `threads` workers (0 = all host cores) and reduce in
-/// canonical job-ID order.
-///
-/// Panics if two jobs share an ID — silent ID collisions would make the
+/// Panic if two jobs share an ID — silent ID collisions would make the
 /// canonical order ambiguous and the reduction nondeterministic.
-pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, threads: usize) -> SweepReport<T> {
-    {
-        let mut ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
-        ids.sort_unstable();
-        for w in ids.windows(2) {
-            assert!(w[0] != w[1], "duplicate sweep job id {:?}", w[0]);
-        }
+fn assert_unique_ids<T>(jobs: &[Job<T>]) {
+    let mut ids: Vec<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+    ids.sort_unstable();
+    for w in ids.windows(2) {
+        assert!(w[0] != w[1], "duplicate sweep job id {:?}", w[0]);
     }
-    let n_jobs = jobs.len();
-    let threads = resolve_threads(threads).max(1).min(n_jobs.max(1));
-    let start = Instant::now();
+}
 
-    // Round-robin distribution in input order: neighbouring jobs (which
-    // tend to have similar cost) land on different workers, and stealing
-    // smooths out the rest.
-    let deques: Vec<Arc<Mutex<VecDeque<Job<T>>>>> = (0..threads)
-        .map(|_| Arc::new(Mutex::new(VecDeque::new())))
-        .collect();
-    for (i, job) in jobs.into_iter().enumerate() {
-        deques[i % threads].lock().unwrap().push_back(job);
-    }
+/// Run one claimed job, converting a panic into a typed record, and send
+/// the outcome to the collector.
+fn execute_job<T: Send>(job: Job<T>, tx: &mpsc::Sender<Result<JobResult<T>, JobError>>) {
+    let t0 = Instant::now();
+    // Isolate the job: a panic unwinds only to here, is converted to a
+    // typed record, and the worker moves on to the next job. No deque
+    // or lock is held across the closure; AssertUnwindSafe is sound
+    // because the closure owns everything it touches (per-job isolation
+    // invariant).
+    let outcome = panic::catch_unwind(AssertUnwindSafe(job.run));
+    let wall = t0.elapsed();
+    // The receiver outlives the scope; send failure would need the main
+    // thread hung up (it cannot: it is blocked on scope exit).
+    let _ = match outcome {
+        Ok(output) => tx.send(Ok(JobResult {
+            id: job.id,
+            output,
+            wall,
+        })),
+        Err(payload) => tx.send(Err(JobError {
+            id: job.id,
+            message: panic_message(payload.as_ref()),
+            wall,
+        })),
+    };
+}
 
-    let (tx, rx) = mpsc::channel::<Result<JobResult<T>, JobError>>();
-    std::thread::scope(|scope| {
-        for me in 0..threads {
-            let deques = &deques;
-            let tx = tx.clone();
-            scope.spawn(move || loop {
-                // Own deque first (front), then steal (back).
-                let job = {
-                    let mut found = deques[me].lock().unwrap().pop_front();
-                    if found.is_none() {
-                        for d in 1..threads {
-                            let victim = (me + d) % threads;
-                            found = deques[victim].lock().unwrap().pop_back();
-                            if found.is_some() {
-                                break;
-                            }
-                        }
-                    }
-                    found
-                };
-                let Some(job) = job else { return };
-                let t0 = Instant::now();
-                // Isolate the job: a panic unwinds only to here, is
-                // converted to a typed record, and the worker moves on
-                // to the next job. Deques are never locked across the
-                // closure, so there is no poison to worry about;
-                // AssertUnwindSafe is sound because the closure owns
-                // everything it touches (per-job isolation invariant).
-                let outcome = panic::catch_unwind(AssertUnwindSafe(job.run));
-                let wall = t0.elapsed();
-                let msg = match outcome {
-                    Ok(output) => {
-                        // The receiver outlives the scope; send failure
-                        // would need the main thread hung up (it cannot:
-                        // it is blocked on scope exit).
-                        let _ = tx.send(Ok(JobResult {
-                            id: job.id,
-                            output,
-                            wall,
-                        }));
-                        continue;
-                    }
-                    Err(payload) => panic_message(payload.as_ref()),
-                };
-                let _ = tx.send(Err(JobError {
-                    id: job.id,
-                    message: msg,
-                    wall,
-                }));
-            });
-        }
-        drop(tx);
-    });
-
+/// Drain the result channel into a canonical-order report.
+fn collect_report<T>(
+    rx: mpsc::Receiver<Result<JobResult<T>, JobError>>,
+    n_jobs: usize,
+    threads: usize,
+    start: Instant,
+) -> SweepReport<T> {
     let mut results: Vec<JobResult<T>> = Vec::new();
     let mut failures: Vec<JobError> = Vec::new();
     for outcome in rx {
@@ -221,6 +201,113 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, threads: usize) -> SweepReport<T> {
         elapsed: start.elapsed(),
         threads,
     }
+}
+
+/// Run `jobs` on `threads` workers (0 = all host cores) and reduce in
+/// canonical job-ID order. This is the lock-free Chase–Lev pool; every
+/// consumer (bench matrix, explore/storm/fleet gates, scalebench) goes
+/// through here.
+///
+/// Panics if two jobs share an ID.
+pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, threads: usize) -> SweepReport<T> {
+    assert_unique_ids(&jobs);
+    let n_jobs = jobs.len();
+    let threads = resolve_threads(threads).max(1).min(n_jobs.max(1));
+    let start = Instant::now();
+
+    // Round-robin distribution in input order: neighbouring jobs (which
+    // tend to have similar cost) land on different workers, and stealing
+    // smooths out the rest. Filling happens before the workers spawn, so
+    // the owner handles can be handed off without contention.
+    let mut owners: Vec<Worker<Job<T>>> = Vec::with_capacity(threads);
+    let mut stealers: Vec<Stealer<Job<T>>> = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (w, s) = deque();
+        owners.push(w);
+        stealers.push(s);
+    }
+    for (i, job) in jobs.into_iter().enumerate() {
+        owners[i % threads].push(job);
+    }
+
+    let (tx, rx) = mpsc::channel::<Result<JobResult<T>, JobError>>();
+    std::thread::scope(|scope| {
+        for (me, own) in owners.into_iter().enumerate() {
+            let stealers = &stealers;
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                // Own deque first (bottom), then steal (top). A `Retry`
+                // means some queue was non-empty a moment ago, so keep
+                // scanning; only an all-`Empty` sweep proves drained
+                // (no job spawns further jobs, so empty is permanent).
+                let job = own.pop().or_else(|| loop {
+                    let mut contended = false;
+                    for d in 1..stealers.len() {
+                        match stealers[(me + d) % stealers.len()].steal() {
+                            Steal::Success(job) => return Some(job),
+                            Steal::Retry => contended = true,
+                            Steal::Empty => {}
+                        }
+                    }
+                    if !contended {
+                        return None;
+                    }
+                    std::hint::spin_loop();
+                });
+                let Some(job) = job else { return };
+                execute_job(job, &tx);
+            });
+        }
+        drop(tx);
+    });
+    collect_report(rx, n_jobs, threads, start)
+}
+
+/// The pre-PR-8 pool: identical distribution and reduction, but every
+/// deque is a `Mutex<VecDeque>` (owner pops the front, thieves pop the
+/// back under the same lock). Kept as the measured baseline for the
+/// `stealbench` gate — and as a second, independently-correct executor
+/// for differential tests. Produces byte-identical reductions to
+/// [`run_jobs`] for any job set and thread count.
+pub fn run_jobs_mutex<T: Send>(jobs: Vec<Job<T>>, threads: usize) -> SweepReport<T> {
+    assert_unique_ids(&jobs);
+    let n_jobs = jobs.len();
+    let threads = resolve_threads(threads).max(1).min(n_jobs.max(1));
+    let start = Instant::now();
+
+    let deques: Vec<Arc<Mutex<VecDeque<Job<T>>>>> = (0..threads)
+        .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+        .collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        deques[i % threads].lock().unwrap().push_back(job);
+    }
+
+    let (tx, rx) = mpsc::channel::<Result<JobResult<T>, JobError>>();
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let deques = &deques;
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let job = {
+                    let mut found = deques[me].lock().unwrap().pop_front();
+                    if found.is_none() {
+                        for d in 1..threads {
+                            let victim = (me + d) % threads;
+                            found = deques[victim].lock().unwrap().pop_back();
+                            if found.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    found
+                };
+                let Some(job) = job else { return };
+                execute_job(job, &tx);
+            });
+        }
+        drop(tx);
+    });
+    collect_report(rx, n_jobs, threads, start)
 }
 
 /// Extract a printable message from a panic payload: the common
@@ -294,6 +381,20 @@ mod tests {
         let ra = reduce_rendered(&a, |s| s.as_str());
         let rb = reduce_rendered(&b, |s| s.as_str());
         assert_eq!(ra, rb, "reduction must not depend on thread count");
+    }
+
+    #[test]
+    fn deque_pool_matches_mutex_pool_byte_for_byte() {
+        let build = || -> Vec<Job<String>> {
+            (0..48)
+                .map(|i| Job::new(format!("j{i:02}"), move || format!("out-{}", i * 13 % 7)))
+                .collect()
+        };
+        for threads in [1, 2, 8] {
+            let a = reduce_rendered(&run_jobs(build(), threads), |s| s.as_str());
+            let b = reduce_rendered(&run_jobs_mutex(build(), threads), |s| s.as_str());
+            assert_eq!(a, b, "pools diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Stress and property coverage for the Chase–Lev deque.
+//!
+//! Three angles on the same invariant — every pushed value is observed
+//! exactly once, by exactly one end:
+//!
+//! 1. randomized single-thread owner/stealer interleavings (vendored
+//!    proptest drives the op sequence);
+//! 2. a real multi-thread stress: N stealers against one pushing/popping
+//!    owner, with a bitmap proving exactly-once delivery;
+//! 3. buffer growth racing concurrent steals (regression for the
+//!    retired-buffer reclamation rule: a stealer reading the old buffer
+//!    while the owner grows must fail its claim, not read freed memory
+//!    or double-deliver).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use proptest::prelude::*;
+use tlbdown_sweep::deque::{deque, Steal};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random interleavings of push/pop/steal on one thread: the deque
+    /// must behave like an ideal sequence (LIFO owner end, FIFO steal
+    /// end) and deliver every value exactly once.
+    #[test]
+    fn random_interleavings_deliver_exactly_once(
+        ops in proptest::collection::vec(0u8..6u8, 1..400usize),
+    ) {
+        let (w, s) = deque::<u64>();
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                // Bias toward pushes so pops/steals see real content.
+                0..=2 => {
+                    w.push(next);
+                    model.push_back(next);
+                    next += 1;
+                }
+                3 | 4 => {
+                    prop_assert_eq!(w.pop(), model.pop_back());
+                }
+                _ => {
+                    let got = match s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => unreachable!("no contention on one thread"),
+                    };
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(w.len(), model.len());
+        }
+        while let Some(v) = w.pop() {
+            prop_assert_eq!(Some(v), model.pop_back());
+        }
+        prop_assert!(model.is_empty());
+    }
+}
+
+/// N stealers vs one owner that pushes everything and pops about half:
+/// each value must be seen exactly once across all threads.
+#[test]
+fn n_stealers_vs_owner_exactly_once() {
+    const TOTAL: usize = 100_000;
+    const STEALERS: usize = 4;
+    let (w, s) = deque::<usize>();
+    let seen: Vec<AtomicUsize> = (0..TOTAL).map(|_| AtomicUsize::new(0)).collect();
+    let done = AtomicBool::new(false);
+    let start = Barrier::new(STEALERS + 1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..STEALERS {
+            let s = s.clone();
+            let (seen, done, start) = (&seen, &done, &start);
+            scope.spawn(move || {
+                start.wait();
+                loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            seen[v].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) && s.is_empty() {
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            });
+        }
+        start.wait();
+        for v in 0..TOTAL {
+            w.push(v);
+            // Pop roughly every other push, so the owner's LIFO end and
+            // the thieves' FIFO end contend across the full range.
+            if v % 2 == 1 {
+                if let Some(got) = w.pop() {
+                    seen[got].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        while let Some(got) = w.pop() {
+            seen[got].fetch_add(1, Ordering::Relaxed);
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    for (v, count) in seen.iter().enumerate() {
+        assert_eq!(
+            count.load(Ordering::Relaxed),
+            1,
+            "value {v} delivered a wrong number of times"
+        );
+    }
+}
+
+/// Buffer growth under concurrent steals: start at the minimum capacity
+/// and push far past it while stealers hammer the top. Exercises the
+/// publish-new-buffer / retire-old-buffer path; a reclamation bug shows
+/// up as a crash (use-after-free), a duplicate, or a lost value.
+#[test]
+fn buffer_growth_under_concurrent_steal() {
+    const TOTAL: usize = 200_000; // >> MIN_CAP, forcing many doublings
+    const STEALERS: usize = 3;
+    for round in 0..4 {
+        let (w, s) = deque::<usize>();
+        let seen: Vec<AtomicUsize> = (0..TOTAL).map(|_| AtomicUsize::new(0)).collect();
+        let done = AtomicBool::new(false);
+        let start = Barrier::new(STEALERS + 1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..STEALERS {
+                let s = s.clone();
+                let (seen, done, start) = (&seen, &done, &start);
+                scope.spawn(move || {
+                    start.wait();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => {
+                                seen[v].fetch_add(1, Ordering::Relaxed);
+                            }
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) && s.is_empty() {
+                                    return;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+            start.wait();
+            // Pure pushing (no owner pops): the deque length ratchets
+            // up whenever stealers fall behind, forcing repeated growth
+            // *while* steals are in flight.
+            for v in 0..TOTAL {
+                w.push(v);
+            }
+            while let Some(got) = w.pop() {
+                seen[got].fetch_add(1, Ordering::Relaxed);
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        for (v, count) in seen.iter().enumerate() {
+            assert_eq!(
+                count.load(Ordering::Relaxed),
+                1,
+                "round {round}: value {v} delivered a wrong number of times"
+            );
+        }
+    }
+}

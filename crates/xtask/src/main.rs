@@ -70,15 +70,33 @@
 //!   `fleet_report.json` with per-cell verdicts and diffs `BENCH_4.json`
 //!   against the committed baseline like `bench` does. Defaults to full
 //!   scale; CI runs `--scale quick`.
-//! - `cargo xtask ci [seed]` — every gate above. All gates run even if
-//!   an early one fails; a final table reports per-gate pass/fail and
-//!   the exit code is nonzero if any failed.
+//! - `cargo xtask stealbench [--out PATH] [--baseline PATH]
+//!   [--tolerance F]` — the work-stealing gate behind `BENCH_5.json`:
+//!   the deliberately imbalanced sweep matrix through the central-mutex
+//!   pool vs the Chase-Lev work-stealing pool, and the
+//!   conservative-window partitioned sim (merged-heap reference vs
+//!   windowed×1 vs windowed×N). Reduction and stream digests must be
+//!   byte-identical across executors (asserted inside the jobs and
+//!   diffed against the committed baseline); the speedup floors
+//!   (deque ≥ 1.3× mutex, windowed×N ≥ 2.0× windowed×1) are enforced
+//!   only on hosts with enough cores to make them physical — smaller
+//!   hosts record the measured numbers and waive the floor with a note.
+//! - `cargo xtask ci [seed] [--gates fast|full]` — every gate above.
+//!   `--gates fast` runs the PR-blocking tier (fmt, clippy, replay,
+//!   engine); `--gates full` runs the long matrix gates (explore,
+//!   bench, scale, storm, fleet, trace, steal); omitting the flag runs
+//!   both tiers. All selected gates run even if an early one fails; a
+//!   final table reports per-gate pass/fail with wall-clock, the
+//!   machine-readable verdicts land in `ci_report.json`, and the exit
+//!   code is nonzero if any gate failed.
 
 use std::process::{Command, ExitCode};
 use std::time::Duration;
 
 use tlbdown_bench::report::{diff_sim_metrics, render_bench_json, sim_blocks, total_wall_ns};
-use tlbdown_bench::{bench_jobs, bench_matrix, full_matrix, scale_matrix, storm_matrix, Scale};
+use tlbdown_bench::{
+    bench_jobs, bench_matrix, full_matrix, scale_matrix, stealbench_matrix, storm_matrix, Scale,
+};
 use tlbdown_check::gate::{
     per_level_bounds, run_canary, run_quarantine_canary, CanaryReport, GateReport, LevelReport,
     DEFAULT_BUDGET,
@@ -114,6 +132,24 @@ const DEFAULT_TOLERANCE: f64 = 3.0;
 /// timing-wheel wall-clock on the same stream) the scale gate requires.
 const MIN_DISPATCH_SPEEDUP: f64 = 2.0;
 
+/// Minimum steal-pool improvement (central-mutex wall over Chase-Lev
+/// wall on the imbalanced matrix) the steal gate requires — on hosts
+/// with at least [`STEAL_FLOOR_MIN_CORES`] cores. The 8-wide pool needs
+/// real parallelism before stealing can beat the mutex queue; smaller
+/// hosts record the measured ratio and waive the floor.
+const MIN_STEAL_SPEEDUP: f64 = 1.3;
+
+/// Host cores required before the steal-speedup floor is enforced.
+const STEAL_FLOOR_MIN_CORES: usize = 8;
+
+/// Minimum intra-sim improvement (windowed×1 wall over windowed×N wall
+/// on the identical event stream) the steal gate requires — on hosts
+/// with at least [`PAR_FLOOR_MIN_CORES`] cores.
+const MIN_PAR_SPEEDUP: f64 = 2.0;
+
+/// Host cores required before the partitioned-sim floor is enforced.
+const PAR_FLOOR_MIN_CORES: usize = 4;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ok = match args.first().map(String::as_str) {
@@ -132,6 +168,11 @@ fn main() -> ExitCode {
         ),
         Some("scalebench") => scale_bench_gate(
             &flag(&args, "--out").unwrap_or_else(|| "BENCH_2.json".into()),
+            flag(&args, "--baseline"),
+            parse_tolerance(&args),
+        ),
+        Some("stealbench") => steal_bench_gate(
+            &flag(&args, "--out").unwrap_or_else(|| "BENCH_5.json".into()),
             flag(&args, "--baseline"),
             parse_tolerance(&args),
         ),
@@ -169,20 +210,21 @@ fn main() -> ExitCode {
         Some("trace") => {
             trace_gate(&flag(&args, "--out").unwrap_or_else(|| "sample.trace.json".into()))
         }
-        Some("ci") => return ci(parse_seed(positional(&args, 1))),
+        Some("ci") => return ci(parse_seed(positional(&args, 1)), parse_gates(&args)),
         _ => {
             eprintln!(
                 "usage: cargo xtask <fmt | clippy | replay [seed] | \
                  explore [--threads N] [--out PATH] | \
                  bench [--threads N] [--out PATH] [--baseline PATH] [--tolerance F] | \
                  scalebench [--out PATH] [--baseline PATH] [--tolerance F] | \
+                 stealbench [--out PATH] [--baseline PATH] [--tolerance F] | \
                  engine [seed] | \
                  storm [--threads N] [--scale quick|full] [--out PATH] [--report PATH] \
                  [--baseline PATH] [--tolerance F] | \
                  fleet [--threads N] [--scale quick|full] [--out PATH] [--report PATH] \
                  [--baseline PATH] [--tolerance F] | \
                  sweep [--threads N] [--scale quick|full] [--out PATH] | \
-                 trace [--out PATH] | ci [seed]>"
+                 trace [--out PATH] | ci [seed] [--gates fast|full]>"
             );
             return ExitCode::FAILURE;
         }
@@ -241,6 +283,27 @@ fn parse_scale(args: &[String]) -> Scale {
         Some("full") => Scale::Full,
         Some(other) => {
             eprintln!("xtask: bad --scale {other:?}, expected quick or full");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Which CI tier to run: the fast PR-blocking gates, the long matrix
+/// gates, or (default) both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CiGates {
+    Fast,
+    Full,
+    All,
+}
+
+fn parse_gates(args: &[String]) -> CiGates {
+    match flag(args, "--gates").as_deref() {
+        None => CiGates::All,
+        Some("fast") => CiGates::Fast,
+        Some("full") => CiGates::Full,
+        Some(other) => {
+            eprintln!("xtask: bad --gates {other:?}, expected fast or full");
             std::process::exit(2);
         }
     }
@@ -587,6 +650,17 @@ fn host_u64(doc: &Json, id: &str, key: &str) -> Option<u64> {
         .as_u64()
 }
 
+/// An `f64` field of one job's host block, if present.
+fn host_f64(doc: &Json, id: &str, key: &str) -> Option<f64> {
+    doc.get("jobs")?
+        .as_arr()?
+        .iter()
+        .find(|j| j.get("id").and_then(Json::as_str) == Some(id))?
+        .get("host")?
+        .get(key)?
+        .as_f64()
+}
+
 /// The scale-up gate behind `BENCH_2.json`: the 2×56-core tier under
 /// both engines plus the dispatch microbenchmark, run serially so the
 /// host timings are honest. Two checks before the baseline diff: the
@@ -675,6 +749,125 @@ fn scale_bench_gate(out: &str, baseline: Option<String>, tolerance: f64) -> bool
     println!("xtask: wrote {out}");
     if ok {
         println!("xtask: scalebench OK");
+    }
+    ok
+}
+
+/// The work-stealing gate behind `BENCH_5.json`: the imbalanced
+/// steal-pool comparison (central-mutex vs Chase-Lev) and the
+/// conservative-window partitioned sim (reference vs windowed×1 vs
+/// windowed×N), run serially so the host timings are honest. Each job
+/// asserts its own cross-executor byte-equality (reduction / stream
+/// digests) before it returns; here we enforce the speedup floors —
+/// conditionally on the host having enough cores to make them physical
+/// — and diff the deterministic sim blocks against the committed
+/// baseline like `bench` does. A host below a floor's core requirement
+/// records the measured ratio and waives that floor with a note, so the
+/// gate's deterministic teeth (digest equality, baseline diff) bite
+/// everywhere while the throughput teeth bite on real multicores.
+fn steal_bench_gate(out: &str, baseline: Option<String>, tolerance: f64) -> bool {
+    let jobs = bench_jobs(stealbench_matrix(Scale::Full));
+    println!(
+        "xtask: steal sweep — {} jobs, serial (host-timing fidelity)",
+        jobs.len()
+    );
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let sweep = run_jobs(jobs, 1);
+    let mut doc = render_bench_json(&sweep, &git_rev());
+    let mut ok = true;
+
+    if !sweep.failures.is_empty() {
+        for f in &sweep.failures {
+            eprintln!(
+                "xtask: STEAL GATE FAILED — job {} panicked (a cross-executor \
+                 digest assertion fired): {}",
+                f.id, f.message
+            );
+        }
+        ok = false;
+    }
+
+    // Floor 1: the Chase-Lev pool over the central-mutex pool on the
+    // deliberately imbalanced matrix, at 8 pool threads.
+    match host_f64(&doc, "steal/full/pool", "steal_speedup") {
+        Some(s) => {
+            doc = doc.with("steal_speedup", Json::F64(s));
+            if host_cores < STEAL_FLOOR_MIN_CORES {
+                println!(
+                    "xtask: steal speedup {s:.2}x recorded — floor \
+                     ({MIN_STEAL_SPEEDUP:.1}x) waived: host has {host_cores} core(s), \
+                     needs {STEAL_FLOOR_MIN_CORES}"
+                );
+            } else if s >= MIN_STEAL_SPEEDUP {
+                println!(
+                    "xtask: steal speedup {s:.2}x — deque pool over mutex pool \
+                     (floor {MIN_STEAL_SPEEDUP:.1}x)"
+                );
+            } else {
+                eprintln!(
+                    "xtask: STEAL GATE FAILED — steal speedup {s:.2}x is below the \
+                     {MIN_STEAL_SPEEDUP:.1}x floor on a {host_cores}-core host"
+                );
+                ok = false;
+            }
+        }
+        None => {
+            eprintln!("xtask: STEAL GATE FAILED — steal-pool host timings missing");
+            ok = false;
+        }
+    }
+
+    // Floor 2: the windowed executor at N workers over itself at one
+    // worker, identical event stream.
+    match host_f64(&doc, "steal/full/parsim", "par_speedup") {
+        Some(s) => {
+            doc = doc.with("par_speedup", Json::F64(s));
+            if host_cores < PAR_FLOOR_MIN_CORES {
+                println!(
+                    "xtask: partitioned-sim speedup {s:.2}x recorded — floor \
+                     ({MIN_PAR_SPEEDUP:.1}x) waived: host has {host_cores} core(s), \
+                     needs {PAR_FLOOR_MIN_CORES}"
+                );
+            } else if s >= MIN_PAR_SPEEDUP {
+                println!(
+                    "xtask: partitioned-sim speedup {s:.2}x — windowed×N over windowed×1 \
+                     (floor {MIN_PAR_SPEEDUP:.1}x)"
+                );
+            } else {
+                eprintln!(
+                    "xtask: STEAL GATE FAILED — partitioned-sim speedup {s:.2}x is below \
+                     the {MIN_PAR_SPEEDUP:.1}x floor on a {host_cores}-core host"
+                );
+                ok = false;
+            }
+        }
+        None => {
+            eprintln!("xtask: STEAL GATE FAILED — partitioned-sim host timings missing");
+            ok = false;
+        }
+    }
+
+    let baseline_path = baseline.unwrap_or_else(|| out.to_string());
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(base) => ok &= gate_against_baseline(&doc, &base, &baseline_path, tolerance),
+            Err(e) => {
+                eprintln!(
+                    "xtask: baseline {baseline_path} is not valid JSON ({e}) — STEAL GATE FAILED"
+                );
+                ok = false;
+            }
+        },
+        Err(_) => println!("xtask: no baseline at {baseline_path} — recording first snapshot"),
+    }
+
+    if let Err(e) = std::fs::write(out, doc.render_pretty()) {
+        eprintln!("xtask: could not write {out}: {e}");
+        return false;
+    }
+    println!("xtask: wrote {out}");
+    if ok {
+        println!("xtask: stealbench OK");
     }
     ok
 }
@@ -1374,55 +1567,134 @@ fn trace_gate(out: &str) -> bool {
     ok
 }
 
-/// Every gate, in order. All of them run even if an early one fails —
-/// one CI invocation reports every broken gate, not just the first.
-fn ci(seed: u64) -> ExitCode {
-    let gates: Vec<(&str, bool)> = vec![
-        ("fmt", fmt()),
-        ("clippy", clippy()),
-        ("replay", replay(seed)),
-        ("engine", engine_gate(seed)),
-        ("explore", explore_gate(0, "explore_report.json")),
+/// Every gate of the selected tier, in order. All of them run even if
+/// an early one fails — one CI invocation reports every broken gate,
+/// not just the first. Each gate is wall-clock timed; the summary table
+/// prints a time column and the same rows land machine-readably in
+/// `ci_report.json` (gate, verdict, seconds) for the CI artifact.
+fn ci(seed: u64, which: CiGates) -> ExitCode {
+    type GateFn = Box<dyn FnOnce() -> bool>;
+    // (name, fast-tier?, gate). The fast tier is the PR-blocking set —
+    // cheap, seconds each; the full tier is the long matrix gates CI
+    // runs in a parallel job.
+    let gates: Vec<(&str, bool, GateFn)> = vec![
+        ("fmt", true, Box::new(fmt)),
+        ("clippy", true, Box::new(clippy)),
+        ("replay", true, Box::new(move || replay(seed))),
+        ("engine", true, Box::new(move || engine_gate(seed))),
+        (
+            "explore",
+            false,
+            Box::new(|| explore_gate(0, "explore_report.json")),
+        ),
         (
             "bench",
-            bench_gate(0, "BENCH_1.json", None, DEFAULT_TOLERANCE),
+            false,
+            Box::new(|| bench_gate(0, "BENCH_1.json", None, DEFAULT_TOLERANCE)),
         ),
         (
             "scale",
-            scale_bench_gate("BENCH_2.json", None, DEFAULT_TOLERANCE),
+            false,
+            Box::new(|| scale_bench_gate("BENCH_2.json", None, DEFAULT_TOLERANCE)),
+        ),
+        (
+            "steal",
+            false,
+            Box::new(|| steal_bench_gate("BENCH_5.json", None, DEFAULT_TOLERANCE)),
         ),
         (
             "storm",
-            storm_gate(
-                0,
-                Scale::Quick,
-                "BENCH_3.json",
-                "storm_report.json",
-                None,
-                DEFAULT_TOLERANCE,
-            ),
+            false,
+            Box::new(|| {
+                storm_gate(
+                    0,
+                    Scale::Quick,
+                    "BENCH_3.json",
+                    "storm_report.json",
+                    None,
+                    DEFAULT_TOLERANCE,
+                )
+            }),
         ),
         (
             "fleet",
-            fleet_gate(
-                0,
-                Scale::Quick,
-                "BENCH_4.json",
-                "fleet_report.json",
-                None,
-                DEFAULT_TOLERANCE,
-            ),
+            false,
+            Box::new(|| {
+                fleet_gate(
+                    0,
+                    Scale::Quick,
+                    "BENCH_4.json",
+                    "fleet_report.json",
+                    None,
+                    DEFAULT_TOLERANCE,
+                )
+            }),
         ),
-        ("trace", trace_gate("sample.trace.json")),
+        ("trace", false, Box::new(|| trace_gate("sample.trace.json"))),
     ];
+    let mut rows: Vec<(&str, bool, Duration)> = Vec::new();
+    for (name, fast, gate) in gates {
+        let selected = match which {
+            CiGates::All => true,
+            CiGates::Fast => fast,
+            CiGates::Full => !fast,
+        };
+        if !selected {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let ok = gate();
+        rows.push((name, ok, start.elapsed()));
+    }
     println!("xtask: ── gate summary ──");
     let mut all_ok = true;
-    for (name, ok) in &gates {
-        println!("xtask:   {name:<8} {}", if *ok { "PASS" } else { "FAIL" });
+    for (name, ok, wall) in &rows {
+        println!(
+            "xtask:   {name:<8} {:<4} {:>9.2?}",
+            if *ok { "PASS" } else { "FAIL" },
+            wall
+        );
         all_ok &= ok;
     }
+    let report = Json::obj()
+        .with("schema_version", Json::U64(1))
+        .with("git_rev", Json::Str(git_rev()))
+        .with(
+            "gates",
+            Json::Str(
+                match which {
+                    CiGates::Fast => "fast",
+                    CiGates::Full => "full",
+                    CiGates::All => "all",
+                }
+                .into(),
+            ),
+        )
+        .with("pass", Json::Bool(all_ok))
+        .with(
+            "results",
+            Json::Arr(
+                rows.iter()
+                    .map(|(name, ok, wall)| {
+                        Json::obj()
+                            .with("gate", Json::Str((*name).into()))
+                            .with(
+                                "verdict",
+                                Json::Str(if *ok { "pass" } else { "fail" }.into()),
+                            )
+                            .with("seconds", Json::F64(wall.as_secs_f64()))
+                    })
+                    .collect(),
+            ),
+        );
+    if let Err(e) = std::fs::write("ci_report.json", report.render_pretty()) {
+        eprintln!("xtask: could not write ci_report.json: {e}");
+        all_ok = false;
+    } else {
+        println!("xtask: wrote ci_report.json");
+    }
     if all_ok {
-        println!("xtask: ci OK — all {} gates passed", gates.len());
+        println!("xtask: ci OK — all {} gates passed", rows.len());
         ExitCode::SUCCESS
     } else {
         eprintln!("xtask: ci FAILED — see the gate summary above");
