@@ -18,6 +18,7 @@
 
 use std::collections::VecDeque;
 
+use tlbdown_topo::{Interconnect, TopologySpec};
 use tlbdown_types::{CoreId, CostModel, Cycles, Topology};
 
 /// Interrupt vectors used by the simulated kernel.
@@ -75,17 +76,35 @@ pub struct FabricStats {
 pub struct IpiFabric {
     topo: Topology,
     costs: CostModel,
+    /// Routed interconnect for IPI wire latency. Under
+    /// [`TopologySpec::Flat`] it delegates to the distance-constant costs
+    /// and carries no state, so flat runs stay byte-identical. A separate
+    /// instance from the coherence directory's: IPIs and cacheline
+    /// transfers ride different NoC virtual channels and queue
+    /// independently.
+    interconnect: Interconnect,
     stats: FabricStats,
 }
 
 impl IpiFabric {
-    /// Create a fabric for the given machine.
+    /// Create a fabric for the given machine (flat interconnect).
     pub fn new(topo: Topology, costs: CostModel) -> Self {
+        Self::with_interconnect(topo, costs, TopologySpec::Flat)
+    }
+
+    /// Create a fabric routing IPIs over `spec`.
+    pub fn with_interconnect(topo: Topology, costs: CostModel, spec: TopologySpec) -> Self {
         IpiFabric {
+            interconnect: Interconnect::new(topo.clone(), spec),
             topo,
             costs,
             stats: FabricStats::default(),
         }
+    }
+
+    /// The interconnect carrying IPI traffic.
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
     }
 
     /// Accumulated statistics.
@@ -112,7 +131,7 @@ impl IpiFabric {
         for batch in batches {
             busy += self.costs.ipi_send;
             for target in batch {
-                let wire = self.costs.ipi_latency(self.topo.distance(from, target));
+                let wire = self.interconnect.ipi_transfer(&self.costs, from, target);
                 deliveries.push(PlannedDelivery {
                     target,
                     arrives_in: busy + wire,
@@ -136,7 +155,7 @@ impl IpiFabric {
     /// Plan an NMI (single target, bypasses masking at the receiver).
     pub fn nmi_plan(&mut self, from: CoreId, target: CoreId) -> PlannedDelivery {
         self.stats.nmis += 1;
-        let wire = self.costs.ipi_latency(self.topo.distance(from, target));
+        let wire = self.interconnect.ipi_transfer(&self.costs, from, target);
         PlannedDelivery {
             target,
             arrives_in: self.costs.ipi_send + wire,
@@ -318,6 +337,25 @@ mod tests {
         assert_eq!(a.end_of_interrupt(), Some(Vector::Reschedule));
         assert_eq!(a.end_of_interrupt(), None);
         assert_eq!(a.pending_count(), 0);
+    }
+
+    #[test]
+    fn routed_fabric_charges_per_hop_wire_latency() {
+        let mut f = IpiFabric::with_interconnect(
+            Topology::paper_machine(),
+            CostModel::default(),
+            TopologySpec::mesh(),
+        );
+        let near = f.unicast_plan(CoreId(0), CoreId(4)).deliveries[0].arrives_in;
+        let far = f.unicast_plan(CoreId(0), CoreId(54)).deliveries[0].arrives_in;
+        assert!(far > near);
+        assert!(f.interconnect().stats().hop_traversals > 0);
+        // A storm of cross-socket IPIs queues on the shared links.
+        let mut last = Cycles::ZERO;
+        for _ in 0..64 {
+            last = f.unicast_plan(CoreId(0), CoreId(54)).deliveries[0].arrives_in;
+        }
+        assert!(last > far, "link never congested");
     }
 
     #[test]

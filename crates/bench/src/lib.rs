@@ -22,7 +22,7 @@ pub use fractured::table4;
 pub use loc::table2;
 pub use matrix::{
     bench_matrix, full_matrix, scale_matrix, stealbench_matrix, storm_faults, storm_matrix,
-    JobOutput, JobSpec, MatrixJob,
+    storm_matrix_mesh, topo_specs, topobench_matrix, JobOutput, JobSpec, MatrixJob,
 };
 pub use metrics::JobMetrics;
 pub use report::{bench_jobs, diff_sim_metrics, render_bench_json, sim_blocks, SimDiff};

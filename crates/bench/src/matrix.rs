@@ -17,9 +17,11 @@
 //! mode, fracturing, CoW) leaves a metric in `BENCH_*.json`.
 
 use tlbdown_core::OptConfig;
+use tlbdown_kernel::TlbGeometry;
 use tlbdown_sim::fault::FaultSpec;
 use tlbdown_sim::par::ParCfg;
 use tlbdown_sweep::Json;
+use tlbdown_topo::TopologySpec;
 use tlbdown_types::Cycles;
 use tlbdown_workloads::apache::{run_apache, ApacheCfg};
 use tlbdown_workloads::cow::{run_cow_bench, CowBenchCfg};
@@ -99,6 +101,10 @@ pub enum JobSpec {
         intensity: StormIntensity,
         /// Index into [`storm_faults`] (second matrix axis).
         fault: usize,
+        /// Route the storm over the mesh fabric instead of the flat
+        /// reference interconnect (the nightly `--fabric mesh` matrix:
+        /// the adversary's broadcast IPIs now queue on shared links).
+        mesh: bool,
     },
     /// The engine dispatch microbenchmark: replay the seeded
     /// madvise-mix event stream through both engine configurations —
@@ -125,6 +131,26 @@ pub enum JobSpec {
     /// the job) lands in the diffed sim metrics; wall-clocks, dispatch
     /// throughput and the intra-sim speedup land in the `host` block.
     ParSim,
+    /// One topology × page-size cell of the `BENCH_6.json` interconnect
+    /// matrix (`cargo xtask topobench`): the dual-socket scale tier
+    /// re-run under a routed interconnect and the Skylake-SP
+    /// set-associative TLB geometry, with either the 4K madvise
+    /// initiators or the THP-arena churn initiators. Each cell runs
+    /// **twice** — the second run is the byte-identical seed-replay
+    /// check, recorded as `replay_ok` next to the per-core-summed TLB
+    /// capacity-pressure stats.
+    TopoCell {
+        /// Index into [`topo_specs`]: 0 = flat, 1 = ring, 2 = mesh.
+        topo: usize,
+        /// Run the THP-arena initiators instead of the 4K ones.
+        thp: bool,
+    },
+    /// The huge-page fracture-pressure table: the same tier 4K-only vs
+    /// THP-churning under the flat interconnect + Skylake-SP geometry,
+    /// so ranged shootdowns that splinter promoted 2M leaves show up as
+    /// set-associative STLB capacity pressure instead of vanishing into
+    /// an infinite flat TLB.
+    FracturePressure,
 }
 
 /// One independent unit of sweep work.
@@ -186,6 +212,8 @@ impl MatrixJob {
             JobSpec::EngineDispatch => "engine_dispatch",
             JobSpec::StealBench => "steal_bench",
             JobSpec::ParSim => "par_sim",
+            JobSpec::TopoCell { .. } => "topo_cell",
+            JobSpec::FracturePressure => "fracture_pressure",
         };
         let mut obj = Json::obj()
             .with("kind", Json::Str(kind.into()))
@@ -214,7 +242,11 @@ impl MatrixJob {
             JobSpec::ScaleTier { heap_only } => {
                 obj = obj.with("heap_only", Json::Bool(*heap_only));
             }
-            JobSpec::Storm { intensity, fault } => {
+            JobSpec::Storm {
+                intensity,
+                fault,
+                mesh,
+            } => {
                 let (fault_name, _) = storm_faults()
                     .into_iter()
                     .nth(*fault)
@@ -222,12 +254,28 @@ impl MatrixJob {
                 obj = obj
                     .with("intensity", Json::Str(intensity.label().into()))
                     .with("fault", Json::Str(fault_name.into()));
+                // Only the mesh matrix records a fabric key, so the flat
+                // matrix's config blocks stay byte-identical to the
+                // committed BENCH_3.json.
+                if *mesh {
+                    obj = obj.with("fabric", Json::Str("mesh".into()));
+                }
+            }
+            JobSpec::TopoCell { topo, thp } => {
+                let (name, _) = topo_specs()
+                    .into_iter()
+                    .nth(*topo)
+                    .expect("topology index in topo_specs range");
+                obj = obj
+                    .with("topology", Json::Str(name.into()))
+                    .with("thp", Json::Bool(*thp));
             }
             JobSpec::Table3
             | JobSpec::Fig4
             | JobSpec::EngineDispatch
             | JobSpec::StealBench
-            | JobSpec::ParSim => {}
+            | JobSpec::ParSim
+            | JobSpec::FracturePressure => {}
         }
         obj
     }
@@ -252,10 +300,16 @@ impl MatrixJob {
                 JobMetrics::new(),
             ),
             JobSpec::ScaleTier { heap_only } => run_scale_tier_job(*heap_only, self.scale),
-            JobSpec::Storm { intensity, fault } => run_storm_cell(*intensity, *fault, self.scale),
+            JobSpec::Storm {
+                intensity,
+                fault,
+                mesh,
+            } => run_storm_cell(*intensity, *fault, *mesh, self.scale),
             JobSpec::EngineDispatch => run_engine_dispatch_job(self.scale),
             JobSpec::StealBench => run_steal_bench_job(self.scale),
             JobSpec::ParSim => run_par_sim_job(self.scale),
+            JobSpec::TopoCell { topo, thp } => run_topo_cell(*topo, *thp, self.scale),
+            JobSpec::FracturePressure => run_fracture_pressure(self.scale),
         }
     }
 }
@@ -458,20 +512,25 @@ fn storm_duration(scale: Scale) -> Cycles {
     }
 }
 
-fn run_storm_cell(intensity: StormIntensity, fault: usize, scale: Scale) -> JobOutput {
+fn run_storm_cell(intensity: StormIntensity, fault: usize, mesh: bool, scale: Scale) -> JobOutput {
     let (fault_name, fault_spec) = storm_faults()
         .into_iter()
         .nth(fault)
         .expect("fault index in storm_faults range");
     let mut metrics = JobMetrics::new();
+    // The flat header is byte-pinned by the committed BENCH_3.json.
+    let fabric = if mesh { " over the mesh fabric" } else { "" };
     let mut rendered = format!(
-        "storm {} × {fault_name}: survival and victim signal per opt level\n",
+        "storm {} × {fault_name}{fabric}: survival and victim signal per opt level\n",
         intensity.label()
     );
     for level in 0..=6usize {
         let mut cfg = StormCfg::new(intensity, OptConfig::cumulative(level));
         cfg.fault = fault_spec.clone();
         cfg.duration = storm_duration(scale);
+        if mesh {
+            cfg.interconnect = TopologySpec::mesh();
+        }
         let a = run_storm(&cfg).expect("storm cell runs clean");
         let b = run_storm(&cfg).expect("storm cell runs clean");
         let replay_ok = a.digest == b.digest
@@ -623,6 +682,102 @@ fn run_par_sim_job(scale: Scale) -> JobOutput {
         metrics,
         host,
     }
+}
+
+/// The topobench topology axis, in job order: the flat reference model,
+/// the bidirectional ring, and the 2D mesh.
+pub fn topo_specs() -> Vec<(&'static str, TopologySpec)> {
+    vec![
+        ("flat", TopologySpec::Flat),
+        ("ring", TopologySpec::ring()),
+        ("mesh", TopologySpec::mesh()),
+    ]
+}
+
+/// Tier shape for one topobench cell: the smoke tier at `Quick`, the
+/// 2×56 tier at a reduced dispatch target at `Full` — seven cells × two
+/// replay runs each (plus the gate's second thread-count pass) must stay
+/// within a CI-friendly wall-clock budget, and topology/geometry
+/// contrast saturates well before the BENCH_2 ten-million-event target.
+fn topo_tier(scale: Scale) -> ScaleTierCfg {
+    match scale {
+        Scale::Quick => ScaleTierCfg::smoke(),
+        Scale::Full => ScaleTierCfg::dual_socket_56(2_000_000),
+    }
+}
+
+fn run_topo_cell(topo: usize, thp: bool, scale: Scale) -> JobOutput {
+    let (name, spec) = topo_specs()
+        .into_iter()
+        .nth(topo)
+        .expect("topology index in topo_specs range");
+    let mut cfg = topo_tier(scale);
+    cfg.interconnect = spec;
+    cfg.thp = thp;
+    cfg.tlb_geometry = Some(TlbGeometry::skylake_sp());
+    let a = run_scale_tier(&cfg).expect("topo cell runs clean");
+    let b = run_scale_tier(&cfg).expect("topo cell runs clean");
+    let replay_ok = a.digest == b.digest
+        && a.sim_cycles == b.sim_cycles
+        && a.counters.render_json() == b.counters.render_json();
+    let pages = if thp { "thp" } else { "4k" };
+    let rendered = format!(
+        "topo {name} × {pages}: {} events, {} sim cycles, digest {:016x}, replay {}\n  \
+         tlb hits {} misses {} stlb-hits {} evictions {} fractures {}\n",
+        a.events,
+        a.sim_cycles,
+        a.digest,
+        if replay_ok { "ok" } else { "DIVERGED" },
+        a.tlb_hits,
+        a.tlb_misses,
+        a.stlb_hits,
+        a.tlb_evictions,
+        a.tlb_fractures,
+    );
+    let mut metrics = JobMetrics::new();
+    metrics.put_u64("events", a.events);
+    metrics.put_u64("sim_cycles", a.sim_cycles);
+    metrics.put_u64("state_digest", a.digest);
+    metrics.put_u64("replay_ok", replay_ok as u64);
+    metrics.put_u64("tlb_hits", a.tlb_hits);
+    metrics.put_u64("tlb_misses", a.tlb_misses);
+    metrics.put_u64("stlb_hits", a.stlb_hits);
+    metrics.put_u64("tlb_evictions", a.tlb_evictions);
+    metrics.put_u64("tlb_fractures", a.tlb_fractures);
+    metrics.merge_counters(&a.counters);
+    JobOutput::sim(rendered, metrics)
+}
+
+fn run_fracture_pressure(scale: Scale) -> JobOutput {
+    let mut metrics = JobMetrics::new();
+    let mut rendered =
+        String::from("fracture pressure (flat interconnect, Skylake-SP geometry): 4K vs THP\n");
+    for thp in [false, true] {
+        let mut cfg = topo_tier(scale);
+        cfg.thp = thp;
+        cfg.tlb_geometry = Some(TlbGeometry::skylake_sp());
+        let r = run_scale_tier(&cfg).expect("fracture cell runs clean");
+        let key = if thp { "thp" } else { "4k" };
+        rendered += &format!(
+            "  {key:<4} misses {:>8} stlb-hits {:>8} evictions {:>8} fractures {:>6} \
+             promotes {:>6} splits {:>6}\n",
+            r.tlb_misses,
+            r.stlb_hits,
+            r.tlb_evictions,
+            r.tlb_fractures,
+            r.counters.get("thp_promote"),
+            r.counters.get("thp_split"),
+        );
+        metrics.put_u64(&format!("{key}_tlb_misses"), r.tlb_misses);
+        metrics.put_u64(&format!("{key}_stlb_hits"), r.stlb_hits);
+        metrics.put_u64(&format!("{key}_tlb_evictions"), r.tlb_evictions);
+        metrics.put_u64(&format!("{key}_tlb_fractures"), r.tlb_fractures);
+        metrics.put_u64(&format!("{key}_thp_promote"), r.counters.get("thp_promote"));
+        metrics.put_u64(&format!("{key}_thp_split"), r.counters.get("thp_split"));
+        metrics.put_u64(&format!("{key}_state_digest"), r.digest);
+        metrics.put_u64(&format!("{key}_sim_cycles"), r.sim_cycles);
+    }
+    JobOutput::sim(rendered, metrics)
 }
 
 /// The full sweep matrix at `scale`: every figure/table decomposed along
@@ -780,10 +935,66 @@ pub fn storm_matrix(scale: Scale) -> Vec<MatrixJob> {
             jobs.push(MatrixJob::new(
                 format!("storm/{s}/{}/{name}", intensity.label()),
                 scale,
-                JobSpec::Storm { intensity, fault },
+                JobSpec::Storm {
+                    intensity,
+                    fault,
+                    mesh: false,
+                },
             ));
         }
     }
+    jobs
+}
+
+/// The nightly mesh-fabric variant of [`storm_matrix`]: the identical
+/// intensity × fault grid with every cell routed over the 2D mesh
+/// interconnect, so the adversary's broadcast shootdown IPIs queue on
+/// shared links while the escalation ladder keeps the machine alive.
+/// Job IDs carry a `mesh/` segment, so a mesh snapshot never collides
+/// with the committed flat `BENCH_3.json` cells.
+pub fn storm_matrix_mesh(scale: Scale) -> Vec<MatrixJob> {
+    let s = scale.label();
+    let mut jobs = Vec::new();
+    for intensity in StormIntensity::ALL {
+        for (fault, (name, _)) in storm_faults().iter().enumerate() {
+            jobs.push(MatrixJob::new(
+                format!("storm/{s}/mesh/{}/{name}", intensity.label()),
+                scale,
+                JobSpec::Storm {
+                    intensity,
+                    fault,
+                    mesh: true,
+                },
+            ));
+        }
+    }
+    jobs
+}
+
+/// The `BENCH_6.json` interconnect matrix behind `cargo xtask topobench`:
+/// {flat, ring, mesh} × {4K-only, THP} at the dual-socket tier under the
+/// Skylake-SP TLB geometry, plus the huge-page fracture-pressure table.
+/// Every cell asserts its own byte-identical seed replay (`replay_ok`);
+/// the xtask gate additionally runs the whole matrix at two sweep-pool
+/// thread counts and byte-diffs the two reductions.
+pub fn topobench_matrix(scale: Scale) -> Vec<MatrixJob> {
+    let s = scale.label();
+    let mut jobs = Vec::new();
+    for (topo, (name, _)) in topo_specs().iter().enumerate() {
+        for thp in [false, true] {
+            let pages = if thp { "thp" } else { "4k" };
+            jobs.push(MatrixJob::new(
+                format!("topo/{s}/{name}/{pages}"),
+                scale,
+                JobSpec::TopoCell { topo, thp },
+            ));
+        }
+    }
+    jobs.push(MatrixJob::new(
+        format!("topo/{s}/fracture"),
+        scale,
+        JobSpec::FracturePressure,
+    ));
     jobs
 }
 
@@ -797,6 +1008,8 @@ mod tests {
             full_matrix(Scale::Quick),
             bench_matrix(),
             storm_matrix(Scale::Quick),
+            storm_matrix_mesh(Scale::Quick),
+            topobench_matrix(Scale::Quick),
         ] {
             let mut ids: Vec<_> = jobs.iter().map(|j| j.id.clone()).collect();
             let n = ids.len();
@@ -872,6 +1085,24 @@ mod tests {
     }
 
     #[test]
+    fn mesh_storm_matrix_mirrors_the_flat_grid() {
+        let flat = storm_matrix(Scale::Quick);
+        let mesh = storm_matrix_mesh(Scale::Quick);
+        assert_eq!(mesh.len(), flat.len(), "same intensity × fault grid");
+        for (f, m) in flat.iter().zip(&mesh) {
+            assert_ne!(f.id, m.id, "mesh IDs must not collide with flat");
+            assert!(m.id.contains("/mesh/"), "{}", m.id);
+            assert_eq!(
+                m.config_json().get("fabric"),
+                Some(&Json::Str("mesh".into()))
+            );
+            // Flat configs carry no fabric key — the committed
+            // BENCH_3.json blocks stay byte-identical.
+            assert_eq!(f.config_json().get("fabric"), None);
+        }
+    }
+
+    #[test]
     fn storm_cell_survives_and_replays() {
         // One mild cell end-to-end through the job interface: survival
         // and replay metrics present and green at every level.
@@ -881,6 +1112,7 @@ mod tests {
             JobSpec::Storm {
                 intensity: StormIntensity::Mild,
                 fault: 3,
+                mesh: false,
             },
         );
         let out = job.run();
@@ -900,6 +1132,79 @@ mod tests {
         assert_eq!(
             job.config_json().get("fault"),
             Some(&Json::Str("combined".into()))
+        );
+    }
+
+    #[test]
+    fn topobench_matrix_covers_every_topology_and_page_size() {
+        let jobs = topobench_matrix(Scale::Quick);
+        assert_eq!(
+            jobs.len(),
+            topo_specs().len() * 2 + 1,
+            "one cell per topology × page size, plus the fracture table"
+        );
+        assert!(jobs.iter().any(|j| j.id.ends_with("mesh/thp")));
+        assert_eq!(
+            jobs[0].config_json().get("kind"),
+            Some(&Json::Str("topo_cell".into()))
+        );
+        assert_eq!(
+            jobs.last().unwrap().config_json().get("kind"),
+            Some(&Json::Str("fracture_pressure".into()))
+        );
+    }
+
+    #[test]
+    fn topo_cell_replays_and_reports_capacity_pressure() {
+        // The mesh × THP quick cell end-to-end through the job
+        // interface: internal seed-replay green, TLB pressure visible.
+        let job = MatrixJob::new(
+            "topo/quick/mesh/thp".into(),
+            Scale::Quick,
+            JobSpec::TopoCell { topo: 2, thp: true },
+        );
+        let out = job.run();
+        let sim = out.metrics.to_json();
+        let get = |k: &str| {
+            sim.get(k)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("missing {k}"))
+        };
+        assert_eq!(get("replay_ok"), 1, "mesh cell replay diverged");
+        assert!(get("tlb_misses") > 0, "no TLB pressure recorded");
+        let promotes = sim
+            .get("counters")
+            .and_then(|c| c.get("thp_promote"))
+            .and_then(Json::as_u64)
+            .expect("counters block carries thp_promote");
+        assert!(promotes > 0, "THP initiators never promoted");
+        assert_eq!(
+            job.config_json().get("topology"),
+            Some(&Json::Str("mesh".into()))
+        );
+    }
+
+    #[test]
+    fn fracture_pressure_table_contrasts_4k_and_thp() {
+        let job = MatrixJob::new(
+            "topo/quick/fracture".into(),
+            Scale::Quick,
+            JobSpec::FracturePressure,
+        );
+        let out = job.run();
+        let sim = out.metrics.to_json();
+        let get = |k: &str| {
+            sim.get(k)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("missing {k}"))
+        };
+        assert_eq!(get("4k_thp_promote"), 0, "4K column must not promote");
+        assert!(get("thp_thp_promote") > 0, "THP column never promoted");
+        assert!(get("thp_thp_split") > 0, "THP column never fractured");
+        assert_ne!(
+            get("4k_state_digest"),
+            get("thp_state_digest"),
+            "columns ran identical workloads"
         );
     }
 

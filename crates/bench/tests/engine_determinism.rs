@@ -14,6 +14,7 @@ use tlbdown_kernel::chaos::ChaosConfig;
 use tlbdown_kernel::prog::{BusyLoopProg, MadviseLoopProg};
 use tlbdown_kernel::{KernelConfig, Machine};
 use tlbdown_sim::fault::FaultSpec;
+use tlbdown_topo::TopologySpec;
 use tlbdown_trace::to_chrome_json;
 use tlbdown_types::{CoreId, Cycles};
 use tlbdown_workloads::madvise::{run_scale_tier, ScaleTierCfg};
@@ -111,6 +112,92 @@ fn partitioned_matches_serial_under_fault_injection() {
     let part = traced_run(cfg().with_partitioned_engine(true));
     assert_eq!(serial.0, part.0, "state digest diverged under chaos");
     assert_eq!(serial.1, part.1, "trace export diverged under chaos");
+}
+
+#[test]
+fn explicit_flat_topology_is_byte_identical_to_default_at_every_opt_level() {
+    // The flat interconnect is the pinned pre-topology reference: asking
+    // for it explicitly must change *nothing* — same state digest, same
+    // trace export, at all seven cumulative optimization levels. This is
+    // the contract that keeps BENCH_1..5 byte-stable while ring/mesh
+    // exist behind the same knob.
+    for level in 0..=6usize {
+        let cfg = || KernelConfig::test_machine(4).with_opts(OptConfig::cumulative(level));
+        let default = traced_run(cfg());
+        let flat = traced_run(cfg().with_topology(TopologySpec::Flat));
+        assert_eq!(
+            default.0, flat.0,
+            "explicit Flat changed the state digest at opt level {level}"
+        );
+        assert_eq!(
+            default.1, flat.1,
+            "explicit Flat changed the trace export at opt level {level}"
+        );
+    }
+}
+
+#[test]
+fn routed_topologies_are_engine_invariant() {
+    // Ring and mesh routing must be just as deterministic as flat: the
+    // same routed run on the wheel, pure-heap and partitioned front-ends
+    // produces byte-identical digests and trace exports.
+    let base = || KernelConfig {
+        topo: tlbdown_types::Topology::new(2, 2),
+        ..KernelConfig::paper_baseline()
+    };
+    for spec in [TopologySpec::ring(), TopologySpec::mesh()] {
+        let cfg = || {
+            base()
+                .with_opts(OptConfig::general_four())
+                .with_topology(spec.clone())
+        };
+        let wheel = traced_run(cfg());
+        let heap = traced_run(cfg().with_heap_only_engine(true));
+        let part = traced_run(cfg().with_partitioned_engine(true));
+        assert_eq!(
+            wheel.0,
+            heap.0,
+            "{} digest diverged wheel vs heap",
+            spec.label()
+        );
+        assert_eq!(
+            wheel.1,
+            heap.1,
+            "{} trace diverged wheel vs heap",
+            spec.label()
+        );
+        assert_eq!(
+            wheel.0,
+            part.0,
+            "{} digest diverged wheel vs partitioned",
+            spec.label()
+        );
+        assert_eq!(
+            wheel.1,
+            part.1,
+            "{} trace diverged wheel vs partitioned",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn mesh_scale_tier_smoke_is_engine_invariant() {
+    let run = |heap_only: bool, partitioned: bool| {
+        let mut cfg = ScaleTierCfg::smoke();
+        cfg.interconnect = TopologySpec::mesh();
+        cfg.heap_only_engine = heap_only;
+        cfg.partitioned_engine = partitioned;
+        run_scale_tier(&cfg).expect("mesh tier runs clean")
+    };
+    let wheel = run(false, false);
+    let heap = run(true, false);
+    let part = run(false, true);
+    assert_eq!(wheel.digest, heap.digest, "mesh tier digests diverged");
+    assert_eq!(wheel.sim_cycles, heap.sim_cycles);
+    assert_eq!(wheel.counters.render_json(), heap.counters.render_json());
+    assert_eq!(part.digest, heap.digest, "mesh partitioned digest diverged");
+    assert_eq!(part.sim_cycles, heap.sim_cycles);
 }
 
 #[test]

@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use tlbdown_topo::{Interconnect, TopologySpec};
 use tlbdown_types::{CoreId, CostModel, Cycles, Distance, Topology};
 
 /// Handle to one modelled 64-byte cacheline.
@@ -61,6 +62,10 @@ impl CacheStats {
 pub struct CacheDirectory {
     topo: Topology,
     costs: CostModel,
+    /// Routed interconnect for line transfers. Under [`TopologySpec::Flat`]
+    /// it delegates to the distance-constant costs and carries no state, so
+    /// flat runs are byte-identical to the pre-routing model.
+    interconnect: Interconnect,
     lines: HashMap<LineId, LineState>,
     names: Vec<&'static str>,
     stats: CacheStats,
@@ -69,9 +74,15 @@ pub struct CacheDirectory {
 }
 
 impl CacheDirectory {
-    /// Create an empty directory for the given machine.
+    /// Create an empty directory for the given machine (flat interconnect).
     pub fn new(topo: Topology, costs: CostModel) -> Self {
+        Self::with_interconnect(topo, costs, TopologySpec::Flat)
+    }
+
+    /// Create an empty directory routing transfers over `spec`.
+    pub fn with_interconnect(topo: Topology, costs: CostModel, spec: TopologySpec) -> Self {
         CacheDirectory {
+            interconnect: Interconnect::new(topo.clone(), spec),
             topo,
             costs,
             lines: HashMap::new(),
@@ -79,6 +90,17 @@ impl CacheDirectory {
             stats: CacheStats::default(),
             per_line_transfers: HashMap::new(),
         }
+    }
+
+    /// The interconnect carrying coherence traffic.
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
+    }
+
+    /// Hop count a transfer to/from `core` and `other` would take (1 under
+    /// flat) — the per-hop jitter multiplier.
+    pub fn jitter_hops(&self, a: CoreId, b: CoreId) -> u64 {
+        self.interconnect.jitter_hops(a, b)
     }
 
     /// Register a new cacheline with a diagnostic name.
@@ -124,21 +146,32 @@ impl CacheDirectory {
         }
     }
 
-    /// The nearest current holder of the line to `core`, if any.
+    /// The nearest current holder of the line to `core`, if any. Flat
+    /// ranks by distance class (the historical rule); routed topologies
+    /// rank by hop count, so a line is fetched from the closest copy on
+    /// the ring/mesh (ties break on the first holder in sharing order,
+    /// deterministically, in both modes).
     fn nearest_holder(&self, core: CoreId, state: &LineState) -> Option<(CoreId, Distance)> {
         let holders: Vec<CoreId> = match state {
             LineState::Invalid => return None,
             LineState::Exclusive(c) => vec![*c],
             LineState::Shared(s) => s.clone(),
         };
-        holders
-            .into_iter()
-            .map(|h| (h, self.topo.distance(core, h)))
-            .min_by_key(|(_, d)| match d {
-                Distance::SameCore => 0u8,
-                Distance::SameSocket => 1,
-                Distance::CrossSocket => 2,
-            })
+        if self.interconnect.is_flat() {
+            holders
+                .into_iter()
+                .map(|h| (h, self.topo.distance(core, h)))
+                .min_by_key(|(_, d)| match d {
+                    Distance::SameCore => 0u8,
+                    Distance::SameSocket => 1,
+                    Distance::CrossSocket => 2,
+                })
+        } else {
+            holders
+                .into_iter()
+                .map(|h| (h, self.topo.distance(core, h)))
+                .min_by_key(|(h, _)| self.interconnect.hops(core, *h))
+        }
     }
 
     /// Load the line on `core`; returns the coherence cost.
@@ -149,10 +182,12 @@ impl CacheDirectory {
             return self.costs.cacheline(Distance::SameCore);
         }
         match self.nearest_holder(core, &state) {
-            Some((_, d)) => {
+            Some((holder, d)) => {
                 // Fetch from the nearest holder (an SMT sibling's copy in
                 // the shared L1/L2 costs the local fee but still adds this
-                // requester as a sharer); everyone downgrades to S.
+                // requester as a sharer); everyone downgrades to S. The
+                // interconnect routes the transfer: under flat this is
+                // exactly the distance-constant fee.
                 let mut sharers = match state {
                     LineState::Exclusive(c) => vec![c],
                     LineState::Shared(s) => s,
@@ -161,7 +196,8 @@ impl CacheDirectory {
                 sharers.push(core);
                 self.lines.insert(line, LineState::Shared(sharers));
                 self.record_transfer(line, d);
-                self.costs.cacheline(d)
+                self.interconnect
+                    .cacheline_transfer(&self.costs, holder, core)
             }
             None => {
                 self.lines.insert(line, LineState::Exclusive(core));
@@ -185,13 +221,19 @@ impl CacheDirectory {
                 self.costs.cacheline(Distance::SameSocket)
             }
             _ => {
-                // Invalidate all other holders; pay the farthest distance.
+                // Invalidate all other holders; pay the slowest
+                // invalidation acknowledgement. Flat keeps the historical
+                // farthest-distance fee exactly; routed topologies send
+                // one invalidation per holder through the interconnect
+                // (each queues on the links it crosses) and pay the max.
                 let holders: Vec<CoreId> = match &state {
                     LineState::Exclusive(c) => vec![*c],
                     LineState::Shared(s) => s.clone(),
                     LineState::Invalid => unreachable!(),
                 };
                 let mut worst = Distance::SameCore;
+                let mut routed_worst = Cycles::ZERO;
+                let flat = self.interconnect.is_flat();
                 for h in holders {
                     if h == core {
                         continue;
@@ -206,10 +248,18 @@ impl CacheDirectory {
                         }
                         _ => Distance::SameCore,
                     };
+                    if !flat {
+                        let c = self.interconnect.cacheline_transfer(&self.costs, core, h);
+                        routed_worst = routed_worst.max(c);
+                    }
                     self.stats.invalidations += 1;
                 }
                 self.record_transfer(line, worst);
-                self.costs.cacheline(worst)
+                if flat {
+                    self.costs.cacheline(worst)
+                } else {
+                    routed_worst
+                }
             }
         };
         self.lines.insert(line, LineState::Exclusive(core));
@@ -316,6 +366,56 @@ mod tests {
         assert_eq!(d.line_transfers(l), 1);
         assert_eq!(d.line_transfers(l2), 0, "memory fills are not transfers");
         assert_eq!(d.name(l2), "other");
+    }
+
+    #[test]
+    fn mesh_read_cost_scales_with_hops_and_congests() {
+        let mut d = CacheDirectory::with_interconnect(
+            Topology::paper_machine(),
+            CostModel::default(),
+            TopologySpec::mesh(),
+        );
+        let l = d.new_line("routed");
+        d.write(CoreId(4), l); // phys 2
+        let near = d.read(CoreId(8), l); // phys 4: 2 hops away on the grid
+        d.write(CoreId(4), l);
+        let far = d.read(CoreId(54), l); // phys 27, other socket
+        assert!(far > near, "{far:?} !> {near:?}");
+        assert!(d.interconnect().stats().hop_traversals > 0);
+        // Hammering one route builds queueing delay deterministically.
+        let mut last = Cycles::ZERO;
+        for _ in 0..64 {
+            d.write(CoreId(4), l);
+            last = d.read(CoreId(54), l);
+        }
+        assert!(last > far, "saturated route never queued");
+    }
+
+    #[test]
+    fn routed_write_pays_the_slowest_invalidation() {
+        let mut d = CacheDirectory::with_interconnect(
+            Topology::paper_machine(),
+            CostModel::default(),
+            TopologySpec::ring(),
+        );
+        let l = d.new_line("inv");
+        d.read(CoreId(4), l);
+        d.read(CoreId(8), l);
+        d.read(CoreId(54), l);
+        let cost = d.write(CoreId(4), l);
+        // The cross-socket holder dominates: at least its static cost.
+        let floor = d
+            .interconnect()
+            .static_cost(CoreId(4), CoreId(54), false)
+            .unwrap();
+        assert!(cost.as_u64() >= floor);
+        assert!(d.stats().invalidations >= 2);
+    }
+
+    #[test]
+    fn flat_jitter_hops_is_one() {
+        let (d, _) = dir();
+        assert_eq!(d.jitter_hops(CoreId(0), CoreId(30)), 1);
     }
 
     #[test]

@@ -70,10 +70,32 @@ impl LevelReport {
 /// Explore the dueling-madvise scenario at one cumulative optimization
 /// level. Parallel-safe: builds everything internally.
 pub fn explore_opt_level(level: u8, bounds: &Bounds) -> LevelReport {
-    let report = explore(
+    explore_level_scenario(
+        level,
         &|| scenario::dueling_madvise(OptConfig::cumulative(level as usize)),
         bounds,
-    );
+    )
+}
+
+/// Explore the dueling-madvise scenario routed over the 2D mesh
+/// interconnect at one cumulative optimization level. The interconnect
+/// only reshapes latencies, so every interleaving it can produce is
+/// already in the explorer's reach — this sweep proves the protocol
+/// stays safe and live under mesh timing at every level.
+pub fn explore_opt_level_mesh(level: u8, bounds: &Bounds) -> LevelReport {
+    explore_level_scenario(
+        level,
+        &|| scenario::dueling_madvise_mesh(OptConfig::cumulative(level as usize)),
+        bounds,
+    )
+}
+
+fn explore_level_scenario(
+    level: u8,
+    build: &crate::explore::Scenario<'_>,
+    bounds: &Bounds,
+) -> LevelReport {
+    let report = explore(build, bounds);
     let violation = report.counterexample.as_ref().map(|cex| {
         let mut s = format!("schedule {}", cex.schedule);
         for v in &cex.violations {
@@ -172,6 +194,20 @@ pub fn run_quarantine_canary(bounds: &Bounds, shrink_budget: u64) -> CanaryRepor
     )
 }
 
+/// Run the huge-page fracture canary: the seeded `buggy_fracture`
+/// variant (INVLPG evicting only the 4KB-sized key, leaving a split
+/// hugepage's stale 2MB entry cached) must be caught, shrunk and
+/// replayed, while the real fracture path — every INVLPG drops all page
+/// sizes — explores clean.
+pub fn run_fracture_canary(bounds: &Bounds, shrink_budget: u64) -> CanaryReport {
+    run_canary_scenario(
+        &|| scenario::fracture_probe_demo(true),
+        &|| scenario::fracture_probe_demo(false),
+        bounds,
+        shrink_budget,
+    )
+}
+
 /// The shared canary harness: `buggy` must be FIFO-safe yet caught by
 /// exploration; the shrunk counterexample must replay byte-identically;
 /// `safe` must explore clean under the same bounds.
@@ -251,10 +287,14 @@ pub struct GateReport {
     pub threads: usize,
     /// Per-optimization-level results, in level order.
     pub levels: Vec<LevelReport>,
+    /// Per-level results over the 2D mesh interconnect, in level order.
+    pub mesh_levels: Vec<LevelReport>,
     /// The §3.2 NMI canary result.
     pub canary: CanaryReport,
     /// The escalation-ladder quarantine canary result.
     pub quarantine_canary: CanaryReport,
+    /// The huge-page fracture canary result.
+    pub fracture_canary: CanaryReport,
     /// Maximum choices allowed in each shrunk canary schedule.
     pub max_canary_choices: usize,
 }
@@ -263,15 +303,17 @@ impl GateReport {
     /// Whether every gate requirement held.
     pub fn pass(&self) -> bool {
         self.levels.iter().all(|l| l.safe)
+            && self.mesh_levels.iter().all(|l| l.safe)
             && self.canary.pass(self.max_canary_choices)
             && self.quarantine_canary.pass(self.max_canary_choices)
+            && self.fracture_canary.pass(self.max_canary_choices)
             && self.spent <= self.budget
     }
 
     /// Serialize for `explore_report.json`.
     pub fn to_json(&self) -> Json {
         Json::obj()
-            .with("schema_version", Json::U64(2))
+            .with("schema_version", Json::U64(3))
             .with("budget", Json::U64(self.budget))
             .with("spent", Json::U64(self.spent))
             .with("threads", Json::U64(self.threads as u64))
@@ -280,8 +322,13 @@ impl GateReport {
                 "levels",
                 Json::Arr(self.levels.iter().map(|l| l.to_json()).collect()),
             )
+            .with(
+                "mesh_levels",
+                Json::Arr(self.mesh_levels.iter().map(|l| l.to_json()).collect()),
+            )
             .with("canary", self.canary.to_json())
             .with("quarantine_canary", self.quarantine_canary.to_json())
+            .with("fracture_canary", self.fracture_canary.to_json())
     }
 }
 
@@ -296,6 +343,32 @@ mod tests {
         assert!(rep.safe, "{:?}", rep.violation);
         assert!(rep.schedules > 0);
         assert!(rep.to_json().render().contains("\"safe\":true"));
+    }
+
+    #[test]
+    fn mesh_level_zero_explores_safe() {
+        let bounds = Bounds::default().with_max_schedules(50);
+        let rep = explore_opt_level_mesh(0, &bounds);
+        assert!(rep.safe, "{:?}", rep.violation);
+        assert!(rep.schedules > 0);
+    }
+
+    #[test]
+    fn fracture_canary_has_teeth_and_real_path_is_clean() {
+        // The huge-page fracture canary end-to-end at a small budget: the
+        // seeded buggy_fracture bug needs exploration (FIFO-safe), is
+        // caught quickly, shrinks small, replays byte-identically, and
+        // the real split-then-flush path explores clean.
+        let bounds = Bounds::default().with_max_schedules(200);
+        let rep = run_fracture_canary(&bounds, 500);
+        assert!(rep.fifo_safe, "seeded bug must not fail under plain FIFO");
+        assert!(rep.caught, "explorer missed the buggy_fracture bug");
+        assert!(rep.replay_ok, "shrunk schedule diverged on replay");
+        assert!(
+            rep.safe_clean,
+            "real fracture path violated under exploration"
+        );
+        assert!(rep.shrunk_choices <= 20, "shrunk to {}", rep.shrunk_choices);
     }
 
     #[test]
@@ -343,8 +416,10 @@ mod tests {
             budget: DEFAULT_BUDGET,
             spent: 67,
             threads: 4,
+            mesh_levels: vec![level.clone()],
             levels: vec![level],
             quarantine_canary: canary.clone(),
+            fracture_canary: canary.clone(),
             canary,
             max_canary_choices: 20,
         };

@@ -36,6 +36,9 @@ pub mod schedule;
 pub mod shrink;
 
 pub use explore::{explore, replay_twice, run_schedule, Bounds, Counterexample, Report};
-pub use gate::{explore_opt_level, run_canary, CanaryReport, GateReport, LevelReport};
+pub use gate::{
+    explore_opt_level, explore_opt_level_mesh, run_canary, run_fracture_canary, CanaryReport,
+    GateReport, LevelReport,
+};
 pub use schedule::Schedule;
 pub use shrink::{shrink, Shrunk};

@@ -69,12 +69,117 @@ impl Prog for DelayedZap {
     }
 }
 
+/// Writes the first page of a THP window once (the demand fault promotes
+/// the whole 2MB window), computes in short chunks so the calendar queue
+/// holds resume events for the zapper's IPI to race with, then re-reads
+/// one of the pages the concurrent zap removed, and exits.
+struct WarmThenRetouch {
+    addr: u64,
+    retouch: u64,
+    chunks: u64,
+    chunk_cycles: u64,
+    i: u64,
+}
+
+impl Prog for WarmThenRetouch {
+    fn next(&mut self, _ctx: &ProgCtx) -> ProgAction {
+        let step = self.i;
+        self.i += 1;
+        if step == 0 {
+            ProgAction::Access {
+                va: VirtAddr::new(self.addr),
+                write: true,
+            }
+        } else if step <= self.chunks {
+            ProgAction::Compute(Cycles::new(self.chunk_cycles))
+        } else if step == self.chunks + 1 {
+            ProgAction::Access {
+                va: VirtAddr::new(self.retouch),
+                write: false,
+            }
+        } else {
+            ProgAction::Exit
+        }
+    }
+}
+
+/// Calibrated zap delay for [`fracture_probe`]: under plain FIFO the
+/// shootdown IPI reaches the responder just *after* its re-touch of the
+/// zapped page (a pre-retire hit, safe by the shootdown contract), but
+/// inside the explorer's timing-perturbation window — one preemption
+/// pulls the IPI ahead of the re-touch, so the flush runs and retires
+/// first and the re-touch then goes through whatever the fracture path
+/// left cached.
+pub const FRACTURE_PROBE_DEMO_ZAP_DELAY: u64 = 7_000;
+
+/// The [`fracture_probe`] scenario at the calibrated zap delay.
+pub fn fracture_probe_demo(buggy: bool) -> Machine {
+    fracture_probe(buggy, FRACTURE_PROBE_DEMO_ZAP_DELAY)
+}
+
+/// The huge-page fracture canary: a responder (core 1) promotes a 2MB
+/// THP window and keeps the hugepage TLB entry warm; an initiator
+/// (core 0) `madvise(MADV_DONTNEED)`s the window's first 8 subpages,
+/// which splits the hugepage in place and flushes the range; the
+/// responder then re-touches a zapped subpage. The correct fracture path
+/// evicts the stale 2MB entry during the ranged flush (every INVLPG
+/// drops all page sizes), so every interleaving is safe. With `buggy`
+/// ([`KernelConfig::buggy_fracture`]), INVLPG only evicts the 4KB-sized
+/// key: schedules that retire the flush before the re-touch read freed
+/// memory through the surviving 2MB entry — the race the explorer must
+/// catch while the real path explores clean.
+pub fn fracture_probe(buggy: bool, zap_delay: u64) -> Machine {
+    /// Subpages zapped out of the 512-page window.
+    const ZAP_PAGES: u64 = 8;
+    let cfg = KernelConfig::test_machine(2).with_buggy_fracture(buggy);
+    let mut m = Machine::new(cfg);
+    let mm = m.create_process().expect("boot: create process");
+    let addr = m.setup_map_anon_thp(mm, 512).expect("boot: map thp anon");
+    m.spawn(
+        mm,
+        CoreId(1),
+        Box::new(WarmThenRetouch {
+            addr: addr.as_u64(),
+            retouch: addr.as_u64() + 4096,
+            chunks: 40,
+            chunk_cycles: 300,
+            i: 0,
+        }),
+    );
+    m.spawn(
+        mm,
+        CoreId(0),
+        Box::new(DelayedZap {
+            addr: addr.as_u64(),
+            pages: ZAP_PAGES,
+            delay: zap_delay,
+            i: 0,
+        }),
+    );
+    m
+}
+
 /// Two cores in one address space, both running the canonical
 /// mmap + touch + `madvise(MADV_DONTNEED)` loop, shooting each other down.
 /// Exercises the full initiator and responder state machines (plus
 /// batching/in-context/CoW paths as `opts` enables them) and terminates.
 pub fn dueling_madvise(opts: OptConfig) -> Machine {
-    let cfg = KernelConfig::test_machine(2).with_opts(opts);
+    dueling_madvise_on(opts, tlbdown_topo::TopologySpec::Flat)
+}
+
+/// [`dueling_madvise`] routed over the 2D mesh interconnect: same
+/// programs, but every cacheline transfer and IPI pays per-hop link and
+/// congestion costs. The protocol must stay safe and live no matter what
+/// the interconnect does to relative timing.
+pub fn dueling_madvise_mesh(opts: OptConfig) -> Machine {
+    dueling_madvise_on(opts, tlbdown_topo::TopologySpec::mesh())
+}
+
+/// [`dueling_madvise`] over an arbitrary interconnect shape.
+pub fn dueling_madvise_on(opts: OptConfig, interconnect: tlbdown_topo::TopologySpec) -> Machine {
+    let cfg = KernelConfig::test_machine(2)
+        .with_opts(opts)
+        .with_topology(interconnect);
     let mut m = Machine::new(cfg);
     let mm = m.create_process().expect("boot: create process");
     m.spawn(

@@ -1,6 +1,8 @@
 //! Kernel-wide configuration.
 
 use tlbdown_core::OptConfig;
+use tlbdown_tlb::TlbGeometry;
+use tlbdown_topo::TopologySpec;
 use tlbdown_types::{CostModel, Topology};
 
 use crate::chaos::ChaosConfig;
@@ -67,6 +69,25 @@ pub struct KernelConfig {
     /// exists for those proofs and for before/after throughput
     /// comparisons, not for production runs.
     pub engine_heap_only: bool,
+    /// Interconnect model routing cross-core cacheline transfers and IPI
+    /// wire delivery. [`TopologySpec::Flat`] (default) is the pinned
+    /// distance-constant reference — byte-identical to the pre-topology
+    /// cost model. Ring and mesh route every transfer hop-by-hop through
+    /// per-link costs with a deterministic M/D/1-style congestion model
+    /// whose link state is folded into the machine digest.
+    pub interconnect: TopologySpec,
+    /// Per-core TLB organisation. [`TlbGeometry::legacy`] (default) is the
+    /// historical unified FIFO pool; [`TlbGeometry::skylake_sp`] is the
+    /// set-associative, page-size-aware hierarchy from CPUID leaf 0x18.
+    pub tlb_geometry: TlbGeometry,
+    /// Failure injection for the THP fracture path: responders' selective
+    /// flushes remove only the 4K-sized entry for each address, as if the
+    /// flush loop walked the range at 4K stride assuming the huge-page
+    /// split already purged huge-grained entries. Leaves a stale 2M entry
+    /// cached after a ranged shootdown that splinters a huge page — the
+    /// checker's `fracture_probe` canary must catch this variant while the
+    /// real split path explores clean.
+    pub buggy_fracture: bool,
     /// Run the engine on the *partitioned* front-end with one sub-heap
     /// per socket (events routed by the core they execute on). Dispatch
     /// order — and therefore every digest, trace and metric — is
@@ -95,6 +116,9 @@ impl KernelConfig {
             seed: 0x71bd,
             boot_epoch: 0,
             chaos: ChaosConfig::default(),
+            interconnect: TopologySpec::Flat,
+            tlb_geometry: TlbGeometry::legacy(),
+            buggy_fracture: false,
             engine_heap_only: false,
             engine_partitioned: false,
         }
@@ -129,6 +153,26 @@ impl KernelConfig {
     /// Builder-style: set the chaos configuration.
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
         self.chaos = chaos;
+        self
+    }
+
+    /// Builder-style: route transfers and IPIs through an interconnect
+    /// topology (see [`KernelConfig::interconnect`]).
+    pub fn with_topology(mut self, spec: TopologySpec) -> Self {
+        self.interconnect = spec;
+        self
+    }
+
+    /// Builder-style: set the per-core TLB geometry.
+    pub fn with_tlb_geometry(mut self, geometry: TlbGeometry) -> Self {
+        self.tlb_geometry = geometry;
+        self
+    }
+
+    /// Builder-style: inject the split-blind flush bug (see
+    /// [`KernelConfig::buggy_fracture`]).
+    pub fn with_buggy_fracture(mut self, buggy: bool) -> Self {
+        self.buggy_fracture = buggy;
         self
     }
 

@@ -111,6 +111,18 @@ impl Machine {
         for (at, seq, ev) in self.engine.pending() {
             let _ = write!(h, "ev@{}#{seq}={ev:?};", at.as_u64());
         }
+        // Interconnect link occupancy steers future transfer costs, so it
+        // is protocol state under routed topologies. The flat reference
+        // has no link state and contributes nothing, keeping every
+        // pre-topology digest byte-identical.
+        if !self.dir.interconnect().is_flat() {
+            for (a, b, q) in self.dir.interconnect().digest_items() {
+                let _ = write!(h, "icd{a}-{b}={q};");
+            }
+            for (a, b, q) in self.fabric.interconnect().digest_items() {
+                let _ = write!(h, "icf{a}-{b}={q};");
+            }
+        }
         let _ = write!(
             h,
             "viol={};err={};",

@@ -424,8 +424,7 @@ impl Machine {
                             "user access",
                         );
                     } else {
-                        self.oracle
-                            .tlb_filled(core, pcid.is_user_view(), mm_id, page);
+                        self.oracle_filled(core, pcid.is_user_view(), mm_id, &acc.entry);
                     }
                 }
                 // Writes keep the dirty bit honest even on cached entries
@@ -681,6 +680,7 @@ impl Machine {
                     kind: VmaKind::Anon,
                     prot_write: true,
                     prot_exec: false,
+                    thp: false,
                 };
                 mm.insert_vma(vma).expect("cursor placement cannot overlap");
                 sf.retval = addr.as_u64();
@@ -705,6 +705,7 @@ impl Machine {
                     kind,
                     prot_write: true,
                     prot_exec: false,
+                    thp: false,
                 };
                 mm.insert_vma(vma).expect("cursor placement cannot overlap");
                 sf.retval = addr.as_u64();
@@ -712,6 +713,7 @@ impl Machine {
             }
             Syscall::Munmap { addr, pages } => {
                 let range = VirtRange::pages(addr, pages, PageSize::Size4K);
+                self.split_huge_leaves(mm_id, range);
                 let (removed_count, info) = {
                     let mm = self.mms.get_mut(&mm_id).ok_or(SimError::NoSuchMm(mm_id))?;
                     mm.remove_vmas(range);
@@ -748,6 +750,7 @@ impl Machine {
             }
             Syscall::MadviseDontNeed { addr, pages } => {
                 let range = VirtRange::pages(addr, pages, PageSize::Size4K);
+                self.split_huge_leaves(mm_id, range);
                 let (removed_count, info) = {
                     let mm = self.mms.get_mut(&mm_id).ok_or(SimError::NoSuchMm(mm_id))?;
                     let out = mm.space.zap_range(range);
@@ -804,6 +807,7 @@ impl Machine {
             }
             Syscall::Mprotect { addr, pages, write } => {
                 let range = VirtRange::pages(addr, pages, PageSize::Size4K);
+                self.split_huge_leaves(mm_id, range);
                 let (n, info) = {
                     let mm = self.mms.get_mut(&mm_id).ok_or(SimError::NoSuchMm(mm_id))?;
                     let (set, clear) = if write {
@@ -866,7 +870,7 @@ impl Machine {
                                         "kernel uaccess",
                                     );
                                 } else {
-                                    self.oracle.tlb_filled(core, false, mm_id, page);
+                                    self.oracle_filled(core, false, mm_id, &acc.entry);
                                 }
                             }
                             cost += acc.cost + costs.mem_access * 63; // copy the rest of the page
@@ -1196,6 +1200,60 @@ impl Machine {
         StepOut::Continue(costs.page_copy + costs.pte_update)
     }
 
+    /// Split every hugepage leaf overlapping `range` back into 4KB PTEs
+    /// (Linux's `__split_huge_pmd`) before a range operation mutates it.
+    /// The same frames stay mapped with the same permissions, so no
+    /// translation changes and no flush is owed *for the split itself* —
+    /// but the zap/protect code below then works one 4KB entry at a time
+    /// (one `put_page` per removed PTE), and the operation's ranged
+    /// INVLPG loop is what evicts the now-stale 2MB TLB entry. Skipping
+    /// that eviction is exactly the `buggy_fracture` canary.
+    fn split_huge_leaves(&mut self, mm_id: MmId, range: VirtRange) -> u64 {
+        let mut split = 0u64;
+        let mut errs = Vec::new();
+        if let Some(mm) = self.mms.get_mut(&mm_id) {
+            let huge: Vec<VirtAddr> = mm
+                .space
+                .iter_range(range)
+                .into_iter()
+                .filter(|&(_, _, size)| size != PageSize::Size4K)
+                .map(|(base, _, _)| base)
+                .collect();
+            for base in huge {
+                match mm.space.split_huge_leaf(&mut self.mem, base) {
+                    Ok(true) => split += 1,
+                    Ok(false) => {}
+                    Err(e) => errs.push(e),
+                }
+            }
+        }
+        for e in errs {
+            self.record_error(e);
+        }
+        if split > 0 {
+            self.stats.counters.add("thp_split", split);
+        }
+        split
+    }
+
+    /// Record a TLB fill with the oracle, covering every 4KB page the
+    /// installed entry translates: a 2MB fill caches 512 translations at
+    /// once, and each must be individually eligible for staleness checks
+    /// when a later flush retires part of the range.
+    fn oracle_filled(
+        &mut self,
+        core: CoreId,
+        user_view: bool,
+        mm_id: MmId,
+        entry: &tlbdown_tlb::TlbEntry,
+    ) {
+        let pages = entry.size.bytes() / PageSize::Size4K.bytes();
+        for i in 0..pages {
+            self.oracle
+                .tlb_filled(core, user_view, mm_id, entry.page_base.add(i * 4096));
+        }
+    }
+
     /// Demand-fault `va` into `mm` (no existing PTE). Returns the frame
     /// mapped, or `None` if no VMA covers the address.
     pub(crate) fn resolve_demand_fault(
@@ -1207,6 +1265,55 @@ impl Machine {
     ) -> Option<tlbdown_types::PhysAddr> {
         let page = va.align_down(PageSize::Size4K);
         let vma = self.mms.get(&mm_id)?.vma_at(va).cloned()?;
+        // THP promotion (`MADV_HUGEPAGE`): on first touch of an empty,
+        // 2MB-aligned window of an anonymous VMA, back the whole window
+        // with one hugepage — Linux's fault-time THP allocation. Any
+        // failure (window not fully inside the VMA, already partially
+        // populated, no aligned contiguous frames) falls through to the
+        // ordinary 4KB path.
+        if vma.thp && matches!(vma.kind, VmaKind::Anon) {
+            let huge = PageSize::Size2M.bytes();
+            let win = VirtAddr::new(page.as_u64() & !(huge - 1));
+            let inside = vma.range.start <= win && win.add(huge) <= vma.range.end;
+            let empty = inside
+                && self
+                    .mms
+                    .get(&mm_id)?
+                    .space
+                    .iter_range(VirtRange::pages(win, 512, PageSize::Size4K))
+                    .is_empty();
+            if empty {
+                if let Ok(pa) = self
+                    .mem
+                    .alloc_contiguous_aligned(512, 512, FrameState::UserPage)
+                {
+                    let mut f = PteFlags::user_rw();
+                    if vma.prot_exec {
+                        f = f.without(PteFlags::NX);
+                    }
+                    let mm = self.mms.get_mut(&mm_id)?;
+                    // A prior zap may have emptied this window without
+                    // freeing its page table; collapse it so the PD
+                    // slot is free for the huge leaf.
+                    mm.space.collapse_empty_pt(&mut self.mem, win);
+                    mm.space
+                        .map(&mut self.mem, win, pa, PageSize::Size2M, f)
+                        .expect("empty aligned window must map");
+                    for i in 0..512 {
+                        self.frame_refs.get_page(pa.add(i * 4096));
+                    }
+                    if write {
+                        self.dirty_index
+                            .entry(mm_id)
+                            .or_default()
+                            .insert(page.vpn());
+                    }
+                    self.stats.counters.bump("thp_promote");
+                    self.stats.counters.bump("demand_fault");
+                    return Some(pa.add(page.as_u64() - win.as_u64()));
+                }
+            }
+        }
         let (pa, flags) = match vma.kind {
             VmaKind::Anon => {
                 let pa = self.mem.alloc(FrameState::UserPage).ok()?;
@@ -1316,7 +1423,7 @@ impl Machine {
                             self.oracle
                                 .check_hit(core, false, mm_id, page, "nmi uaccess");
                         } else {
-                            self.oracle.tlb_filled(core, false, mm_id, page);
+                            self.oracle_filled(core, false, mm_id, &acc.entry);
                         }
                     }
                 }

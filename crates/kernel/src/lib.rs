@@ -47,3 +47,4 @@ pub use machine::{Machine, MachineStats};
 pub use mm::{FileId, Mm, Vma, VmaKind};
 pub use oracle::Oracle;
 pub use prog::{MadviseLoopProg, Prog, ProgAction, ProgCtx, Syscall};
+pub use tlbdown_tlb::TlbGeometry;

@@ -184,9 +184,27 @@ impl Machine {
         let sockets = cfg.topo.num_sockets();
         let faults = FaultPlan::new(cfg.chaos.fault.clone(), fault_seed, n);
         let esc = crate::chaos::Escalation::new(n, fault_seed);
-        let mut dir = CacheDirectory::new(cfg.topo.clone(), cfg.costs.clone());
+        // The directory and fabric carry separate interconnect instances:
+        // data transfers and IPIs travel distinct NoC virtual channels, so
+        // their link queues do not contend with each other.
+        let mut dir = CacheDirectory::with_interconnect(
+            cfg.topo.clone(),
+            cfg.costs.clone(),
+            cfg.interconnect.clone(),
+        );
         let smp = SmpLayer::new(&mut dir, n, cfg.opts.cacheline_consolidation);
-        let fabric = IpiFabric::new(cfg.topo.clone(), cfg.costs.clone());
+        let fabric = IpiFabric::with_interconnect(
+            cfg.topo.clone(),
+            cfg.costs.clone(),
+            cfg.interconnect.clone(),
+        );
+        let tlbs = (0..n)
+            .map(|_| {
+                let mut t = Tlb::with_geometry(cfg.tlb_geometry.clone());
+                t.set_split_blind_invlpg(cfg.buggy_fracture);
+                t
+            })
+            .collect();
         let cpus = (0..n)
             .map(|i| {
                 let mut frames = Vec::with_capacity(4);
@@ -226,7 +244,7 @@ impl Machine {
                 Engine::new()
             },
             mem: PhysMem::paper_machine(),
-            tlbs: (0..n).map(|_| Tlb::default()).collect(),
+            tlbs,
             dir,
             smp,
             fabric,
@@ -381,6 +399,26 @@ impl Machine {
             kind: crate::mm::VmaKind::Anon,
             prot_write: true,
             prot_exec: false,
+            thp: false,
+        })?;
+        Ok(addr)
+    }
+
+    /// Insert an anonymous THP-eligible VMA at a 2MB-aligned address
+    /// (`mmap` + `madvise(MADV_HUGEPAGE)` benchmark setup; takes no
+    /// simulated time). Demand faults in fully-unmapped 2MB windows of
+    /// this VMA map 2MB leaves. Returns the mapped address.
+    pub fn setup_map_anon_thp(&mut self, mm: MmId, pages: u64) -> SimResult<VirtAddr> {
+        const HUGE: u64 = 2 * 1024 * 1024;
+        let m = self.mms.get_mut(&mm).ok_or(SimError::NoSuchMm(mm))?;
+        let addr = tlbdown_types::VirtAddr::new((m.mmap_cursor.as_u64() + HUGE - 1) & !(HUGE - 1));
+        m.mmap_cursor = addr.add(pages * 4096 + HUGE); // huge-aligned guard gap
+        m.insert_vma(crate::mm::Vma {
+            range: tlbdown_types::VirtRange::pages(addr, pages, tlbdown_types::PageSize::Size4K),
+            kind: crate::mm::VmaKind::Anon,
+            prot_write: true,
+            prot_exec: false,
+            thp: true,
         })?;
         Ok(addr)
     }
@@ -414,6 +452,7 @@ impl Machine {
             kind,
             prot_write: true,
             prot_exec: false,
+            thp: false,
         })?;
         Ok(addr)
     }

@@ -53,6 +53,11 @@ pub struct Vma {
     pub prot_write: bool,
     /// Whether execution is permitted (`PROT_EXEC`).
     pub prot_exec: bool,
+    /// Whether this VMA is eligible for transparent-hugepage promotion
+    /// (`MADV_HUGEPAGE`): a demand fault in a fully-unmapped, 2MB-aligned
+    /// window of an anonymous THP VMA maps one 2MB leaf instead of a 4KB
+    /// page. Ranged zaps split the leaf in place first (fracture).
+    pub thp: bool,
 }
 
 impl Vma {
@@ -255,6 +260,7 @@ mod tests {
             kind: VmaKind::Anon,
             prot_write: true,
             prot_exec: false,
+            thp: false,
         }
     }
 
@@ -300,6 +306,7 @@ mod tests {
             },
             prot_write: true,
             prot_exec: false,
+            thp: false,
         };
         m.insert_vma(vma).unwrap();
         m.remove_vmas(VirtRange::pages(VirtAddr::new(0x1000), 3, PageSize::Size4K));

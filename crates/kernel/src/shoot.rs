@@ -199,9 +199,26 @@ impl Machine {
                 let mut cost = Cycles::ZERO;
                 for t in &targets {
                     let script = self.smp.enqueue_work(core, *t);
-                    cost += run_script(&mut self.dir, core, &script);
-                    // Chaos: the CSD cacheline may bounce slowly.
-                    cost += self.faults.cacheline_jitter();
+                    let step = run_script(&mut self.dir, core, &script);
+                    cost += step;
+                    // Chaos: the CSD cacheline may bounce slowly — once
+                    // per interconnect hop on routed topologies.
+                    cost += self
+                        .faults
+                        .cacheline_jitter_hops(self.dir.jitter_hops(core, *t));
+                    if !self.dir.interconnect().is_flat() {
+                        trace_emit!(
+                            self,
+                            core,
+                            Some(id.0),
+                            TraceEvent::RoutedTransfer {
+                                from: core,
+                                to: *t,
+                                hops: self.dir.jitter_hops(core, *t),
+                                cost: step,
+                            }
+                        );
+                    }
                     self.cpus[t.index()].csq.push_back(id);
                     // Storm detector: one EWMA update per first-send
                     // arrival (watchdog re-sends don't count — a
@@ -433,7 +450,9 @@ impl Machine {
                     for t in &sd.targets {
                         let script = self.smp.poll_ack(core, *t);
                         cost += run_script(&mut self.dir, core, &script);
-                        cost += self.faults.cacheline_jitter();
+                        cost += self
+                            .faults
+                            .cacheline_jitter_hops(self.dir.jitter_hops(core, *t));
                     }
                     run.stage = SdStage::Done;
                     self.trace_sd_done(core, run, cost);
@@ -528,14 +547,29 @@ impl Machine {
                 f.cur_initiator = initiator;
                 f.cur_early = sd.early_ack;
                 let script = self.smp.fetch_work(initiator, core);
-                let cost =
-                    run_script(&mut self.dir, core, &script) + self.faults.cacheline_jitter();
+                let cost = run_script(&mut self.dir, core, &script)
+                    + self
+                        .faults
+                        .cacheline_jitter_hops(self.dir.jitter_hops(initiator, core));
                 trace_emit!(
                     self,
                     core,
                     Some(id.0),
                     TraceEvent::CachelineTransfer { cost }
                 );
+                if !self.dir.interconnect().is_flat() {
+                    trace_emit!(
+                        self,
+                        core,
+                        Some(id.0),
+                        TraceEvent::RoutedTransfer {
+                            from: initiator,
+                            to: core,
+                            hops: self.dir.jitter_hops(initiator, core),
+                            cost,
+                        }
+                    );
+                }
                 let loaded = self.cpus[core.index()].tlb_state.loaded_mm == info.mm;
                 let mm_gen = self.mms.get(&info.mm).map(|m| m.gen.current()).unwrap_or(0);
                 let quarantine_full = self.is_quarantined(core) && !self.cfg.buggy_quarantine;
@@ -612,7 +646,9 @@ impl Machine {
                     let initiator = f.cur_initiator;
                     let script = self.smp.ack(initiator, core);
                     cost += run_script(&mut self.dir, core, &script);
-                    cost += self.faults.cacheline_jitter();
+                    cost += self
+                        .faults
+                        .cacheline_jitter_hops(self.dir.jitter_hops(initiator, core));
                     f.acked = true;
                     if self.cfg.buggy_quarantine && self.is_quarantined(core) {
                         // THE INJECTED BUG: assume the forced-flush path
@@ -773,7 +809,8 @@ impl Machine {
                 } else if self.shootdowns.contains_key(&id) {
                     let script = self.smp.ack(f.cur_initiator, core);
                     cost += run_script(&mut self.dir, core, &script);
-                    cost += self.faults.cacheline_jitter();
+                    let hops = self.dir.jitter_hops(f.cur_initiator, core);
+                    cost += self.faults.cacheline_jitter_hops(hops);
                     self.stats.counters.bump("late_ack");
                     trace_emit!(
                         self,

@@ -371,6 +371,111 @@ fn yield_round_robins_threads_on_one_core() {
 }
 
 #[test]
+fn thp_fault_promotes_and_madvise_fractures() {
+    let mut m = boot(1);
+    let mm = m.create_process().expect("boot: create process");
+    let addr = m.setup_map_anon_thp(mm, 512).expect("boot: map thp anon");
+    run_script(
+        &mut m,
+        mm,
+        vec![
+            ProgAction::Access {
+                va: addr,
+                write: true,
+            },
+            // Lands inside the promoted hugepage: no second demand fault.
+            ProgAction::Access {
+                va: addr.add(5 * 4096),
+                write: false,
+            },
+            // Fracture: split the hugepage, zap 8 of its 512 subpages.
+            ProgAction::Syscall(Syscall::MadviseDontNeed { addr, pages: 8 }),
+            // The remainder survives the split as 4KB PTEs.
+            ProgAction::Access {
+                va: addr.add(16 * 4096),
+                write: false,
+            },
+        ],
+    );
+    assert_eq!(m.stats.counters.get("thp_promote"), 1);
+    assert_eq!(
+        m.stats.counters.get("demand_fault"),
+        1,
+        "one fault mapped 2MB"
+    );
+    assert_eq!(m.stats.counters.get("thp_split"), 1);
+    // Zapped subpages are gone; the rest are intact 4KB leaves.
+    assert!(m.mms[&mm].space.entry(addr).is_none());
+    let (pte, size) = m.mms[&mm].space.entry(addr.add(16 * 4096)).unwrap();
+    assert_eq!(size, tlbdown_types::PageSize::Size4K);
+    assert!(pte.writable());
+    assert!(m.violations().is_empty(), "{:?}", m.violations());
+}
+
+#[test]
+fn buggy_fracture_leaves_a_stale_huge_entry() {
+    // The `buggy_fracture` canary: INVLPG that only evicts the 4KB-sized
+    // key leaves the fractured 2MB entry cached, so a later access to a
+    // zapped subpage translates through freed memory — the oracle flags
+    // it. The correct path (default) stays clean on the same script.
+    let script = |addr: VirtAddr| {
+        vec![
+            ProgAction::Access {
+                va: addr,
+                write: true,
+            },
+            ProgAction::Syscall(Syscall::MadviseDontNeed { addr, pages: 8 }),
+            // Re-touch a zapped subpage after the flush retired.
+            ProgAction::Access {
+                va: addr.add(4096),
+                write: false,
+            },
+        ]
+    };
+    for buggy in [false, true] {
+        let mut m = Machine::new(KernelConfig::test_machine(1).with_buggy_fracture(buggy));
+        let mm = m.create_process().expect("boot: create process");
+        let addr = m.setup_map_anon_thp(mm, 512).expect("boot: map thp anon");
+        run_script(&mut m, mm, script(addr));
+        assert_eq!(m.stats.counters.get("thp_promote"), 1);
+        if buggy {
+            assert!(
+                !m.violations().is_empty(),
+                "split-blind INVLPG must trip the stale-TLB oracle"
+            );
+        } else {
+            assert!(m.violations().is_empty(), "{:?}", m.violations());
+        }
+    }
+}
+
+#[test]
+fn set_associative_geometry_pays_stlb_penalty_under_pressure() {
+    let mut m = Machine::new(
+        KernelConfig::test_machine(1).with_tlb_geometry(tlbdown_tlb::TlbGeometry::skylake_sp()),
+    );
+    let mm = m.create_process().expect("boot: create process");
+    let addr = m.setup_map_anon(mm, 256).expect("boot: map anon");
+    // First pass fills 256 4KB entries (L1 holds 64); the second pass
+    // finds the overflow only in the STLB and pays the extra latency.
+    let mut actions = Vec::new();
+    for pass in 0..2 {
+        for i in 0..256u64 {
+            actions.push(ProgAction::Access {
+                va: addr.add(i * 4096),
+                write: pass == 0,
+            });
+        }
+    }
+    run_script(&mut m, mm, actions);
+    assert!(
+        m.tlbs[0].stats().stlb_hits > 0,
+        "working set larger than the L1 DTLB must hit in the STLB"
+    );
+    assert!(m.violations().is_empty(), "{:?}", m.violations());
+}
+
+#[test]
 fn cow_write_through_one_mapping_preserves_the_other_reader() {
     // Private file mapping CoW: the writer gets a copy; a reader thread of
     // the same process sharing the same VMA keeps reading the ORIGINAL

@@ -104,6 +104,29 @@ impl PhysMem {
         Ok(PhysAddr::new(base << 12))
     }
 
+    /// Allocate `count` physically contiguous frames whose base is
+    /// aligned to `align` frames (2MB hugepage leaves need a 512-frame
+    /// aligned base so the PTE address bits are valid).
+    ///
+    /// Frames skipped to reach alignment stay in the never-used region's
+    /// past and are not reclaimed — with the simulated 256GB this waste
+    /// is irrelevant, and keeping them out of the free list preserves the
+    /// invariant that contiguity only comes from never-used space.
+    pub fn alloc_contiguous_aligned(
+        &mut self,
+        count: u64,
+        align: u64,
+        state: FrameState,
+    ) -> SimResult<PhysAddr> {
+        debug_assert!(align.is_power_of_two());
+        let aligned = (self.next_never_used + align - 1) & !(align - 1);
+        if aligned + count > self.total_frames {
+            return Err(SimError::OutOfMemory);
+        }
+        self.next_never_used = aligned;
+        self.alloc_contiguous(count, state)
+    }
+
     /// Free a frame, recording the free epoch.
     ///
     /// # Panics

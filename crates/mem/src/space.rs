@@ -303,6 +303,66 @@ impl AddrSpace {
         changed
     }
 
+    /// Split the 2MB huge leaf covering `va` in place: the leaf is
+    /// replaced by a table of 512 4KB entries pointing at the same frames
+    /// with the same flags (Linux's `__split_huge_pmd`). Every 4KB
+    /// translation is unchanged, so the only stale cached state is the
+    /// huge-grained TLB entry itself — which the caller's ranged flush
+    /// removes, because INVLPG drops covering huge entries too.
+    ///
+    /// Returns `Ok(true)` if a split happened, `Ok(false)` if the leaf is
+    /// already 4KB. 1GB leaves are not split (nothing maps them this way).
+    pub fn split_huge_leaf(&mut self, mem: &mut PhysMem, va: VirtAddr) -> SimResult<bool> {
+        let w = self.walk(va)?;
+        match w.size {
+            PageSize::Size4K => return Ok(false),
+            PageSize::Size1G => {
+                return Err(SimError::InvalidArgument(format!(
+                    "cannot split 1GB leaf at {va}"
+                )))
+            }
+            PageSize::Size2M => {}
+        }
+        let parent = *w.trace.last().expect("walk trace is never empty");
+        let idx = w.page_base.pt_index(1);
+        let new = self.alloc_table(mem)?;
+        let flags = w.pte.flags.without(PteFlags::HUGE);
+        for i in 0..512u64 {
+            self.table_mut(new)[i as usize] = Pte::new(w.pte.addr.add(i * 4096), flags);
+        }
+        self.table_mut(parent)[idx] = Pte::new(new, table_flags());
+        Ok(true)
+    }
+
+    /// If the 4KB page table covering the 2MB-aligned window at `va`
+    /// exists but holds no present entries (every PTE was zapped, e.g.
+    /// by `MADV_DONTNEED`, which does not garbage-collect tables),
+    /// unlink and free it, leaving the PD slot empty so a hugepage leaf
+    /// can be installed — the fault-time analogue of collapsing an
+    /// empty PMD before a THP allocation. Returns true if a table was
+    /// freed.
+    pub fn collapse_empty_pt(&mut self, mem: &mut PhysMem, va: VirtAddr) -> bool {
+        let win = va.align_down(PageSize::Size2M);
+        let mut table_addr = self.root;
+        for level in (2..=3).rev() {
+            let entry = self.table(table_addr)[win.pt_index(level)];
+            if !entry.present() || entry.huge() {
+                return false;
+            }
+            table_addr = entry.addr;
+        }
+        let entry = self.table(table_addr)[win.pt_index(1)];
+        if !entry.present() || entry.huge() {
+            return false;
+        }
+        if self.table(entry.addr).iter().any(|e| e.present()) {
+            return false;
+        }
+        self.free_table(mem, entry.addr);
+        self.table_mut(table_addr)[win.pt_index(1)] = Pte::EMPTY;
+        true
+    }
+
     /// Enumerate present leaves in `range` as `(page base, entry, size)`.
     pub fn iter_range(&self, range: VirtRange) -> Vec<(VirtAddr, Pte, PageSize)> {
         let mut found = Vec::new();
@@ -368,6 +428,82 @@ mod tests {
         assert!(w.pte.huge());
         assert_eq!(w.trace.len(), 3, "2MB walk touches 3 table pages");
         assert_eq!(w.translate(va.add(0x12345)), pa.add(0x12345));
+    }
+
+    #[test]
+    fn split_huge_leaf_preserves_every_translation() {
+        let (mut mem, mut s) = setup();
+        let va = VirtAddr::new(0x4020_0000);
+        let pa = mem
+            .alloc_contiguous_aligned(512, 512, FrameState::UserPage)
+            .unwrap();
+        s.map(&mut mem, va, pa, PageSize::Size2M, PteFlags::user_rw())
+            .unwrap();
+        assert!(s.split_huge_leaf(&mut mem, va.add(0x5_1000)).unwrap());
+        // Now 512 4K leaves covering the same frames with the same flags.
+        for i in [0u64, 1, 17, 511] {
+            let w = s.walk(va.add(i * 4096 + 0x321)).unwrap();
+            assert_eq!(w.size, PageSize::Size4K);
+            assert_eq!(
+                w.translate(va.add(i * 4096 + 0x321)),
+                pa.add(i * 4096 + 0x321)
+            );
+            assert!(w.pte.flags.permits(true, false, true));
+            assert!(!w.pte.huge());
+        }
+        // Idempotent: the leaf is already 4K.
+        assert!(!s.split_huge_leaf(&mut mem, va).unwrap());
+        // A partial zap after the split removes exactly the zapped pages.
+        let out = s.zap_range(VirtRange::pages(va, 8, PageSize::Size4K));
+        assert_eq!(out.removed.len(), 8);
+        assert!(s.walk(va).is_err());
+        assert!(s.walk(va.add(8 * 4096)).is_ok(), "remainder still mapped");
+    }
+
+    #[test]
+    fn collapse_empty_pt_rearms_huge_mapping_after_zap() {
+        let (mut mem, mut s) = setup();
+        let va = VirtAddr::new(0x4020_0000);
+        for i in 0..512u64 {
+            let pa = mem.alloc(FrameState::UserPage).unwrap();
+            s.map(
+                &mut mem,
+                va.add(i * 4096),
+                pa,
+                PageSize::Size4K,
+                PteFlags::user_rw(),
+            )
+            .unwrap();
+        }
+        // Populated table: no collapse.
+        assert!(!s.collapse_empty_pt(&mut mem, va.add(0x1234)));
+        s.zap_range(VirtRange::pages(va, 512, PageSize::Size4K));
+        // zap_range leaves the empty PT in place, blocking a 2M map...
+        let huge_pa = mem
+            .alloc_contiguous_aligned(512, 512, FrameState::UserPage)
+            .unwrap();
+        assert!(s
+            .map(&mut mem, va, huge_pa, PageSize::Size2M, PteFlags::user_rw())
+            .is_err());
+        // ...until the collapse frees it.
+        assert!(s.collapse_empty_pt(&mut mem, va.add(0x1234)));
+        assert!(
+            !s.collapse_empty_pt(&mut mem, va),
+            "second collapse is a no-op"
+        );
+        s.map(&mut mem, va, huge_pa, PageSize::Size2M, PteFlags::user_rw())
+            .unwrap();
+        assert_eq!(s.walk(va).unwrap().size, PageSize::Size2M);
+    }
+
+    #[test]
+    fn aligned_contiguous_alloc_is_aligned() {
+        let mut mem = PhysMem::new(1 << 20);
+        mem.alloc(FrameState::KernelPage).unwrap(); // skew the cursor
+        let pa = mem
+            .alloc_contiguous_aligned(512, 512, FrameState::UserPage)
+            .unwrap();
+        assert_eq!(pa.as_u64() % (2 * 1024 * 1024), 0);
     }
 
     #[test]

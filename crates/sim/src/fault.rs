@@ -376,6 +376,20 @@ impl FaultPlan {
         }
     }
 
+    /// Extra latency for one CSD cacheline transfer routed over `hops`
+    /// interconnect links. The jitter composes with topology routing by
+    /// drawing once *per hop* — a transfer crossing a congested mesh can
+    /// lose the race at every link, not just once end-to-end. A one-hop
+    /// transfer (the flat reference topology) draws exactly once,
+    /// preserving the historical RNG stream byte-for-byte.
+    pub fn cacheline_jitter_hops(&mut self, hops: u64) -> Cycles {
+        let mut total = Cycles::ZERO;
+        for _ in 0..hops.max(1) {
+            total += self.cacheline_jitter();
+        }
+        total
+    }
+
     /// Extra cost for one INVLPG/INVPCID on `core` (zero unless the core
     /// is seed-chosen slow).
     pub fn invlpg_penalty(&mut self, core: CoreId) -> Cycles {
@@ -479,6 +493,33 @@ mod tests {
                 assert_ne!(m[i].1, m[j].1, "{} and {} coincide", m[i].0, m[j].0);
             }
         }
+    }
+
+    #[test]
+    fn per_hop_jitter_composes_with_topology() {
+        // One hop — the flat reference topology — is byte-identical to
+        // the historical single draw, including the RNG stream position.
+        let mut one = FaultPlan::new(FaultSpec::cacheline_jitter(), 7, 4);
+        let mut hist = FaultPlan::new(FaultSpec::cacheline_jitter(), 7, 4);
+        for _ in 0..64 {
+            assert_eq!(one.cacheline_jitter_hops(1), hist.cacheline_jitter());
+        }
+        // Zero hops clamps to one draw (a local transfer still bounces).
+        let mut zero = FaultPlan::new(FaultSpec::cacheline_jitter(), 9, 4);
+        let mut base = FaultPlan::new(FaultSpec::cacheline_jitter(), 9, 4);
+        assert_eq!(zero.cacheline_jitter_hops(0), base.cacheline_jitter());
+        // A routed transfer draws once per hop: over many transfers the
+        // five-hop totals strictly dominate the single draws.
+        let mut multi = FaultPlan::new(FaultSpec::cacheline_jitter(), 11, 4);
+        let mut single = FaultPlan::new(FaultSpec::cacheline_jitter(), 11, 4);
+        let mut multi_total = 0u64;
+        let mut single_total = 0u64;
+        for _ in 0..64 {
+            multi_total += multi.cacheline_jitter_hops(5).0;
+            single_total += single.cacheline_jitter().0;
+        }
+        assert!(multi_total > single_total);
+        assert!(multi.counters().cachelines_jittered > 64);
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //! - A small separate **ITLB**, so the §4.1 rule "skip the CoW optimization
 //!   for executable PTEs" has an observable reason.
 
+pub mod geometry;
 pub mod model;
 
+pub use geometry::{SetAssocGeometry, SetWays, TlbGeometry};
 pub use model::{Access, ItlbModel, Tlb, TlbEntry, TlbFault, TlbStats};

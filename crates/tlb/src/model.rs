@@ -1,9 +1,11 @@
 //! The TLB data structure and its flush-instruction semantics.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use tlbdown_mem::{AddrSpace, Pte};
 use tlbdown_types::{CostModel, Cycles, PageSize, Pcid, PhysAddr, VirtAddr};
+
+use crate::geometry::{SetAssocGeometry, TlbGeometry};
 
 /// Tag used in entry keys for global entries (matched under any PCID).
 const GLOBAL_TAG: u16 = u16::MAX;
@@ -48,6 +50,41 @@ fn size_idx(s: PageSize) -> u8 {
 
 fn key_for(pcid_tag: u16, va: VirtAddr, size: PageSize) -> Key {
     (pcid_tag, va.align_down(size).as_u64(), size_idx(size))
+}
+
+fn size_shift(idx: u8) -> u32 {
+    match idx {
+        0 => 12,
+        1 => 21,
+        _ => 30,
+    }
+}
+
+/// STLB slot for a key: structure id (0 = unified 4K/2M, 1 = 1G) plus the
+/// set index, and that structure's associativity. Sets are indexed by the
+/// virtual page number at the page's native shift, like hardware — entries
+/// from different PCIDs compete for the same set.
+fn stlb_slot(g: &SetAssocGeometry, key: &Key) -> ((u8, u32), u32) {
+    let (_, base, idx) = *key;
+    let vpn = base >> size_shift(idx);
+    let (structure, sw) = if idx == 2 {
+        (1u8, g.stlb_1g)
+    } else {
+        (0u8, g.stlb_4k_2m)
+    };
+    ((structure, (vpn % u64::from(sw.sets)) as u32), sw.ways)
+}
+
+/// L1 slot for a key: one structure per page size.
+fn l1_slot(g: &SetAssocGeometry, key: &Key) -> ((u8, u32), u32) {
+    let (_, base, idx) = *key;
+    let vpn = base >> size_shift(idx);
+    let sw = match idx {
+        0 => g.l1_4k,
+        1 => g.l1_2m,
+        _ => g.l1_1g,
+    };
+    ((idx, (vpn % u64::from(sw.sets)) as u32), sw.ways)
 }
 
 /// Why a TLB access could not complete.
@@ -101,6 +138,9 @@ pub struct TlbStats {
     /// too, where the old `debug_assert` would have let a stuck fracture
     /// flag silently escalate every later selective flush.
     pub fracture_leaks: u64,
+    /// Hits that missed the L1 arrays and paid the STLB penalty. Always
+    /// zero under the legacy single-pool geometry.
+    pub stlb_hits: u64,
 }
 
 /// A small instruction-TLB model.
@@ -189,9 +229,20 @@ impl ItlbModel {
 /// ```
 #[derive(Debug)]
 pub struct Tlb {
+    geometry: TlbGeometry,
     capacity: usize,
     entries: HashMap<Key, TlbEntry>,
     fifo: VecDeque<Key>,
+    // Set-associative state, unused (and empty) under the legacy geometry.
+    // `entries` stays the single source of truth for presence; these index
+    // it per (structure, set) for replacement, and `l1` marks the subset
+    // cached in the first-level arrays (inclusive hierarchy).
+    set_fifo: HashMap<(u8, u32), VecDeque<Key>>,
+    set_occ: HashMap<(u8, u32), u32>,
+    l1: HashSet<Key>,
+    l1_fifo: HashMap<(u8, u32), VecDeque<Key>>,
+    l1_occ: HashMap<(u8, u32), u32>,
+    split_blind_invlpg: bool,
     fill_seq: u64,
     fractured_count: usize,
     pwc: HashMap<(u16, u64), u64>,
@@ -208,12 +259,31 @@ impl Default for Tlb {
 }
 
 impl Tlb {
-    /// Create a TLB with the given unified capacity.
+    /// Create a TLB with the given unified capacity (legacy geometry).
     pub fn new(capacity: usize) -> Self {
+        Self::with_geometry(TlbGeometry::Legacy { capacity })
+    }
+
+    /// Create a TLB with an explicit geometry.
+    pub fn with_geometry(geometry: TlbGeometry) -> Self {
+        let capacity = match &geometry {
+            TlbGeometry::Legacy { capacity } => *capacity,
+            // Under set-associative geometry capacity pressure is per set;
+            // the pool bound is the STLB total so the legacy eviction loop
+            // can never fire first.
+            TlbGeometry::SetAssoc(g) => (g.stlb_4k_2m.capacity() + g.stlb_1g.capacity()) as usize,
+        };
         Tlb {
+            geometry,
             capacity,
             entries: HashMap::new(),
             fifo: VecDeque::new(),
+            set_fifo: HashMap::new(),
+            set_occ: HashMap::new(),
+            l1: HashSet::new(),
+            l1_fifo: HashMap::new(),
+            l1_occ: HashMap::new(),
+            split_blind_invlpg: false,
             fill_seq: 0,
             fractured_count: 0,
             pwc: HashMap::new(),
@@ -222,6 +292,27 @@ impl Tlb {
             itlb: ItlbModel::default(),
             stats: TlbStats::default(),
         }
+    }
+
+    /// The geometry this TLB is organised as.
+    pub fn geometry(&self) -> &TlbGeometry {
+        &self.geometry
+    }
+
+    /// Inject the split-blind flush bug: selective flushes only remove the
+    /// 4K-sized entry for the address, as if the flush loop walked the
+    /// range at 4K stride assuming a huge-page split already removed the
+    /// huge-grained entries. Full flushes are unaffected. Used by the
+    /// `buggy_fracture` checker canary.
+    pub fn set_split_blind_invlpg(&mut self, buggy: bool) {
+        self.split_blind_invlpg = buggy;
+    }
+
+    /// Whether a translation is cached in the first-level arrays (always
+    /// false under the legacy geometry, which has no levels).
+    pub fn in_l1(&self, pcid: Pcid, va: VirtAddr, size: PageSize) -> bool {
+        self.l1.contains(&key_for(pcid.0, va, size))
+            || self.l1.contains(&key_for(GLOBAL_TAG, va, size))
     }
 
     /// Accumulated statistics.
@@ -301,11 +392,48 @@ impl Tlb {
         if e.fractured {
             self.uncount_fractured();
         }
+        if let TlbGeometry::SetAssoc(g) = &self.geometry {
+            let (slot, _) = stlb_slot(g, key);
+            if let Some(occ) = self.set_occ.get_mut(&slot) {
+                *occ = occ.saturating_sub(1);
+            }
+            if self.l1.remove(key) {
+                let (slot, _) = l1_slot(g, key);
+                if let Some(occ) = self.l1_occ.get_mut(&slot) {
+                    *occ = occ.saturating_sub(1);
+                }
+            }
+        }
         self.stats.entries_invalidated += 1;
         Some(e)
     }
 
-    /// Insert an entry, evicting FIFO-oldest entries on capacity pressure.
+    /// Promote a (present) translation into its L1 array, evicting the
+    /// FIFO-oldest L1 resident of that set. L1 eviction only drops the L1
+    /// residency bit — the entry stays in the STLB (inclusive hierarchy).
+    fn l1_promote(&mut self, key: Key) {
+        let TlbGeometry::SetAssoc(g) = &self.geometry else {
+            return;
+        };
+        if !self.l1.insert(key) {
+            return;
+        }
+        let (slot, ways) = l1_slot(g, &key);
+        self.l1_fifo.entry(slot).or_default().push_back(key);
+        *self.l1_occ.entry(slot).or_insert(0) += 1;
+        while self.l1_occ.get(&slot).copied().unwrap_or(0) > ways {
+            let Some(victim) = self.l1_fifo.get_mut(&slot).and_then(|q| q.pop_front()) else {
+                break;
+            };
+            if self.l1.remove(&victim) {
+                *self.l1_occ.get_mut(&slot).expect("occupied slot") -= 1;
+            }
+        }
+    }
+
+    /// Insert an entry, evicting FIFO-oldest entries on capacity pressure —
+    /// pool-wide under the legacy geometry, per STLB set under a
+    /// set-associative one.
     pub fn insert(&mut self, mut e: TlbEntry) {
         self.fill_seq += 1;
         e.fill_seq = self.fill_seq;
@@ -314,24 +442,46 @@ impl Tlb {
         if e.fractured {
             self.fractured_count += 1;
         }
+        let set_slot = match &self.geometry {
+            TlbGeometry::Legacy { .. } => None,
+            TlbGeometry::SetAssoc(g) => Some(stlb_slot(g, &key)),
+        };
         if let Some(old) = self.entries.insert(key, e) {
             if old.fractured {
                 self.uncount_fractured();
             }
+        } else if let Some((slot, _)) = set_slot {
+            self.set_fifo.entry(slot).or_default().push_back(key);
+            *self.set_occ.entry(slot).or_insert(0) += 1;
         } else {
             self.fifo.push_back(key);
         }
         self.stats.fills += 1;
-        while self.entries.len() > self.capacity {
-            if let Some(victim) = self.fifo.pop_front() {
+        if let Some((slot, ways)) = set_slot {
+            while self.set_occ.get(&slot).copied().unwrap_or(0) > ways {
+                let Some(victim) = self.set_fifo.get_mut(&slot).and_then(|q| q.pop_front()) else {
+                    break;
+                };
                 if self.entries.contains_key(&victim) {
                     self.remove_key(&victim);
                     self.stats.evictions += 1;
                     // Evictions are not flush invalidations.
                     self.stats.entries_invalidated -= 1;
                 }
-            } else {
-                break;
+            }
+            self.l1_promote(key);
+        } else {
+            while self.entries.len() > self.capacity {
+                if let Some(victim) = self.fifo.pop_front() {
+                    if self.entries.contains_key(&victim) {
+                        self.remove_key(&victim);
+                        self.stats.evictions += 1;
+                        // Evictions are not flush invalidations.
+                        self.stats.entries_invalidated -= 1;
+                    }
+                } else {
+                    break;
+                }
             }
         }
     }
@@ -397,6 +547,11 @@ impl Tlb {
             self.remove_key(k);
         }
         self.fifo.clear();
+        self.set_fifo.clear();
+        self.set_occ.clear();
+        self.l1.clear();
+        self.l1_fifo.clear();
+        self.l1_occ.clear();
         self.itlb.flush_all(true);
         self.pwc_flush_all();
         // Every entry was just removed, so any residue is an accounting
@@ -423,7 +578,7 @@ impl Tlb {
             return;
         }
         self.stats.selective_flushes += 1;
-        for size in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+        for &size in self.flushed_sizes() {
             let k = key_for(current.0, va, size);
             self.remove_key(&k);
             let kg = key_for(GLOBAL_TAG, va, size);
@@ -431,6 +586,18 @@ impl Tlb {
         }
         self.itlb.invalidate_addr(Some(current.0), va, true);
         self.pwc_flush_all();
+    }
+
+    /// Page sizes a selective flush removes. The split-blind bug drops
+    /// only the 4K-sized entry, leaving any covering huge-page entry
+    /// cached — the stale-2M hazard the `buggy_fracture` canary exists to
+    /// catch.
+    fn flushed_sizes(&self) -> &'static [PageSize] {
+        if self.split_blind_invlpg {
+            &[PageSize::Size4K]
+        } else {
+            &[PageSize::Size4K, PageSize::Size2M, PageSize::Size1G]
+        }
     }
 
     /// `INVPCID` individual-address mode: invalidate the translation for
@@ -443,7 +610,7 @@ impl Tlb {
             return;
         }
         self.stats.selective_flushes += 1;
-        for size in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+        for &size in self.flushed_sizes() {
             let k = key_for(pcid.0, va, size);
             self.remove_key(&k);
         }
@@ -508,11 +675,23 @@ impl Tlb {
         if let Some(e) = self.lookup(pcid, va).cloned() {
             if e.pte.flags.permits(write, false, user) {
                 self.stats.hits += 1;
+                let tag = if e.global { GLOBAL_TAG } else { e.pcid.0 };
+                let key = key_for(tag, e.page_base, e.size);
+                let mut cost = costs.mem_access;
+                if let TlbGeometry::SetAssoc(g) = &self.geometry {
+                    if !self.l1.contains(&key) {
+                        // Present only at the second level: pay the STLB
+                        // penalty and promote into the L1 array.
+                        cost = Cycles(cost.0 + g.stlb_hit_extra);
+                        self.stats.stlb_hits += 1;
+                        self.l1_promote(key);
+                    }
+                }
                 let pa = e.pte.addr.add(va.page_offset(e.size));
                 return Ok(Access {
                     pa,
                     hit: true,
-                    cost: costs.mem_access,
+                    cost,
                     entry: e,
                 });
             }
@@ -929,6 +1108,94 @@ mod tests {
         assert_eq!(tlb.itlb().len(), 1);
         tlb.invlpg(P, va);
         assert_eq!(tlb.itlb().len(), 0);
+    }
+
+    #[test]
+    fn set_assoc_evicts_within_the_conflicting_set() {
+        let (mut mem, mut s, _tlb, costs) = setup();
+        let mut tlb = Tlb::with_geometry(TlbGeometry::skylake_sp());
+        // 13 pages whose 4K VPNs all map to STLB set 0 (vpn % 128 == 0)
+        // overflow the 12-way set while the pool is nowhere near full.
+        for k in 0..13u64 {
+            let va = 0x40_0000 + k * 128 * 0x1000;
+            map_user_page(&mut mem, &mut s, va);
+            tlb.access(P, VirtAddr::new(va), false, true, &mut s, &costs)
+                .unwrap();
+        }
+        assert_eq!(tlb.len(), 12, "set capacity, not pool capacity, binds");
+        assert_eq!(tlb.stats().evictions, 1);
+        assert!(
+            tlb.lookup(P, VirtAddr::new(0x40_0000)).is_none(),
+            "set-FIFO oldest evicted"
+        );
+        // A page in a different set is untouched by that pressure.
+        map_user_page(&mut mem, &mut s, 0x41_0000);
+        tlb.access(P, VirtAddr::new(0x41_0000), false, true, &mut s, &costs)
+            .unwrap();
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn l1_miss_pays_stlb_penalty_then_promotes() {
+        let (mut mem, mut s, _tlb, costs) = setup();
+        let mut tlb = Tlb::with_geometry(TlbGeometry::skylake_sp());
+        // 5 pages sharing L1-4K set 0 (vpn % 16 == 0) overflow its 4 ways;
+        // their STLB sets (vpn % 128) are all distinct, so every entry
+        // stays present and only L1 residency is lost.
+        for k in 0..5u64 {
+            let va = 0x40_0000 + k * 16 * 0x1000;
+            map_user_page(&mut mem, &mut s, va);
+            tlb.access(P, VirtAddr::new(va), false, true, &mut s, &costs)
+                .unwrap();
+        }
+        assert_eq!(tlb.len(), 5);
+        let first = VirtAddr::new(0x40_0000);
+        assert!(!tlb.in_l1(P, first, PageSize::Size4K), "L1-evicted");
+        let slow = tlb.access(P, first, false, true, &mut s, &costs).unwrap();
+        assert!(slow.hit);
+        assert_eq!(slow.cost, Cycles(costs.mem_access.0 + 9));
+        assert_eq!(tlb.stats().stlb_hits, 1);
+        // Promoted back: the next access is an L1 hit at base cost.
+        let fast = tlb.access(P, first, false, true, &mut s, &costs).unwrap();
+        assert_eq!(fast.cost, costs.mem_access);
+        assert_eq!(tlb.stats().stlb_hits, 1);
+    }
+
+    #[test]
+    fn split_blind_invlpg_leaves_huge_entry_cached() {
+        let (mut mem, _s, mut tlb, _costs) = setup();
+        let pa = mem.alloc(FrameState::UserPage).unwrap();
+        let huge = VirtAddr::new(0x20_0000);
+        tlb.fill_speculative(P, huge, PageSize::Size2M, Pte::new(pa, PteFlags::user_rw()));
+        // A correct flush removes the covering 2M entry.
+        tlb.invlpg(P, VirtAddr::new(0x20_3000));
+        assert!(tlb.lookup(P, VirtAddr::new(0x20_3000)).is_none());
+        // The split-blind flush only strips the 4K-sized key: the huge
+        // entry survives and keeps translating.
+        tlb.fill_speculative(P, huge, PageSize::Size2M, Pte::new(pa, PteFlags::user_rw()));
+        tlb.set_split_blind_invlpg(true);
+        tlb.invlpg(P, VirtAddr::new(0x20_3000));
+        assert!(
+            tlb.lookup(P, VirtAddr::new(0x20_3000)).is_some(),
+            "stale 2M entry survives the buggy flush"
+        );
+        // Full flushes are not split-blind.
+        tlb.flush_all(true);
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn legacy_geometry_has_no_l1_or_stlb_penalty() {
+        let (mut mem, mut s, mut tlb, costs) = setup();
+        map_user_page(&mut mem, &mut s, 0x1000);
+        tlb.access(P, VirtAddr::new(0x1000), false, true, &mut s, &costs)
+            .unwrap();
+        let a = tlb
+            .access(P, VirtAddr::new(0x1000), false, true, &mut s, &costs)
+            .unwrap();
+        assert_eq!(a.cost, costs.mem_access);
+        assert_eq!(tlb.stats().stlb_hits, 0);
+        assert!(!tlb.in_l1(P, VirtAddr::new(0x1000), PageSize::Size4K));
     }
 
     #[test]

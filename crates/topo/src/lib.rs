@@ -1,0 +1,496 @@
+//! Interconnect routing for the simulated machine.
+//!
+//! The original cost model charges every cross-core cacheline transfer and
+//! IPI a *distance-constant* fee (same core / same socket / cross socket).
+//! That hides two phenomena the paper's 2×56 tier should be able to show:
+//! on-die routing distance (a transfer between neighbouring cores is not
+//! the same as one across the die) and link congestion (a shootdown storm
+//! funnelling through the socket link queues behind itself).
+//!
+//! This crate models both while keeping the repo's determinism contract:
+//!
+//! - [`TopologySpec`] selects the interconnect shape. [`TopologySpec::Flat`]
+//!   is the pinned reference: it delegates to the distance-constant
+//!   [`CostModel`] selectors, touches no link state and contributes nothing
+//!   to the machine digest, so flat runs stay **byte-identical** to the
+//!   pre-routing simulator (the same role `engine_heap_only` plays for the
+//!   event engine).
+//! - [`TopologySpec::Ring`] arranges physical cores on a ring;
+//!   [`TopologySpec::Mesh`] on a near-square 2D grid with XY
+//!   (dimension-ordered) routing. Both charge per-hop link costs plus a
+//!   one-time socket-crossing penalty.
+//! - Each traversed link carries an M/D/1-style occupancy counter: a
+//!   message drains some backlog, waits behind what remains (capped), and
+//!   deposits its own service time. The queueing delay is a deterministic
+//!   function of the traversal order — no clocks, no randomness — so runs
+//!   replay byte-identically at any thread count, and the link state is
+//!   digestible into machine state.
+//!
+//! The static (uncongested) route cost is a true metric over physical
+//! cores — symmetric and triangle-inequality-respecting, because ring
+//! distance and Manhattan distance are metrics and the socket-crossing
+//! indicator is a discrete metric; the property tests pin this down.
+
+use std::collections::BTreeMap;
+
+use tlbdown_types::{CoreId, CostModel, Cycles, Topology};
+
+/// Per-link cost and congestion parameters for a routed topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Cycles per hop for a cacheline transfer.
+    pub cacheline_hop: u64,
+    /// Cycles per hop for an IPI.
+    pub ipi_hop: u64,
+    /// One-time extra cycles when a cacheline route crosses sockets.
+    pub socket_penalty_cacheline: u64,
+    /// One-time extra cycles when an IPI route crosses sockets.
+    pub socket_penalty_ipi: u64,
+    /// Occupancy (cycles of service) a message deposits on each link it
+    /// traverses — the "D" of the M/D/1-style model.
+    pub service: u64,
+    /// Occupancy drained from a link between consecutive traversals, the
+    /// deterministic stand-in for elapsed time. `drain < service` means a
+    /// saturated link builds backlog.
+    pub drain: u64,
+    /// Upper bound on the queueing delay charged per link per message.
+    pub queue_cap: u64,
+}
+
+impl Default for LinkParams {
+    /// Calibrated so a mid-distance route lands near the flat constants
+    /// (DESIGN.md §18): divergence comes from routing distance and
+    /// congestion, not from a wholesale re-pricing of communication.
+    fn default() -> Self {
+        LinkParams {
+            cacheline_hop: 28,
+            ipi_hop: 110,
+            socket_penalty_cacheline: 200,
+            socket_penalty_ipi: 600,
+            service: 24,
+            drain: 16,
+            queue_cap: 4096,
+        }
+    }
+}
+
+/// The interconnect shape of the simulated machine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Distance-constant costs — the byte-identical reference model.
+    #[default]
+    Flat,
+    /// Physical cores on a ring; routes take the shorter arc.
+    Ring(LinkParams),
+    /// Physical cores on a near-square 2D grid with XY routing.
+    Mesh(LinkParams),
+}
+
+impl TopologySpec {
+    /// A ring with default link parameters.
+    pub fn ring() -> Self {
+        TopologySpec::Ring(LinkParams::default())
+    }
+
+    /// A mesh with default link parameters.
+    pub fn mesh() -> Self {
+        TopologySpec::Mesh(LinkParams::default())
+    }
+
+    /// Short label for tables and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologySpec::Flat => "flat",
+            TopologySpec::Ring(_) => "ring",
+            TopologySpec::Mesh(_) => "mesh",
+        }
+    }
+
+    /// Parse a CLI label. Ring/mesh get default link parameters.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "flat" => Some(TopologySpec::Flat),
+            "ring" => Some(TopologySpec::ring()),
+            "mesh" => Some(TopologySpec::mesh()),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the flat reference model.
+    pub fn is_flat(&self) -> bool {
+        matches!(self, TopologySpec::Flat)
+    }
+
+    fn params(&self) -> Option<&LinkParams> {
+        match self {
+            TopologySpec::Flat => None,
+            TopologySpec::Ring(p) | TopologySpec::Mesh(p) => Some(p),
+        }
+    }
+}
+
+/// Counters describing routed traffic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Routed transfers (cacheline + IPI) that traversed at least one link.
+    pub routed_transfers: u64,
+    /// Total link traversals (sum of hops over all routed transfers).
+    pub hop_traversals: u64,
+    /// Total queueing delay charged by congested links, in cycles.
+    pub queued_cycles: u64,
+    /// Highest link occupancy observed, in cycles of service.
+    pub peak_queue: u64,
+}
+
+/// A routed interconnect instance with per-link congestion state.
+///
+/// The coherence directory and the IPI fabric each own one — they are
+/// separate virtual channels of the NoC, so coherence traffic and IPI
+/// traffic queue independently.
+#[derive(Debug)]
+pub struct Interconnect {
+    spec: TopologySpec,
+    topo: Topology,
+    /// Occupancy per link, keyed by `(min_node, max_node)` of the edge.
+    /// A `BTreeMap` so digest folding iterates in a canonical order.
+    links: BTreeMap<(u32, u32), u64>,
+    stats: LinkStats,
+}
+
+impl Interconnect {
+    /// Build an interconnect of the given shape over `topo`'s cores.
+    pub fn new(topo: Topology, spec: TopologySpec) -> Self {
+        Interconnect {
+            spec,
+            topo,
+            links: BTreeMap::new(),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Whether this is the flat (byte-identical reference) model.
+    pub fn is_flat(&self) -> bool {
+        self.spec.is_flat()
+    }
+
+    /// The shape this interconnect routes over.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// Accumulated routing statistics (all zero under flat).
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// Grid width for the mesh layout: the smallest near-square that
+    /// covers every physical core.
+    fn mesh_width(&self) -> u32 {
+        let phys = self.phys_count();
+        let mut w = 1u32;
+        while w * w < phys {
+            w += 1;
+        }
+        w
+    }
+
+    fn phys_count(&self) -> u32 {
+        self.topo.num_cores() / self.topo.smt_ways()
+    }
+
+    /// The routed path between two physical nodes, as a list of edges.
+    /// Empty when `a == b`. Flat has no links and returns an empty path.
+    fn path(&self, a: u32, b: u32) -> Vec<(u32, u32)> {
+        if a == b || self.spec.is_flat() {
+            return Vec::new();
+        }
+        let edge = |x: u32, y: u32| (x.min(y), x.max(y));
+        let mut edges = Vec::new();
+        match &self.spec {
+            TopologySpec::Flat => {}
+            TopologySpec::Ring(_) => {
+                let n = self.phys_count();
+                let fwd = (b + n - a) % n; // hops going clockwise from a
+                let step: i64 = if fwd <= n - fwd { 1 } else { -1 };
+                let mut cur = a;
+                while cur != b {
+                    let next = ((cur as i64 + step).rem_euclid(n as i64)) as u32;
+                    edges.push(edge(cur, next));
+                    cur = next;
+                }
+            }
+            TopologySpec::Mesh(_) => {
+                let w = self.mesh_width();
+                let (ax, ay) = (a % w, a / w);
+                let (bx, by) = (b % w, b / w);
+                // XY routing: resolve the X dimension first, then Y.
+                let mut x = ax;
+                while x != bx {
+                    let nx = if bx > x { x + 1 } else { x - 1 };
+                    edges.push(edge(ay * w + x, ay * w + nx));
+                    x = nx;
+                }
+                let mut y = ay;
+                while y != by {
+                    let ny = if by > y { y + 1 } else { y - 1 };
+                    edges.push(edge(y * w + bx, ny * w + bx));
+                    y = ny;
+                }
+            }
+        }
+        edges
+    }
+
+    /// Number of links a transfer between `a` and `b` traverses. Flat
+    /// reports 1 — one logical hop per transfer, which keeps the per-hop
+    /// jitter stream byte-identical to the historical one-draw-per-transfer
+    /// behaviour.
+    pub fn hops(&self, a: CoreId, b: CoreId) -> u64 {
+        if self.spec.is_flat() {
+            return 1;
+        }
+        let (pa, pb) = (self.topo.physical_of(a), self.topo.physical_of(b));
+        self.path(pa, pb).len() as u64
+    }
+
+    /// Hop count to use for per-hop jitter: at least one draw per
+    /// transfer, so local transfers still jitter like a single hop.
+    pub fn jitter_hops(&self, a: CoreId, b: CoreId) -> u64 {
+        self.hops(a, b).max(1)
+    }
+
+    /// The static (uncongested) routing cost between two cores, as a pure
+    /// metric over physical nodes: zero for SMT siblings, per-hop cost
+    /// times path length plus the socket-crossing penalty otherwise.
+    /// Returns `None` under flat (no routing metric exists).
+    pub fn static_cost(&self, a: CoreId, b: CoreId, ipi: bool) -> Option<u64> {
+        let p = self.spec.params()?;
+        let (hop, penalty) = if ipi {
+            (p.ipi_hop, p.socket_penalty_ipi)
+        } else {
+            (p.cacheline_hop, p.socket_penalty_cacheline)
+        };
+        let hops = self.hops(a, b);
+        let cross = self.topo.socket_of(a) != self.topo.socket_of(b);
+        Some(hops * hop + if cross { penalty } else { 0 })
+    }
+
+    /// Route one message, mutating per-link congestion state, and return
+    /// the total delay (static cost + queueing). Not used under flat.
+    fn route(&mut self, from: CoreId, to: CoreId, hop_cost: u64, penalty: u64) -> u64 {
+        let (pa, pb) = (self.topo.physical_of(from), self.topo.physical_of(to));
+        let path = self.path(pa, pb);
+        if path.is_empty() {
+            return 0;
+        }
+        let p = self.spec.params().expect("routed topology").clone();
+        let mut total = path.len() as u64 * hop_cost;
+        if self.topo.socket_of(from) != self.topo.socket_of(to) {
+            total += penalty;
+        }
+        self.stats.routed_transfers += 1;
+        for e in path {
+            let q = self.links.entry(e).or_insert(0);
+            *q = q.saturating_sub(p.drain);
+            let wait = (*q).min(p.queue_cap);
+            *q += p.service;
+            total += wait;
+            self.stats.hop_traversals += 1;
+            self.stats.queued_cycles += wait;
+            self.stats.peak_queue = self.stats.peak_queue.max(*q);
+        }
+        total
+    }
+
+    /// Cost of moving one cacheline from `from` to `to`. Flat delegates to
+    /// the distance-constant selector; ring/mesh route per hop with
+    /// congestion. SMT siblings pay the local fee in every topology.
+    pub fn cacheline_transfer(&mut self, costs: &CostModel, from: CoreId, to: CoreId) -> Cycles {
+        let d = self.topo.distance(from, to);
+        if self.spec.is_flat() {
+            return costs.cacheline(d);
+        }
+        if self.topo.physical_of(from) == self.topo.physical_of(to) {
+            return costs.cacheline_local;
+        }
+        let p = self.spec.params().expect("routed topology");
+        let (hop, pen) = (p.cacheline_hop, p.socket_penalty_cacheline);
+        Cycles::new(self.route(from, to, hop, pen))
+    }
+
+    /// Wire latency of an IPI from `from` to `to`. Flat delegates to the
+    /// distance-constant selector; ring/mesh route per hop with congestion.
+    pub fn ipi_transfer(&mut self, costs: &CostModel, from: CoreId, to: CoreId) -> Cycles {
+        let d = self.topo.distance(from, to);
+        if self.spec.is_flat() {
+            return costs.ipi_latency(d);
+        }
+        if self.topo.physical_of(from) == self.topo.physical_of(to) {
+            return costs.ipi_latency(tlbdown_types::Distance::SameCore);
+        }
+        let p = self.spec.params().expect("routed topology");
+        let (hop, pen) = (p.ipi_hop, p.socket_penalty_ipi);
+        Cycles::new(self.route(from, to, hop, pen))
+    }
+
+    /// Canonical iteration over live link occupancies, for digest folding.
+    /// Empty under flat, so flat machine digests are unchanged.
+    pub fn digest_items(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        self.links.iter().map(|(&(a, b), &q)| (a, b, q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn paper(spec: TopologySpec) -> Interconnect {
+        Interconnect::new(Topology::paper_machine(), spec)
+    }
+
+    #[test]
+    fn flat_delegates_to_cost_model() {
+        let mut ic = paper(TopologySpec::Flat);
+        let c = CostModel::default();
+        assert_eq!(
+            ic.cacheline_transfer(&c, CoreId(0), CoreId(30)),
+            c.cacheline_cross_socket
+        );
+        assert_eq!(
+            ic.ipi_transfer(&c, CoreId(0), CoreId(5)),
+            c.ipi_deliver_same_socket
+        );
+        assert_eq!(ic.hops(CoreId(0), CoreId(30)), 1, "flat is one hop");
+        assert_eq!(ic.digest_items().count(), 0, "flat has no link state");
+        assert_eq!(ic.stats(), &LinkStats::default());
+    }
+
+    #[test]
+    fn ring_distance_scales_with_separation() {
+        let mut ic = paper(TopologySpec::ring());
+        let c = CostModel::default();
+        // Physical neighbours (logical cores 2,3 are phys 1; 4,5 phys 2).
+        let near = ic.cacheline_transfer(&c, CoreId(2), CoreId(4));
+        let far = ic.cacheline_transfer(&c, CoreId(2), CoreId(26));
+        assert!(far > near, "{far:?} !> {near:?}");
+        assert_eq!(ic.hops(CoreId(2), CoreId(4)), 1);
+        // SMT siblings never touch the ring.
+        assert_eq!(
+            ic.cacheline_transfer(&c, CoreId(2), CoreId(3)),
+            c.cacheline_local
+        );
+        assert_eq!(ic.hops(CoreId(2), CoreId(3)), 0);
+    }
+
+    #[test]
+    fn ring_takes_the_shorter_arc() {
+        let ic = paper(TopologySpec::ring());
+        // 28 physical cores: phys 0 → phys 27 is one hop backwards.
+        assert_eq!(ic.hops(CoreId(0), CoreId(54)), 1);
+        // phys 0 → phys 14 is the diameter.
+        assert_eq!(ic.hops(CoreId(0), CoreId(28)), 14);
+    }
+
+    #[test]
+    fn mesh_routes_xy() {
+        let ic = paper(TopologySpec::mesh());
+        // 28 phys cores → 6-wide grid. phys 0 at (0,0), phys 8 at (2,1):
+        // 2 X hops + 1 Y hop.
+        assert_eq!(ic.hops(CoreId(0), CoreId(16)), 3);
+    }
+
+    #[test]
+    fn cross_socket_pays_the_penalty_once() {
+        let ic = paper(TopologySpec::ring());
+        let p = LinkParams::default();
+        let same = ic.static_cost(CoreId(0), CoreId(4), false).unwrap();
+        assert_eq!(same, ic.hops(CoreId(0), CoreId(4)) * p.cacheline_hop);
+        let cross = ic.static_cost(CoreId(0), CoreId(54), false).unwrap();
+        assert_eq!(
+            cross,
+            ic.hops(CoreId(0), CoreId(54)) * p.cacheline_hop + p.socket_penalty_cacheline
+        );
+    }
+
+    #[test]
+    fn congestion_builds_and_drains_deterministically() {
+        let c = CostModel::default();
+        let mut ic = paper(TopologySpec::mesh());
+        // Hammer one route: queueing delay must be monotonically
+        // non-decreasing while the link saturates (service > drain).
+        let first = ic.cacheline_transfer(&c, CoreId(0), CoreId(28));
+        let mut prev = first;
+        for _ in 0..50 {
+            let next = ic.cacheline_transfer(&c, CoreId(0), CoreId(28));
+            assert!(next >= prev);
+            prev = next;
+        }
+        assert!(prev > first, "saturated link never queued");
+        assert!(ic.stats().queued_cycles > 0);
+        assert!(ic.stats().peak_queue > 0);
+        // Replay from scratch is byte-identical.
+        let mut ic2 = paper(TopologySpec::mesh());
+        let again = ic2.cacheline_transfer(&c, CoreId(0), CoreId(28));
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn digest_items_are_sorted_and_reflect_traffic() {
+        let c = CostModel::default();
+        let mut ic = paper(TopologySpec::ring());
+        ic.ipi_transfer(&c, CoreId(0), CoreId(8));
+        let items: Vec<_> = ic.digest_items().collect();
+        assert!(!items.is_empty());
+        let mut sorted = items.clone();
+        sorted.sort();
+        assert_eq!(items, sorted, "canonical order for digest folding");
+    }
+
+    #[test]
+    fn parse_labels_round_trip() {
+        for s in ["flat", "ring", "mesh"] {
+            assert_eq!(TopologySpec::parse(s).unwrap().label(), s);
+        }
+        assert!(TopologySpec::parse("torus").is_none());
+    }
+
+    // The satellite property tests: the static route cost is a metric.
+    proptest! {
+        #[test]
+        fn mesh_static_cost_is_symmetric(a in 0u32..56, b in 0u32..56) {
+            let ic = paper(TopologySpec::mesh());
+            prop_assert_eq!(
+                ic.static_cost(CoreId(a), CoreId(b), false),
+                ic.static_cost(CoreId(b), CoreId(a), false)
+            );
+            prop_assert_eq!(ic.hops(CoreId(a), CoreId(b)), ic.hops(CoreId(b), CoreId(a)));
+        }
+
+        #[test]
+        fn mesh_static_cost_respects_triangle_inequality(
+            a in 0u32..56, b in 0u32..56, c in 0u32..56
+        ) {
+            let ic = paper(TopologySpec::mesh());
+            for ipi in [false, true] {
+                let ab = ic.static_cost(CoreId(a), CoreId(b), ipi).unwrap();
+                let bc = ic.static_cost(CoreId(b), CoreId(c), ipi).unwrap();
+                let ac = ic.static_cost(CoreId(a), CoreId(c), ipi).unwrap();
+                prop_assert!(ac <= ab + bc, "d({a},{c})={ac} > d({a},{b})+d({b},{c})={}", ab + bc);
+            }
+        }
+
+        #[test]
+        fn ring_static_cost_is_a_metric_too(
+            a in 0u32..56, b in 0u32..56, c in 0u32..56
+        ) {
+            let ic = paper(TopologySpec::ring());
+            let ab = ic.static_cost(CoreId(a), CoreId(b), false).unwrap();
+            let ba = ic.static_cost(CoreId(b), CoreId(a), false).unwrap();
+            prop_assert_eq!(ab, ba);
+            let bc = ic.static_cost(CoreId(b), CoreId(c), false).unwrap();
+            let ac = ic.static_cost(CoreId(a), CoreId(c), false).unwrap();
+            prop_assert!(ac <= ab + bc);
+        }
+    }
+}

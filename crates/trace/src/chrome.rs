@@ -69,6 +69,18 @@ fn instant_args(rec: &crate::event::TraceRecord) -> Json {
         TraceEvent::CachelineTransfer { cost } => {
             args = args.with("cost", Json::U64(cost.as_u64()));
         }
+        TraceEvent::RoutedTransfer {
+            from,
+            to,
+            hops,
+            cost,
+        } => {
+            args = args
+                .with("from", Json::U64(from.index() as u64))
+                .with("to", Json::U64(to.index() as u64))
+                .with("hops", Json::U64(hops))
+                .with("cost", Json::U64(cost.as_u64()));
+        }
         TraceEvent::CsqDrain { n } | TraceEvent::InContextFlush { n } => {
             args = args.with("n", Json::U64(n));
         }

@@ -200,6 +200,21 @@ pub enum TraceEvent {
         /// Transfer cost in cycles.
         cost: Cycles,
     },
+    /// A cacheline transfer was routed hop-by-hop through a non-flat
+    /// interconnect topology (ring/mesh). Emitted alongside the plain
+    /// [`TraceEvent::CachelineTransfer`] cost accounting — the cost is an
+    /// instantaneous annotation, so phase attribution (and the
+    /// `phase_sum() == end_to_end()` identity) is untouched.
+    RoutedTransfer {
+        /// Source core.
+        from: CoreId,
+        /// Destination core.
+        to: CoreId,
+        /// Physical-node hops traversed.
+        hops: u64,
+        /// End-to-end routed cost including link queueing.
+        cost: Cycles,
+    },
     /// The initiator pushed a work item onto `to`'s call-single queue.
     CsqEnqueue {
         /// The responder whose queue was appended to.
@@ -260,6 +275,7 @@ impl TraceEvent {
             TraceEvent::FullFlush { .. } => "full_flush",
             TraceEvent::PageWalk { .. } => "page_walk",
             TraceEvent::CachelineTransfer { .. } => "cacheline_transfer",
+            TraceEvent::RoutedTransfer { .. } => "routed_transfer",
             TraceEvent::CsqEnqueue { .. } => "csq_enqueue",
             TraceEvent::CsqDrain { .. } => "csq_drain",
             TraceEvent::Skip { .. } => "skip",

@@ -64,6 +64,11 @@ impl Topology {
         Topology::new(1, cores)
     }
 
+    /// SMT ways per physical core (1 when SMT is off).
+    pub fn smt_ways(&self) -> u32 {
+        self.smt
+    }
+
     /// The physical core hosting a logical CPU.
     pub fn physical_of(&self, core: CoreId) -> u32 {
         assert!(core.0 < self.num_cores(), "core {core} out of range");

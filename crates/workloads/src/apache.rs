@@ -18,6 +18,7 @@ use tlbdown_kernel::mm::FileId;
 use tlbdown_kernel::prog::{Prog, ProgAction, ProgCtx};
 use tlbdown_kernel::{KernelConfig, Machine, Syscall};
 use tlbdown_sim::{Counter, SplitMix64};
+use tlbdown_topo::TopologySpec;
 use tlbdown_types::{CoreId, Cycles, Topology, VirtAddr};
 
 /// Configuration of one Apache run.
@@ -41,6 +42,15 @@ pub struct ApacheCfg {
     pub duration: Cycles,
     /// RNG seed.
     pub seed: u64,
+    /// Interconnect model; `Flat` keeps the run byte-identical to the
+    /// pre-topology pipeline.
+    pub interconnect: TopologySpec,
+    /// Give each worker a 2MB transparent-hugepage scratch arena (an
+    /// allocator pool): between requests the worker touches a rotating
+    /// arena page and periodically `madvise`s it away, alternating a
+    /// partial zap — which fractures the promoted huge leaf — with a
+    /// full zap that re-arms promotion.
+    pub thp: bool,
 }
 
 impl ApacheCfg {
@@ -56,6 +66,8 @@ impl ApacheCfg {
             request_work: 110_000,
             duration: Cycles::new(10_000_000),
             seed: 0xa9ac4e,
+            interconnect: TopologySpec::Flat,
+            thp: false,
         }
     }
 }
@@ -88,7 +100,21 @@ struct ApacheWorker {
     addr: u64,
     touch: u64,
     deadline: u64,
+    /// THP scratch arena base (0 = no arena). See [`ApacheCfg::thp`].
+    arena: u64,
+    /// Rotating touch cursor within the arena's hot prefix.
+    arena_next: u64,
+    /// Completed touch cycles; parity picks partial vs full zap.
+    arena_round: u64,
 }
+
+/// Pages of the arena a worker touches per cycle before zapping — small
+/// enough that short runs complete several promote/fracture rounds.
+const ARENA_HOT_PAGES: u64 = 16;
+/// Pages zapped on fracture (partial) rounds.
+const ARENA_FRACTURE_PAGES: u64 = 8;
+/// Full arena size: one 2MB huge page.
+const ARENA_PAGES: u64 = 512;
 
 impl Prog for ApacheWorker {
     fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
@@ -147,8 +173,39 @@ impl Prog for ApacheWorker {
             }
             5 => {
                 self.completed.set(self.completed.get() + 1);
-                self.state = 0;
+                self.state = if self.arena != 0 { 6 } else { 0 };
                 ProgAction::Nop
+            }
+            // THP arena churn: touch a rotating page of the scratch
+            // arena; after `ARENA_HOT_PAGES` touches, zap — alternately
+            // partial (fracturing the promoted huge leaf into 4K
+            // entries) and full (emptying the 2M window so the next
+            // touch promotes again).
+            6 => {
+                let page = self.arena_next % ARENA_HOT_PAGES;
+                self.arena_next += 1;
+                self.state = if self.arena_next.is_multiple_of(ARENA_HOT_PAGES) {
+                    7
+                } else {
+                    0
+                };
+                ProgAction::Access {
+                    va: VirtAddr::new(self.arena + page * 4096),
+                    write: true,
+                }
+            }
+            7 => {
+                let pages = if self.arena_round.is_multiple_of(2) {
+                    ARENA_FRACTURE_PAGES
+                } else {
+                    ARENA_PAGES
+                };
+                self.arena_round += 1;
+                self.state = 0;
+                ProgAction::Syscall(Syscall::MadviseDontNeed {
+                    addr: VirtAddr::new(self.arena),
+                    pages,
+                })
             }
             _ => ProgAction::Exit,
         }
@@ -163,7 +220,8 @@ pub fn run_apache(cfg: &ApacheCfg) -> ApacheResult {
         ..KernelConfig::paper_baseline()
     }
     .with_opts(cfg.opts)
-    .with_safe_mode(cfg.safe);
+    .with_safe_mode(cfg.safe)
+    .with_topology(cfg.interconnect.clone());
     let mut m = Machine::new(kc);
     let mm = m.create_process().expect("boot: create process");
     let files: Vec<FileId> = (0..cfg.files)
@@ -173,6 +231,13 @@ pub fn run_apache(cfg: &ApacheCfg) -> ApacheResult {
     let mut rng = SplitMix64::new(cfg.seed);
     let per_worker_interval = Cycles::FREQ_HZ as f64 / (cfg.offered_rps / cfg.cores as f64);
     for t in 0..cfg.cores {
+        let arena = if cfg.thp {
+            m.setup_map_anon_thp(mm, ARENA_PAGES)
+                .expect("boot: map thp arena")
+                .as_u64()
+        } else {
+            0
+        };
         m.spawn(
             mm,
             CoreId(t),
@@ -188,6 +253,9 @@ pub fn run_apache(cfg: &ApacheCfg) -> ApacheResult {
                 addr: 0,
                 touch: 0,
                 deadline: cfg.duration.as_u64(),
+                arena,
+                arena_next: 0,
+                arena_round: 0,
             }),
         );
     }
@@ -261,6 +329,38 @@ mod tests {
             "20 cores should meet most of the offered load: {} vs {offered_in_window:.0}",
             r.requests
         );
+    }
+
+    #[test]
+    fn thp_arena_churn_promotes_and_fractures_between_requests() {
+        let mut cfg = ApacheCfg::new(2, true, OptConfig::baseline());
+        cfg.duration = Cycles::new(3_000_000);
+        cfg.files = 8;
+        cfg.thp = true;
+        let r = run_apache(&cfg);
+        assert!(r.requests > 0, "thp arena must not starve request serving");
+        assert!(
+            r.counters.get("thp_promote") > 0,
+            "first arena touch of an empty window must promote"
+        );
+        assert!(
+            r.counters.get("thp_split") > 0,
+            "partial arena zap must fracture the huge leaf"
+        );
+    }
+
+    #[test]
+    fn mesh_interconnect_replays_byte_identically() {
+        let mut cfg = ApacheCfg::new(2, true, OptConfig::baseline());
+        cfg.duration = Cycles::new(2_000_000);
+        cfg.files = 8;
+        cfg.interconnect = TopologySpec::mesh();
+        let a = run_apache(&cfg);
+        let b = run_apache(&cfg);
+        assert!(a.requests > 0);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.sim_cycles, b.sim_cycles);
+        assert_eq!(a.counters.render_json(), b.counters.render_json());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use tlbdown_core::OptConfig;
 use tlbdown_kernel::prog::{Prog, ProgAction, ProgCtx};
 use tlbdown_kernel::{KernelConfig, Machine};
 use tlbdown_sim::{Counter, SplitMix64, Summary};
+use tlbdown_topo::TopologySpec;
 use tlbdown_types::{CoreId, Cycles, Topology, VirtAddr};
 
 /// Configuration of one CoW experiment.
@@ -25,6 +26,9 @@ pub struct CowBenchCfg {
     pub runs: u64,
     /// Base seed (randomizes write order).
     pub seed: u64,
+    /// Interconnect model; `Flat` keeps the run byte-identical to the
+    /// pre-topology pipeline.
+    pub interconnect: TopologySpec,
 }
 
 impl CowBenchCfg {
@@ -36,6 +40,7 @@ impl CowBenchCfg {
             pages: 400,
             runs: 5,
             seed: 0xc0,
+            interconnect: TopologySpec::Flat,
         }
     }
 }
@@ -84,7 +89,8 @@ pub fn run_cow_bench(cfg: &CowBenchCfg) -> CowBenchResult {
             ..KernelConfig::paper_baseline()
         }
         .with_opts(cfg.opts)
-        .with_safe_mode(cfg.safe);
+        .with_safe_mode(cfg.safe)
+        .with_topology(cfg.interconnect.clone());
         kc.noise_cycles = 60;
         kc.seed = cfg.seed ^ (run + 1).wrapping_mul(0x2545_f491);
         let mut m = Machine::new(kc);

@@ -11,8 +11,9 @@
 use tlbdown_core::OptConfig;
 use tlbdown_kernel::chaos::ChaosConfig;
 use tlbdown_kernel::prog::{BusyLoopProg, Prog, ProgAction, ProgCtx};
-use tlbdown_kernel::{KernelConfig, Machine, Syscall};
+use tlbdown_kernel::{KernelConfig, Machine, Syscall, TlbGeometry};
 use tlbdown_sim::{Counter, SplitMix64, Summary};
+use tlbdown_topo::TopologySpec;
 use tlbdown_types::{CoreId, CostModel, Cycles, SimError, SimResult, Topology, VirtAddr};
 
 /// Where the responder runs relative to the initiator (§5.1 runs every
@@ -79,6 +80,10 @@ pub struct MadviseBenchCfg {
     /// perturbation-freedom regression test pins that enabling the storm
     /// detector alone leaves every reported number byte-identical.
     pub chaos: ChaosConfig,
+    /// Interconnect model routing cross-core transfers and IPIs. The
+    /// default `Flat` delegates to the distance-constant cost model, so
+    /// BENCH_1 stays byte-identical to the pre-topology pipeline.
+    pub interconnect: TopologySpec,
 }
 
 impl MadviseBenchCfg {
@@ -94,6 +99,7 @@ impl MadviseBenchCfg {
             seed: 0x51ab,
             costs_override: None,
             chaos: ChaosConfig::default(),
+            interconnect: TopologySpec::Flat,
         }
     }
 }
@@ -224,7 +230,8 @@ fn run_with_hooks(
         }
         .with_opts(cfg.opts)
         .with_safe_mode(cfg.safe)
-        .with_chaos(cfg.chaos.clone());
+        .with_chaos(cfg.chaos.clone())
+        .with_topology(cfg.interconnect.clone());
         kc.noise_cycles = 120;
         kc.seed = cfg.seed ^ (run + 1).wrapping_mul(0x2545_f491);
         if let Some(costs) = &cfg.costs_override {
@@ -284,6 +291,61 @@ fn run_with_hooks(
     })
 }
 
+/// The THP initiator: cycles a 2MB transparent-hugepage arena through the
+/// promote/fracture lifecycle. Even rounds touch the (empty) 2M window —
+/// the fault promotes the whole leaf — then `madvise` a partial range,
+/// which splits the huge leaf (`thp_split`) before zapping; odd rounds
+/// re-fault one 4K page of the splintered window and zap the full arena,
+/// leaving the window empty so the next even round promotes again. Every
+/// round ends in a ranged shootdown, so the fracture pressure rides the
+/// same IPI paths the 4K initiator exercises.
+struct ThpInitiator {
+    /// 2M-aligned arena base (512 pages, mapped with `thp` enabled).
+    arena: u64,
+    /// Pages zapped on fracture rounds (must leave part of the window
+    /// mapped, or nothing splinters).
+    zap_pages: u64,
+    state: u32,
+    round: u64,
+    rng: SplitMix64,
+}
+
+impl Prog for ThpInitiator {
+    fn next(&mut self, _ctx: &ProgCtx) -> ProgAction {
+        match self.state {
+            0 => {
+                self.state = 1;
+                ProgAction::Access {
+                    va: VirtAddr::new(self.arena),
+                    write: true,
+                }
+            }
+            1 => {
+                self.state = 2;
+                ProgAction::Compute(Cycles::new(self.rng.gen_range(96)))
+            }
+            2 => {
+                let pages = if self.round.is_multiple_of(2) {
+                    self.zap_pages
+                } else {
+                    512
+                };
+                self.state = 3;
+                ProgAction::Syscall(Syscall::MadviseDontNeed {
+                    addr: VirtAddr::new(self.arena),
+                    pages,
+                })
+            }
+            3 => {
+                self.round += 1;
+                self.state = 0;
+                ProgAction::Nop
+            }
+            _ => ProgAction::Exit,
+        }
+    }
+}
+
 /// Configuration of the dual-socket scale tier: a machine far beyond the
 /// paper's 2×28 evaluation box, every core busy, a handful of madvise
 /// initiators broadcasting shootdowns into a single shared mm, run until
@@ -321,6 +383,21 @@ pub struct ScaleTierCfg {
     /// Chaos layer. Inert by default; the perturbation-freedom test pins
     /// that the storm detector alone never moves the state digest.
     pub chaos: ChaosConfig,
+    /// Interconnect model; `Flat` keeps BENCH_2 byte-identical to the
+    /// pre-topology pipeline, `ring`/`mesh` route every cross-core
+    /// transfer through per-hop link costs and congestion.
+    pub interconnect: TopologySpec,
+    /// Run the THP-backed initiator instead of the 4K one: each
+    /// initiator cycles a 2MB transparent-hugepage arena through
+    /// fault-time promotion, a partial `madvise` that fractures the huge
+    /// leaf, and a full zap that re-arms promotion — the fracture
+    /// pressure column of the topobench table.
+    pub thp: bool,
+    /// Override the per-core TLB geometry (`None` keeps the machine
+    /// default). The fracture-pressure table pairs `thp` with
+    /// [`TlbGeometry::skylake_sp`] so splintered huge pages show up as
+    /// set-associative capacity pressure.
+    pub tlb_geometry: Option<TlbGeometry>,
 }
 
 impl ScaleTierCfg {
@@ -340,6 +417,9 @@ impl ScaleTierCfg {
             heap_only_engine: false,
             partitioned_engine: false,
             chaos: ChaosConfig::default(),
+            interconnect: TopologySpec::Flat,
+            thp: false,
+            tlb_geometry: None,
         }
     }
 
@@ -378,6 +458,19 @@ pub struct ScaleTierResult {
     pub digest: u64,
     /// Full machine counter set at the stop point.
     pub counters: Counter,
+    /// TLB lookup hits summed over every core (L1 + STLB).
+    pub tlb_hits: u64,
+    /// TLB misses (full page walks) summed over every core.
+    pub tlb_misses: u64,
+    /// L1-miss-but-STLB-hit count summed over every core — the
+    /// second-level safety net that fractured huge pages lean on.
+    pub stlb_hits: u64,
+    /// Set-associativity conflict evictions summed over every core; zero
+    /// under the legacy infinite-capacity geometry.
+    pub tlb_evictions: u64,
+    /// Ranged invalidations that splintered a cached huge-page entry,
+    /// summed over every core.
+    pub tlb_fractures: u64,
 }
 
 /// Run the scale tier to its dispatch target.
@@ -393,7 +486,7 @@ pub fn run_scale_tier(cfg: &ScaleTierCfg) -> SimResult<ScaleTierResult> {
             cfg.initiators
         )));
     }
-    let kc = KernelConfig {
+    let mut kc = KernelConfig {
         topo,
         ..KernelConfig::paper_baseline()
     }
@@ -401,26 +494,45 @@ pub fn run_scale_tier(cfg: &ScaleTierCfg) -> SimResult<ScaleTierResult> {
     .with_safe_mode(cfg.safe)
     .with_heap_only_engine(cfg.heap_only_engine)
     .with_partitioned_engine(cfg.partitioned_engine)
-    .with_chaos(cfg.chaos.clone());
+    .with_chaos(cfg.chaos.clone())
+    .with_topology(cfg.interconnect.clone());
+    if let Some(geometry) = &cfg.tlb_geometry {
+        kc = kc.with_tlb_geometry(geometry.clone());
+    }
     let mut m = Machine::new(kc);
     let mm = m.create_process()?;
     let stride = n / cfg.initiators;
     for core in 0..n {
         if core % stride == 0 && core / stride < cfg.initiators {
             let rng = SplitMix64::new(cfg.seed ^ u64::from(core).wrapping_mul(0x9e37_79b9));
-            m.spawn(
-                mm,
-                CoreId(core),
-                Box::new(Initiator {
-                    addr: 0,
-                    ptes: cfg.ptes,
-                    iters: u64::MAX,
-                    state: 0,
-                    touch: 0,
-                    iter: 0,
-                    rng,
-                }),
-            );
+            if cfg.thp {
+                let arena = m.setup_map_anon_thp(mm, 512)?;
+                m.spawn(
+                    mm,
+                    CoreId(core),
+                    Box::new(ThpInitiator {
+                        arena: arena.as_u64(),
+                        zap_pages: cfg.ptes.clamp(1, 511),
+                        state: 0,
+                        round: 0,
+                        rng,
+                    }),
+                );
+            } else {
+                m.spawn(
+                    mm,
+                    CoreId(core),
+                    Box::new(Initiator {
+                        addr: 0,
+                        ptes: cfg.ptes,
+                        iters: u64::MAX,
+                        state: 0,
+                        touch: 0,
+                        iter: 0,
+                        rng,
+                    }),
+                );
+            }
         } else {
             m.spawn(mm, CoreId(core), Box::new(BusyLoopProg));
         }
@@ -429,11 +541,25 @@ pub fn run_scale_tier(cfg: &ScaleTierCfg) -> SimResult<ScaleTierResult> {
     if let Some(v) = m.violations().first() {
         return Err(v.clone());
     }
+    let mut tlb = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for t in &m.tlbs {
+        let s = t.stats();
+        tlb.0 += s.hits;
+        tlb.1 += s.misses;
+        tlb.2 += s.stlb_hits;
+        tlb.3 += s.evictions;
+        tlb.4 += s.fracture_escalations;
+    }
     Ok(ScaleTierResult {
         events: m.events_processed(),
         sim_cycles: m.now().as_u64(),
         digest: m.state_digest(),
         counters: m.stats.counters.clone(),
+        tlb_hits: tlb.0,
+        tlb_misses: tlb.1,
+        stlb_hits: tlb.2,
+        tlb_evictions: tlb.3,
+        tlb_fractures: tlb.4,
     })
 }
 
@@ -504,6 +630,42 @@ mod tests {
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.sim_cycles, b.sim_cycles);
         assert!(a.counters.get("shootdown") > 0, "madvise traffic flowed");
+    }
+
+    #[test]
+    fn mesh_scale_tier_diverges_from_flat_but_replays_byte_identically() {
+        let flat_cfg = ScaleTierCfg::smoke();
+        let mut mesh_cfg = flat_cfg.clone();
+        mesh_cfg.interconnect = TopologySpec::mesh();
+        let flat = run_scale_tier(&flat_cfg).expect("flat tier runs clean");
+        let a = run_scale_tier(&mesh_cfg).expect("mesh tier runs clean");
+        let b = run_scale_tier(&mesh_cfg).expect("mesh tier runs clean");
+        assert_eq!(a.digest, b.digest, "mesh tier must replay byte-identically");
+        assert_eq!(a.sim_cycles, b.sim_cycles);
+        assert_ne!(
+            flat.digest, a.digest,
+            "per-hop routing must reshape the cross-socket run"
+        );
+        assert!(a.counters.get("shootdown") > 0);
+    }
+
+    #[test]
+    fn thp_scale_tier_promotes_and_fractures_under_skylake_geometry() {
+        let mut cfg = ScaleTierCfg::smoke();
+        cfg.thp = true;
+        cfg.tlb_geometry = Some(TlbGeometry::skylake_sp());
+        let a = run_scale_tier(&cfg).expect("thp tier runs clean");
+        let b = run_scale_tier(&cfg).expect("thp tier runs clean");
+        assert_eq!(a.digest, b.digest, "thp tier must replay byte-identically");
+        assert!(
+            a.counters.get("thp_promote") > 0,
+            "arena touches must promote huge leaves"
+        );
+        assert!(
+            a.counters.get("thp_split") > 0,
+            "partial madvise must fracture huge leaves"
+        );
+        assert!(a.counters.get("shootdown") > 0, "zaps must shoot down");
     }
 
     #[test]

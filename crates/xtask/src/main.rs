@@ -43,19 +43,22 @@
 //!   strict-parser round-trip, and a clean compile of the kernel with
 //!   tracing compiled out. Prints the paper-style "where did the cycles
 //!   go" table and writes a sample `.trace.json` (opens in Perfetto).
-//! - `cargo xtask storm [--threads N] [--scale quick|full] [--out PATH]
-//!   [--report PATH] [--baseline PATH] [--tolerance F]` — the
-//!   shootdown-storm survival gate behind `BENCH_3.json`: the
-//!   SEV-Step-style adversary pack ({mild, brisk, savage} monitors ×
-//!   {none, ipi-drop, late-responder, combined} fault presets) run at
-//!   all seven cumulative optimization levels, every cell twice. Every
-//!   cell must survive — zero oracle violations, no post-drain wedge,
-//!   all threads done, byte-identical seed replay — with the watchdog
-//!   escalation ladder and storm detector enabled throughout. Prints
-//!   the victim signal-observability table (fault-latency percentiles
-//!   per opt level), writes `storm_report.json` with the per-cell
-//!   verdicts, and diffs `BENCH_3.json` against the committed baseline
-//!   like `bench` does.
+//! - `cargo xtask storm [--threads N] [--scale quick|full]
+//!   [--fabric flat|mesh] [--out PATH] [--report PATH] [--baseline PATH]
+//!   [--tolerance F]` — the shootdown-storm survival gate behind
+//!   `BENCH_3.json`: the SEV-Step-style adversary pack ({mild, brisk,
+//!   savage} monitors × {none, ipi-drop, late-responder, combined}
+//!   fault presets) run at all seven cumulative optimization levels,
+//!   every cell twice. Every cell must survive — zero oracle
+//!   violations, no post-drain wedge, all threads done, byte-identical
+//!   seed replay — with the watchdog escalation ladder and storm
+//!   detector enabled throughout. `--fabric mesh` routes every cell
+//!   over the 2D mesh interconnect (the nightly variant; job IDs gain
+//!   a `mesh/` segment so the snapshot never collides with the flat
+//!   baseline). Prints the victim signal-observability table
+//!   (fault-latency percentiles per opt level), writes
+//!   `storm_report.json` with the per-cell verdicts, and diffs
+//!   `BENCH_3.json` against the committed baseline like `bench` does.
 //! - `cargo xtask fleet [--threads N] [--scale quick|full] [--out PATH]
 //!   [--report PATH] [--baseline PATH] [--tolerance F]` — the fleet
 //!   survival gate behind `BENCH_4.json`: N independent machine sims
@@ -81,11 +84,22 @@
 //!   (deque ≥ 1.3× mutex, windowed×N ≥ 2.0× windowed×1) are enforced
 //!   only on hosts with enough cores to make them physical — smaller
 //!   hosts record the measured numbers and waive the floor with a note.
+//! - `cargo xtask topobench [--scale quick|full] [--out PATH]
+//!   [--baseline PATH] [--tolerance F]` — the interconnect gate behind
+//!   `BENCH_6.json`: the {flat, ring, mesh} × {4K-only, THP} matrix at
+//!   the dual-socket 2×56 tier under the Skylake-SP set-associative TLB
+//!   geometry, plus the huge-page fracture-pressure table. The whole
+//!   matrix runs at two sweep-pool thread counts (byte-identical sim
+//!   blocks required), every cell simulates twice (byte-identical seed
+//!   replay required), ring and mesh must diverge from the flat
+//!   reference, and the THP column must show real huge-page promotions
+//!   and fractures; then the snapshot diffs against the committed
+//!   baseline like `bench` does. Defaults to full scale.
 //! - `cargo xtask ci [seed] [--gates fast|full]` — every gate above.
 //!   `--gates fast` runs the PR-blocking tier (fmt, clippy, replay,
 //!   engine); `--gates full` runs the long matrix gates (explore,
-//!   bench, scale, storm, fleet, trace, steal); omitting the flag runs
-//!   both tiers. All selected gates run even if an early one fails; a
+//!   bench, scale, topo, storm, fleet, trace, steal); omitting the flag
+//!   runs both tiers. All selected gates run even if an early one fails; a
 //!   final table reports per-gate pass/fail with wall-clock, the
 //!   machine-readable verdicts land in `ci_report.json`, and the exit
 //!   code is nonzero if any gate failed.
@@ -95,13 +109,14 @@ use std::time::Duration;
 
 use tlbdown_bench::report::{diff_sim_metrics, render_bench_json, sim_blocks, total_wall_ns};
 use tlbdown_bench::{
-    bench_jobs, bench_matrix, full_matrix, scale_matrix, stealbench_matrix, storm_matrix, Scale,
+    bench_jobs, bench_matrix, full_matrix, scale_matrix, stealbench_matrix, storm_matrix,
+    storm_matrix_mesh, topobench_matrix, Scale,
 };
 use tlbdown_check::gate::{
-    per_level_bounds, run_canary, run_quarantine_canary, CanaryReport, GateReport, LevelReport,
-    DEFAULT_BUDGET,
+    per_level_bounds, run_canary, run_fracture_canary, run_quarantine_canary, CanaryReport,
+    GateReport, LevelReport, DEFAULT_BUDGET,
 };
-use tlbdown_check::{explore_opt_level, Bounds};
+use tlbdown_check::{explore_opt_level, explore_opt_level_mesh, Bounds};
 use tlbdown_core::OptConfig;
 use tlbdown_fleet::{run_fleet, FleetCfg, FleetFaultSpec};
 use tlbdown_kernel::chaos::ChaosConfig;
@@ -176,10 +191,34 @@ fn main() -> ExitCode {
             flag(&args, "--baseline"),
             parse_tolerance(&args),
         ),
+        Some("topobench") => topo_bench_gate(
+            // The committed artifact is the 2×56 tier, so `topobench`
+            // defaults to full; the reduced dispatch target keeps it
+            // CI-sized (see `topo_tier`).
+            match flag(&args, "--scale").as_deref() {
+                None | Some("full") => Scale::Full,
+                Some("quick") => Scale::Quick,
+                Some(other) => {
+                    eprintln!("xtask: bad --scale {other:?}, expected quick or full");
+                    return ExitCode::FAILURE;
+                }
+            },
+            &flag(&args, "--out").unwrap_or_else(|| "BENCH_6.json".into()),
+            flag(&args, "--baseline"),
+            parse_tolerance(&args),
+        ),
         Some("engine") => engine_gate(parse_seed(positional(&args, 1))),
         Some("storm") => storm_gate(
             parse_threads(&args),
             parse_scale(&args),
+            match flag(&args, "--fabric").as_deref() {
+                None | Some("flat") => false,
+                Some("mesh") => true,
+                Some(other) => {
+                    eprintln!("xtask: bad --fabric {other:?}, expected flat or mesh");
+                    return ExitCode::FAILURE;
+                }
+            },
             &flag(&args, "--out").unwrap_or_else(|| "BENCH_3.json".into()),
             &flag(&args, "--report").unwrap_or_else(|| "storm_report.json".into()),
             flag(&args, "--baseline"),
@@ -218,9 +257,10 @@ fn main() -> ExitCode {
                  bench [--threads N] [--out PATH] [--baseline PATH] [--tolerance F] | \
                  scalebench [--out PATH] [--baseline PATH] [--tolerance F] | \
                  stealbench [--out PATH] [--baseline PATH] [--tolerance F] | \
+                 topobench [--scale quick|full] [--out PATH] [--baseline PATH] [--tolerance F] | \
                  engine [seed] | \
-                 storm [--threads N] [--scale quick|full] [--out PATH] [--report PATH] \
-                 [--baseline PATH] [--tolerance F] | \
+                 storm [--threads N] [--scale quick|full] [--fabric flat|mesh] [--out PATH] \
+                 [--report PATH] [--baseline PATH] [--tolerance F] | \
                  fleet [--threads N] [--scale quick|full] [--out PATH] [--report PATH] \
                  [--baseline PATH] [--tolerance F] | \
                  sweep [--threads N] [--scale quick|full] [--out PATH] | \
@@ -422,23 +462,31 @@ fn replay(seed: u64) -> bool {
     }
 }
 
-/// The seven per-level explorations as sweep jobs. The per-level DFS is
-/// deterministic in isolation, so the jobs can run on any worker in any
-/// order.
-fn explore_level_jobs() -> Vec<Job<LevelReport>> {
-    (0..=6u8)
+/// The per-level explorations as sweep jobs: seven levels over the flat
+/// reference interconnect, then the same seven routed over the 2D mesh.
+/// Each per-level DFS is deterministic in isolation, so the jobs can run
+/// on any worker in any order.
+fn explore_level_jobs() -> Vec<Job<(LevelReport, bool)>> {
+    let mut jobs: Vec<Job<(LevelReport, bool)>> = (0..=6u8)
         .map(|level| {
             let bounds = per_level_bounds();
             Job::new(format!("explore/L{level}"), move || {
-                explore_opt_level(level, &bounds)
+                (explore_opt_level(level, &bounds), false)
             })
         })
-        .collect()
+        .collect();
+    jobs.extend((0..=6u8).map(|level| {
+        let bounds = per_level_bounds();
+        Job::new(format!("explore/mesh/L{level}"), move || {
+            (explore_opt_level_mesh(level, &bounds), true)
+        })
+    }));
+    jobs
 }
 
-fn print_level(rep: &LevelReport) {
+fn print_level(topo: &str, rep: &LevelReport) {
     println!(
-        "xtask: opt level {}: {} schedules, {} branch points, \
+        "xtask: {topo} opt level {}: {} schedules, {} branch points, \
          {} distinct states, {} digest-pruned — {}",
         rep.level,
         rep.schedules,
@@ -500,23 +548,42 @@ fn explore_gate(threads: usize, out: &str) -> bool {
         per_level.window.as_u64()
     );
     let sweep = run_jobs(explore_level_jobs(), threads);
-    let levels: Vec<LevelReport> = sweep.results.iter().map(|r| r.output.clone()).collect();
+    let mut levels: Vec<LevelReport> = Vec::new();
+    let mut mesh_levels: Vec<LevelReport> = Vec::new();
+    for r in &sweep.results {
+        let (rep, mesh) = r.output.clone();
+        if mesh {
+            mesh_levels.push(rep);
+        } else {
+            levels.push(rep);
+        }
+    }
     for rep in &levels {
-        print_level(rep);
+        print_level("flat", rep);
+    }
+    for rep in &mesh_levels {
+        print_level("mesh", rep);
     }
     let canary = run_canary(&Bounds::default(), SHRINK_BUDGET);
     print_canary("buggy_nmi_check", &canary);
     let quarantine_canary = run_quarantine_canary(&Bounds::default(), SHRINK_BUDGET);
     print_canary("buggy_quarantine", &quarantine_canary);
-    let spent =
-        levels.iter().map(|l| l.schedules).sum::<u64>() + canary.spent + quarantine_canary.spent;
+    let fracture_canary = run_fracture_canary(&Bounds::default(), SHRINK_BUDGET);
+    print_canary("buggy_fracture", &fracture_canary);
+    let spent = levels.iter().map(|l| l.schedules).sum::<u64>()
+        + mesh_levels.iter().map(|l| l.schedules).sum::<u64>()
+        + canary.spent
+        + quarantine_canary.spent
+        + fracture_canary.spent;
     let gate = GateReport {
         budget: DEFAULT_BUDGET,
         spent,
         threads: sweep.threads,
         levels,
+        mesh_levels,
         canary,
         quarantine_canary,
+        fracture_canary,
         max_canary_choices: MAX_CANARY_CHOICES,
     };
     if let Err(e) = std::fs::write(out, gate.to_json().render_pretty()) {
@@ -872,6 +939,202 @@ fn steal_bench_gate(out: &str, baseline: Option<String>, tolerance: f64) -> bool
     ok
 }
 
+/// A `u64` field of one job's deterministic sim block, if present.
+fn sim_u64(doc: &Json, id: &str, key: &str) -> Option<u64> {
+    doc.get("jobs")?
+        .as_arr()?
+        .iter()
+        .find(|j| j.get("id").and_then(Json::as_str) == Some(id))?
+        .get("sim")?
+        .get(key)?
+        .as_u64()
+}
+
+/// The interconnect gate behind `BENCH_6.json`: the topobench matrix —
+/// {flat, ring, mesh} × {4K-only, THP} at the dual-socket 2×56 tier
+/// under the Skylake-SP TLB geometry, plus the huge-page
+/// fracture-pressure table — with four checks before the baseline diff:
+/// the whole matrix is run at two sweep-pool thread counts and the
+/// deterministic sim blocks must be byte-identical between the runs;
+/// every cell's internal seed replay (each cell simulates twice) must be
+/// green; the flat cells must be byte-identical to the pre-topology
+/// scale tier in spirit — i.e. ring and mesh must *diverge* from flat
+/// (a routed interconnect that changes nothing is a wiring bug); and
+/// the THP column must actually promote and fracture huge pages.
+fn topo_bench_gate(scale: Scale, out: &str, baseline: Option<String>, tolerance: f64) -> bool {
+    let jobs = bench_jobs(topobench_matrix(scale));
+    println!(
+        "xtask: topo sweep — {} cells at {} scale, every cell simulated twice, \
+         matrix replayed at 1 and 2 pool threads",
+        jobs.len(),
+        scale.label()
+    );
+    let sweep = run_jobs(jobs, 1);
+    let doc = render_bench_json(&sweep, &git_rev());
+    let sweep2 = run_jobs(bench_jobs(topobench_matrix(scale)), 2);
+    let doc2 = render_bench_json(&sweep2, &git_rev());
+    let mut ok = true;
+
+    if !sweep.failures.is_empty() || !sweep2.failures.is_empty() {
+        for f in sweep.failures.iter().chain(&sweep2.failures) {
+            eprintln!(
+                "xtask: TOPO GATE FAILED — job {} panicked: {}",
+                f.id, f.message
+            );
+        }
+        ok = false;
+    }
+
+    // Check 1: thread invariance — the deterministic sim blocks of the
+    // two pool runs, byte for byte.
+    if sim_blocks(&doc) == sim_blocks(&doc2) {
+        println!(
+            "xtask: thread invariance OK — {} sim blocks byte-identical at 1 and 2 pool threads",
+            sweep.results.len()
+        );
+    } else {
+        eprintln!("xtask: TOPO GATE FAILED — sim blocks differ between 1 and 2 pool threads");
+        ok = false;
+    }
+
+    // Check 2: every cell's internal seed replay.
+    let s = scale.label();
+    for r in &sweep.results {
+        if r.id.ends_with("/fracture") {
+            continue;
+        }
+        match sim_u64(&doc, &r.id, "replay_ok") {
+            Some(1) => {}
+            other => {
+                eprintln!(
+                    "xtask: TOPO GATE FAILED — {}: seed replay diverged (replay_ok = {other:?})",
+                    r.id
+                );
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!("xtask: seed replay OK — every topology cell byte-identical across its two runs");
+    }
+
+    // Check 3: the routed interconnects must diverge from flat. Same
+    // workload, same seed — only the link model differs, so identical
+    // digests would mean the topology is not actually routing anything.
+    for pages in ["4k", "thp"] {
+        let flat = sim_u64(&doc, &format!("topo/{s}/flat/{pages}"), "state_digest");
+        for topo in ["ring", "mesh"] {
+            let routed = sim_u64(&doc, &format!("topo/{s}/{topo}/{pages}"), "state_digest");
+            match (flat, routed) {
+                (Some(f), Some(r)) if f != r => {}
+                (Some(f), Some(r)) => {
+                    eprintln!(
+                        "xtask: TOPO GATE FAILED — {topo}/{pages} digest {r:016x} equals \
+                         flat's {f:016x}: the routed interconnect changed nothing"
+                    );
+                    ok = false;
+                }
+                _ => {
+                    eprintln!("xtask: TOPO GATE FAILED — {topo}/{pages} cells missing digests");
+                    ok = false;
+                }
+            }
+        }
+    }
+    if ok {
+        println!("xtask: divergence OK — ring and mesh digests differ from flat in both columns");
+    }
+
+    // Check 4: the fracture-pressure table must show the THP lifecycle.
+    let frac = format!("topo/{s}/fracture");
+    let promotes = sim_u64(&doc, &frac, "thp_thp_promote").unwrap_or(0);
+    let splits = sim_u64(&doc, &frac, "thp_thp_split").unwrap_or(0);
+    if promotes > 0 && splits > 0 {
+        println!(
+            "xtask: fracture pressure OK — {promotes} huge-page promotions, {splits} fractures \
+             in the THP column"
+        );
+    } else {
+        eprintln!(
+            "xtask: TOPO GATE FAILED — fracture table shows {promotes} promotions / \
+             {splits} splits; the THP churn never exercised the huge-page lifecycle"
+        );
+        ok = false;
+    }
+
+    for r in &sweep.results {
+        print!(
+            "xtask:   {}",
+            r.output.1.rendered.replace('\n', "\nxtask:   ")
+        );
+        println!();
+    }
+
+    // Diff against the committed snapshot. Job IDs are scale-prefixed,
+    // so (like the fleet gate) a quick run must not clobber the
+    // committed full cells: baseline jobs this run didn't produce are
+    // carried over verbatim and the wall-clock bound is skipped when
+    // anything was carried.
+    let baseline_path = baseline.unwrap_or_else(|| out.to_string());
+    let mut carried: Vec<Json> = Vec::new();
+    let mut doc = doc;
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(base) => {
+                let produced: Vec<&str> = sweep.results.iter().map(|r| r.id.as_str()).collect();
+                let mut same_scale: Vec<Json> = Vec::new();
+                if let Some(base_jobs) = base.get("jobs").and_then(Json::as_arr) {
+                    for j in base_jobs {
+                        let id = j.get("id").and_then(Json::as_str);
+                        if id.is_some_and(|id| produced.contains(&id)) {
+                            same_scale.push(j.clone());
+                        } else {
+                            carried.push(j.clone());
+                        }
+                    }
+                }
+                let base_cmp = if carried.is_empty() {
+                    base
+                } else {
+                    Json::obj().with("jobs", Json::Arr(same_scale))
+                };
+                ok &= gate_against_baseline(&doc, &base_cmp, &baseline_path, tolerance);
+            }
+            Err(e) => {
+                eprintln!(
+                    "xtask: baseline {baseline_path} is not valid JSON ({e}) — TOPO GATE FAILED"
+                );
+                ok = false;
+            }
+        },
+        Err(_) => println!("xtask: no baseline at {baseline_path} — recording first snapshot"),
+    }
+    if !carried.is_empty() {
+        let mut all_jobs: Vec<Json> = doc
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default();
+        all_jobs.extend(carried);
+        all_jobs.sort_by(|a, b| {
+            a.get("id")
+                .and_then(Json::as_str)
+                .cmp(&b.get("id").and_then(Json::as_str))
+        });
+        doc = doc.with("jobs", Json::Arr(all_jobs));
+    }
+
+    if let Err(e) = std::fs::write(out, doc.render_pretty()) {
+        eprintln!("xtask: could not write {out}: {e}");
+        return false;
+    }
+    println!("xtask: wrote {out}");
+    if ok {
+        println!("xtask: topobench OK");
+    }
+    ok
+}
+
 /// One chaos-stressed machine run for the engine-equivalence gate.
 fn engine_gate_run(level: usize, seed: u64, heap_only: bool) -> (u64, u64, usize, usize) {
     let chaos = ChaosConfig::with_fault(FaultSpec::everything(), seed);
@@ -961,10 +1224,11 @@ const STORM_SURVIVAL: [(&str, u64); 4] = [
 /// read from the fault-free cells (the clean side-channel signal the
 /// optimization levels reshape). This is the table EXPERIMENTS.md
 /// records.
-fn render_storm_signal_table(cells: &[(String, Json)], scale: Scale) -> String {
+fn render_storm_signal_table(cells: &[(String, Json)], scale: Scale, mesh: bool) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let intensities = ["mild", "brisk", "savage"];
+    let seg = if mesh { "mesh/" } else { "" };
     write!(out, "{:<6}", "level").unwrap();
     for i in &intensities {
         write!(out, "  {i:>7} p50/p90/p99 (n)     ").unwrap();
@@ -973,7 +1237,7 @@ fn render_storm_signal_table(cells: &[(String, Json)], scale: Scale) -> String {
     for level in 0..STORM_LEVELS {
         write!(out, "L{level:<5}").unwrap();
         for i in &intensities {
-            let id = format!("storm/{}/{i}/none", scale.label());
+            let id = format!("storm/{}/{seg}{i}/none", scale.label());
             let sim = cells.iter().find(|(cid, _)| cid == &id).map(|(_, s)| s);
             let get = |k: &str| {
                 sim.and_then(|s| s.get(&format!("L{level}_{k}")))
@@ -1005,14 +1269,21 @@ fn render_storm_signal_table(cells: &[(String, Json)], scale: Scale) -> String {
 fn storm_gate(
     threads: usize,
     scale: Scale,
+    mesh: bool,
     out: &str,
     report_out: &str,
     baseline: Option<String>,
     tolerance: f64,
 ) -> bool {
-    let jobs = bench_jobs(storm_matrix(scale));
+    let jobs = bench_jobs(if mesh {
+        storm_matrix_mesh(scale)
+    } else {
+        storm_matrix(scale)
+    });
+    let fabric = if mesh { "mesh" } else { "flat" };
     println!(
-        "xtask: storm survival matrix — {} cells × {STORM_LEVELS} opt levels, every cell run twice",
+        "xtask: storm survival matrix ({fabric} fabric) — {} cells × {STORM_LEVELS} opt levels, \
+         every cell run twice",
         jobs.len()
     );
     let sweep = run_jobs(jobs, threads);
@@ -1078,7 +1349,7 @@ fn storm_gate(
         );
     }
 
-    let signal_table = render_storm_signal_table(&cells, scale);
+    let signal_table = render_storm_signal_table(&cells, scale, mesh);
     println!("xtask: victim fault-latency signal (fault preset none), percentile upper bounds in cycles:");
     print!("{signal_table}");
 
@@ -1086,6 +1357,7 @@ fn storm_gate(
         .with("schema_version", Json::U64(1))
         .with("git_rev", Json::Str(git_rev()))
         .with("scale", Json::Str(scale.label().into()))
+        .with("fabric", Json::Str(fabric.into()))
         .with("levels", Json::U64(STORM_LEVELS as u64))
         .with("pass", Json::Bool(ok))
         .with("cells", Json::Arr(cell_reports))
@@ -1407,10 +1679,11 @@ fn sweep(threads: usize, scale: Scale, out: Option<String>) -> bool {
     jobs.extend(explore_level_jobs().into_iter().map(|j| {
         let id = j.id.clone();
         Job::new(id, move || {
-            let rep = (j.run)();
+            let (rep, mesh) = (j.run)();
             format!(
-                "opt level {}: {} schedules, {} branch points, {} distinct states, \
+                "{} opt level {}: {} schedules, {} branch points, {} distinct states, \
                  {} digest-pruned — {}\n",
+                if mesh { "mesh" } else { "flat" },
                 rep.level,
                 rep.schedules,
                 rep.branch_points,
@@ -1603,12 +1876,18 @@ fn ci(seed: u64, which: CiGates) -> ExitCode {
             Box::new(|| steal_bench_gate("BENCH_5.json", None, DEFAULT_TOLERANCE)),
         ),
         (
+            "topo",
+            false,
+            Box::new(|| topo_bench_gate(Scale::Full, "BENCH_6.json", None, DEFAULT_TOLERANCE)),
+        ),
+        (
             "storm",
             false,
             Box::new(|| {
                 storm_gate(
                     0,
                     Scale::Quick,
+                    false,
                     "BENCH_3.json",
                     "storm_report.json",
                     None,

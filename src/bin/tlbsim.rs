@@ -8,6 +8,7 @@
 //! ```
 
 use tlbdown::core::OptConfig;
+use tlbdown::topo::TopologySpec;
 use tlbdown::trace::{analyze, to_chrome_json, PhaseTotals};
 use tlbdown::types::Cycles;
 use tlbdown::workloads::apache::{run_apache, ApacheCfg};
@@ -31,6 +32,7 @@ struct Args {
     duration_ms: u64,
     seed: u64,
     trace: Option<String>,
+    topology: TopologySpec,
 }
 
 fn parse_opts(spec: &str) -> Result<OptConfig, String> {
@@ -66,6 +68,7 @@ fn parse() -> Result<Args, String> {
         duration_ms: 5,
         seed: 0x71bd,
         trace: None,
+        topology: TopologySpec::Flat,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -109,6 +112,14 @@ fn parse() -> Result<Args, String> {
                 }
             }
             "--trace" => a.trace = Some(value(&mut i)?),
+            "--topology" => {
+                a.topology = match value(&mut i)?.as_str() {
+                    "flat" => TopologySpec::Flat,
+                    "ring" => TopologySpec::ring(),
+                    "mesh" => TopologySpec::mesh(),
+                    t => return Err(format!("unknown topology '{t}' (flat|ring|mesh)")),
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "tlbsim — TLB shootdown simulator\n\n\
@@ -116,7 +127,7 @@ fn parse() -> Result<Args, String> {
                             [--opts baseline|all|general|CSV of concurrent,early-ack,cacheline,in-context,cow,batching]\n\
                             [--safe|--unsafe] [--threads N] [--ptes N]\n\
                             [--placement same-core|same-socket|diff-socket]\n\
-                            [--duration-ms N] [--seed HEX]\n\
+                            [--topology flat|ring|mesh] [--duration-ms N] [--seed HEX]\n\
                             [--trace PATH   (madvise only: write a Chrome trace_event\n\
                                              JSON capture, openable in Perfetto)]"
                 );
@@ -143,14 +154,17 @@ fn main() {
     }
     let mode = if a.safe { "safe" } else { "unsafe" };
     println!(
-        "tlbsim: workload={} mode={mode} opts=[{}]\n",
-        a.workload, a.opts
+        "tlbsim: workload={} mode={mode} topology={} opts=[{}]\n",
+        a.workload,
+        a.topology.label(),
+        a.opts
     );
     let duration = Cycles::new(a.duration_ms * 2_000_000); // 2GHz
     match a.workload.as_str() {
         "madvise" => {
             let mut cfg = MadviseBenchCfg::new(a.placement, a.ptes, a.safe, a.opts);
             cfg.seed = a.seed;
+            cfg.interconnect = a.topology.clone();
             let r = if let Some(path) = &a.trace {
                 let (r, trace) =
                     run_madvise_bench_traced(&cfg, TRACE_RING_CAP).unwrap_or_else(|e| {
@@ -190,6 +204,7 @@ fn main() {
         "cow" => {
             let mut cfg = CowBenchCfg::new(a.safe, a.opts);
             cfg.seed = a.seed;
+            cfg.interconnect = a.topology.clone();
             let s = run_cow_bench(&cfg);
             println!(
                 "CoW fault + access latency: {:.0} ± {:.0} cycles",
@@ -201,6 +216,7 @@ fn main() {
             let mut cfg = SysbenchCfg::new(a.threads, a.safe, a.opts);
             cfg.duration = duration;
             cfg.seed = a.seed;
+            cfg.interconnect = a.topology.clone();
             let r = run_sysbench(&cfg);
             println!(
                 "completed writes: {}  ({:.0} writes/s over {:.1} simulated ms)",
@@ -213,6 +229,7 @@ fn main() {
             let mut cfg = ApacheCfg::new(a.threads, a.safe, a.opts);
             cfg.duration = duration;
             cfg.seed = a.seed;
+            cfg.interconnect = a.topology.clone();
             let r = run_apache(&cfg);
             println!(
                 "served requests: {}  ({:.0} req/s over {:.1} simulated ms)",

@@ -66,6 +66,8 @@ pub use tlbdown_mem as mem;
 pub use tlbdown_sim as sim;
 /// The TLB model.
 pub use tlbdown_tlb as tlb;
+/// Interconnect topology: flat, ring and mesh link routing.
+pub use tlbdown_topo as topo;
 /// Deterministic event tracing and shootdown critical-path analysis.
 pub use tlbdown_trace as trace;
 /// Shared vocabulary types.
