@@ -21,8 +21,9 @@ pub use figures::{fig10, fig11, fig4_ablation, fig5_to_8, fig9, table3, Scale};
 pub use fractured::table4;
 pub use loc::table2;
 pub use matrix::{
-    bench_matrix, full_matrix, scale_matrix, stealbench_matrix, storm_faults, storm_matrix,
-    storm_matrix_mesh, topo_specs, topobench_matrix, JobOutput, JobSpec, MatrixJob,
+    bench_matrix, full_matrix, optbench_levels, optbench_matrix, scale_matrix, stealbench_matrix,
+    storm_faults, storm_matrix, storm_matrix_mesh, topo_specs, topobench_matrix, JobOutput,
+    JobSpec, MatrixJob,
 };
 pub use metrics::JobMetrics;
 pub use report::{bench_jobs, diff_sim_metrics, render_bench_json, sim_blocks, SimDiff};

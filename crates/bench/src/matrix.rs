@@ -26,9 +26,10 @@ use tlbdown_types::Cycles;
 use tlbdown_workloads::apache::{run_apache, ApacheCfg};
 use tlbdown_workloads::cow::{run_cow_bench, CowBenchCfg};
 use tlbdown_workloads::madvise::{
-    run_madvise_bench, run_scale_tier, MadviseBenchCfg, Placement, ScaleTierCfg,
+    run_madvise_bench, run_reuse_churn, run_scale_tier, MadviseBenchCfg, Placement, ReuseChurnCfg,
+    ScaleTierCfg,
 };
-use tlbdown_workloads::storm::{run_storm, StormCfg, StormIntensity};
+use tlbdown_workloads::storm::{run_storm, AutonumaIntensity, StormCfg, StormIntensity};
 use tlbdown_workloads::sysbench::{run_sysbench, SysbenchCfg};
 
 use crate::ablations::{ceiling_sweep, invpcid_sensitivity, paravirt_hint};
@@ -151,6 +152,36 @@ pub enum JobSpec {
     /// set-associative STLB capacity pressure instead of vanishing into
     /// an infinite flat TLB.
     FracturePressure,
+    /// One reuse-churn cell of the `BENCH_7.json` follow-on-level
+    /// matrix (`cargo xtask optbench`): the allocator-churn adversary
+    /// from `tlbdown_workloads::madvise` run at one cumulative
+    /// optimization level, in either the window-fitting shape (level 7
+    /// elides every steady-state shootdown) or the overflowing shape
+    /// (every park capacity-evicts and the deferred debt comes due).
+    /// The cell runs **twice**; the second run is the byte-identical
+    /// seed-replay check recorded as `replay_ok`.
+    ReuseChurn {
+        /// Working set fits the reuse window (the best case) instead of
+        /// overflowing it every round (the adversarial case).
+        fitting: bool,
+        /// Cumulative optimization level (6 = full paper stack,
+        /// 7 = +reuse-skip, 8 = +numa-pte).
+        level: usize,
+    },
+    /// One AutoNUMA migration-storm cell of the `BENCH_7.json` matrix:
+    /// the brisk shootdown storm with the hinting-fault balancer
+    /// layered on, split across two sockets so every balancer protect
+    /// and victim hinting fault is a cross-socket PTE update — the
+    /// traffic numaPTE's replica sync (level 8) exists to survive.
+    /// Runs twice for the `replay_ok` seed-replay check.
+    AutonumaCell {
+        /// Balancer intensity (periodic background scan vs
+        /// migration-storm rates).
+        intensity: AutonumaIntensity,
+        /// Cumulative optimization level (6 = full paper stack,
+        /// 7 = +reuse-skip, 8 = +numa-pte).
+        level: usize,
+    },
 }
 
 /// One independent unit of sweep work.
@@ -214,6 +245,8 @@ impl MatrixJob {
             JobSpec::ParSim => "par_sim",
             JobSpec::TopoCell { .. } => "topo_cell",
             JobSpec::FracturePressure => "fracture_pressure",
+            JobSpec::ReuseChurn { .. } => "reuse_churn",
+            JobSpec::AutonumaCell { .. } => "autonuma_cell",
         };
         let mut obj = Json::obj()
             .with("kind", Json::Str(kind.into()))
@@ -270,6 +303,17 @@ impl MatrixJob {
                     .with("topology", Json::Str(name.into()))
                     .with("thp", Json::Bool(*thp));
             }
+            JobSpec::ReuseChurn { fitting, level } => {
+                obj = obj
+                    .with("fitting", Json::Bool(*fitting))
+                    .with("level", Json::U64(*level as u64));
+            }
+            JobSpec::AutonumaCell { intensity, level } => {
+                obj = obj
+                    .with("autonuma", Json::Str(intensity.label().into()))
+                    .with("level", Json::U64(*level as u64))
+                    .with("sockets", Json::U64(u64::from(AUTONUMA_CELL_SOCKETS)));
+            }
             JobSpec::Table3
             | JobSpec::Fig4
             | JobSpec::EngineDispatch
@@ -310,6 +354,12 @@ impl MatrixJob {
             JobSpec::ParSim => run_par_sim_job(self.scale),
             JobSpec::TopoCell { topo, thp } => run_topo_cell(*topo, *thp, self.scale),
             JobSpec::FracturePressure => run_fracture_pressure(self.scale),
+            JobSpec::ReuseChurn { fitting, level } => {
+                run_reuse_churn_cell(*fitting, *level, self.scale)
+            }
+            JobSpec::AutonumaCell { intensity, level } => {
+                run_autonuma_cell(*intensity, *level, self.scale)
+            }
         }
     }
 }
@@ -524,7 +574,10 @@ fn run_storm_cell(intensity: StormIntensity, fault: usize, mesh: bool, scale: Sc
         "storm {} × {fault_name}{fabric}: survival and victim signal per opt level\n",
         intensity.label()
     );
-    for level in 0..=6usize {
+    // Paper levels only: each cell's rendered block is byte-pinned by
+    // the committed baselines, so the follow-on levels must not extend
+    // this loop.
+    for level in 0..=OptConfig::PAPER_MAX_LEVEL {
         let mut cfg = StormCfg::new(intensity, OptConfig::cumulative(level));
         cfg.fault = fault_spec.clone();
         cfg.duration = storm_duration(scale);
@@ -780,6 +833,106 @@ fn run_fracture_pressure(scale: Scale) -> JobOutput {
     JobOutput::sim(rendered, metrics)
 }
 
+/// Sockets every [`JobSpec::AutonumaCell`] runs across. Two sockets
+/// make each balancer protect and hinting fault a cross-socket PTE
+/// update, so level 8's replica-sync shootdowns actually fire; the
+/// single-socket storm cells stay in `BENCH_3.json`.
+const AUTONUMA_CELL_SOCKETS: u32 = 2;
+
+/// Churn rounds per reuse cell at `scale`: enough at `Quick` for the
+/// steady-state elision to dominate warm-up, tripled at `Full`.
+fn reuse_churn_iters(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 40,
+        Scale::Full => 120,
+    }
+}
+
+fn run_reuse_churn_cell(fitting: bool, level: usize, scale: Scale) -> JobOutput {
+    let opts = OptConfig::cumulative(level);
+    let mut cfg = if fitting {
+        ReuseChurnCfg::fitting(opts)
+    } else {
+        ReuseChurnCfg::overflowing(opts)
+    };
+    cfg.iters = reuse_churn_iters(scale);
+    let a = run_reuse_churn(&cfg).expect("reuse churn cell runs clean");
+    let b = run_reuse_churn(&cfg).expect("reuse churn cell runs clean");
+    let replay_ok = a.digest == b.digest
+        && a.sim_cycles == b.sim_cycles
+        && a.counters.render_json() == b.counters.render_json();
+    let shape = if fitting { "fitting" } else { "overflowing" };
+    let rendered = format!(
+        "reuse churn {shape} × L{level}: {} shootdowns, replay {}\n  \
+         parks {} hits {} evictions {} debt-flushes {} madvise mean {:.0}\n",
+        a.shootdowns,
+        if replay_ok { "ok" } else { "DIVERGED" },
+        a.reuse_parks,
+        a.reuse_hits,
+        a.reuse_evictions,
+        a.debt_flushes,
+        a.madvise_mean,
+    );
+    let mut metrics = JobMetrics::new();
+    metrics.put_u64("shootdowns", a.shootdowns);
+    metrics.put_u64("reuse_parks", a.reuse_parks);
+    metrics.put_u64("reuse_hits", a.reuse_hits);
+    metrics.put_u64("reuse_evictions", a.reuse_evictions);
+    metrics.put_u64("debt_flushes", a.debt_flushes);
+    metrics.put_f64("madvise_mean", a.madvise_mean);
+    metrics.put_u64("sim_cycles", a.sim_cycles);
+    metrics.put_u64("state_digest", a.digest);
+    metrics.put_u64("replay_ok", replay_ok as u64);
+    metrics.merge_counters(&a.counters);
+    JobOutput::sim(rendered, metrics)
+}
+
+fn run_autonuma_cell(intensity: AutonumaIntensity, level: usize, scale: Scale) -> JobOutput {
+    let mut cfg =
+        StormCfg::new(StormIntensity::Brisk, OptConfig::cumulative(level)).with_autonuma(intensity);
+    cfg.sockets = AUTONUMA_CELL_SOCKETS;
+    cfg.duration = storm_duration(scale);
+    let a = run_storm(&cfg).expect("autonuma cell runs clean");
+    let b = run_storm(&cfg).expect("autonuma cell runs clean");
+    let replay_ok = a.digest == b.digest
+        && a.sim_cycles == b.sim_cycles
+        && a.counters.render_json() == b.counters.render_json();
+    let rendered = format!(
+        "autonuma {} × L{level} ({AUTONUMA_CELL_SOCKETS} sockets): violations {} wedged {} \
+         done {} replay {}\n  \
+         scans {} replica-syncs {} faults {} p50 {} p90 {} p99 {} protects {}\n",
+        intensity.label(),
+        a.violations,
+        a.wedged,
+        a.threads_done,
+        if replay_ok { "ok" } else { "DIVERGED" },
+        a.autonuma_scans,
+        a.replica_syncs,
+        a.victim_faults,
+        a.fault_p50,
+        a.fault_p90,
+        a.fault_p99,
+        a.monitor_protects,
+    );
+    let mut metrics = JobMetrics::new();
+    metrics.put_u64("violations", a.violations as u64);
+    metrics.put_u64("wedged", a.wedged as u64);
+    metrics.put_u64("threads_done", a.threads_done as u64);
+    metrics.put_u64("autonuma_scans", a.autonuma_scans);
+    metrics.put_u64("replica_syncs", a.replica_syncs);
+    metrics.put_u64("victim_faults", a.victim_faults);
+    metrics.put_u64("fault_p50", a.fault_p50);
+    metrics.put_u64("fault_p90", a.fault_p90);
+    metrics.put_u64("fault_p99", a.fault_p99);
+    metrics.put_u64("monitor_protects", a.monitor_protects);
+    metrics.put_u64("bystander_requests", a.bystander_requests);
+    metrics.put_u64("sim_cycles", a.sim_cycles);
+    metrics.put_u64("state_digest", a.digest);
+    metrics.put_u64("replay_ok", replay_ok as u64);
+    metrics.merge_counters(&a.counters);
+    JobOutput::sim(rendered, metrics)
+}
+
 /// The full sweep matrix at `scale`: every figure/table decomposed along
 /// its optimization-level axis.
 pub fn full_matrix(scale: Scale) -> Vec<MatrixJob> {
@@ -998,6 +1151,47 @@ pub fn topobench_matrix(scale: Scale) -> Vec<MatrixJob> {
     jobs
 }
 
+/// Cumulative levels the `BENCH_7.json` matrix contrasts: the full
+/// paper stack (the control column) and the two follow-on levels.
+pub fn optbench_levels() -> [usize; 3] {
+    [
+        OptConfig::PAPER_MAX_LEVEL,
+        OptConfig::PAPER_MAX_LEVEL + 1,
+        OptConfig::MAX_LEVEL,
+    ]
+}
+
+/// The `BENCH_7.json` follow-on-level matrix behind
+/// `cargo xtask optbench`: the reuse-churn adversary in both shapes
+/// (window-fitting and overflowing) and the cross-socket AutoNUMA
+/// migration storm at both balancer intensities, each cell run at the
+/// full paper stack (L6, the control), +reuse-skip (L7) and +numa-pte
+/// (L8). Every cell runs twice for the seed-replay check; the xtask
+/// gate additionally replays the whole matrix at two sweep-pool thread
+/// counts and byte-diffs the two reductions.
+pub fn optbench_matrix(scale: Scale) -> Vec<MatrixJob> {
+    let s = scale.label();
+    let mut jobs = Vec::new();
+    for level in optbench_levels() {
+        for fitting in [true, false] {
+            let shape = if fitting { "fitting" } else { "overflow" };
+            jobs.push(MatrixJob::new(
+                format!("opt/{s}/reuse/{shape}/L{level}"),
+                scale,
+                JobSpec::ReuseChurn { fitting, level },
+            ));
+        }
+        for intensity in [AutonumaIntensity::Periodic, AutonumaIntensity::Storm] {
+            jobs.push(MatrixJob::new(
+                format!("opt/{s}/numa/{}/L{level}", intensity.label()),
+                scale,
+                JobSpec::AutonumaCell { intensity, level },
+            ));
+        }
+    }
+    jobs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1010,6 +1204,7 @@ mod tests {
             storm_matrix(Scale::Quick),
             storm_matrix_mesh(Scale::Quick),
             topobench_matrix(Scale::Quick),
+            optbench_matrix(Scale::Quick),
         ] {
             let mut ids: Vec<_> = jobs.iter().map(|j| j.id.clone()).collect();
             let n = ids.len();
@@ -1117,7 +1312,7 @@ mod tests {
         );
         let out = job.run();
         let sim = out.metrics.to_json();
-        for level in 0..=6 {
+        for level in 0..=OptConfig::PAPER_MAX_LEVEL {
             let get = |k: &str| {
                 sim.get(&format!("L{level}_{k}"))
                     .and_then(Json::as_u64)
@@ -1182,6 +1377,103 @@ mod tests {
             job.config_json().get("topology"),
             Some(&Json::Str("mesh".into()))
         );
+    }
+
+    #[test]
+    fn optbench_matrix_covers_both_adversaries_at_every_follow_on_level() {
+        let jobs = optbench_matrix(Scale::Quick);
+        assert_eq!(
+            jobs.len(),
+            optbench_levels().len() * 4,
+            "two reuse shapes + two balancer intensities per level"
+        );
+        for level in optbench_levels() {
+            assert!(jobs
+                .iter()
+                .any(|j| j.id == format!("opt/quick/reuse/fitting/L{level}")));
+            assert!(jobs
+                .iter()
+                .any(|j| j.id == format!("opt/quick/numa/numa-storm/L{level}")));
+        }
+        assert_eq!(
+            jobs[0].config_json().get("kind"),
+            Some(&Json::Str("reuse_churn".into()))
+        );
+        assert_eq!(
+            jobs.last().unwrap().config_json().get("kind"),
+            Some(&Json::Str("autonuma_cell".into()))
+        );
+    }
+
+    #[test]
+    fn reuse_churn_cell_elides_shootdowns_and_replays() {
+        // The fitting cell at L6 (control) vs L7 (+reuse-skip) through
+        // the job interface: elision visible, seed replay green.
+        let run = |level: usize| {
+            let job = MatrixJob::new(
+                format!("opt/quick/reuse/fitting/L{level}"),
+                Scale::Quick,
+                JobSpec::ReuseChurn {
+                    fitting: true,
+                    level,
+                },
+            );
+            job.run().metrics.to_json()
+        };
+        let get = |sim: &Json, k: &str| {
+            sim.get(k)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("missing {k}"))
+        };
+        let control = run(OptConfig::PAPER_MAX_LEVEL);
+        let reuse = run(OptConfig::PAPER_MAX_LEVEL + 1);
+        assert_eq!(get(&control, "replay_ok"), 1);
+        assert_eq!(get(&reuse, "replay_ok"), 1);
+        assert_eq!(
+            get(&control, "reuse_hits"),
+            0,
+            "L6 must keep the window off"
+        );
+        assert!(get(&reuse, "reuse_hits") > 0, "L7 never hit the window");
+        assert!(
+            get(&reuse, "shootdowns") < get(&control, "shootdowns"),
+            "reuse-skip elided nothing"
+        );
+    }
+
+    #[test]
+    fn autonuma_cell_syncs_replicas_only_at_level_8() {
+        let run = |level: usize| {
+            let job = MatrixJob::new(
+                format!("opt/quick/numa/numa-storm/L{level}"),
+                Scale::Quick,
+                JobSpec::AutonumaCell {
+                    intensity: AutonumaIntensity::Storm,
+                    level,
+                },
+            );
+            job.run().metrics.to_json()
+        };
+        let get = |sim: &Json, k: &str| {
+            sim.get(k)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("missing {k}"))
+        };
+        let control = run(OptConfig::PAPER_MAX_LEVEL);
+        let numa = run(OptConfig::MAX_LEVEL);
+        for (name, sim) in [("L6", &control), ("L8", &numa)] {
+            assert_eq!(get(sim, "violations"), 0, "{name} violated");
+            assert_eq!(get(sim, "wedged"), 0, "{name} wedged");
+            assert_eq!(get(sim, "threads_done"), 1, "{name} threads hung");
+            assert_eq!(get(sim, "replay_ok"), 1, "{name} replay diverged");
+            assert!(get(sim, "autonuma_scans") > 0, "{name} balancer idle");
+        }
+        assert_eq!(
+            get(&control, "replica_syncs"),
+            0,
+            "L6 must not sync replicas"
+        );
+        assert!(get(&numa, "replica_syncs") > 0, "L8 never synced a replica");
     }
 
     #[test]

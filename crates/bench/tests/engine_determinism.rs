@@ -36,8 +36,8 @@ fn traced_run(cfg: KernelConfig) -> (u64, String) {
 
 #[test]
 fn wheel_matches_heap_at_every_opt_level() {
-    for level in 0..=6usize {
-        let cfg = || KernelConfig::test_machine(4).with_opts(OptConfig::cumulative(level));
+    for (level, _, opts) in OptConfig::all_levels() {
+        let cfg = || KernelConfig::test_machine(4).with_opts(opts);
         let wheel = traced_run(cfg());
         let heap = traced_run(cfg().with_heap_only_engine(true));
         assert_eq!(
@@ -54,14 +54,16 @@ fn wheel_matches_heap_at_every_opt_level() {
 #[test]
 fn partitioned_matches_serial_at_every_opt_level() {
     // A multi-socket machine so the partition split is real (two
-    // sub-heaps), at all 7 cumulative optimization levels. Digest *and*
-    // trace export must match the serial engines byte-for-byte.
+    // sub-heaps), at every cumulative optimization level — the two
+    // sockets also make L8's replica sync live under partitioning.
+    // Digest *and* trace export must match the serial engines
+    // byte-for-byte.
     let base = || KernelConfig {
         topo: tlbdown_types::Topology::new(2, 2),
         ..KernelConfig::paper_baseline()
     };
-    for level in 0..=6usize {
-        let cfg = || base().with_opts(OptConfig::cumulative(level));
+    for (level, _, opts) in OptConfig::all_levels() {
+        let cfg = || base().with_opts(opts);
         let serial = traced_run(cfg());
         let part = traced_run(cfg().with_partitioned_engine(true));
         assert_eq!(
@@ -121,8 +123,8 @@ fn explicit_flat_topology_is_byte_identical_to_default_at_every_opt_level() {
     // trace export, at all seven cumulative optimization levels. This is
     // the contract that keeps BENCH_1..5 byte-stable while ring/mesh
     // exist behind the same knob.
-    for level in 0..=6usize {
-        let cfg = || KernelConfig::test_machine(4).with_opts(OptConfig::cumulative(level));
+    for (level, _, opts) in OptConfig::all_levels() {
+        let cfg = || KernelConfig::test_machine(4).with_opts(opts);
         let default = traced_run(cfg());
         let flat = traced_run(cfg().with_topology(TopologySpec::Flat));
         assert_eq!(

@@ -6,16 +6,16 @@
 //! one thread or four. Trace determinism composes with the sweep
 //! layer's canonical job-ID-ordered reduction.
 
-use tlbdown_check::scenario::dueling_madvise;
+use tlbdown_check::scenario::dueling_madvise_at;
 use tlbdown_core::OptConfig;
 use tlbdown_sweep::{reduce_rendered, run_jobs, Job};
 use tlbdown_trace::to_chrome_json;
 
 fn trace_jobs() -> Vec<Job<String>> {
-    (0..=6usize)
-        .map(|lvl| {
+    OptConfig::all_levels()
+        .map(|(lvl, _, _)| {
             Job::new(format!("trace-L{lvl}"), move || {
-                let mut m = dueling_madvise(OptConfig::cumulative(lvl));
+                let mut m = dueling_madvise_at(lvl);
                 m.start_tracing(1 << 14);
                 m.run();
                 to_chrome_json(&m.take_trace()).render()

@@ -8,13 +8,12 @@
 //!
 //! Parallel safety: [`explore_opt_level`] and [`run_canary`] build every
 //! machine they touch from scratch and share no mutable state, so the
-//! sweep engine can run the seven per-level DFS explorations on
-//! separate worker threads. Each level's DFS is deterministic in
+//! sweep engine can run the per-level DFS explorations on separate
+//! worker threads. Each level's DFS is deterministic in
 //! isolation (the explorer is a pure function of scenario + bounds),
 //! which keeps the merged report byte-identical no matter the thread
 //! count or completion order.
 
-use tlbdown_core::OptConfig;
 use tlbdown_sweep::Json;
 
 use crate::explore::{explore, replay_twice, run_schedule, Bounds};
@@ -35,7 +34,8 @@ pub fn per_level_bounds() -> Bounds {
 /// Result of exploring one cumulative optimization level.
 #[derive(Clone, Debug)]
 pub struct LevelReport {
-    /// The cumulative optimization level (0..=6).
+    /// The cumulative optimization level
+    /// (0..=[`tlbdown_core::OptConfig::MAX_LEVEL`]).
     pub level: u8,
     /// Schedules executed.
     pub schedules: u64,
@@ -70,11 +70,7 @@ impl LevelReport {
 /// Explore the dueling-madvise scenario at one cumulative optimization
 /// level. Parallel-safe: builds everything internally.
 pub fn explore_opt_level(level: u8, bounds: &Bounds) -> LevelReport {
-    explore_level_scenario(
-        level,
-        &|| scenario::dueling_madvise(OptConfig::cumulative(level as usize)),
-        bounds,
-    )
+    explore_level_scenario(level, &|| scenario::dueling_madvise_at(level), bounds)
 }
 
 /// Explore the dueling-madvise scenario routed over the 2D mesh
@@ -83,11 +79,7 @@ pub fn explore_opt_level(level: u8, bounds: &Bounds) -> LevelReport {
 /// already in the explorer's reach — this sweep proves the protocol
 /// stays safe and live under mesh timing at every level.
 pub fn explore_opt_level_mesh(level: u8, bounds: &Bounds) -> LevelReport {
-    explore_level_scenario(
-        level,
-        &|| scenario::dueling_madvise_mesh(OptConfig::cumulative(level as usize)),
-        bounds,
-    )
+    explore_level_scenario(level, &|| scenario::dueling_madvise_mesh_at(level), bounds)
 }
 
 fn explore_level_scenario(
@@ -208,6 +200,33 @@ pub fn run_fracture_canary(bounds: &Bounds, shrink_budget: u64) -> CanaryReport 
     )
 }
 
+/// Run the reuse-skip canary: the seeded `buggy_reuse_skip` variant
+/// (parking a page in the reuse window retires its oracle pairs
+/// immediately instead of at debt-flush time) must be caught, shrunk
+/// and replayed, while the real reuse-skip protocol — parked pairs stay
+/// un-retired until a real flush pays the debt — explores clean.
+pub fn run_reuse_canary(bounds: &Bounds, shrink_budget: u64) -> CanaryReport {
+    run_canary_scenario(
+        &|| scenario::reuse_probe_demo(true),
+        &|| scenario::reuse_probe_demo(false),
+        bounds,
+        shrink_budget,
+    )
+}
+
+/// Run the numaPTE canary: the seeded `buggy_numapte` variant (PTE
+/// updates only reach the initiating socket's page-table replica,
+/// leaving remote replicas stale) must be caught, shrunk and replayed,
+/// while the real deterministic replica-sync explores clean.
+pub fn run_numapte_canary(bounds: &Bounds, shrink_budget: u64) -> CanaryReport {
+    run_canary_scenario(
+        &|| scenario::numapte_probe_demo(true),
+        &|| scenario::numapte_probe_demo(false),
+        bounds,
+        shrink_budget,
+    )
+}
+
 /// The shared canary harness: `buggy` must be FIFO-safe yet caught by
 /// exploration; the shrunk counterexample must replay byte-identically;
 /// `safe` must explore clean under the same bounds.
@@ -295,6 +314,10 @@ pub struct GateReport {
     pub quarantine_canary: CanaryReport,
     /// The huge-page fracture canary result.
     pub fracture_canary: CanaryReport,
+    /// The reuse-skip (L7) canary result.
+    pub reuse_skip_canary: CanaryReport,
+    /// The numaPTE (L8) canary result.
+    pub numapte_canary: CanaryReport,
     /// Maximum choices allowed in each shrunk canary schedule.
     pub max_canary_choices: usize,
 }
@@ -307,13 +330,15 @@ impl GateReport {
             && self.canary.pass(self.max_canary_choices)
             && self.quarantine_canary.pass(self.max_canary_choices)
             && self.fracture_canary.pass(self.max_canary_choices)
+            && self.reuse_skip_canary.pass(self.max_canary_choices)
+            && self.numapte_canary.pass(self.max_canary_choices)
             && self.spent <= self.budget
     }
 
     /// Serialize for `explore_report.json`.
     pub fn to_json(&self) -> Json {
         Json::obj()
-            .with("schema_version", Json::U64(3))
+            .with("schema_version", Json::U64(4))
             .with("budget", Json::U64(self.budget))
             .with("spent", Json::U64(self.spent))
             .with("threads", Json::U64(self.threads as u64))
@@ -329,6 +354,8 @@ impl GateReport {
             .with("canary", self.canary.to_json())
             .with("quarantine_canary", self.quarantine_canary.to_json())
             .with("fracture_canary", self.fracture_canary.to_json())
+            .with("reuse_skip_canary", self.reuse_skip_canary.to_json())
+            .with("numapte_canary", self.numapte_canary.to_json())
     }
 }
 
@@ -390,6 +417,44 @@ mod tests {
     }
 
     #[test]
+    fn reuse_canary_has_teeth_and_real_path_is_clean() {
+        // The reuse-skip canary end-to-end at a small budget: the seeded
+        // buggy_reuse_skip bug (retire at park) needs exploration
+        // (FIFO-safe), is caught quickly, shrinks small, replays
+        // byte-identically, and the real park-then-pay-debt path
+        // explores clean.
+        let bounds = Bounds::default().with_max_schedules(200);
+        let rep = run_reuse_canary(&bounds, 500);
+        assert!(rep.fifo_safe, "seeded bug must not fail under plain FIFO");
+        assert!(rep.caught, "explorer missed the buggy_reuse_skip bug");
+        assert!(rep.replay_ok, "shrunk schedule diverged on replay");
+        assert!(
+            rep.safe_clean,
+            "real reuse-skip path violated under exploration"
+        );
+        assert!(rep.shrunk_choices <= 20, "shrunk to {}", rep.shrunk_choices);
+    }
+
+    #[test]
+    fn numapte_canary_has_teeth_and_real_path_is_clean() {
+        // The numaPTE canary end-to-end at a small budget: the seeded
+        // buggy_numapte bug (local-socket-only replica update) needs
+        // exploration (FIFO-safe), is caught quickly, shrinks small,
+        // replays byte-identically, and the real replica-sync explores
+        // clean.
+        let bounds = Bounds::default().with_max_schedules(200);
+        let rep = run_numapte_canary(&bounds, 500);
+        assert!(rep.fifo_safe, "seeded bug must not fail under plain FIFO");
+        assert!(rep.caught, "explorer missed the buggy_numapte bug");
+        assert!(rep.replay_ok, "shrunk schedule diverged on replay");
+        assert!(
+            rep.safe_clean,
+            "real numaPTE replica-sync violated under exploration"
+        );
+        assert!(rep.shrunk_choices <= 20, "shrunk to {}", rep.shrunk_choices);
+    }
+
+    #[test]
     fn gate_report_serializes() {
         let level = LevelReport {
             level: 3,
@@ -420,6 +485,8 @@ mod tests {
             levels: vec![level],
             quarantine_canary: canary.clone(),
             fracture_canary: canary.clone(),
+            reuse_skip_canary: canary.clone(),
+            numapte_canary: canary.clone(),
             canary,
             max_canary_choices: 20,
         };

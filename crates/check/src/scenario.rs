@@ -195,6 +195,256 @@ pub fn dueling_madvise_on(opts: OptConfig, interconnect: tlbdown_topo::TopologyS
     m
 }
 
+/// Touches `pages` pages once each (demand-faulting them in), computes
+/// in `chunks` slices of `chunk_cycles` so the calendar queue holds
+/// resume events for interrupt arrivals to race with, re-reads
+/// `retouch`, and exits.
+struct WarmRangeThenRetouch {
+    addr: u64,
+    pages: u64,
+    retouch: u64,
+    chunks: u64,
+    chunk_cycles: u64,
+    i: u64,
+}
+
+impl Prog for WarmRangeThenRetouch {
+    fn next(&mut self, _ctx: &ProgCtx) -> ProgAction {
+        let step = self.i;
+        self.i += 1;
+        if step < self.pages {
+            ProgAction::Access {
+                va: VirtAddr::new(self.addr + step * 4096),
+                write: true,
+            }
+        } else if step < self.pages + self.chunks {
+            ProgAction::Compute(Cycles::new(self.chunk_cycles))
+        } else if step == self.pages + self.chunks {
+            ProgAction::Access {
+                va: VirtAddr::new(self.retouch),
+                write: false,
+            }
+        } else {
+            ProgAction::Exit
+        }
+    }
+}
+
+/// Waits `delay` cycles, `munmap`s the lever range (a real shootdown
+/// whose IPI arrivals are the explorer's race-eligible lever), then
+/// `madvise(DONTNEED)`s the single park page (the elided reuse-skip
+/// zap), and exits.
+struct ZapThenPark {
+    lever: u64,
+    lever_pages: u64,
+    park: u64,
+    delay: u64,
+    i: u64,
+}
+
+impl Prog for ZapThenPark {
+    fn next(&mut self, _ctx: &ProgCtx) -> ProgAction {
+        let step = self.i;
+        self.i += 1;
+        match step {
+            0 => ProgAction::Compute(Cycles::new(self.delay)),
+            1 => ProgAction::Syscall(Syscall::Munmap {
+                addr: VirtAddr::new(self.lever),
+                pages: self.lever_pages,
+            }),
+            2 => ProgAction::Syscall(Syscall::MadviseDontNeed {
+                addr: VirtAddr::new(self.park),
+                pages: 1,
+            }),
+            _ => ProgAction::Exit,
+        }
+    }
+}
+
+/// [`dueling_madvise`] at cumulative level `level`, with shootdown
+/// signal at every level. Paper levels (0..=[`OptConfig::PAPER_MAX_LEVEL`])
+/// are byte-identical to [`dueling_madvise`], keeping the committed
+/// report and trace baselines stable. The follow-on elision levels (L7
+/// reuse-skip, L8 numaPTE) run the same duel with the reuse window
+/// shrunk below the working set: the elided madvise flushes turn into
+/// capacity-eviction debt flushes, so gates that measure shootdowns
+/// (exploration branch points, per-phase attribution, chaos IPI faults)
+/// keep real IPIs to bite on. L8 additionally splits the two duelling
+/// cores across two sockets so replica sync and node-local metadata
+/// fetch are live.
+pub fn dueling_madvise_at(level: u8) -> Machine {
+    dueling_madvise_at_on(level, tlbdown_topo::TopologySpec::Flat)
+}
+
+/// [`dueling_madvise_at`] routed over the 2D mesh interconnect.
+pub fn dueling_madvise_mesh_at(level: u8) -> Machine {
+    dueling_madvise_at_on(level, tlbdown_topo::TopologySpec::mesh())
+}
+
+fn dueling_madvise_at_on(level: u8, interconnect: tlbdown_topo::TopologySpec) -> Machine {
+    let opts = OptConfig::cumulative(level as usize);
+    if usize::from(level) <= OptConfig::PAPER_MAX_LEVEL {
+        return dueling_madvise_on(opts, interconnect);
+    }
+    let mut cfg = KernelConfig::test_machine(2)
+        .with_opts(opts)
+        .with_topology(interconnect)
+        .with_reuse_window_cap(2);
+    if opts.numa_pte {
+        cfg.topo = tlbdown_types::Topology::new(2, 1);
+    }
+    let mut m = Machine::new(cfg);
+    let mm = m.create_process().expect("boot: create process");
+    // Both cores overflow the shared window: each madvise parks four
+    // pages into a two-entry window, so each core pays debt flushes —
+    // real cross-core shootdowns — while the other is still running user
+    // code (a core whose flushes were all elided would exit too early to
+    // ever be a remote responder).
+    m.spawn(
+        mm,
+        CoreId(0),
+        Box::new(tlbdown_kernel::prog::MadviseLoopProg::new(4, 2)),
+    );
+    m.spawn(
+        mm,
+        CoreId(1),
+        Box::new(tlbdown_kernel::prog::MadviseLoopProg::new(4, 2)),
+    );
+    m
+}
+
+/// Calibrated park delay for [`reuse_probe`]: under plain FIFO the
+/// responder's re-touch of the probe page lands just *before* the
+/// initiator's elided park (a pre-retire hit through the still-cached
+/// entry, legal even when the buggy variant retires at park), but
+/// inside the explorer's perturbation reach — pulling the lever
+/// munmap's IPI arrivals earlier both finishes the initiator's
+/// shootdown sooner (the park runs earlier) and spends responder cycles
+/// in the IRQ handler (the re-touch runs later), crossing the two.
+pub const REUSE_PROBE_DEMO_PARK_DELAY: u64 = 16_000;
+
+/// The [`reuse_probe`] scenario at the calibrated park delay.
+pub fn reuse_probe_demo(buggy: bool) -> Machine {
+    reuse_probe(buggy, REUSE_PROBE_DEMO_PARK_DELAY)
+}
+
+/// The L7 reuse-skip canary: a responder (core 1) warms a lever range
+/// plus one probe page; an initiator (core 0) `munmap`s the lever range
+/// — a real shootdown, whose race-eligible IPI arrivals give the
+/// explorer its timing lever — and then `madvise(DONTNEED)`s the probe
+/// page, which the reuse window parks with **no flush**. The real
+/// protocol keeps the parked oracle pairs un-retired, so the
+/// responder's re-touch through its surviving TLB entry is legal in
+/// every interleaving. With `buggy`
+/// ([`KernelConfig::buggy_reuse_skip`]) the park retires the pairs
+/// immediately: schedules where the park completes before the re-touch
+/// turn that same cached-entry hit into a stale read — the race the
+/// explorer must catch while the real reuse-skip path explores clean.
+pub fn reuse_probe(buggy: bool, park_delay: u64) -> Machine {
+    /// Lever range: enough PTEs that the munmap shootdown's IPI + ack +
+    /// per-entry flush machinery spans a perturbable stretch of cycles.
+    const LEVER_PAGES: u64 = 8;
+    let cfg = KernelConfig::test_machine(2)
+        .with_opts(OptConfig::baseline().with_reuse_skip(true))
+        // Single PCID: the responder's user touches warm exactly the
+        // view its re-touch reads.
+        .with_safe_mode(false)
+        .with_buggy_reuse_skip(buggy);
+    let mut m = Machine::new(cfg);
+    let mm = m.create_process().expect("boot: create process");
+    let addr = m
+        .setup_map_anon(mm, LEVER_PAGES + 1)
+        .expect("boot: map anon");
+    let probe = addr.as_u64() + LEVER_PAGES * 4096;
+    m.spawn(
+        mm,
+        CoreId(1),
+        Box::new(WarmRangeThenRetouch {
+            addr: addr.as_u64(),
+            pages: LEVER_PAGES + 1,
+            retouch: probe,
+            chunks: 40,
+            chunk_cycles: 300,
+            i: 0,
+        }),
+    );
+    m.spawn(
+        mm,
+        CoreId(0),
+        Box::new(ZapThenPark {
+            lever: addr.as_u64(),
+            lever_pages: LEVER_PAGES,
+            park: probe,
+            delay: park_delay,
+            i: 0,
+        }),
+    );
+    m
+}
+
+/// Calibrated zap delay for [`numapte_probe`]: under plain FIFO the
+/// remote-socket responder's re-touch lands just *before* the zap's
+/// flush retires (a pre-retire hit through its still-cached entry),
+/// but one explorer perturbation pulls the shootdown IPI ahead of the
+/// re-touch: the flush then runs and retires first, the re-touch
+/// misses its flushed TLB, and the page walk goes through whatever the
+/// socket's replica holds.
+pub const NUMAPTE_PROBE_DEMO_ZAP_DELAY: u64 = 15_000;
+
+/// The [`numapte_probe`] scenario at the calibrated zap delay.
+pub fn numapte_probe_demo(buggy: bool) -> Machine {
+    numapte_probe(buggy, NUMAPTE_PROBE_DEMO_ZAP_DELAY)
+}
+
+/// The L8 numaPTE canary, on a two-socket machine (one core per
+/// socket): a responder (core 1, socket 1) warms a range; an initiator
+/// (core 0, socket 0) zaps it after `zap_delay`; the responder then
+/// re-touches a zapped page. The real replica-sync updates socket 1's
+/// page-table replica at zap time, so a post-flush re-touch demand
+/// faults a fresh page in every interleaving. With `buggy`
+/// ([`KernelConfig::buggy_numapte`]) only socket 0's replica sees the
+/// update: schedules that retire the flush before the re-touch leave
+/// the responder walking socket 1's stale replica — a TLB fill at the
+/// already-retired version — the race the explorer must catch while
+/// the real numaPTE path explores clean.
+pub fn numapte_probe(buggy: bool, zap_delay: u64) -> Machine {
+    /// Range size: same wide post-ack flush window as [`nmi_probe`].
+    const PAGES: u64 = 8;
+    let mut cfg = KernelConfig::test_machine(2)
+        .with_opts(OptConfig::baseline().with_numa_pte(true))
+        .with_safe_mode(false)
+        .with_buggy_numapte(buggy);
+    // One core per socket: every walk, sync and shootdown in the duel
+    // crosses the socket boundary.
+    cfg.topo = tlbdown_types::Topology::new(2, 1);
+    let mut m = Machine::new(cfg);
+    let mm = m.create_process().expect("boot: create process");
+    let addr = m.setup_map_anon(mm, PAGES).expect("boot: map anon");
+    m.spawn(
+        mm,
+        CoreId(1),
+        Box::new(WarmRangeThenRetouch {
+            addr: addr.as_u64(),
+            pages: PAGES,
+            retouch: addr.as_u64() + (PAGES - 1) * 4096,
+            chunks: 40,
+            chunk_cycles: 300,
+            i: 0,
+        }),
+    );
+    m.spawn(
+        mm,
+        CoreId(0),
+        Box::new(DelayedZap {
+            addr: addr.as_u64(),
+            pages: PAGES,
+            delay: zap_delay,
+            i: 0,
+        }),
+    );
+    m
+}
+
 /// Calibrated injection time for [`nmi_probe`] at which the FIFO
 /// schedule is safe even with the buggy check — the NMI nominally lands
 /// just after the responder's flush completes — but the explorer's

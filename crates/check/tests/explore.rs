@@ -9,11 +9,8 @@ fn all_opt_levels_explore_clean() {
     // Systematic exploration of the dueling-madvise scenario must find no
     // safety or liveness violation at any cumulative optimization level.
     let bounds = Bounds::default().with_max_schedules(150);
-    for level in 0..=6 {
-        let report = explore::explore(
-            &|| scenario::dueling_madvise(OptConfig::cumulative(level)),
-            &bounds,
-        );
+    for (level, _, _) in OptConfig::all_levels() {
+        let report = explore::explore(&|| scenario::dueling_madvise_at(level), &bounds);
         assert!(
             report.all_safe(),
             "level {level} violated: {:?}",

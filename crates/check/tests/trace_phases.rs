@@ -6,15 +6,15 @@
 //! across replays, and a no-trace guard proving tracing never perturbs
 //! the simulation.
 
-use tlbdown_check::scenario::dueling_madvise;
+use tlbdown_check::scenario::{dueling_madvise, dueling_madvise_at};
 use tlbdown_core::OptConfig;
 use tlbdown_sweep::Json;
 use tlbdown_trace::{analyze, to_chrome_json, validate_chrome};
 
 #[test]
 fn phase_attribution_sums_exactly_at_every_opt_level() {
-    for lvl in 0..=6 {
-        let mut m = dueling_madvise(OptConfig::cumulative(lvl));
+    for (lvl, _, _) in OptConfig::all_levels() {
+        let mut m = dueling_madvise_at(lvl);
         m.start_tracing(1 << 14);
         m.run();
         assert!(

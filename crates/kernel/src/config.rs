@@ -96,6 +96,28 @@ pub struct KernelConfig {
     /// that pins it. Mutually exclusive with `engine_heap_only`
     /// (heap-only wins if both are set). Off by default.
     pub engine_partitioned: bool,
+    /// Failure injection for the L7 reuse-skip window: parking a zapped
+    /// page records the flush guarantee *immediately*, skipping the
+    /// versioned-PTE deferral protocol (the real path keeps the parked
+    /// `(vpn, version)` pairs un-retired until either a reuse-time version
+    /// check proves the restored PTE identical or a debt flush actually
+    /// runs). Stale remote entries then survive a "guaranteed" flush —
+    /// the checker's `reuse_probe` canary must catch this variant while
+    /// the real reuse-skip path explores clean.
+    pub buggy_reuse_skip: bool,
+    /// Failure injection for the L8 numaPTE replication: PTE updates
+    /// refresh only the updating core's socket replica instead of running
+    /// the deterministic replica-sync to every remote socket. Remote
+    /// page walks then translate through the stale replica PTE at the old
+    /// version — the checker's `numapte_probe` canary must catch this
+    /// variant while the real numaPTE path explores clean.
+    pub buggy_numapte: bool,
+    /// Capacity of the per-mm L7 reuse-skip window. Defaults to
+    /// [`crate::mm::REUSE_WINDOW_CAP`]; scenarios shrink it so small
+    /// workloads overflow the window and the elision levels still pay
+    /// real debt-flush shootdowns (the signal that exploration, tracing
+    /// and chaos gates measure).
+    pub reuse_window_cap: usize,
 }
 
 impl KernelConfig {
@@ -121,6 +143,9 @@ impl KernelConfig {
             buggy_fracture: false,
             engine_heap_only: false,
             engine_partitioned: false,
+            buggy_reuse_skip: false,
+            buggy_numapte: false,
+            reuse_window_cap: crate::mm::REUSE_WINDOW_CAP,
         }
     }
 
@@ -188,6 +213,27 @@ impl KernelConfig {
     /// [`KernelConfig::engine_partitioned`]).
     pub fn with_partitioned_engine(mut self, partitioned: bool) -> Self {
         self.engine_partitioned = partitioned;
+        self
+    }
+
+    /// Builder-style: inject the retire-at-park reuse-skip bug (see
+    /// [`KernelConfig::buggy_reuse_skip`]).
+    pub fn with_buggy_reuse_skip(mut self, buggy: bool) -> Self {
+        self.buggy_reuse_skip = buggy;
+        self
+    }
+
+    /// Builder-style: inject the local-only replica-update numaPTE bug
+    /// (see [`KernelConfig::buggy_numapte`]).
+    pub fn with_buggy_numapte(mut self, buggy: bool) -> Self {
+        self.buggy_numapte = buggy;
+        self
+    }
+
+    /// Builder-style: set the L7 reuse-window capacity (see
+    /// [`KernelConfig::reuse_window_cap`]).
+    pub fn with_reuse_window_cap(mut self, cap: usize) -> Self {
+        self.reuse_window_cap = cap;
         self
     }
 

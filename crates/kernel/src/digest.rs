@@ -107,6 +107,23 @@ impl Machine {
                 mm.vmas.keys().collect::<Vec<_>>(),
                 mm.mmap_cursor,
             );
+            // L7/L8 state steers future flush decisions only when the
+            // level is on; gating the fold keeps every digest produced
+            // under the paper's six levels byte-identical to before.
+            if self.cfg.opts.reuse_skip {
+                for (vpn, e) in mm.reuse.iter() {
+                    let _ = write!(h, "ru{vpn}={:?}v{}r{:?};", e.pte, e.version, e.retire);
+                }
+                let order: Vec<_> = mm.reuse.fifo_order().collect();
+                let _ = write!(h, "ruo={order:?};pv={:?};", mm.pte_versions);
+            }
+            if self.cfg.opts.numa_pte {
+                for (socket, stale) in &mm.numa_stale {
+                    for (vpn, sp) in stale {
+                        let _ = write!(h, "ns{socket}:{vpn}={:?}v{};", sp.pte, sp.version);
+                    }
+                }
+            }
         }
         for (at, seq, ev) in self.engine.pending() {
             let _ = write!(h, "ev@{}#{seq}={ev:?};", at.as_u64());

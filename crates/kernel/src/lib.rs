@@ -35,6 +35,7 @@ pub mod machine;
 pub mod mm;
 pub mod oracle;
 pub mod prog;
+mod reuse_numa;
 pub mod sem;
 mod shoot;
 mod tracewire;

@@ -351,6 +351,9 @@ impl Machine {
                 mmap_sem: RwSem::new(),
                 pcid,
                 mmap_cursor: VirtAddr::new(0x1000_0000),
+                reuse: crate::mm::ReuseWindow::new(),
+                pte_versions: BTreeMap::new(),
+                numa_stale: BTreeMap::new(),
             },
         );
         Ok(id)

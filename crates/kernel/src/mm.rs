@@ -1,10 +1,10 @@
 //! Address spaces, VMAs and the simulated page cache.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use crate::sem::RwSem;
 use tlbdown_core::MmGen;
-use tlbdown_mem::AddrSpace;
+use tlbdown_mem::{AddrSpace, Pte};
 use tlbdown_types::{CoreId, MmId, Pcid, PhysAddr, SimError, SimResult, VirtAddr, VirtRange};
 
 /// Identifier of a simulated file (page-cache object).
@@ -67,6 +67,145 @@ impl Vma {
     }
 }
 
+/// Capacity of the per-mm reuse-skip window (L7). Bounded so parked
+/// frames — which stay referenced and unfreed while parked — cannot grow
+/// without limit; overflow evicts the oldest entry and pays its flush debt.
+pub const REUSE_WINDOW_CAP: usize = 32;
+
+/// One parked page in the reuse-skip window: the exact PTE the zap
+/// removed, the kernel-side PTE version recorded at park time, and the
+/// oracle `(vpn, version)` pairs whose flush guarantee is still owed.
+#[derive(Clone, Debug)]
+pub struct ReuseEntry {
+    /// The removed PTE, reinstalled verbatim on a window hit.
+    pub pte: Pte,
+    /// Kernel-side PTE version at park time; a reuse is only legal while
+    /// this still equals the page's current version.
+    pub version: u64,
+    /// Oracle pairs owed to `retire_exact` if a debt flush ever runs.
+    /// Empty once the guarantee has been declared (reuse restore, or the
+    /// buggy retire-at-park shortcut).
+    pub retire: Vec<(u64, u64)>,
+}
+
+/// The bounded per-mm window of recently zapped pages (arXiv 2409.10946).
+///
+/// `madvise(DONTNEED)` under `OptConfig::reuse_skip` parks zapped pages
+/// here instead of flushing: the frame stays referenced, the PTE and its
+/// version are remembered, and the oracle pairs stay *un-retired* (an
+/// elided flush may never claim the guarantee). A demand fault that hits
+/// the window with a matching version reinstalls the identical PTE with no
+/// shootdown; any conflicting operation (munmap/mprotect/writeback/re-zap)
+/// or a capacity eviction pays the debt — a real flush that retires the
+/// parked pairs — before the page changes meaning.
+#[derive(Debug, Default)]
+pub struct ReuseWindow {
+    entries: BTreeMap<u64, ReuseEntry>,
+    order: VecDeque<u64>,
+}
+
+impl ReuseWindow {
+    /// A fresh, empty window.
+    pub fn new() -> Self {
+        ReuseWindow::default()
+    }
+
+    /// Park a zapped page. Returns the evicted oldest entry when the
+    /// window is at `cap` (the caller must pay its flush debt). The cap
+    /// comes from [`crate::KernelConfig::reuse_window_cap`] so scenarios
+    /// can shrink the window and exercise capacity evictions with small
+    /// workloads.
+    pub fn park(&mut self, vpn: u64, entry: ReuseEntry, cap: usize) -> Option<(u64, ReuseEntry)> {
+        let mut evicted = None;
+        if !self.entries.contains_key(&vpn) && self.entries.len() >= cap {
+            if let Some(old_vpn) = self.order.pop_front() {
+                evicted = self.entries.remove(&old_vpn).map(|e| (old_vpn, e));
+            }
+        }
+        if self.entries.insert(vpn, entry).is_none() {
+            self.order.push_back(vpn);
+        }
+        evicted
+    }
+
+    /// Remove and return the parked entry for `vpn`, if any.
+    pub fn take(&mut self, vpn: u64) -> Option<ReuseEntry> {
+        let e = self.entries.remove(&vpn);
+        if e.is_some() {
+            self.order.retain(|&v| v != vpn);
+        }
+        e
+    }
+
+    /// Whether `vpn` is parked.
+    pub fn contains(&self, vpn: u64) -> bool {
+        self.entries.contains_key(&vpn)
+    }
+
+    /// Peek at the parked entry for `vpn`.
+    pub fn get(&self, vpn: u64) -> Option<&ReuseEntry> {
+        self.entries.get(&vpn)
+    }
+
+    /// Mutable peek (version refresh on a covering re-zap).
+    pub fn get_mut(&mut self, vpn: u64) -> Option<&mut ReuseEntry> {
+        self.entries.get_mut(&vpn)
+    }
+
+    /// Remove and return every parked entry whose page lies in `range`
+    /// (conflicting-operation invalidation), in ascending vpn order.
+    pub fn take_range(&mut self, range: VirtRange) -> Vec<(u64, ReuseEntry)> {
+        let lo = range.start.vpn();
+        let hi = range.end.vpn();
+        let vpns: Vec<u64> = self
+            .entries
+            .range(lo..hi.max(lo))
+            .map(|(&v, _)| v)
+            .collect();
+        let mut out = Vec::new();
+        for vpn in vpns {
+            if let Some(e) = self.take(vpn) {
+                out.push((vpn, e));
+            }
+        }
+        out
+    }
+
+    /// Number of parked pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate parked entries in ascending vpn order (digest folding).
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &ReuseEntry)> {
+        self.entries.iter()
+    }
+
+    /// The FIFO eviction order, oldest first. Part of the protocol state:
+    /// which entry an overflow evicts decides which debt flush runs next.
+    pub fn fifo_order(&self) -> impl Iterator<Item = &u64> {
+        self.order.iter()
+    }
+}
+
+/// A stale PTE in a socket's numaPTE page-table replica: the translation
+/// the replica still holds and the version it corresponds to. Only the
+/// `buggy_numapte` injection ever creates these — the real L8 path syncs
+/// every socket's replica deterministically at update time.
+#[derive(Clone, Copy, Debug)]
+pub struct StalePte {
+    /// The old translation the un-synced replica still serves.
+    pub pte: Pte,
+    /// The modification version the replica last saw (current - 1 at the
+    /// time the sync was skipped).
+    pub version: u64,
+}
+
 /// An address space (`mm_struct`).
 #[derive(Debug)]
 pub struct Mm {
@@ -90,6 +229,19 @@ pub struct Mm {
     pub pcid: Pcid,
     /// Next unused address for anonymous mmap placement.
     pub mmap_cursor: VirtAddr,
+    /// L7 reuse-skip window of recently zapped pages. Empty (and never
+    /// consulted) unless `OptConfig::reuse_skip` is on.
+    pub reuse: ReuseWindow,
+    /// Kernel-side per-page PTE version counters backing the reuse-skip
+    /// versioned-PTE check. Maintained only while `reuse_skip` is on, so
+    /// the oracle-independent kernel can prove "nothing modified this page
+    /// since it was parked" without consulting the checker.
+    pub pte_versions: BTreeMap<u64, u64>,
+    /// L8 numaPTE replica staleness, per socket: vpns whose per-socket
+    /// page-table replica still holds an old PTE. The real replica-sync
+    /// path keeps this empty; only `buggy_numapte` (skipping remote-socket
+    /// sync) populates it.
+    pub numa_stale: BTreeMap<u32, BTreeMap<u64, StalePte>>,
 }
 
 impl Mm {
@@ -250,6 +402,9 @@ mod tests {
             mmap_sem: RwSem::new(),
             pcid: Pcid::new(1),
             mmap_cursor: VirtAddr::new(0x1000_0000),
+            reuse: ReuseWindow::new(),
+            pte_versions: BTreeMap::new(),
+            numa_stale: BTreeMap::new(),
         };
         (mem, m)
     }
@@ -315,6 +470,54 @@ mod tests {
             VmaKind::FileShared { page_offset, .. } => assert_eq!(page_offset, 13),
             _ => panic!("wrong kind"),
         }
+    }
+
+    fn parked(version: u64) -> ReuseEntry {
+        ReuseEntry {
+            pte: Pte::new(PhysAddr::new(0x8000), tlbdown_types::PteFlags::user_rw()),
+            version,
+            retire: vec![(1, version)],
+        }
+    }
+
+    #[test]
+    fn reuse_window_parks_and_takes() {
+        let mut w = ReuseWindow::new();
+        assert!(w.park(7, parked(1), REUSE_WINDOW_CAP).is_none());
+        assert!(w.contains(7));
+        let e = w.take(7).unwrap();
+        assert_eq!(e.version, 1);
+        assert!(w.is_empty());
+        assert!(w.take(7).is_none());
+    }
+
+    #[test]
+    fn reuse_window_evicts_oldest_at_capacity() {
+        let mut w = ReuseWindow::new();
+        for vpn in 0..REUSE_WINDOW_CAP as u64 {
+            assert!(w.park(vpn, parked(1), REUSE_WINDOW_CAP).is_none());
+        }
+        // One more: vpn 0 (the oldest) must pop out for debt payment.
+        let (evicted_vpn, _) = w.park(1000, parked(2), REUSE_WINDOW_CAP).unwrap();
+        assert_eq!(evicted_vpn, 0);
+        assert_eq!(w.len(), REUSE_WINDOW_CAP);
+        assert!(!w.contains(0) && w.contains(1000));
+    }
+
+    #[test]
+    fn reuse_window_take_range_invalidates_overlap() {
+        let mut w = ReuseWindow::new();
+        for vpn in [2u64, 5, 9] {
+            w.park(vpn, parked(1), REUSE_WINDOW_CAP);
+        }
+        // Pages [4, 8) cover vpn 5 only.
+        let hit = w.take_range(VirtRange::pages(
+            VirtAddr::new(4 * 4096),
+            4,
+            PageSize::Size4K,
+        ));
+        assert_eq!(hit.iter().map(|(v, _)| *v).collect::<Vec<_>>(), vec![5]);
+        assert!(w.contains(2) && w.contains(9) && !w.contains(5));
     }
 
     #[test]

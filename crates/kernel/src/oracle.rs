@@ -110,6 +110,47 @@ impl Oracle {
         self.fills.insert((core, user_view, mm, page.vpn()), v);
     }
 
+    /// Record a TLB fill at an *explicit* version rather than the current
+    /// one. Used when the modelled hardware translates through state that
+    /// lags the real page tables — a stale numaPTE socket replica fills at
+    /// the version the replica last saw, so a later retire of the real
+    /// update correctly flags any access that survives it.
+    pub fn tlb_filled_at(
+        &mut self,
+        core: CoreId,
+        user_view: bool,
+        mm: MmId,
+        page: VirtAddr,
+        version: u64,
+    ) {
+        self.fills
+            .insert((core, user_view, mm, page.vpn()), version);
+    }
+
+    /// Current modification version of `(mm, page)` (0 if never modified).
+    pub fn current_version(&self, mm: MmId, page: VirtAddr) -> u64 {
+        self.versions.get(&(mm, page.vpn())).copied().unwrap_or(0)
+    }
+
+    /// The reuse-skip window restored `(mm, page)` to a PTE byte-identical
+    /// to its pre-`version` state, with no intervening modification (the
+    /// kernel's versioned-PTE check proved `version` is still the page's
+    /// current version). Every live entry for the page — any core, either
+    /// view — therefore translates correctly again: re-stamp older fills
+    /// to `version` and retire it. This is the only sound way to retire a
+    /// version whose flush was elided; retiring without the re-stamp (what
+    /// `buggy_reuse_skip` effectively does at park time) flags the very
+    /// next hit through a surviving entry.
+    pub fn reuse_restored(&mut self, mm: MmId, page: VirtAddr, version: u64) {
+        for ((_, _, m, vp), fill) in self.fills.iter_mut() {
+            if *m == mm && *vp == page.vpn() && *fill < version {
+                *fill = version;
+            }
+        }
+        let r = self.retired.entry((mm, page.vpn())).or_insert(0);
+        *r = (*r).max(version);
+    }
+
     /// Check a user-mode (or NMI uaccess) access on `core` that *hit* the
     /// TLB. Records a violation if the entry predates a retired flush.
     pub fn check_hit(
@@ -279,6 +320,61 @@ mod tests {
             1,
             "the skipped page's stale entry must trip the oracle"
         );
+    }
+
+    #[test]
+    fn reuse_restore_launders_identical_translations() {
+        // Reuse-skip: zap parks the page (no retire — elision is legal
+        // while the pairs stay un-retired), then the re-fault restores the
+        // identical PTE and declares the guarantee via reuse_restored.
+        let mut o = Oracle::new();
+        o.tlb_filled(CORE, false, MM, page(1)); // remote entry at v0
+        let v = o.pte_modified(MM, page(1)); // parked at v1, flush elided
+        o.check_hit(CORE, false, MM, page(1), "during elided window");
+        assert!(o.violations().is_empty(), "un-retired window is legal");
+        o.reuse_restored(MM, page(1), v);
+        o.check_hit(CORE, false, MM, page(1), "after identical restore");
+        assert!(
+            o.violations().is_empty(),
+            "an entry translating a restored-identical PTE is coherent"
+        );
+    }
+
+    #[test]
+    fn retire_without_restore_flags_survivors() {
+        // The buggy_reuse_skip shape: claim the guarantee at park time
+        // (plain retire_exact) without flushing or re-stamping — the
+        // surviving entry's next hit must be a violation.
+        let mut o = Oracle::new();
+        o.tlb_filled(CORE, false, MM, page(1));
+        let v = o.pte_modified(MM, page(1));
+        o.retire_exact(MM, &[(page(1).vpn(), v)]);
+        o.check_hit(CORE, false, MM, page(1), "survivor after bogus retire");
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn stale_replica_fill_records_old_version() {
+        // numaPTE: a walk through a stale socket replica fills at the old
+        // version; once the real update's flush retires, a hit through
+        // that entry is exactly the stale-read the replica sync prevents.
+        let mut o = Oracle::new();
+        let v = o.pte_modified(MM, page(2));
+        o.tlb_filled_at(CORE, false, MM, page(2), v - 1);
+        o.check_hit(CORE, false, MM, page(2), "before retire");
+        assert!(o.violations().is_empty());
+        o.retire_exact(MM, &[(page(2).vpn(), v)]);
+        o.check_hit(CORE, false, MM, page(2), "stale replica fill after retire");
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn current_version_tracks_modifications() {
+        let mut o = Oracle::new();
+        assert_eq!(o.current_version(MM, page(3)), 0);
+        o.pte_modified(MM, page(3));
+        o.pte_modified(MM, page(3));
+        assert_eq!(o.current_version(MM, page(3)), 2);
     }
 
     #[test]

@@ -546,11 +546,22 @@ impl Machine {
                 f.cur_info = Some(info);
                 f.cur_initiator = initiator;
                 f.cur_early = sd.early_ack;
-                let script = self.smp.fetch_work(initiator, core);
-                let cost = run_script(&mut self.dir, core, &script)
-                    + self
-                        .faults
-                        .cacheline_jitter_hops(self.dir.jitter_hops(initiator, core));
+                // L8 numaPTE: the flush metadata is replicated per socket,
+                // so a responder on a different socket than the initiator
+                // reads its own socket's copy — one local memory access
+                // instead of the cross-socket cacheline transfer.
+                let node_local = self.numa_pte_active()
+                    && self.cfg.topo.socket_of(initiator) != self.cfg.topo.socket_of(core);
+                let cost = if node_local {
+                    self.stats.counters.bump("numapte_local_fetch");
+                    self.cfg.costs.mem_access
+                } else {
+                    let script = self.smp.fetch_work(initiator, core);
+                    run_script(&mut self.dir, core, &script)
+                        + self
+                            .faults
+                            .cacheline_jitter_hops(self.dir.jitter_hops(initiator, core))
+                };
                 trace_emit!(
                     self,
                     core,

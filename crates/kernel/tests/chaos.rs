@@ -40,11 +40,15 @@ fn boot_chaos(opts: OptConfig, safe: bool, fault: FaultSpec) -> Machine {
         fault_seed: SEED,
         watchdog: test_watchdog(),
     };
+    // A reuse window smaller than the madvise working set: the elision
+    // levels (L7/L8) then pay capacity-eviction debt flushes, keeping
+    // real IPIs in flight for the fault plans to bite on. Inert below L7.
     Machine::new(
         KernelConfig::test_machine(4)
             .with_opts(opts)
             .with_safe_mode(safe)
-            .with_chaos(chaos),
+            .with_chaos(chaos)
+            .with_reuse_window_cap(4),
     )
 }
 
@@ -209,8 +213,7 @@ fn slow_but_healthy_responders_are_never_quarantined() {
         irq_entry_delay_max: 300_000, // > test_watchdog timeout (250k)
         ..FaultSpec::none()
     };
-    for level in 0..=6 {
-        let opts = OptConfig::cumulative(level);
+    for (level, _, opts) in OptConfig::all_levels() {
         let baseline = {
             let mut m = boot_chaos(opts, true, FaultSpec::none());
             run_workload(&mut m)
@@ -392,8 +395,7 @@ fn duplicate_ipi_vector_is_idempotent_at_every_opt_level() {
     // delivery finds either a drained CSQ (spurious IRQ) or a stale CSQ
     // entry, and in neither case may it double-ack, shrink another item's
     // early-ack window, or leave call-single-queue state behind.
-    for level in 0..=6 {
-        let opts = OptConfig::cumulative(level);
+    for (level, _, opts) in OptConfig::all_levels() {
         let baseline = {
             let mut m = boot_chaos(opts, true, FaultSpec::none());
             run_workload(&mut m)

@@ -132,8 +132,7 @@ fn shootdown_reaches_responder() {
 #[test]
 fn all_optimizations_stay_safe() {
     for safe in [true, false] {
-        for level in 0..=6 {
-            let opts = OptConfig::cumulative(level);
+        for (level, _, opts) in OptConfig::all_levels() {
             let mut m = boot(4, opts, safe);
             let mm = m.create_process().expect("boot: create process");
             m.spawn(mm, CoreId(0), Box::new(MadviseLoop::new(8, 8)));

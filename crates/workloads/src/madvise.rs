@@ -563,6 +563,206 @@ pub fn run_scale_tier(cfg: &ScaleTierCfg) -> SimResult<ScaleTierResult> {
     })
 }
 
+/// A churn responder: reads through the shared working set with think
+/// time between pages until its deadline. Reads landing after a zap
+/// demand-fault — at opt level 7 a fault on a *parked* page is the
+/// reuse-hit path (unpark, skip the fill work); below 7 it is a plain
+/// zero-fill fault.
+struct ChurnReader {
+    addr: u64,
+    pages: u64,
+    think: u64,
+    deadline: u64,
+    idx: u64,
+    state: u32,
+}
+
+impl Prog for ChurnReader {
+    fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
+        if ctx.now.as_u64() >= self.deadline {
+            return ProgAction::Exit;
+        }
+        match self.state {
+            0 => {
+                self.idx = (self.idx + 1) % self.pages;
+                self.state = 1;
+                ProgAction::Access {
+                    va: VirtAddr::new(self.addr + self.idx * 4096),
+                    write: false,
+                }
+            }
+            _ => {
+                self.state = 0;
+                ProgAction::Compute(Cycles::new(self.think.max(1)))
+            }
+        }
+    }
+}
+
+/// Configuration of the reuse-heavy churn adversary: one initiator
+/// cycling a fixed working set through touch → `madvise(MADV_DONTNEED)`
+/// → re-touch of the *same* mapping, forever re-creating the exact
+/// PTE the zap removed. This is the best case the reuse-skip window
+/// (opt level 7) was built for — and, with `working_set_pages` pushed
+/// past `reuse_window_cap`, its worst case: every park capacity-evicts
+/// an older entry whose deferred shootdown debt then comes due as a
+/// real flush.
+#[derive(Clone, Debug)]
+pub struct ReuseChurnCfg {
+    /// Total cores; core 0 churns, the rest busy-wait in the same mm
+    /// and absorb whatever IPIs the churn still sends.
+    pub cores: u32,
+    /// Pages in the churned working set.
+    pub working_set_pages: u64,
+    /// Reuse-window capacity the kernel runs with (the pressure knob:
+    /// below `working_set_pages` every round overflows the window).
+    pub reuse_window_cap: usize,
+    /// Churn rounds (each round = touch set + madvise set).
+    pub iters: u64,
+    /// Optimizations active.
+    pub opts: OptConfig,
+    /// Mitigations on?
+    pub safe: bool,
+    /// Seed for the initiator's jitter stream.
+    pub seed: u64,
+}
+
+impl ReuseChurnCfg {
+    /// A churn cell whose working set fits the reuse window: at level 7
+    /// every round after the first parks and re-hits without a single
+    /// shootdown.
+    pub fn fitting(opts: OptConfig) -> Self {
+        ReuseChurnCfg {
+            cores: 4,
+            working_set_pages: 8,
+            reuse_window_cap: 16,
+            iters: 40,
+            opts,
+            safe: true,
+            seed: 0x4e05_e171,
+        }
+    }
+
+    /// A churn cell that overflows the reuse window every round: the
+    /// adversarial case where level 7 pays its deferred debt as
+    /// capacity-eviction flushes instead of saving anything.
+    pub fn overflowing(opts: OptConfig) -> Self {
+        ReuseChurnCfg {
+            working_set_pages: 32,
+            reuse_window_cap: 8,
+            ..Self::fitting(opts)
+        }
+    }
+}
+
+/// What one reuse-churn run produced. Deterministic: same cfg ⇒ same
+/// result, byte for byte.
+#[derive(Clone, Debug)]
+pub struct ReuseChurnResult {
+    /// Shootdowns the churn actually ran (elision shrinks this).
+    pub shootdowns: u64,
+    /// Pages parked in the reuse window.
+    pub reuse_parks: u64,
+    /// Re-touches satisfied from a parked entry with a matching
+    /// versioned PTE (each one is an elided shootdown/flush pair).
+    pub reuse_hits: u64,
+    /// Parked entries capacity-evicted out of the window.
+    pub reuse_evictions: u64,
+    /// Deferred-debt flushes those evictions forced.
+    pub debt_flushes: u64,
+    /// Mean initiator `madvise` latency in cycles.
+    pub madvise_mean: f64,
+    /// Full machine counter set.
+    pub counters: Counter,
+    /// Final simulated time.
+    pub sim_cycles: u64,
+    /// Canonical machine-state digest at the end of the run.
+    pub digest: u64,
+}
+
+/// Run the reuse-churn adversary to completion.
+///
+/// Fails with a typed [`SimError`] on a misconfigured cell, a boot that
+/// cannot allocate, or an oracle violation.
+pub fn run_reuse_churn(cfg: &ReuseChurnCfg) -> SimResult<ReuseChurnResult> {
+    if cfg.cores < 2 {
+        return Err(SimError::InvalidArgument(
+            "reuse churn needs an initiator and at least one responder".into(),
+        ));
+    }
+    if cfg.working_set_pages < 1 || cfg.reuse_window_cap < 1 {
+        return Err(SimError::InvalidArgument(
+            "reuse churn needs a non-empty working set and window".into(),
+        ));
+    }
+    let kc = KernelConfig::test_machine(cfg.cores)
+        .with_opts(cfg.opts)
+        .with_safe_mode(cfg.safe)
+        .with_reuse_window_cap(cfg.reuse_window_cap);
+    let mut m = Machine::new(kc);
+    let mm = m.create_process()?;
+    let addr = m.setup_map_anon(mm, cfg.working_set_pages)?;
+    let rng = SplitMix64::new(cfg.seed);
+    let deadline = cfg.iters * 400_000;
+    // The region is pre-mapped so the readers share its address; the
+    // initiator starts in its touch phase (state 2) instead of mmaping.
+    m.spawn(
+        mm,
+        CoreId(0),
+        Box::new(Initiator {
+            addr: addr.as_u64(),
+            ptes: cfg.working_set_pages,
+            iters: cfg.iters,
+            state: 2,
+            touch: 0,
+            iter: 0,
+            rng,
+        }),
+    );
+    for core in 1..cfg.cores {
+        m.spawn(
+            mm,
+            CoreId(core),
+            Box::new(ChurnReader {
+                addr: addr.as_u64(),
+                pages: cfg.working_set_pages,
+                think: 2_000 + u64::from(core) * 97,
+                deadline,
+                idx: u64::from(core),
+                state: 0,
+            }),
+        );
+    }
+    m.run_until(Cycles::new(deadline));
+    if let Some(v) = m.violations().first() {
+        return Err(v.clone());
+    }
+    let init = m
+        .stats
+        .syscall_lat
+        .get(&(CoreId(0), "madvise_dontneed"))
+        .ok_or_else(|| SimError::InvalidArgument("churn never ran madvise".into()))?;
+    if init.count() != cfg.iters {
+        return Err(SimError::InvalidArgument(format!(
+            "only {}/{} churn rounds completed",
+            init.count(),
+            cfg.iters
+        )));
+    }
+    let c = &m.stats.counters;
+    Ok(ReuseChurnResult {
+        shootdowns: c.get("shootdown"),
+        reuse_parks: c.get("reuse_park"),
+        reuse_hits: c.get("reuse_hit"),
+        reuse_evictions: c.get("reuse_evict"),
+        debt_flushes: c.get("reuse_debt_flush"),
+        madvise_mean: init.mean(),
+        counters: m.stats.counters.clone(),
+        sim_cycles: m.now().as_u64(),
+        digest: m.state_digest(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -721,6 +921,56 @@ mod tests {
             b.counters.render_json(),
             "BENCH_2 counters moved"
         );
+    }
+
+    #[test]
+    fn fitting_reuse_churn_elides_shootdowns_at_level_7() {
+        let at6 = run_reuse_churn(&ReuseChurnCfg::fitting(OptConfig::cumulative(6)))
+            .expect("level-6 churn runs clean");
+        let at7 = run_reuse_churn(&ReuseChurnCfg::fitting(OptConfig::cumulative(7)))
+            .expect("level-7 churn runs clean");
+        assert_eq!(at6.reuse_hits, 0, "reuse machinery must be inert below 7");
+        assert_eq!(at6.reuse_parks, 0);
+        assert!(
+            at7.reuse_hits > 0,
+            "window held the set; re-touches must hit"
+        );
+        assert!(
+            at7.shootdowns < at6.shootdowns,
+            "elision saved nothing: {} !< {}",
+            at7.shootdowns,
+            at6.shootdowns
+        );
+        assert_eq!(at7.debt_flushes, 0, "a fitting set must never pay debt");
+    }
+
+    #[test]
+    fn overflowing_reuse_churn_pays_capacity_debt() {
+        let r = run_reuse_churn(&ReuseChurnCfg::overflowing(OptConfig::cumulative(7)))
+            .expect("overflowing churn runs clean");
+        assert!(r.reuse_parks > 0, "madvise must still park");
+        assert!(
+            r.reuse_evictions > 0,
+            "a 32-page set must overflow an 8-entry window"
+        );
+        assert!(
+            r.debt_flushes > 0,
+            "capacity evictions must come due as real flushes"
+        );
+    }
+
+    #[test]
+    fn reuse_churn_replays_byte_identically() {
+        for cfg in [
+            ReuseChurnCfg::fitting(OptConfig::cumulative(7)),
+            ReuseChurnCfg::overflowing(OptConfig::cumulative(8)),
+        ] {
+            let a = run_reuse_churn(&cfg).expect("churn runs clean");
+            let b = run_reuse_churn(&cfg).expect("churn runs clean");
+            assert_eq!(a.digest, b.digest);
+            assert_eq!(a.sim_cycles, b.sim_cycles);
+            assert_eq!(a.counters.render_json(), b.counters.render_json());
+        }
     }
 
     #[test]

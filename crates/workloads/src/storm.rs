@@ -92,6 +92,58 @@ impl AccessPattern {
     }
 }
 
+/// AutoNUMA migration-storm intensity (the survival matrix's third
+/// axis, arXiv 2401.15558 §2): a kernel balancer thread sweeps the
+/// victim working set with a rolling write-protect wave — the NUMA
+/// hinting-fault scan — so every victim write behind the wave faults
+/// and re-migrates its page. Unlike the monitor's protect/unprotect
+/// toggle, the wave never restores permissions itself; only victim
+/// faults do, which is exactly AutoNUMA's steady-state shootdown tax.
+/// Under numaPTE (opt level 8) every protect and every hinting fault is
+/// also a PTE update the per-socket replicas must sync.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AutonumaIntensity {
+    /// No balancer: cells behave exactly as before the axis existed.
+    Off,
+    /// One balancer at the default scan cadence — background pressure.
+    Periodic,
+    /// One balancer re-scanning at migration-storm rates: the page is
+    /// often re-protected before the victim's previous fault cools.
+    Storm,
+}
+
+impl AutonumaIntensity {
+    /// All intensities, off to storm.
+    pub const ALL: [AutonumaIntensity; 3] = [
+        AutonumaIntensity::Off,
+        AutonumaIntensity::Periodic,
+        AutonumaIntensity::Storm,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AutonumaIntensity::Off => "off",
+            AutonumaIntensity::Periodic => "periodic",
+            AutonumaIntensity::Storm => "numa-storm",
+        }
+    }
+
+    /// `(scanner cores, chunk pages, think cycles)` for the intensity.
+    fn params(self) -> (u32, u64, u64) {
+        match self {
+            AutonumaIntensity::Off => (0, 0, 0),
+            AutonumaIntensity::Periodic => (1, 8, 60_000),
+            AutonumaIntensity::Storm => (1, 16, 8_000),
+        }
+    }
+
+    /// Scanner cores this intensity claims.
+    pub fn scanners(self) -> u32 {
+        self.params().0
+    }
+}
+
 /// Named storm intensities (the survival matrix's first axis).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StormIntensity {
@@ -170,6 +222,16 @@ pub struct StormCfg {
     /// matrix also runs the savage column on a mesh, where per-hop
     /// queueing concentrates the monitor's shootdown bursts.
     pub interconnect: TopologySpec,
+    /// AutoNUMA migration-storm axis. `Off` (the default everywhere a
+    /// cell is byte-pinned) leaves the machine exactly as it was before
+    /// the axis existed; use [`StormCfg::with_autonuma`] to claim the
+    /// balancer's core from the bystander population.
+    pub autonuma: AutonumaIntensity,
+    /// Sockets the `cores` split across (1 keeps the pinned cells'
+    /// single-socket topology; 2+ makes every balancer protect and
+    /// hinting fault cross the socket boundary, which is what numaPTE's
+    /// replica sync at opt level 8 exists to survive).
+    pub sockets: u32,
 }
 
 impl StormCfg {
@@ -213,7 +275,19 @@ impl StormCfg {
             drain: Cycles::new(16_000_000),
             seed: 0x5e75_7e9b,
             interconnect: TopologySpec::Flat,
+            autonuma: AutonumaIntensity::Off,
+            sockets: 1,
         }
+    }
+
+    /// Layer an AutoNUMA balancer onto the cell, trading bystander
+    /// cores for the scanners the intensity claims (and returning them
+    /// when the intensity drops).
+    pub fn with_autonuma(mut self, intensity: AutonumaIntensity) -> Self {
+        self.bystanders += self.autonuma.scanners();
+        self.autonuma = intensity;
+        self.bystanders = self.bystanders.saturating_sub(intensity.scanners());
+        self
     }
 }
 
@@ -240,6 +314,11 @@ pub struct StormResult {
     pub fault_p99: u64,
     /// Monitor protect-toggle syscalls completed.
     pub monitor_protects: u64,
+    /// AutoNUMA balancer scan chunks protected (0 with the axis off).
+    pub autonuma_scans: u64,
+    /// numaPTE replica-sync shootdowns the storm forced (0 below opt
+    /// level 8 or on a single socket).
+    pub replica_syncs: u64,
     /// Bystander requests served (collateral-damage metric).
     pub bystander_requests: u64,
     /// Full machine counter set at the end of the drain.
@@ -293,6 +372,48 @@ impl Prog for MonitorProg {
                 ProgAction::Compute(Cycles::new(self.think.max(1)))
             }
             _ => ProgAction::Exit,
+        }
+    }
+}
+
+/// The AutoNUMA balancer: a rolling write-protect wave over the victim
+/// working set in pmd-sized chunks. The wave never unprotects; each
+/// victim write behind it takes a hinting fault that restores the page
+/// — so the scan cadence, not the monitor's toggle, sets the
+/// migration-storm shootdown rate.
+struct AutonumaScannerProg {
+    addr: u64,
+    pages: u64,
+    chunk: u64,
+    think: u64,
+    deadline: u64,
+    pos: u64,
+    scans: Rc<Cell<u64>>,
+    state: u32,
+}
+
+impl Prog for AutonumaScannerProg {
+    fn next(&mut self, ctx: &ProgCtx) -> ProgAction {
+        if ctx.now.as_u64() >= self.deadline {
+            return ProgAction::Exit;
+        }
+        match self.state {
+            0 => {
+                let at = self.pos;
+                let len = self.chunk.min(self.pages - at);
+                self.pos = (at + len) % self.pages;
+                self.scans.set(self.scans.get() + 1);
+                self.state = 1;
+                ProgAction::Syscall(Syscall::Mprotect {
+                    addr: VirtAddr::new(self.addr + at * 4096),
+                    pages: len,
+                    write: false,
+                })
+            }
+            _ => {
+                self.state = 0;
+                ProgAction::Compute(Cycles::new(self.think.max(1)))
+            }
         }
     }
 }
@@ -407,10 +528,17 @@ pub fn run_storm(cfg: &StormCfg) -> SimResult<StormResult> {
             "a storm needs at least one monitor and one victim".into(),
         ));
     }
-    if cfg.monitors + cfg.victims + cfg.bystanders > cfg.cores {
+    let (scanners, scan_chunk, scan_think) = cfg.autonuma.params();
+    if cfg.monitors + cfg.victims + cfg.bystanders + scanners > cfg.cores {
         return Err(SimError::InvalidArgument(format!(
-            "core populations {}+{}+{} exceed the {}-core machine",
+            "core populations {}+{}+{}+{scanners} exceed the {}-core machine",
             cfg.monitors, cfg.victims, cfg.bystanders, cfg.cores
+        )));
+    }
+    if cfg.sockets < 1 || !cfg.cores.is_multiple_of(cfg.sockets) {
+        return Err(SimError::InvalidArgument(format!(
+            "{} cores do not split evenly across {} sockets",
+            cfg.cores, cfg.sockets
         )));
     }
     let chaos = ChaosConfig {
@@ -423,6 +551,9 @@ pub fn run_storm(cfg: &StormCfg) -> SimResult<StormResult> {
         .with_safe_mode(cfg.safe)
         .with_chaos(chaos)
         .with_topology(cfg.interconnect.clone());
+    if cfg.sockets > 1 {
+        kc.topo = tlbdown_types::Topology::new(cfg.sockets, cfg.cores / cfg.sockets);
+    }
     kc.seed = cfg.seed;
     let mut m = Machine::new(kc);
 
@@ -461,6 +592,28 @@ pub fn run_storm(cfg: &StormCfg) -> SimResult<StormResult> {
                 deadline,
                 idx: 0,
                 rng: rng.fork(),
+                state: 0,
+            }),
+        );
+        next_core += 1;
+    }
+
+    // AutoNUMA balancer: same mm as the victims — its scan wave rides
+    // the same page tables (and, at level 8, the same socket replicas)
+    // the monitor storm is hammering.
+    let scans = Rc::new(Cell::new(0u64));
+    for _ in 0..scanners {
+        m.spawn(
+            victim_mm,
+            CoreId(next_core),
+            Box::new(AutonumaScannerProg {
+                addr: ws_addr.0,
+                pages: cfg.working_set_pages,
+                chunk: scan_chunk.clamp(1, cfg.working_set_pages),
+                think: scan_think,
+                deadline,
+                pos: 0,
+                scans: scans.clone(),
                 state: 0,
             }),
         );
@@ -524,6 +677,8 @@ pub fn run_storm(cfg: &StormCfg) -> SimResult<StormResult> {
         fault_p90: p90,
         fault_p99: p99,
         monitor_protects: m.stats.counters.get("mprotect"),
+        autonuma_scans: scans.get(),
+        replica_syncs: m.stats.counters.get("numapte_replica_sync"),
         bystander_requests: served.get(),
         counters: m.stats.counters.clone(),
         sim_cycles: m.now().as_u64(),
@@ -603,6 +758,79 @@ mod tests {
             savage.counters.get("shootdown"),
             mild.counters.get("shootdown")
         );
+    }
+
+    #[test]
+    fn autonuma_defaults_stay_off_for_pinned_cells() {
+        // BENCH_3's committed baselines render cells built by
+        // StormCfg::new with no axis applied — the balancer must be
+        // strictly opt-in and the topology single-socket.
+        for intensity in StormIntensity::ALL {
+            let cfg = StormCfg::new(intensity, OptConfig::baseline());
+            assert_eq!(cfg.autonuma, AutonumaIntensity::Off);
+            assert_eq!(cfg.sockets, 1);
+        }
+    }
+
+    #[test]
+    fn autonuma_scan_wave_generates_hint_faults_and_survives() {
+        let mut cfg = StormCfg::new(StormIntensity::Brisk, OptConfig::baseline())
+            .with_autonuma(AutonumaIntensity::Storm);
+        cfg.duration = Cycles::new(1_500_000);
+        let r = run_storm(&cfg).expect("autonuma storm runs clean");
+        assert_eq!(r.violations, 0);
+        assert!(!r.wedged, "balancer wedged the machine: {:?}", r.counters);
+        assert!(r.autonuma_scans > 0, "balancer never scanned");
+        assert!(r.victim_faults > 0, "no hinting faults behind the wave");
+        let b = run_storm(&cfg).expect("autonuma storm runs clean");
+        assert_eq!(r.digest, b.digest, "axis must stay deterministic");
+        assert_eq!(r.autonuma_scans, b.autonuma_scans);
+    }
+
+    #[test]
+    fn numa_storm_out_scans_periodic() {
+        let run = |intensity| {
+            let mut cfg =
+                StormCfg::new(StormIntensity::Mild, OptConfig::baseline()).with_autonuma(intensity);
+            cfg.duration = Cycles::new(1_500_000);
+            run_storm(&cfg).expect("autonuma cell runs clean")
+        };
+        let periodic = run(AutonumaIntensity::Periodic);
+        let storm = run(AutonumaIntensity::Storm);
+        assert!(
+            storm.autonuma_scans > periodic.autonuma_scans,
+            "storm {} !> periodic {}",
+            storm.autonuma_scans,
+            periodic.autonuma_scans
+        );
+        assert!(
+            storm.counters.get("shootdown") > periodic.counters.get("shootdown"),
+            "a denser wave must shoot down more"
+        );
+    }
+
+    #[test]
+    fn cross_socket_numa_storm_exercises_replica_sync_at_level_8() {
+        let mut cfg = StormCfg::new(StormIntensity::Brisk, OptConfig::cumulative(8))
+            .with_autonuma(AutonumaIntensity::Storm);
+        cfg.sockets = 2;
+        cfg.duration = Cycles::new(1_500_000);
+        let r = run_storm(&cfg).expect("level-8 autonuma storm runs clean");
+        assert_eq!(r.violations, 0);
+        assert!(!r.wedged, "replica sync wedged: {:?}", r.counters);
+        assert!(
+            r.replica_syncs > 0,
+            "cross-socket PTE updates must sync replicas: {:?}",
+            r.counters
+        );
+        let b = run_storm(&cfg).expect("level-8 autonuma storm runs clean");
+        assert_eq!(r.digest, b.digest);
+
+        // Same cell on one socket: replication is inert by design.
+        let mut single = cfg.clone();
+        single.sockets = 1;
+        let s = run_storm(&single).expect("single-socket run");
+        assert_eq!(s.replica_syncs, 0, "no remote sockets, no sync");
     }
 
     #[test]

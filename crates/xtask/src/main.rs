@@ -109,12 +109,12 @@ use std::time::Duration;
 
 use tlbdown_bench::report::{diff_sim_metrics, render_bench_json, sim_blocks, total_wall_ns};
 use tlbdown_bench::{
-    bench_jobs, bench_matrix, full_matrix, scale_matrix, stealbench_matrix, storm_matrix,
-    storm_matrix_mesh, topobench_matrix, Scale,
+    bench_jobs, bench_matrix, full_matrix, optbench_levels, optbench_matrix, scale_matrix,
+    stealbench_matrix, storm_matrix, storm_matrix_mesh, topobench_matrix, Scale,
 };
 use tlbdown_check::gate::{
-    per_level_bounds, run_canary, run_fracture_canary, run_quarantine_canary, CanaryReport,
-    GateReport, LevelReport, DEFAULT_BUDGET,
+    per_level_bounds, run_canary, run_fracture_canary, run_numapte_canary, run_quarantine_canary,
+    run_reuse_canary, CanaryReport, GateReport, LevelReport, DEFAULT_BUDGET,
 };
 use tlbdown_check::{explore_opt_level, explore_opt_level_mesh, Bounds};
 use tlbdown_core::OptConfig;
@@ -207,6 +207,16 @@ fn main() -> ExitCode {
             flag(&args, "--baseline"),
             parse_tolerance(&args),
         ),
+        Some("optbench") => opt_bench_gate(
+            // The committed BENCH_7.json is the quick-scale matrix (like
+            // the storm gate, the cells are simulated twice each and the
+            // gate replays the whole matrix at two thread counts, so
+            // quick keeps CI wall-clock bounded).
+            parse_scale(&args),
+            &flag(&args, "--out").unwrap_or_else(|| "BENCH_7.json".into()),
+            flag(&args, "--baseline"),
+            parse_tolerance(&args),
+        ),
         Some("engine") => engine_gate(parse_seed(positional(&args, 1))),
         Some("storm") => storm_gate(
             parse_threads(&args),
@@ -258,6 +268,7 @@ fn main() -> ExitCode {
                  scalebench [--out PATH] [--baseline PATH] [--tolerance F] | \
                  stealbench [--out PATH] [--baseline PATH] [--tolerance F] | \
                  topobench [--scale quick|full] [--out PATH] [--baseline PATH] [--tolerance F] | \
+                 optbench [--scale quick|full] [--out PATH] [--baseline PATH] [--tolerance F] | \
                  engine [seed] | \
                  storm [--threads N] [--scale quick|full] [--fabric flat|mesh] [--out PATH] \
                  [--report PATH] [--baseline PATH] [--tolerance F] | \
@@ -462,20 +473,20 @@ fn replay(seed: u64) -> bool {
     }
 }
 
-/// The per-level explorations as sweep jobs: seven levels over the flat
-/// reference interconnect, then the same seven routed over the 2D mesh.
-/// Each per-level DFS is deterministic in isolation, so the jobs can run
-/// on any worker in any order.
+/// The per-level explorations as sweep jobs: every cumulative level over
+/// the flat reference interconnect, then the same levels routed over the
+/// 2D mesh. Each per-level DFS is deterministic in isolation, so the
+/// jobs can run on any worker in any order.
 fn explore_level_jobs() -> Vec<Job<(LevelReport, bool)>> {
-    let mut jobs: Vec<Job<(LevelReport, bool)>> = (0..=6u8)
-        .map(|level| {
+    let mut jobs: Vec<Job<(LevelReport, bool)>> = OptConfig::all_levels()
+        .map(|(level, _, _)| {
             let bounds = per_level_bounds();
             Job::new(format!("explore/L{level}"), move || {
                 (explore_opt_level(level, &bounds), false)
             })
         })
         .collect();
-    jobs.extend((0..=6u8).map(|level| {
+    jobs.extend(OptConfig::all_levels().map(|(level, _, _)| {
         let bounds = per_level_bounds();
         Job::new(format!("explore/mesh/L{level}"), move || {
             (explore_opt_level_mesh(level, &bounds), true)
@@ -536,9 +547,10 @@ fn print_canary(name: &str, c: &CanaryReport) {
     }
 }
 
-/// The model-checking gate: seven per-level explorations fanned across
-/// the sweep pool, the canary, a budget check, and a machine-readable
-/// report written to `out`.
+/// The model-checking gate: per-level explorations (flat and mesh, all
+/// of [`OptConfig::all_levels`]) fanned across the sweep pool, the
+/// seeded-bug canaries, a budget check, and a machine-readable report
+/// written to `out`.
 fn explore_gate(threads: usize, out: &str) -> bool {
     let per_level = per_level_bounds();
     println!(
@@ -570,11 +582,17 @@ fn explore_gate(threads: usize, out: &str) -> bool {
     print_canary("buggy_quarantine", &quarantine_canary);
     let fracture_canary = run_fracture_canary(&Bounds::default(), SHRINK_BUDGET);
     print_canary("buggy_fracture", &fracture_canary);
+    let reuse_skip_canary = run_reuse_canary(&Bounds::default(), SHRINK_BUDGET);
+    print_canary("buggy_reuse_skip", &reuse_skip_canary);
+    let numapte_canary = run_numapte_canary(&Bounds::default(), SHRINK_BUDGET);
+    print_canary("buggy_numapte", &numapte_canary);
     let spent = levels.iter().map(|l| l.schedules).sum::<u64>()
         + mesh_levels.iter().map(|l| l.schedules).sum::<u64>()
         + canary.spent
         + quarantine_canary.spent
-        + fracture_canary.spent;
+        + fracture_canary.spent
+        + reuse_skip_canary.spent
+        + numapte_canary.spent;
     let gate = GateReport {
         budget: DEFAULT_BUDGET,
         spent,
@@ -584,6 +602,8 @@ fn explore_gate(threads: usize, out: &str) -> bool {
         canary,
         quarantine_canary,
         fracture_canary,
+        reuse_skip_canary,
+        numapte_canary,
         max_canary_choices: MAX_CANARY_CHOICES,
     };
     if let Err(e) = std::fs::write(out, gate.to_json().render_pretty()) {
@@ -1135,6 +1155,210 @@ fn topo_bench_gate(scale: Scale, out: &str, baseline: Option<String>, tolerance:
     ok
 }
 
+/// The follow-on-level gate behind `BENCH_7.json`: the optbench matrix
+/// — reuse-churn in both window shapes and the cross-socket AutoNUMA
+/// migration storm at both balancer intensities, each at L6 (the full
+/// paper stack, the control column), L7 (+reuse-skip) and L8
+/// (+numa-pte) — with four checks before the baseline diff: the whole
+/// matrix runs at two sweep-pool thread counts and the deterministic
+/// sim blocks must be byte-identical between the runs; every cell's
+/// internal seed replay (each cell simulates twice) must be green; the
+/// window-fitting reuse cell must actually elide shootdowns at L7
+/// (hits > 0, fewer shootdowns than L6) while the control keeps the
+/// window dark; and the migration-storm cell must sync page-table
+/// replicas at L8 and only there — with every storm cell surviving
+/// (zero violations, no wedge, all threads done).
+fn opt_bench_gate(scale: Scale, out: &str, baseline: Option<String>, tolerance: f64) -> bool {
+    let jobs = bench_jobs(optbench_matrix(scale));
+    println!(
+        "xtask: optbench sweep — {} cells at {} scale, every cell simulated twice, \
+         matrix replayed at 1 and 2 pool threads",
+        jobs.len(),
+        scale.label()
+    );
+    let sweep = run_jobs(jobs, 1);
+    let doc = render_bench_json(&sweep, &git_rev());
+    let sweep2 = run_jobs(bench_jobs(optbench_matrix(scale)), 2);
+    let doc2 = render_bench_json(&sweep2, &git_rev());
+    let mut ok = true;
+
+    if !sweep.failures.is_empty() || !sweep2.failures.is_empty() {
+        for f in sweep.failures.iter().chain(&sweep2.failures) {
+            eprintln!(
+                "xtask: OPTBENCH GATE FAILED — job {} panicked: {}",
+                f.id, f.message
+            );
+        }
+        ok = false;
+    }
+
+    // Check 1: thread invariance — the deterministic sim blocks of the
+    // two pool runs, byte for byte.
+    if sim_blocks(&doc) == sim_blocks(&doc2) {
+        println!(
+            "xtask: thread invariance OK — {} sim blocks byte-identical at 1 and 2 pool threads",
+            sweep.results.len()
+        );
+    } else {
+        eprintln!("xtask: OPTBENCH GATE FAILED — sim blocks differ between 1 and 2 pool threads");
+        ok = false;
+    }
+
+    // Check 2: every cell's internal seed replay.
+    let s = scale.label();
+    for r in &sweep.results {
+        match sim_u64(&doc, &r.id, "replay_ok") {
+            Some(1) => {}
+            other => {
+                eprintln!(
+                    "xtask: OPTBENCH GATE FAILED — {}: seed replay diverged (replay_ok = {other:?})",
+                    r.id
+                );
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!("xtask: seed replay OK — every follow-on cell byte-identical across its two runs");
+    }
+
+    // Check 3: reuse-skip teeth. The window-fitting churn at L7 must
+    // elide real shootdowns against the L6 control, and the control
+    // must keep the window completely dark — a hit below level 7 would
+    // mean the level switch leaks.
+    let control_id = format!("opt/{s}/reuse/fitting/L{}", OptConfig::PAPER_MAX_LEVEL);
+    let reuse_id = format!("opt/{s}/reuse/fitting/L{}", OptConfig::PAPER_MAX_LEVEL + 1);
+    let control_sd = sim_u64(&doc, &control_id, "shootdowns");
+    let reuse_sd = sim_u64(&doc, &reuse_id, "shootdowns");
+    let control_hits = sim_u64(&doc, &control_id, "reuse_hits");
+    let reuse_hits = sim_u64(&doc, &reuse_id, "reuse_hits");
+    match (control_sd, reuse_sd, control_hits, reuse_hits) {
+        (Some(c), Some(r), Some(0), Some(h)) if r < c && h > 0 => {
+            println!(
+                "xtask: reuse-skip OK — fitting churn: {c} shootdowns at L6 vs {r} at L7 \
+                 ({h} window hits)"
+            );
+        }
+        other => {
+            eprintln!(
+                "xtask: OPTBENCH GATE FAILED — reuse-skip teeth: \
+                 (L6 shootdowns, L7 shootdowns, L6 hits, L7 hits) = {other:?}, \
+                 expected L7 < L6 with L6 hits = 0 and L7 hits > 0"
+            );
+            ok = false;
+        }
+    }
+
+    // Check 4: numaPTE teeth and survival. The cross-socket migration
+    // storm must sync replicas at L8 and only there, and every cell of
+    // the storm column must survive.
+    let numa_control = format!("opt/{s}/numa/numa-storm/L{}", OptConfig::PAPER_MAX_LEVEL);
+    let numa_id = format!("opt/{s}/numa/numa-storm/L{}", OptConfig::MAX_LEVEL);
+    match (
+        sim_u64(&doc, &numa_control, "replica_syncs"),
+        sim_u64(&doc, &numa_id, "replica_syncs"),
+    ) {
+        (Some(0), Some(r)) if r > 0 => {
+            println!("xtask: numaPTE OK — {r} replica syncs at L8, none below");
+        }
+        other => {
+            eprintln!(
+                "xtask: OPTBENCH GATE FAILED — numaPTE teeth: \
+                 (L6 replica syncs, L8 replica syncs) = {other:?}, expected (0, > 0)"
+            );
+            ok = false;
+        }
+    }
+    for level in optbench_levels() {
+        for intensity in ["periodic", "numa-storm"] {
+            let id = format!("opt/{s}/numa/{intensity}/L{level}");
+            let survived = sim_u64(&doc, &id, "violations") == Some(0)
+                && sim_u64(&doc, &id, "wedged") == Some(0)
+                && sim_u64(&doc, &id, "threads_done") == Some(1);
+            if !survived {
+                eprintln!("xtask: OPTBENCH GATE FAILED — {id} did not survive the storm");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!("xtask: survival OK — every migration-storm cell clean at all three levels");
+    }
+
+    for r in &sweep.results {
+        print!(
+            "xtask:   {}",
+            r.output.1.rendered.replace('\n', "\nxtask:   ")
+        );
+        println!();
+    }
+
+    // Diff against the committed snapshot. Job IDs are scale-prefixed,
+    // so (like the topo gate) a full run must not clobber the committed
+    // quick cells: baseline jobs this run didn't produce are carried
+    // over verbatim and the wall-clock bound is skipped when anything
+    // was carried.
+    let baseline_path = baseline.unwrap_or_else(|| out.to_string());
+    let mut carried: Vec<Json> = Vec::new();
+    let mut doc = doc;
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Json::parse(&text) {
+            Ok(base) => {
+                let produced: Vec<&str> = sweep.results.iter().map(|r| r.id.as_str()).collect();
+                let mut same_scale: Vec<Json> = Vec::new();
+                if let Some(base_jobs) = base.get("jobs").and_then(Json::as_arr) {
+                    for j in base_jobs {
+                        let id = j.get("id").and_then(Json::as_str);
+                        if id.is_some_and(|id| produced.contains(&id)) {
+                            same_scale.push(j.clone());
+                        } else {
+                            carried.push(j.clone());
+                        }
+                    }
+                }
+                let base_cmp = if carried.is_empty() {
+                    base
+                } else {
+                    Json::obj().with("jobs", Json::Arr(same_scale))
+                };
+                ok &= gate_against_baseline(&doc, &base_cmp, &baseline_path, tolerance);
+            }
+            Err(e) => {
+                eprintln!(
+                    "xtask: baseline {baseline_path} is not valid JSON ({e}) — \
+                     OPTBENCH GATE FAILED"
+                );
+                ok = false;
+            }
+        },
+        Err(_) => println!("xtask: no baseline at {baseline_path} — recording first snapshot"),
+    }
+    if !carried.is_empty() {
+        let mut all_jobs: Vec<Json> = doc
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default();
+        all_jobs.extend(carried);
+        all_jobs.sort_by(|a, b| {
+            a.get("id")
+                .and_then(Json::as_str)
+                .cmp(&b.get("id").and_then(Json::as_str))
+        });
+        doc = doc.with("jobs", Json::Arr(all_jobs));
+    }
+
+    if let Err(e) = std::fs::write(out, doc.render_pretty()) {
+        eprintln!("xtask: could not write {out}: {e}");
+        return false;
+    }
+    println!("xtask: wrote {out}");
+    if ok {
+        println!("xtask: optbench OK");
+    }
+    ok
+}
+
 /// One chaos-stressed machine run for the engine-equivalence gate.
 fn engine_gate_run(level: usize, seed: u64, heap_only: bool) -> (u64, u64, usize, usize) {
     let chaos = ChaosConfig::with_fault(FaultSpec::everything(), seed);
@@ -1166,7 +1390,8 @@ fn engine_gate_run(level: usize, seed: u64, heap_only: bool) -> (u64, u64, usize
 fn engine_gate(seed: u64) -> bool {
     println!("xtask: engine-equivalence check, seed {seed:#x}");
     let mut ok = true;
-    for level in 0..=6usize {
+    for (level, _, _) in OptConfig::all_levels() {
+        let level = level as usize;
         let wheel = engine_gate_run(level, seed, false);
         let heap = engine_gate_run(level, seed, true);
         if wheel != heap {
@@ -1182,7 +1407,8 @@ fn engine_gate(seed: u64) -> bool {
     if ok {
         println!(
             "xtask: engine OK — chaos-run state digests byte-identical across engines \
-             at all 7 opt levels"
+             at all {} opt levels",
+            OptConfig::NUM_LEVELS
         );
     }
     let tier = |heap_only: bool| {
@@ -1208,7 +1434,10 @@ fn engine_gate(seed: u64) -> bool {
 }
 
 /// Optimization levels every storm cell runs at (L0..L6 cumulative).
-const STORM_LEVELS: usize = 7;
+/// Pinned to the paper's levels: the cells' rendered sim blocks back the
+/// committed storm/bench baselines, so follow-on levels (L7/L8) are
+/// exercised by the explore and trace gates instead.
+const STORM_LEVELS: usize = OptConfig::PAPER_NUM_LEVELS;
 
 /// Per-level survival requirements, as (metric suffix, required value)
 /// pairs read from each storm cell's deterministic sim block.
@@ -1717,9 +1946,11 @@ fn sweep(threads: usize, scale: Scale, out: Option<String>) -> bool {
     true
 }
 
-/// One traced run of the calibrated trace-gate workload.
+/// One traced run of the calibrated trace-gate workload. Paper levels
+/// trace `dueling_madvise` exactly as before; the elision levels trace
+/// the shrunk-window variant so debt flushes keep the spans non-empty.
 fn traced_dueling(level: usize) -> Trace {
-    let mut m = tlbdown_check::scenario::dueling_madvise(OptConfig::cumulative(level));
+    let mut m = tlbdown_check::scenario::dueling_madvise_at(level as u8);
     m.start_tracing(1 << 14);
     m.run();
     m.take_trace()
@@ -1736,7 +1967,8 @@ fn trace_gate(out: &str) -> bool {
 
     // 1. Exact attribution at every cumulative optimization level.
     let mut columns = Vec::new();
-    for level in 0..=6usize {
+    for (level, _, _) in OptConfig::all_levels() {
+        let level = level as usize;
         let trace = traced_dueling(level);
         let a = analyze(&trace);
         let inexact = a
@@ -1758,8 +1990,9 @@ fn trace_gate(out: &str) -> bool {
     }
     if ok {
         println!(
-            "xtask: attribution exact for every shootdown at all 7 opt levels \
-             (phase sums == end-to-end)"
+            "xtask: attribution exact for every shootdown at all {} opt levels \
+             (phase sums == end-to-end)",
+            OptConfig::NUM_LEVELS
         );
     }
     println!("xtask: critical path, dueling_madvise, mean cycles per remote shootdown:");
@@ -1783,10 +2016,10 @@ fn trace_gate(out: &str) -> bool {
 
     // 3. Thread invariance: the same seven jobs through the sweep pool.
     let trace_jobs = || -> Vec<Job<String>> {
-        (0..=6usize)
-            .map(|level| {
+        OptConfig::all_levels()
+            .map(|(level, _, _)| {
                 Job::new(format!("trace/L{level}"), move || {
-                    to_chrome_json(&traced_dueling(level)).render()
+                    to_chrome_json(&traced_dueling(level as usize)).render()
                 })
             })
             .collect()
@@ -1879,6 +2112,11 @@ fn ci(seed: u64, which: CiGates) -> ExitCode {
             "topo",
             false,
             Box::new(|| topo_bench_gate(Scale::Full, "BENCH_6.json", None, DEFAULT_TOLERANCE)),
+        ),
+        (
+            "optbench",
+            false,
+            Box::new(|| opt_bench_gate(Scale::Quick, "BENCH_7.json", None, DEFAULT_TOLERANCE)),
         ),
         (
             "storm",

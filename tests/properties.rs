@@ -153,6 +153,8 @@ fn opt_config(bits: u8) -> OptConfig {
         in_context_flush: bits & 8 != 0,
         cow_avoid_flush: bits & 16 != 0,
         userspace_batching: bits & 32 != 0,
+        reuse_skip: bits & 64 != 0,
+        numa_pte: bits & 128 != 0,
     }
 }
 
@@ -165,7 +167,7 @@ proptest! {
     #[test]
     fn no_stale_tlb_usage_under_any_optimization_subset(
         seed in any::<u64>(),
-        bits in 0u8..64,
+        bits in 0u8..=255,
         safe in any::<bool>(),
         cores in 2u32..5,
     ) {
@@ -173,7 +175,7 @@ proptest! {
         m.run_until(Cycles::new(40_000_000));
         prop_assert!(
             m.violations().is_empty(),
-            "opts={bits:06b} safe={safe} cores={cores} seed={seed:#x}: {:?}",
+            "opts={bits:08b} safe={safe} cores={cores} seed={seed:#x}: {:?}",
             m.violations()
         );
         // Conservation: every cached translation's PCID belongs to a live
@@ -188,7 +190,7 @@ proptest! {
     #[test]
     fn quiesced_tlbs_never_exceed_page_table_permissions(
         seed in any::<u64>(),
-        bits in 0u8..64,
+        bits in 0u8..=255,
         cores in 2u32..4,
     ) {
         let mut m = chaos_machine(seed, opt_config(bits), true, cores);
@@ -227,7 +229,7 @@ proptest! {
 
     /// Determinism: the same inputs give bit-identical outcomes.
     #[test]
-    fn runs_are_reproducible(seed in any::<u64>(), bits in 0u8..64) {
+    fn runs_are_reproducible(seed in any::<u64>(), bits in 0u8..=255) {
         let run = || {
             let mut m = chaos_machine(seed, opt_config(bits), true, 3);
             m.run_until(Cycles::new(15_000_000));
